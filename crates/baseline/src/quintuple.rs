@@ -1,0 +1,108 @@
+//! Step 1 of the join baseline: per-edge interval quintuples.
+
+use flowmotif_graph::{Flow, InteractionSeries, PairId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One `(u, v, ts, te, f)` tuple of the baseline: a contiguous run of
+/// elements on a `G_T` pair spanning at most `δ`, with aggregated flow.
+/// `u, v` are implied by `pair`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quintuple {
+    /// The `G_T` pair the run lives on.
+    pub pair: PairId,
+    /// Element index range `[start, end)` in the pair's series.
+    pub start: u32,
+    /// One past the last element index.
+    pub end: u32,
+    /// Timestamp of the first element (`ts`).
+    pub ts: Timestamp,
+    /// Timestamp of the last element (`te`).
+    pub te: Timestamp,
+    /// Aggregated flow of the run (`f`).
+    pub flow: Flow,
+}
+
+/// Builds every quintuple of one pair's series: all contiguous element
+/// runs whose span is at most `delta` and whose flow is at least `phi`
+/// (runs failing `ϕ` can never instantiate a motif edge, so the baseline
+/// drops them here, mirroring the paper's per-edge preprocessing).
+pub fn build_quintuples(
+    pair: PairId,
+    series: &InteractionSeries,
+    delta: Timestamp,
+    phi: Flow,
+) -> Vec<Quintuple> {
+    let mut out = Vec::new();
+    let n = series.len();
+    for i in 0..n {
+        let ts = series.time(i);
+        for j in i..n {
+            let te = series.time(j);
+            if te - ts > delta {
+                break;
+            }
+            let flow = series.flow_of_range(i..j + 1);
+            if flow >= phi {
+                out.push(Quintuple {
+                    pair,
+                    start: i as u32,
+                    end: (j + 1) as u32,
+                    ts,
+                    te,
+                    flow,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> InteractionSeries {
+        [(10i64, 5.0), (13, 2.0), (15, 3.0), (18, 7.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn all_runs_within_delta() {
+        let q = build_quintuples(0, &series(), 5, 0.0);
+        // Runs: [10],[10-13],[10-15],[13],[13-15],[13-18],[15],[15-18],[18]
+        assert_eq!(q.len(), 9);
+        assert!(q.iter().all(|x| x.te - x.ts <= 5));
+        // [10..18] spans 8 > 5: absent.
+        assert!(!q.iter().any(|x| x.ts == 10 && x.te == 18));
+    }
+
+    #[test]
+    fn flows_are_aggregated() {
+        let q = build_quintuples(0, &series(), 5, 0.0);
+        let run = q.iter().find(|x| x.ts == 10 && x.te == 15).unwrap();
+        assert_eq!(run.flow, 10.0);
+        assert_eq!(run.start, 0);
+        assert_eq!(run.end, 3);
+    }
+
+    #[test]
+    fn phi_filters_runs() {
+        let q = build_quintuples(0, &series(), 5, 5.0);
+        // Surviving: [10](5), [10-13](7), [10-15](10), [13-15](5),
+        // [13-18](12), [15-18](10), [18](7).
+        assert_eq!(q.len(), 7);
+        assert!(q.iter().all(|x| x.flow >= 5.0));
+    }
+
+    #[test]
+    fn delta_zero_gives_singletons() {
+        let q = build_quintuples(0, &series(), 0, 0.0);
+        assert_eq!(q.len(), 4);
+        assert!(q.iter().all(|x| x.ts == x.te));
+    }
+
+    #[test]
+    fn empty_series_gives_no_quintuples() {
+        let s = InteractionSeries::default();
+        assert!(build_quintuples(0, &s, 10, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion counterpart of experiment T4 (paper Table 4): phase-P1
+//! structural matching cost per motif.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowmotif_bench::ExpContext;
+use flowmotif_core::count_structural_matches;
+use flowmotif_datasets::Dataset;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.25;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(SCALE, 42);
+    let mut group = c.benchmark_group("table4_phase1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for d in Dataset::ALL {
+        let g = ctx.graph(d);
+        for m in ctx.motifs_quick(d) {
+            group.bench_with_input(
+                BenchmarkId::new(d.name(), m.name()),
+                m.path(),
+                |b, p| b.iter(|| black_box(count_structural_matches(&g, p))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Minimal command-line flag parsing shared by the experiment binaries
+//! (no external CLI dependency needed for `--flag value` pairs).
+
+use std::path::PathBuf;
+
+/// Flags understood by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Dataset scale factor (1.0 = the DESIGN.md laptop defaults).
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Write machine-readable results as JSON to this path.
+    pub json: Option<PathBuf>,
+    /// Use a reduced setting (fewer replicas / sweep points) for smoke
+    /// runs.
+    pub quick: bool,
+    /// Worker threads for parallel drivers (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self { scale: 1.0, seed: 42, json: None, quick: false, threads: 1 }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage
+    /// message; every experiment accepts the same set.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = value("--scale").parse().expect("bad --scale"),
+                "--seed" => out.seed = value("--seed").parse().expect("bad --seed"),
+                "--json" => out.json = Some(PathBuf::from(value("--json"))),
+                "--threads" => out.threads = value("--threads").parse().expect("bad --threads"),
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale <f64> --seed <u64> --json <path> --threads <n> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag `{other}`; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes `value` as pretty JSON to `--json` if given.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let s = serde_json::to_string_pretty(value).expect("serializable");
+            std::fs::write(path, s).expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = CommonArgs::parse_from(Vec::<String>::new());
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.seed, 42);
+        assert!(a.json.is_none());
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = CommonArgs::parse_from(
+            ["--scale", "0.5", "--seed", "7", "--quick", "--threads", "4", "--json", "/tmp/x.json"]
+                .map(String::from),
+        );
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert!(a.quick);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.json.unwrap().to_str().unwrap(), "/tmp/x.json");
+    }
+}

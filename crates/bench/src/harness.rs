@@ -1,0 +1,87 @@
+//! Experiment context: dataset generation with the paper's defaults,
+//! catalog motifs per dataset, and timing helpers.
+
+use flowmotif_core::{catalog, Motif};
+use flowmotif_datasets::Dataset;
+use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Lazily generated per-dataset graphs at a fixed scale and seed.
+#[derive(Debug)]
+pub struct ExpContext {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExpContext {
+    /// Creates a context.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        Self { scale, seed }
+    }
+
+    /// The raw multigraph of `d`.
+    pub fn multigraph(&self, d: Dataset) -> TemporalMultigraph {
+        d.generate_multigraph(self.scale, self.seed)
+    }
+
+    /// The merged time-series graph of `d`.
+    pub fn graph(&self, d: Dataset) -> TimeSeriesGraph {
+        d.generate(self.scale, self.seed)
+    }
+
+    /// The ten catalog motifs with `d`'s default `δ` and `ϕ` (paper §6.2).
+    pub fn motifs(&self, d: Dataset) -> Vec<Motif> {
+        catalog::all_motifs(d.default_delta(), d.default_phi())
+    }
+
+    /// Catalog restricted to `quick` runs: the four cheapest motifs.
+    pub fn motifs_quick(&self, d: Dataset) -> Vec<Motif> {
+        self.motifs(d).into_iter().take(4).collect()
+    }
+}
+
+/// Milliseconds as f64 — the unit used in all printed tables.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_deterministic() {
+        let c = ExpContext::new(0.05, 9);
+        let a = c.graph(Dataset::Passenger);
+        let b = c.graph(Dataset::Passenger);
+        assert_eq!(a.num_interactions(), b.num_interactions());
+    }
+
+    #[test]
+    fn motifs_carry_dataset_defaults() {
+        let c = ExpContext::new(0.1, 1);
+        let ms = c.motifs(Dataset::Passenger);
+        assert_eq!(ms.len(), 10);
+        assert!(ms.iter().all(|m| m.delta() == 900 && m.phi() == 2.0));
+        assert_eq!(c.motifs_quick(Dataset::Bitcoin).len(), 4);
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+}

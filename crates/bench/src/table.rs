@@ -1,0 +1,108 @@
+//! Plain-text table rendering for experiment output (the paper's tables
+//! and figure series, as aligned console tables).
+
+/// A simple right-aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (cells are padded/truncated to the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // First column left-aligned (labels), the rest right-aligned.
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", c, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimals (times, flows).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats an integer count with no decorations.
+pub fn n(x: u64) -> String {
+    x.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["motif", "count", "ms"]);
+        t.row(["M(3,2)", "12345", "1.23"]);
+        t.row(["M(5,5)A", "7", "100.00"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("motif"));
+        assert!(lines[2].starts_with("M(3,2)"));
+        // Right alignment: the short count sits at the right edge of its
+        // column.
+        assert!(lines[3].contains("      7"));
+    }
+
+    #[test]
+    fn rows_are_padded_to_header_width() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(n(42), "42");
+    }
+}

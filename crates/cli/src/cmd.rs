@@ -1,0 +1,375 @@
+//! Subcommand implementations, writing human- or machine-readable output
+//! to the provided writer.
+
+use crate::opts::{Cli, Command};
+use flowmotif_core::analytics::per_match_activity;
+use flowmotif_core::census::walk_census;
+use flowmotif_core::dp::dp_top1;
+use flowmotif_core::parallel::{par_enumerate_all, par_top_k};
+use flowmotif_core::{catalog, Motif};
+use flowmotif_datasets::Dataset;
+use flowmotif_graph::{io, GraphStats, TimeSeriesGraph};
+use flowmotif_significance::{assess_motif, SignificanceConfig};
+use std::io::Write;
+use std::path::Path;
+
+/// Runs the parsed CLI, writing output to `out`. Returns a process exit
+/// code.
+pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
+    match &cli.command {
+        Command::Stats(path) => stats(path, cli, out),
+        Command::Find(path) => find(path, cli, out),
+        Command::TopK(path) => topk(path, cli, out),
+        Command::Top1(path) => top1(path, cli, out),
+        Command::Significance(path) => significance(path, cli, out),
+        Command::Census(path) => census(path, cli, out),
+        Command::Activity(path) => activity(path, cli, out),
+        Command::Generate => generate(cli, out),
+    }
+}
+
+fn load(path: &Path) -> Result<TimeSeriesGraph, String> {
+    io::load_time_series_graph(path).map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+fn motif_of(cli: &Cli) -> Result<Motif, String> {
+    catalog::parse_motif(&cli.motif, cli.delta, cli.phi).map_err(|e| e.to_string())
+}
+
+fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    let s = GraphStats::of(&g);
+    if cli.json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&s).unwrap()).ok();
+    } else {
+        writeln!(out, "{s}").ok();
+    }
+    Ok(())
+}
+
+fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    let motif = motif_of(cli)?;
+    let (groups, stats) = par_enumerate_all(&g, &motif, cli.threads);
+    let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+    if cli.json {
+        let shown: Vec<_> = groups
+            .iter()
+            .flat_map(|(sm, v)| v.iter().map(move |i| (sm, i)))
+            .take(cli.show)
+            .collect();
+        writeln!(
+            out,
+            "{}",
+            serde_json::json!({
+                "motif": motif.name(),
+                "delta": motif.delta(),
+                "phi": motif.phi(),
+                "structural_matches": stats.structural_matches,
+                "instances": total,
+                "sample": shown,
+            })
+        )
+        .ok();
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{motif}: {} structural matches, {} maximal instances",
+        stats.structural_matches, total
+    )
+    .ok();
+    let mut printed = 0;
+    'outer: for (sm, insts) in &groups {
+        for inst in insts {
+            if printed >= cli.show {
+                break 'outer;
+            }
+            writeln!(
+                out,
+                "  nodes {:?} flow {:.3} span {}: {}",
+                sm.walk_nodes(&g),
+                inst.flow,
+                inst.span(),
+                inst.display(&g)
+            )
+            .ok();
+            printed += 1;
+        }
+    }
+    Ok(())
+}
+
+fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    // §5: top-k ranks by flow with ϕ = 0 (any --phi is still honoured as
+    // a floor if explicitly set).
+    let motif = motif_of(cli)?;
+    let (ranked, _) = par_top_k(&g, &motif, cli.k, cli.threads);
+    if cli.json {
+        let rows: Vec<_> = ranked
+            .iter()
+            .map(|r| serde_json::json!({"flow": r.instance.flow, "instance": &r.instance}))
+            .collect();
+        writeln!(out, "{}", serde_json::Value::Array(rows)).ok();
+        return Ok(());
+    }
+    writeln!(out, "top-{} instances of {} by flow:", cli.k, motif.name()).ok();
+    for (i, r) in ranked.iter().enumerate() {
+        writeln!(
+            out,
+            "  #{} flow {:.3} nodes {:?}: {}",
+            i + 1,
+            r.instance.flow,
+            r.structural_match.walk_nodes(&g),
+            r.instance.display(&g)
+        )
+        .ok();
+    }
+    if ranked.is_empty() {
+        writeln!(out, "  (no instances)").ok();
+    }
+    Ok(())
+}
+
+fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    let motif = motif_of(cli)?;
+    let (best, stats) = dp_top1(&g, &motif);
+    match best {
+        Some((sm, inst)) => {
+            if cli.json {
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::json!({"flow": inst.flow, "nodes": sm.walk_nodes(&g), "instance": &inst})
+                )
+                .ok();
+            } else {
+                writeln!(
+                    out,
+                    "top-1 flow {:.3} over {} matches ({} DP windows): {}",
+                    inst.flow,
+                    stats.structural_matches,
+                    stats.windows_processed,
+                    inst.display(&g)
+                )
+                .ok();
+            }
+        }
+        None => {
+            writeln!(out, "no instances").ok();
+        }
+    }
+    Ok(())
+}
+
+fn significance<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let mg =
+        io::load_multigraph(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    let motif = motif_of(cli)?;
+    let cfg = SignificanceConfig { num_replicas: cli.replicas, seed: cli.seed };
+    let sig = assess_motif(&mg, &motif, cfg);
+    if cli.json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&sig).unwrap()).ok();
+    } else {
+        writeln!(
+            out,
+            "{}: real={} random mean={:.2} σ={:.2} z={:.2} p={:.2}",
+            sig.motif, sig.real_count, sig.random_mean, sig.random_std, sig.z_score, sig.p_value
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+fn census<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    let rows = walk_census(&g, cli.edges, cli.delta, cli.phi);
+    if cli.json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&rows).unwrap()).ok();
+        return Ok(());
+    }
+    writeln!(out, "census of {}-edge walk motifs (δ={}, ϕ={}):", cli.edges, cli.delta, cli.phi)
+        .ok();
+    for r in &rows {
+        writeln!(out, "  {:<16} {:>8} instances  ({} matches)", r.shape.to_string(), r.instances, r.structural_matches).ok();
+    }
+    Ok(())
+}
+
+fn activity<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let g = load(path)?;
+    let motif = motif_of(cli)?;
+    let acts = per_match_activity(&g, &motif);
+    if cli.json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&acts).unwrap()).ok();
+        return Ok(());
+    }
+    writeln!(out, "most active vertex groups for {} (top {}):", motif.name(), cli.show).ok();
+    for a in acts.iter().take(cli.show) {
+        writeln!(
+            out,
+            "  nodes {:?}: {} instances, max flow {:.3}, active {}..{}",
+            a.structural_match.walk_nodes(&g),
+            a.instances,
+            a.max_flow,
+            a.first_activity.unwrap_or(0),
+            a.last_activity.unwrap_or(0),
+        )
+        .ok();
+    }
+    if acts.is_empty() {
+        writeln!(out, "  (no instances)").ok();
+    }
+    Ok(())
+}
+
+fn generate<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
+    let dataset: Dataset = cli.dataset.parse()?;
+    let mg = dataset.generate_multigraph(cli.scale, cli.seed);
+    match &cli.out {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            io::write_edge_list(&mg, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "wrote {} interactions ({} nodes) to {}",
+                mg.num_interactions(),
+                mg.num_nodes(),
+                path.display()
+            )
+            .ok();
+        }
+        None => {
+            io::write_edge_list(&mg, &mut *out).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Cli;
+
+    fn run_args(args: &[&str]) -> (String, Result<(), String>) {
+        let cli = Cli::parse_from(args.iter().map(|s| s.to_string())).unwrap();
+        let mut buf = Vec::new();
+        let r = run(&cli, &mut buf);
+        (String::from_utf8(buf).unwrap(), r)
+    }
+
+    /// Writes the Fig. 2 example graph to a unique temp file; the file is
+    /// removed when the returned guard drops.
+    struct TempFile(std::path::PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+    impl TempFile {
+        fn to_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    fn unique_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "flowmotif_cli_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn temp_edge_list() -> TempFile {
+        let path = unique_path("edges");
+        let body = "2 0 10 10\n0 1 13 5\n0 1 15 7\n1 2 18 20\n3 2 1 2\n3 2 3 5\n3 0 11 10\n2 3 19 5\n2 3 21 4\n1 3 23 7\n";
+        std::fs::write(&path, body).unwrap();
+        TempFile(path)
+    }
+
+    #[test]
+    fn stats_command() {
+        let path = temp_edge_list();
+        let (out, r) = run_args(&["stats", path.to_str()]);
+        r.unwrap();
+        assert!(out.contains("nodes=4"));
+        assert!(out.contains("edges=10"));
+    }
+
+    #[test]
+    fn find_command_reports_fig4_instance() {
+        let path = temp_edge_list();
+        let (out, r) = run_args(&[
+            "find", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--phi", "7",
+        ]);
+        r.unwrap();
+        assert!(out.contains("1 maximal instances"), "{out}");
+        assert!(out.contains("(10, 10)"), "{out}");
+    }
+
+    #[test]
+    fn topk_and_top1_agree() {
+        let path = temp_edge_list();
+        let (out_k, r) = run_args(&[
+            "topk", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--k", "1",
+        ]);
+        r.unwrap();
+        let (out_1, r) = run_args(&[
+            "top1", path.to_str(), "--motif", "M(3,3)", "--delta", "10",
+        ]);
+        r.unwrap();
+        assert!(out_k.contains("flow 10.000"), "{out_k}");
+        assert!(out_1.contains("top-1 flow 10.000"), "{out_1}");
+    }
+
+    #[test]
+    fn generate_and_stats_round_trip() {
+        let path = TempFile(unique_path("synth"));
+        let (_, r) = run_args(&[
+            "generate", "--dataset", "passenger", "--scale", "0.05", "--out", path.to_str(),
+        ]);
+        r.unwrap();
+        let (out, r) = run_args(&["stats", path.to_str()]);
+        r.unwrap();
+        assert!(out.contains("nodes="));
+    }
+
+    #[test]
+    fn significance_command_runs() {
+        let path = temp_edge_list();
+        let (out, r) = run_args(&[
+            "significance", path.to_str(), "--motif", "M(3,3)", "--delta", "10",
+            "--phi", "7", "--replicas", "3",
+        ]);
+        r.unwrap();
+        assert!(out.contains("real=1"), "{out}");
+    }
+
+    #[test]
+    fn census_command() {
+        let path = temp_edge_list();
+        let (out, r) = run_args(&["census", path.to_str(), "--edges", "2", "--delta", "10"]);
+        r.unwrap();
+        assert!(out.contains("0-1-2"), "{out}");
+    }
+
+    #[test]
+    fn activity_command() {
+        let path = temp_edge_list();
+        let (out, r) = run_args(&[
+            "activity", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--phi", "7",
+        ]);
+        r.unwrap();
+        assert!(out.contains("1 instances"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let (_, r) = run_args(&["stats", "/no/such/file"]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Library backing the `flowmotif` command-line tool: argument parsing
+//! and the implementations of each subcommand, factored out of `main` so
+//! they are unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cmd;
+pub mod opts;
+
+pub use cmd::run;
+pub use opts::{Cli, Command};

@@ -1,0 +1,20 @@
+//! The `flowmotif` binary: flow motif search on edge-list interaction
+//! networks. See `flowmotif --help`.
+
+use flowmotif_cli::{run, Cli};
+
+fn main() {
+    let cli = match Cli::parse_from(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("flowmotif") { 0 } else { 2 });
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    if let Err(e) = run(&cli, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

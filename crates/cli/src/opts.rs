@@ -1,0 +1,237 @@
+//! Argument parsing for the `flowmotif` CLI (hand-rolled; the flag
+//! surface is small and keeping the dependency tree lean matters for a
+//! library-first project).
+
+use std::path::PathBuf;
+
+/// Usage text shown by `--help` and on parse errors.
+pub const USAGE: &str = "\
+flowmotif — flow motif search in interaction networks (EDBT 2019)
+
+USAGE:
+  flowmotif <COMMAND> [OPTIONS]
+
+COMMANDS:
+  stats <file>            dataset statistics of an edge list (from to time flow)
+  find <file>             enumerate maximal motif instances
+  topk <file>             k highest-flow instances (ϕ is ignored, per §5)
+  top1 <file>             maximum-flow instance via the DP module (§5.1)
+  significance <file>     z-score vs flow-permuted replicas (§6.3)
+  census <file>           instance counts of every walk shape of --edges size
+  activity <file>         most active vertex groups for a motif (§5.1 ext.)
+  generate                emit a synthetic dataset as an edge list
+
+OPTIONS (find/topk/top1/significance):
+  --motif <spec>          catalog name like M(3,3) or a walk like 0-1-2-0   [M(3,2)]
+  --delta <int>           duration constraint δ                             [600]
+  --phi <float>           flow constraint ϕ                                 [0]
+  --k <int>               result count for topk                             [10]
+  --threads <int>         worker threads (0 = all cores)                    [1]
+  --show <int>            print up to N instances                           [5]
+  --replicas <int>        randomized replicas for significance             [20]
+  --edges <int>           motif size for census                             [2]
+  --seed <int>            RNG seed                                          [42]
+  --json                  machine-readable output on stdout
+
+OPTIONS (generate):
+  --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
+  --scale <float>         size multiplier                                   [1.0]
+  --seed <int>            RNG seed                                          [42]
+  --out <file>            output path (stdout if omitted)
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Motif spec (`M(3,3)` or `0-1-2-0`).
+    pub motif: String,
+    /// Duration constraint δ.
+    pub delta: i64,
+    /// Flow constraint ϕ.
+    pub phi: f64,
+    /// k for top-k.
+    pub k: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// How many instances to print.
+    pub show: usize,
+    /// Replicas for the significance test.
+    pub replicas: usize,
+    /// Motif size (edges) for the census.
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// JSON output.
+    pub json: bool,
+    /// Dataset for `generate`.
+    pub dataset: String,
+    /// Scale for `generate`.
+    pub scale: f64,
+    /// Output path for `generate`.
+    pub out: Option<PathBuf>,
+}
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print dataset statistics.
+    Stats(PathBuf),
+    /// Enumerate maximal instances.
+    Find(PathBuf),
+    /// Top-k instances by flow.
+    TopK(PathBuf),
+    /// Top-1 via the DP module.
+    Top1(PathBuf),
+    /// Significance vs permuted replicas.
+    Significance(PathBuf),
+    /// Census of all walk shapes of a given size.
+    Census(PathBuf),
+    /// Per-match activity ranking.
+    Activity(PathBuf),
+    /// Generate a synthetic dataset.
+    Generate,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            command: Command::Generate,
+            motif: "M(3,2)".into(),
+            delta: 600,
+            phi: 0.0,
+            k: 10,
+            threads: 1,
+            show: 5,
+            replicas: 20,
+            edges: 2,
+            seed: 42,
+            json: false,
+            dataset: "bitcoin".into(),
+            scale: 1.0,
+            out: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut it = args.into_iter().peekable();
+        let cmd_name = it.next().ok_or_else(|| "missing command".to_string())?;
+        if cmd_name == "--help" || cmd_name == "-h" || cmd_name == "help" {
+            return Err(USAGE.to_string());
+        }
+        let mut file: Option<PathBuf> = None;
+        if cmd_name != "generate" {
+            let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
+            file = Some(PathBuf::from(f));
+        }
+        let command = match cmd_name.as_str() {
+            "stats" => Command::Stats(file.unwrap()),
+            "find" => Command::Find(file.unwrap()),
+            "topk" => Command::TopK(file.unwrap()),
+            "top1" => Command::Top1(file.unwrap()),
+            "significance" => Command::Significance(file.unwrap()),
+            "census" => Command::Census(file.unwrap()),
+            "activity" => Command::Activity(file.unwrap()),
+            "generate" => Command::Generate,
+            other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        };
+        let mut cli = Cli { command, ..Cli::default() };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("missing value for {name}"))
+            };
+            macro_rules! parse_val {
+                ($name:literal) => {
+                    value($name)?.parse().map_err(|e| format!("bad {}: {e}", $name))?
+                };
+            }
+            match flag.as_str() {
+                "--motif" => cli.motif = value("--motif")?,
+                "--delta" => cli.delta = parse_val!("--delta"),
+                "--phi" => cli.phi = parse_val!("--phi"),
+                "--k" => cli.k = parse_val!("--k"),
+                "--threads" => cli.threads = parse_val!("--threads"),
+                "--show" => cli.show = parse_val!("--show"),
+                "--replicas" => cli.replicas = parse_val!("--replicas"),
+                "--edges" => cli.edges = parse_val!("--edges"),
+                "--seed" => cli.seed = parse_val!("--seed"),
+                "--json" => cli.json = true,
+                "--dataset" => cli.dataset = value("--dataset")?,
+                "--scale" => cli.scale = parse_val!("--scale"),
+                "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+                other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_find_with_options() {
+        let cli = parse(&[
+            "find", "g.tsv", "--motif", "M(3,3)", "--delta", "900", "--phi", "2.5", "--show", "3",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Find(PathBuf::from("g.tsv")));
+        assert_eq!(cli.motif, "M(3,3)");
+        assert_eq!(cli.delta, 900);
+        assert_eq!(cli.phi, 2.5);
+        assert_eq!(cli.show, 3);
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cli = parse(&["generate", "--dataset", "taxi", "--scale", "0.5", "--out", "x.tsv"])
+            .unwrap();
+        assert_eq!(cli.command, Command::Generate);
+        assert_eq!(cli.dataset, "taxi");
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.out, Some(PathBuf::from("x.tsv")));
+    }
+
+    #[test]
+    fn rejects_unknowns_and_missing_args() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["find"]).is_err());
+        assert!(parse(&["find", "g.tsv", "--bogus"]).is_err());
+        assert!(parse(&["find", "g.tsv", "--delta"]).is_err());
+        assert!(parse(&["find", "g.tsv", "--delta", "abc"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_census_and_activity() {
+        let cli = parse(&["census", "g.tsv", "--edges", "3", "--delta", "100"]).unwrap();
+        assert_eq!(cli.command, Command::Census(PathBuf::from("g.tsv")));
+        assert_eq!(cli.edges, 3);
+        let cli = parse(&["activity", "g.tsv", "--motif", "M(3,3)"]).unwrap();
+        assert_eq!(cli.command, Command::Activity(PathBuf::from("g.tsv")));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cli = parse(&["topk", "g.tsv"]).unwrap();
+        assert_eq!(cli.k, 10);
+        assert_eq!(cli.delta, 600);
+        assert_eq!(cli.phi, 0.0);
+        assert!(!cli.json);
+    }
+}

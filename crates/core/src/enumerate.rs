@@ -1,0 +1,647 @@
+//! Phase P2: enumeration of maximal flow motif instances inside each
+//! structural match — Algorithm 1 of the paper.
+//!
+//! # How instances are enumerated
+//!
+//! For one structural match `G_s`, a window of length `δ` slides along the
+//! timeline, anchored at successive elements of `R(e_1)`. Within a window
+//! `[a, a + δ]`, every maximal instance is a sequence of *split points*
+//! `a = s_0 ≤ s_1 < s_2 < … < s_{m-1}`: motif edge `e_i` takes **all**
+//! elements of its series in `(s_{i-1}, s_i]` (with `e_1` starting
+//! inclusively at the anchor and `e_m` running to the window end). The
+//! recursion of `FindInstances` (paper Algorithm 1) enumerates the splits —
+//! the "prefixes" of the paper — pruning by the flow constraint `ϕ` at
+//! every prefix (line 16).
+//!
+//! # Maximality
+//!
+//! Three guards make the output exactly the set of *maximal* instances
+//! (paper Def. 3.3):
+//!
+//! 1. **Window skipping** — a window position whose `R(e_m)` gains no new
+//!    element over the previously processed window is skipped (the paper's
+//!    `[13, 23]` example): any instance found there could absorb an earlier
+//!    `R(e_1)` element and is therefore non-maximal.
+//! 2. **Prefix admissibility** — a split after element `j` of `e_i` is
+//!    admissible only if some `e_{i+1}` element lies strictly between
+//!    element `j` and element `j+1` of `e_i`; otherwise element `j+1`
+//!    could be added to `e_i` without disturbing `e_{i+1}` (the paper's
+//!    "no element of e2 between (13,2) and (15,3)" example).
+//! 3. **Prepend guard** — an assembled instance is rejected if the
+//!    `R(e_1)` element immediately before the window anchor could be
+//!    prepended without exceeding `δ`; the enclosing window anchored at
+//!    that element emits the enlarged instance instead.
+
+use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
+use crate::matcher::for_each_structural_match;
+use crate::motif::Motif;
+use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Tuning knobs for the enumerator. The defaults implement the paper's
+/// Algorithm 1; the toggles exist for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Skip window positions that contribute no new `R(e_m)` element
+    /// (guard 1 above). Disabling processes every anchor; the result set
+    /// is unchanged (the prepend guard still rejects non-maximal
+    /// instances) but more work is done.
+    pub skip_redundant_windows: bool,
+    /// Apply the `ϕ` check at every prefix (Algorithm 1 line 16).
+    /// Disabling defers all flow checking to instance assembly; the
+    /// result set is unchanged but the search space is not pruned.
+    pub phi_prefix_pruning: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self { skip_redundant_windows: true, phi_prefix_pruning: true }
+    }
+}
+
+/// Counters describing one enumeration run; useful for the ablation
+/// benchmarks and for sanity-checking scalability claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Structural matches processed (phase P1 results).
+    pub structural_matches: u64,
+    /// Window positions recursed into.
+    pub windows_processed: u64,
+    /// Window positions skipped by guard 1.
+    pub windows_skipped: u64,
+    /// Prefixes discarded by the `ϕ` / top-k threshold check.
+    pub prefixes_pruned_by_flow: u64,
+    /// Prefixes discarded by admissibility guard 2.
+    pub prefixes_skipped_nonmaximal: u64,
+    /// Assembled instances rejected by prepend guard 3.
+    pub instances_rejected_nonmaximal: u64,
+    /// Assembled instances rejected by the final flow check (only when
+    /// prefix pruning is disabled or a floating threshold rose mid-window).
+    pub instances_rejected_by_flow: u64,
+    /// Valid maximal instances delivered to the sink.
+    pub instances_emitted: u64,
+}
+
+impl SearchStats {
+    /// Merges counters from another run (used by parallel drivers).
+    pub fn merge(&mut self, o: &SearchStats) {
+        self.structural_matches += o.structural_matches;
+        self.windows_processed += o.windows_processed;
+        self.windows_skipped += o.windows_skipped;
+        self.prefixes_pruned_by_flow += o.prefixes_pruned_by_flow;
+        self.prefixes_skipped_nonmaximal += o.prefixes_skipped_nonmaximal;
+        self.instances_rejected_nonmaximal += o.instances_rejected_nonmaximal;
+        self.instances_rejected_by_flow += o.instances_rejected_by_flow;
+        self.instances_emitted += o.instances_emitted;
+    }
+}
+
+/// Receives instances as they are found.
+///
+/// The sink also supplies a *floating* pruning threshold, which the top-k
+/// search (paper §5) raises as better instances accumulate; plain
+/// enumeration leaves it at `-∞`.
+pub trait InstanceSink {
+    /// Prefixes (and final instances) whose aggregated flow is `<=` this
+    /// value cannot contribute; `-∞` disables the extra pruning.
+    fn prune_threshold(&self) -> Flow {
+        f64::NEG_INFINITY
+    }
+
+    /// Called for every valid maximal instance.
+    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance);
+}
+
+/// Sink that only counts (the "counting instances without constructing
+/// them" use-case of the paper's future work runs through this fast path).
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Number of accepted instances.
+    pub count: u64,
+}
+
+impl InstanceSink for CountSink {
+    fn accept(&mut self, _sm: &StructuralMatch, _inst: MotifInstance) {
+        self.count += 1;
+    }
+}
+
+/// Sink that groups collected instances per structural match.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// `(match, its instances)` in discovery order.
+    pub groups: Vec<(StructuralMatch, Vec<MotifInstance>)>,
+}
+
+impl CollectSink {
+    /// Total number of collected instances.
+    pub fn num_instances(&self) -> usize {
+        self.groups.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Flattens into `(match index, instance)` pairs.
+    pub fn into_flat(self) -> Vec<(StructuralMatch, MotifInstance)> {
+        self.groups
+            .into_iter()
+            .flat_map(|(m, insts)| insts.into_iter().map(move |i| (m.clone(), i)))
+            .collect()
+    }
+}
+
+impl InstanceSink for CollectSink {
+    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
+        match self.groups.last_mut() {
+            Some((m, v)) if m == sm => v.push(inst),
+            _ => self.groups.push((sm.clone(), vec![inst])),
+        }
+    }
+}
+
+/// Adapter turning a closure into a sink.
+#[derive(Debug)]
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(&StructuralMatch, MotifInstance)> InstanceSink for FnSink<F> {
+    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
+        (self.0)(sm, inst)
+    }
+}
+
+/// Reusable buffers shared across the many structural matches of one
+/// search, so the per-match hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct EnumerationScratch<'g> {
+    series: Vec<&'g InteractionSeries>,
+    stack: Vec<(EdgeSet, Flow)>,
+}
+
+/// Enumerates all maximal instances of `motif` inside the single
+/// structural match `sm`, delivering them to `sink`.
+pub fn enumerate_in_match<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    sm: &StructuralMatch,
+    opts: SearchOptions,
+    sink: &mut S,
+    stats: &mut SearchStats,
+) {
+    let mut scratch = EnumerationScratch::default();
+    enumerate_in_match_reusing(g, motif, sm, opts, sink, stats, &mut scratch);
+}
+
+/// [`enumerate_in_match`] with caller-provided scratch buffers; use this
+/// when iterating over many matches (see [`enumerate_with_sink`]).
+pub fn enumerate_in_match_reusing<'g, S: InstanceSink>(
+    g: &'g TimeSeriesGraph,
+    motif: &Motif,
+    sm: &StructuralMatch,
+    opts: SearchOptions,
+    sink: &mut S,
+    stats: &mut SearchStats,
+    scratch: &mut EnumerationScratch<'g>,
+) {
+    let EnumerationScratch { series, stack } = scratch;
+    series.clear();
+    series.extend(sm.pairs.iter().map(|&p| g.series(p)));
+    if series.iter().any(|s| s.is_empty()) {
+        return;
+    }
+    stack.clear();
+    let mut e = MatchEnumerator {
+        motif,
+        sm,
+        series,
+        opts,
+        sink,
+        stats,
+        window: TimeWindow::new(0, 0),
+        anchor_time: 0,
+        anchor_prev: None,
+        stack,
+    };
+    e.run();
+}
+
+struct MatchEnumerator<'a, 'g, S: InstanceSink> {
+    motif: &'a Motif,
+    sm: &'a StructuralMatch,
+    series: &'a [&'g InteractionSeries],
+    opts: SearchOptions,
+    sink: &'a mut S,
+    stats: &'a mut SearchStats,
+    window: TimeWindow,
+    anchor_time: Timestamp,
+    anchor_prev: Option<Timestamp>,
+    /// Chosen `(edge-set, aggregated flow)` for motif edges `0..k`.
+    stack: &'a mut Vec<(EdgeSet, Flow)>,
+}
+
+impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
+    fn run(&mut self) {
+        let m = self.motif.num_edges();
+        let delta = self.motif.delta();
+        let e1 = self.series[0];
+        let em = self.series[m - 1];
+        let mut prev_end: Option<Timestamp> = None;
+        for a_idx in 0..e1.len() {
+            let t_a = e1.time(a_idx);
+            let w = TimeWindow::anchored(t_a, delta);
+            // Guard 1: require a new R(e_m) element vs the last processed
+            // window; otherwise every instance here is non-maximal.
+            if self.opts.skip_redundant_windows {
+                if let Some(pe) = prev_end {
+                    if em.range_open_closed(pe, w.end).is_empty() {
+                        self.stats.windows_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            self.window = w;
+            self.anchor_time = t_a;
+            self.anchor_prev = a_idx.checked_sub(1).map(|i| e1.time(i));
+            self.stats.windows_processed += 1;
+            let r = a_idx..e1.idx_after(w.end);
+            self.recurse(0, r);
+            prev_end = Some(w.end);
+        }
+    }
+
+    /// `FindInstances` (paper Algorithm 1): edge `k` takes elements from
+    /// `range` of its series; earlier edges are fixed on `self.stack`.
+    fn recurse(&mut self, k: usize, range: Range<usize>) {
+        debug_assert!(!range.is_empty());
+        let m = self.motif.num_edges();
+        let s = self.series[k];
+        if k + 1 == m {
+            self.emit_last(range);
+            return;
+        }
+        let next = self.series[k + 1];
+        let next_end = next.idx_after(self.window.end);
+        let phi = self.motif.phi();
+        let mut acc = 0.0;
+        for j in range.clone() {
+            acc += s.event(j).flow;
+            let split = s.time(j);
+            let nstart = next.idx_after(split);
+            if nstart >= next_end {
+                // Later splits only shrink the next edge's sub-window.
+                break;
+            }
+            if self.opts.phi_prefix_pruning
+                && (acc < phi || acc <= self.sink.prune_threshold())
+            {
+                self.stats.prefixes_pruned_by_flow += 1;
+                continue;
+            }
+            // Guard 2: if e_k has another element strictly before the
+            // first e_{k+1} element, this prefix yields only non-maximal
+            // instances (element j+1 could join the prefix). When the two
+            // tie, element j+1 can NOT be added — order between motif
+            // edges is strict — so the prefix must be kept.
+            if j + 1 < range.end && next.time(nstart) > s.time(j + 1) {
+                self.stats.prefixes_skipped_nonmaximal += 1;
+                continue;
+            }
+            self.stack.push((
+                EdgeSet {
+                    pair: self.sm.pairs[k],
+                    start: range.start as u32,
+                    end: (j + 1) as u32,
+                },
+                acc,
+            ));
+            self.recurse(k + 1, nstart..next_end);
+            self.stack.pop();
+        }
+    }
+
+    /// Last motif edge: takes *all* remaining elements, then assembles and
+    /// validates the instance.
+    fn emit_last(&mut self, range: Range<usize>) {
+        let m = self.motif.num_edges();
+        let s = self.series[m - 1];
+        let set_flow = s.flow_of_range(range.clone());
+        let flow = self.stack.iter().map(|&(_, f)| f).fold(set_flow, Flow::min);
+        if flow < self.motif.phi() || flow <= self.sink.prune_threshold() {
+            self.stats.instances_rejected_by_flow += 1;
+            return;
+        }
+        let last_time = s.time(range.end - 1);
+        // Guard 3: reject if the previous R(e_1) element fits within δ —
+        // the window anchored there emits the enlarged instance.
+        if let Some(tp) = self.anchor_prev {
+            if last_time - tp <= self.motif.delta() {
+                self.stats.instances_rejected_nonmaximal += 1;
+                return;
+            }
+        }
+        let mut edge_sets = Vec::with_capacity(m);
+        edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
+        edge_sets.push(EdgeSet {
+            pair: self.sm.pairs[m - 1],
+            start: range.start as u32,
+            end: range.end as u32,
+        });
+        let inst = MotifInstance {
+            edge_sets,
+            flow,
+            first_time: self.anchor_time,
+            last_time,
+        };
+        self.stats.instances_emitted += 1;
+        self.sink.accept(self.sm, inst);
+    }
+}
+
+/// Runs the full two-phase search (P1 + P2), streaming instances to `sink`.
+pub fn enumerate_with_sink<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    opts: SearchOptions,
+    sink: &mut S,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let mut scratch = EnumerationScratch::default();
+    for_each_structural_match(g, motif.path(), &mut |sm| {
+        stats.structural_matches += 1;
+        enumerate_in_match_reusing(g, motif, sm, opts, sink, &mut stats, &mut scratch);
+    });
+    stats
+}
+
+/// Convenience: collects all maximal instances grouped by structural match.
+pub fn enumerate_all(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
+    let mut sink = CollectSink::default();
+    let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
+    (sink.groups, stats)
+}
+
+/// Convenience: counts all maximal instances.
+pub fn count_instances(g: &TimeSeriesGraph, motif: &Motif) -> (u64, SearchStats) {
+    let mut sink = CountSink::default();
+    let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
+    (sink.count, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::instance::StructuralMatch;
+    use flowmotif_graph::GraphBuilder;
+
+    /// The structural match of paper Fig. 7: a 3-cycle 0 -> 1 -> 2 -> 0
+    /// with R(e1) = {(10,5),(13,2),(15,3),(18,7)},
+    /// R(e2) = {(9,4),(11,3),(16,3)},
+    /// R(e3) = {(14,4),(19,6),(24,3),(25,2)}.
+    fn fig7() -> (TimeSeriesGraph, StructuralMatch) {
+        let mut b = GraphBuilder::new();
+        for (t, f) in [(10, 5.0), (13, 2.0), (15, 3.0), (18, 7.0)] {
+            b.add_interaction(0, 1, t, f);
+        }
+        for (t, f) in [(9, 4.0), (11, 3.0), (16, 3.0)] {
+            b.add_interaction(1, 2, t, f);
+        }
+        for (t, f) in [(14, 4.0), (19, 6.0), (24, 3.0), (25, 2.0)] {
+            b.add_interaction(2, 0, t, f);
+        }
+        let g = b.build_time_series_graph();
+        let sm = StructuralMatch {
+            nodes: vec![0, 1, 2],
+            pairs: vec![
+                g.pair_id(0, 1).unwrap(),
+                g.pair_id(1, 2).unwrap(),
+                g.pair_id(2, 0).unwrap(),
+            ],
+        };
+        (g, sm)
+    }
+
+    fn run_fig7(phi: f64) -> (Vec<MotifInstance>, SearchStats) {
+        let (g, sm) = fig7();
+        let motif = catalog::by_name("M(3,3)", 10, phi).unwrap();
+        let mut sink = CollectSink::default();
+        let mut stats = SearchStats::default();
+        enumerate_in_match(&g, &motif, &sm, SearchOptions::default(), &mut sink, &mut stats);
+        let insts = sink.groups.pop().map(|(_, v)| v).unwrap_or_default();
+        (insts, stats)
+    }
+
+    fn rendered(g: &TimeSeriesGraph, insts: &[MotifInstance]) -> Vec<String> {
+        insts.iter().map(|i| i.display(g)).collect()
+    }
+
+    #[test]
+    fn fig7_phi0_produces_the_four_maximal_instances() {
+        let (g, _) = fig7();
+        let (insts, stats) = run_fig7(0.0);
+        let shown = rendered(&g, &insts);
+        assert_eq!(
+            shown,
+            vec![
+                // Window [10,20], paper's two instances for prefix {(10,5)}:
+                "[e1 <- {(10, 5)}, e2 <- {(11, 3)}, e3 <- {(14, 4), (19, 6)}]",
+                "[e1 <- {(10, 5)}, e2 <- {(11, 3), (16, 3)}, e3 <- {(19, 6)}]",
+                // ...and the three-element prefix:
+                "[e1 <- {(10, 5), (13, 2), (15, 3)}, e2 <- {(16, 3)}, e3 <- {(19, 6)}]",
+                // Window [15,25]:
+                "[e1 <- {(15, 3)}, e2 <- {(16, 3)}, e3 <- {(19, 6), (24, 3), (25, 2)}]",
+            ]
+        );
+        // The paper notes window [13,23] is skipped as redundant; [18,28]
+        // is skipped too.
+        assert_eq!(stats.windows_processed, 2);
+        assert_eq!(stats.windows_skipped, 2);
+    }
+
+    #[test]
+    fn fig7_phi5_keeps_only_the_flow5_instance() {
+        let (g, _) = fig7();
+        let (insts, _) = run_fig7(5.0);
+        let shown = rendered(&g, &insts);
+        // Paper §4: "the latter instance would be rejected for ϕ = 5";
+        // Table 2's top-1 instance is the survivor.
+        assert_eq!(
+            shown,
+            vec!["[e1 <- {(10, 5)}, e2 <- {(11, 3), (16, 3)}, e3 <- {(19, 6)}]"]
+        );
+        assert_eq!(insts[0].flow, 5.0);
+        assert_eq!(insts[0].first_time, 10);
+        assert_eq!(insts[0].last_time, 19);
+        assert_eq!(insts[0].span(), 9);
+    }
+
+    #[test]
+    fn fig7_no_prefix_stranded_between_e2_elements() {
+        // Guard 2 regression: no instance contains the first two elements
+        // of e1 but not the third, because no e2 element lies between
+        // (13,2) and (15,3) (paper's own remark).
+        let (g, _) = fig7();
+        let (insts, stats) = run_fig7(0.0);
+        for i in &insts {
+            let e1_events = i.edge_sets[0].events(&g);
+            let times: Vec<_> = e1_events.iter().map(|e| e.time).collect();
+            assert_ne!(times, vec![10, 13]);
+        }
+        assert!(stats.prefixes_skipped_nonmaximal > 0);
+    }
+
+    #[test]
+    fn options_do_not_change_results() {
+        let (g, sm) = fig7();
+        let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        let mut expected = None;
+        for skip in [true, false] {
+            for prune in [true, false] {
+                let opts = SearchOptions {
+                    skip_redundant_windows: skip,
+                    phi_prefix_pruning: prune,
+                };
+                let mut sink = CollectSink::default();
+                let mut stats = SearchStats::default();
+                enumerate_in_match(&g, &motif, &sm, opts, &mut sink, &mut stats);
+                let shown = rendered(&g, &sink.groups.pop().map(|(_, v)| v).unwrap_or_default());
+                match &expected {
+                    None => expected = Some(shown),
+                    Some(e) => assert_eq!(&shown, e, "skip={skip} prune={prune}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_search_over_fig5_graph() {
+        // End-to-end two-phase run on the paper's Fig. 2/5 bitcoin example
+        // with the Fig. 4 parameters δ=10, ϕ=7.
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (3, 2, 1, 2.0),
+            (3, 2, 3, 5.0),
+            (3, 0, 11, 10.0),
+            (1, 2, 18, 20.0),
+            (2, 3, 19, 5.0),
+            (2, 3, 21, 4.0),
+            (1, 3, 23, 7.0),
+        ]);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,3)", 10, 7.0).unwrap();
+        let (groups, stats) = enumerate_all(&g, &motif);
+        assert_eq!(stats.structural_matches, 6);
+        // The Fig. 4(a) instance: u3 -> u1 -> u2 -> u3 with edge-sets
+        // {(10,10)}, {(13,5),(15,7)}, {(18,20)} and flow 10.
+        let gr = &g;
+        let all: Vec<_> = groups
+            .iter()
+            .flat_map(|(sm, v)| v.iter().map(move |i| (sm.walk_nodes(gr), i)))
+            .collect();
+        assert_eq!(all.len(), 1, "exactly one valid maximal instance");
+        let (walk, inst) = &all[0];
+        assert_eq!(walk, &vec![2, 0, 1, 2]);
+        assert_eq!(
+            inst.display(&g),
+            "[e1 <- {(10, 10)}, e2 <- {(13, 5), (15, 7)}, e3 <- {(18, 20)}]"
+        );
+        assert_eq!(inst.flow, 10.0);
+        // Fig. 4(b)'s subset (e2 <- {(15,7)} only) must NOT appear: it is
+        // non-maximal.
+    }
+
+    #[test]
+    fn empty_series_short_circuits() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 1.0)]);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let (count, stats) = count_instances(&g, &motif);
+        assert_eq!(count, 0);
+        assert_eq!(stats.structural_matches, 0);
+    }
+
+    #[test]
+    fn chain_motif_counts() {
+        // 0 -> 1 at t=1 (f=2), 1 -> 2 at t=2 (f=3): a single M(3,2)
+        // instance if δ >= 1 and ϕ <= 2.
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 2.0), (1, 2, 2, 3.0)]);
+        let g = b.build_time_series_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(count_instances(&g, &m).0, 1);
+        let m = catalog::by_name("M(3,2)", 10, 2.0).unwrap();
+        assert_eq!(count_instances(&g, &m).0, 1);
+        let m = catalog::by_name("M(3,2)", 10, 2.5).unwrap();
+        assert_eq!(count_instances(&g, &m).0, 0, "ϕ=2.5 kills the e1 flow of 2");
+        let m = catalog::by_name("M(3,2)", 0, 0.0).unwrap();
+        assert_eq!(count_instances(&g, &m).0, 0, "δ=0 cannot span t=1..2");
+    }
+
+    #[test]
+    fn time_order_is_strict() {
+        // Equal timestamps do not satisfy t(e_i) < t(e_j).
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 5i64, 1.0), (1, 2, 5, 1.0)]);
+        let g = b.build_time_series_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(count_instances(&g, &m).0, 0);
+    }
+
+    #[test]
+    fn tied_timestamps_regression() {
+        // Regression for the guard-2 tie bug: with 30-second-bucketed
+        // timestamps (the Facebook aggregation), an e2 element can tie
+        // with the *next* e1 element. The tied e1 element can NOT join
+        // the prefix (order between motif edges is strict), so the
+        // prefix must not be skipped. Verified against the brute-force
+        // reference.
+        use crate::validate::brute_force_instances;
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 30i64, 2.0),
+            (0, 1, 60, 3.0), // ties with the e2 element below
+            (1, 2, 60, 4.0),
+            (1, 2, 90, 1.0),
+        ]);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,2)", 120, 0.0).unwrap();
+        let sm = StructuralMatch {
+            nodes: vec![0, 1, 2],
+            pairs: vec![g.pair_id(0, 1).unwrap(), g.pair_id(1, 2).unwrap()],
+        };
+        let mut sink = CollectSink::default();
+        let mut stats = SearchStats::default();
+        enumerate_in_match(&g, &motif, &sm, SearchOptions::default(), &mut sink, &mut stats);
+        let mut algo: Vec<String> = sink
+            .groups
+            .pop()
+            .map(|(_, v)| v)
+            .unwrap_or_default()
+            .iter()
+            .map(|i| i.display(&g))
+            .collect();
+        let mut brute: Vec<String> =
+            brute_force_instances(&g, &motif, &sm).iter().map(|i| i.display(&g)).collect();
+        algo.sort();
+        brute.sort();
+        assert_eq!(algo, brute);
+        // The instance [e1 <- {(30,2)}, e2 <- {(60,4),(90,1)}] is maximal:
+        // the tied (60,3) e1 element cannot be added (order is strict).
+        assert!(algo.iter().any(|s| s == "[e1 <- {(30, 2)}, e2 <- {(60, 4), (90, 1)}]"), "{algo:?}");
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = SearchStats { windows_processed: 2, instances_emitted: 3, ..Default::default() };
+        let b = SearchStats { windows_processed: 5, windows_skipped: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.windows_processed, 7);
+        assert_eq!(a.windows_skipped, 1);
+        assert_eq!(a.instances_emitted, 3);
+    }
+}

@@ -1,0 +1,236 @@
+//! Phase P1: structural matching (paper §4, Fig. 6).
+//!
+//! Finds every subgraph of `G_T` that matches the motif graph structure,
+//! disregarding timestamps and flows. Because motif edges form a spanning
+//! path, matching is a depth-first walk enumeration: map every graph vertex
+//! to the walk origin, then extend edge by edge, re-using the mapped vertex
+//! when the motif walk revisits a label (cycles) and enforcing injectivity
+//! between distinct motif vertices (the bijection µ of Def. 3.2).
+
+use crate::instance::StructuralMatch;
+use crate::motif::SpanningPath;
+use flowmotif_graph::{NodeId, TimeSeriesGraph};
+
+/// Streams every structural match of `path` in `g` to `visit`.
+///
+/// Matches are emitted in lexicographic order of their vertex walk, which
+/// makes runs deterministic and testable.
+pub fn for_each_structural_match<F>(g: &TimeSeriesGraph, path: &SpanningPath, visit: &mut F)
+where
+    F: FnMut(&StructuralMatch),
+{
+    for_each_structural_match_in_node_range(g, path, 0..g.num_nodes() as NodeId, visit);
+}
+
+/// Streams the structural matches whose *walk origin* lies in `origins`.
+/// Disjoint origin ranges partition the match set, which is how the
+/// parallel drivers shard phase P1+P2 without materialising matches.
+pub fn for_each_structural_match_in_node_range<F>(
+    g: &TimeSeriesGraph,
+    path: &SpanningPath,
+    origins: std::ops::Range<NodeId>,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
+    let walk = path.walk();
+    let n = path.num_nodes();
+    // The match under construction doubles as the working buffers: its
+    // fields are mutated in place and a shared reference is handed to the
+    // visitor at each leaf, so the whole enumeration allocates nothing
+    // per match (callers that keep matches clone them).
+    let mut sm = StructuralMatch { nodes: vec![0; n], pairs: Vec::with_capacity(path.num_edges()) };
+    let mut assigned: Vec<bool> = vec![false; n];
+
+    let end = origins.end.min(g.num_nodes() as NodeId);
+    for u in origins.start..end {
+        if g.out_degree(u) == 0 {
+            continue;
+        }
+        let w0 = walk[0] as usize;
+        sm.nodes[w0] = u;
+        assigned[w0] = true;
+        dfs(g, walk, 0, &mut sm, &mut assigned, visit);
+        assigned[w0] = false;
+    }
+}
+
+fn dfs<F>(
+    g: &TimeSeriesGraph,
+    walk: &[u8],
+    step: usize,
+    sm: &mut StructuralMatch,
+    assigned: &mut Vec<bool>,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
+    if step + 1 == walk.len() {
+        visit(sm);
+        return;
+    }
+    let src = sm.nodes[walk[step] as usize];
+    let tgt_label = walk[step + 1] as usize;
+    if assigned[tgt_label] {
+        // Revisited motif vertex: the graph vertex is fixed; the edge must
+        // exist (e.g. the cycle-closing check of M(3,3), paper §4 P1).
+        if let Some(p) = g.pair_id(src, sm.nodes[tgt_label]) {
+            sm.pairs.push(p);
+            dfs(g, walk, step + 1, sm, assigned, visit);
+            sm.pairs.pop();
+        }
+    } else {
+        let range = g.out_pair_range(src);
+        for p in range {
+            let v = g.pair(p).1;
+            // Injectivity: distinct motif vertices need distinct graph
+            // vertices.
+            if sm.nodes.iter().zip(assigned.iter()).any(|(&a, &set)| set && a == v) {
+                continue;
+            }
+            sm.nodes[tgt_label] = v;
+            assigned[tgt_label] = true;
+            sm.pairs.push(p);
+            dfs(g, walk, step + 1, sm, assigned, visit);
+            sm.pairs.pop();
+            assigned[tgt_label] = false;
+        }
+    }
+}
+
+/// Collects all structural matches (phase P1 output set `S`).
+pub fn find_structural_matches(g: &TimeSeriesGraph, path: &SpanningPath) -> Vec<StructuralMatch> {
+    let mut out = Vec::new();
+    for_each_structural_match(g, path, &mut |m| out.push(m.clone()));
+    out
+}
+
+/// Counts structural matches without materializing them.
+pub fn count_structural_matches(g: &TimeSeriesGraph, path: &SpanningPath) -> u64 {
+    let mut n = 0u64;
+    for_each_structural_match(g, path, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use flowmotif_graph::GraphBuilder;
+
+    /// The time-series graph of paper Fig. 5(b).
+    fn fig5() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (3, 2, 1, 2.0),
+            (3, 2, 3, 5.0),
+            (3, 0, 11, 10.0),
+            (1, 2, 18, 20.0),
+            (2, 3, 19, 5.0),
+            (2, 3, 21, 4.0),
+            (1, 3, 23, 7.0),
+        ]);
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn m33_has_six_matches_in_fig5_graph() {
+        // Paper Fig. 6: six structural matches of M(3,3) in the Fig. 5
+        // graph (each of the two directed triangles in three rotations).
+        let g = fig5();
+        let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        let matches = find_structural_matches(&g, m33.path());
+        assert_eq!(matches.len(), 6);
+        // Every match is a closed triangle.
+        for m in &matches {
+            let walk = m.walk_nodes(&g);
+            assert_eq!(walk.len(), 4);
+            assert_eq!(walk[0], walk[3]);
+            assert_eq!(walk.iter().take(3).collect::<std::collections::HashSet<_>>().len(), 3);
+        }
+    }
+
+    #[test]
+    fn m32_matches_are_paths_of_three_distinct_nodes() {
+        let g = fig5();
+        let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let matches = find_structural_matches(&g, m32.path());
+        // Enumerate by brute force for the fixture.
+        let mut expected = 0;
+        for &(u, v) in g.pairs() {
+            for (_, w) in g.out_pairs(v) {
+                if w != u && w != v {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(matches.len(), expected);
+        for m in &matches {
+            let walk = m.walk_nodes(&g);
+            assert_eq!(walk.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        }
+    }
+
+    #[test]
+    fn revisit_requires_edge_existence() {
+        // 0 -> 1 -> 2 with no closing edge: no M(3,3) matches.
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 1.0), (1, 2, 2, 1.0)]);
+        let g = b.build_time_series_graph();
+        let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, m33.path()), 0);
+        let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, m32.path()), 1);
+    }
+
+    #[test]
+    fn injectivity_prevents_vertex_reuse() {
+        // 0 <-> 1: the walk 0-1-0 is M(3,2)'s 0-1-2 only if the third
+        // vertex is distinct, so no M(3,2) match exists.
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 1.0), (1, 0, 2, 1.0)]);
+        let g = b.build_time_series_graph();
+        let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, m32.path()), 0);
+        // But the 2-cycle walk 0-1-0 is a valid custom motif.
+        let two_cycle = catalog::parse_motif("0-1-0", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, two_cycle.path()), 2);
+    }
+
+    #[test]
+    fn matches_are_deterministic_and_sorted() {
+        let g = fig5();
+        let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let a = find_structural_matches(&g, m32.path());
+        let b = find_structural_matches(&g, m32.path());
+        assert_eq!(a, b);
+        let walks: Vec<_> = a.iter().map(|m| m.walk_nodes(&g)).collect();
+        let mut sorted = walks.clone();
+        sorted.sort();
+        assert_eq!(walks, sorted);
+    }
+
+    #[test]
+    fn empty_graph_has_no_matches() {
+        let g = GraphBuilder::new().build_time_series_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, m.path()), 0);
+    }
+
+    #[test]
+    fn five_cycle_matches() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5u32 {
+            b.add_interaction(i, (i + 1) % 5, i as i64, 1.0);
+        }
+        let g = b.build_time_series_graph();
+        let m55a = catalog::by_name("M(5,5)A", 10, 0.0).unwrap();
+        // One 5-cycle, five rotations.
+        assert_eq!(count_structural_matches(&g, m55a.path()), 5);
+        let m54 = catalog::by_name("M(5,4)", 10, 0.0).unwrap();
+        assert_eq!(count_structural_matches(&g, m54.path()), 5);
+    }
+}

@@ -1,0 +1,319 @@
+//! The flow motif model of paper §3: a directed graph whose edges carry a
+//! total order forming a *spanning path*, plus the duration constraint `δ`
+//! and flow constraint `ϕ`.
+
+use crate::error::MotifError;
+use flowmotif_graph::{Flow, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A vertex of the motif graph, labeled `0..n` in order of first appearance
+/// along the spanning path.
+pub type MotifNode = u8;
+
+/// The graph structure `G_M` of a motif, encoded as its spanning path
+/// `SP_M` — the walk `w_0 w_1 … w_m` visited by the edges in label order
+/// (paper Table 1 / §3). The walk need not be simple: repeated vertices
+/// express cycles, e.g. `0 1 2 0` is the triangle motif M(3,3).
+///
+/// Invariants (checked by [`SpanningPath::new`]):
+/// * at least one edge;
+/// * no self-loop steps;
+/// * no directed pair traversed twice (edge labels are unique, Def. 3.1);
+/// * vertex labels are dense and appear in first-appearance order, which
+///   makes the encoding canonical: two isomorphic motifs have equal walks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanningPath {
+    walk: Vec<MotifNode>,
+}
+
+impl SpanningPath {
+    /// Builds and validates a spanning path from its vertex walk.
+    pub fn new(walk: Vec<MotifNode>) -> Result<Self, MotifError> {
+        if walk.len() < 2 {
+            return Err(MotifError::WalkTooShort);
+        }
+        let mut next_label: MotifNode = 0;
+        for (i, &w) in walk.iter().enumerate() {
+            if w > next_label {
+                return Err(MotifError::NonCanonicalLabels { found: w, expected: next_label });
+            }
+            if w == next_label {
+                next_label += 1;
+            }
+            if i > 0 {
+                if walk[i - 1] == w {
+                    return Err(MotifError::SelfLoopStep { step: i - 1 });
+                }
+                let pair = (walk[i - 1], w);
+                if walk.windows(2).take(i - 1).any(|p| (p[0], p[1]) == pair) {
+                    return Err(MotifError::RepeatedEdge { step: i - 1 });
+                }
+            }
+        }
+        Ok(Self { walk })
+    }
+
+    /// Builds a spanning path from any vertex walk by renaming vertices to
+    /// first-appearance order (the canonical form).
+    pub fn from_walk_relabeled(walk: &[impl Copy + Eq]) -> Result<Self, MotifError> {
+        let mut seen: Vec<usize> = Vec::new();
+        let mut canonical = Vec::with_capacity(walk.len());
+        for (i, w) in walk.iter().enumerate() {
+            let pos = walk[..i].iter().position(|x| x == w);
+            match pos {
+                Some(p) => canonical.push(canonical[p]),
+                None => {
+                    canonical.push(seen.len() as MotifNode);
+                    seen.push(i);
+                }
+            }
+        }
+        Self::new(canonical)
+    }
+
+    /// The vertex walk `w_0 … w_m`.
+    #[inline]
+    pub fn walk(&self) -> &[MotifNode] {
+        &self.walk
+    }
+
+    /// Number of motif edges `m = |E_M|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.walk.len() - 1
+    }
+
+    /// Number of distinct motif vertices `|V_M|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.walk.iter().map(|&w| w as usize + 1).max().unwrap_or(0)
+    }
+
+    /// The `i`-th motif edge `e_{i+1}` (0-based here; the paper labels
+    /// edges 1-based) as a `(source, target)` vertex pair.
+    #[inline]
+    pub fn edge(&self, i: usize) -> (MotifNode, MotifNode) {
+        (self.walk[i], self.walk[i + 1])
+    }
+
+    /// Iterates the edges in label order.
+    pub fn edges(&self) -> impl Iterator<Item = (MotifNode, MotifNode)> + '_ {
+        self.walk.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Whether any vertex repeats along the walk (the motif contains a
+    /// cycle; cyclic motifs behave differently in the paper's evaluation,
+    /// §6.2.2 and §6.3).
+    pub fn has_cycle(&self) -> bool {
+        self.num_nodes() < self.walk.len()
+    }
+}
+
+impl std::fmt::Display for SpanningPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for w in &self.walk {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A network flow motif `M = (G_M, δ, ϕ)` (paper Def. 3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Motif {
+    /// The motif graph, encoded by its spanning path.
+    path: SpanningPath,
+    /// Duration constraint: max time difference between any two instance
+    /// elements.
+    delta: Timestamp,
+    /// Flow constraint: minimum aggregated flow on every motif edge.
+    phi: Flow,
+    /// Optional human-readable name (e.g. `M(3,3)` for catalog motifs).
+    name: Option<String>,
+}
+
+impl Motif {
+    /// Creates a motif from a validated spanning path and constraints.
+    pub fn new(path: SpanningPath, delta: Timestamp, phi: Flow) -> Result<Self, MotifError> {
+        if delta < 0 {
+            return Err(MotifError::NegativeDelta(delta));
+        }
+        if !(phi.is_finite() && phi >= 0.0) {
+            return Err(MotifError::InvalidPhi(phi));
+        }
+        Ok(Self { path, delta, phi, name: None })
+    }
+
+    /// Creates a motif directly from a vertex walk.
+    pub fn from_walk(walk: &[MotifNode], delta: Timestamp, phi: Flow) -> Result<Self, MotifError> {
+        Self::new(SpanningPath::new(walk.to_vec())?, delta, phi)
+    }
+
+    /// Attaches a display name (used by the catalog).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Returns a copy with different `δ` and `ϕ` (parameter sweeps).
+    pub fn with_constraints(&self, delta: Timestamp, phi: Flow) -> Result<Self, MotifError> {
+        let mut m = Self::new(self.path.clone(), delta, phi)?;
+        m.name = self.name.clone();
+        Ok(m)
+    }
+
+    /// The spanning path `SP_M`.
+    #[inline]
+    pub fn path(&self) -> &SpanningPath {
+        &self.path
+    }
+
+    /// Duration constraint `δ`.
+    #[inline]
+    pub fn delta(&self) -> Timestamp {
+        self.delta
+    }
+
+    /// Flow constraint `ϕ`.
+    #[inline]
+    pub fn phi(&self) -> Flow {
+        self.phi
+    }
+
+    /// Number of motif edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.path.num_edges()
+    }
+
+    /// Number of distinct motif vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.path.num_nodes()
+    }
+
+    /// Display name: the attached catalog name, or `M(n,m)/walk`.
+    pub fn name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("M({},{})/{}", self.num_nodes(), self.num_edges(), self.path),
+        }
+    }
+}
+
+impl std::fmt::Display for Motif {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (δ={}, ϕ={})", self.name(), self.delta, self.phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_walks() {
+        for walk in [vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 0], vec![0, 1, 2, 3, 1]] {
+            let p = SpanningPath::new(walk.clone()).unwrap();
+            assert_eq!(p.walk(), &walk[..]);
+        }
+    }
+
+    #[test]
+    fn edge_count_and_node_count() {
+        let p = SpanningPath::new(vec![0, 1, 2, 0]).unwrap(); // M(3,3)
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.num_nodes(), 3);
+        assert!(p.has_cycle());
+        let p = SpanningPath::new(vec![0, 1, 2]).unwrap(); // M(3,2)
+        assert!(!p.has_cycle());
+    }
+
+    #[test]
+    fn edges_in_label_order() {
+        let p = SpanningPath::new(vec![0, 1, 2, 0, 3]).unwrap(); // M(4,4)B
+        let edges: Vec<_> = p.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(p.edge(2), (2, 0));
+    }
+
+    #[test]
+    fn rejects_short_walks() {
+        assert_eq!(SpanningPath::new(vec![]), Err(MotifError::WalkTooShort));
+        assert_eq!(SpanningPath::new(vec![0]), Err(MotifError::WalkTooShort));
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        assert_eq!(
+            SpanningPath::new(vec![0, 0]),
+            Err(MotifError::SelfLoopStep { step: 0 })
+        );
+        assert_eq!(
+            SpanningPath::new(vec![0, 1, 1]),
+            Err(MotifError::SelfLoopStep { step: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_repeated_directed_pairs() {
+        // 0->1, 1->0, 0->1 traverses (0,1) twice.
+        assert_eq!(
+            SpanningPath::new(vec![0, 1, 0, 1]),
+            Err(MotifError::RepeatedEdge { step: 2 })
+        );
+        // The reverse pair is fine: 0->1, 1->0.
+        assert!(SpanningPath::new(vec![0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_canonical_labels() {
+        assert!(matches!(
+            SpanningPath::new(vec![1, 0]),
+            Err(MotifError::NonCanonicalLabels { found: 1, expected: 0 })
+        ));
+        assert!(matches!(
+            SpanningPath::new(vec![0, 2, 1]),
+            Err(MotifError::NonCanonicalLabels { found: 2, expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn relabeling_makes_any_walk_canonical() {
+        let p = SpanningPath::from_walk_relabeled(&[7u32, 3, 9, 7]).unwrap();
+        assert_eq!(p.walk(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn motif_constraint_validation() {
+        let p = SpanningPath::new(vec![0, 1, 2]).unwrap();
+        assert!(Motif::new(p.clone(), -1, 0.0).is_err());
+        assert!(Motif::new(p.clone(), 10, -0.5).is_err());
+        assert!(Motif::new(p.clone(), 10, f64::NAN).is_err());
+        let m = Motif::new(p, 10, 5.0).unwrap();
+        assert_eq!(m.delta(), 10);
+        assert_eq!(m.phi(), 5.0);
+    }
+
+    #[test]
+    fn with_constraints_keeps_structure_and_name() {
+        let m = Motif::from_walk(&[0, 1, 2, 0], 10, 5.0).unwrap().with_name("M(3,3)");
+        let m2 = m.with_constraints(20, 1.0).unwrap();
+        assert_eq!(m2.name(), "M(3,3)");
+        assert_eq!(m2.delta(), 20);
+        assert_eq!(m2.path(), m.path());
+    }
+
+    #[test]
+    fn display_and_default_names() {
+        let m = Motif::from_walk(&[0, 1, 2], 10, 5.0).unwrap();
+        assert_eq!(m.name(), "M(3,2)/0-1-2");
+        let named = m.with_name("M(3,2)");
+        assert_eq!(named.to_string(), "M(3,2) (δ=10, ϕ=5)");
+    }
+}

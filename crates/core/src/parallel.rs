@@ -1,0 +1,230 @@
+//! Multi-threaded two-phase search.
+//!
+//! Both phases shard naturally by the *origin node* of the structural
+//! match walk: disjoint origin ranges partition the match set, so workers
+//! pull blocks of origin nodes from a shared counter and run P1+P2 for
+//! their blocks with private sinks and scratch buffers — no match
+//! materialisation, no locks on the hot path. (The paper's future work §7
+//! suggests batching structural matches; sharding them is the
+//! embarrassingly parallel version.)
+
+use crate::enumerate::{
+    enumerate_in_match_reusing, CollectSink, CountSink, EnumerationScratch, InstanceSink,
+    SearchOptions, SearchStats,
+};
+use crate::instance::{MotifInstance, StructuralMatch};
+use crate::matcher::for_each_structural_match_in_node_range;
+use crate::motif::Motif;
+use crate::topk::{RankedInstance, TopKSink};
+use flowmotif_graph::{NodeId, TimeSeriesGraph};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Origin nodes are handed to workers in blocks of this size; small
+/// enough to balance skewed hubs, large enough to amortise the atomic.
+const BLOCK: u32 = 64;
+
+/// Picks a worker count: `threads = 0` means "all available cores".
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs the two-phase search with one sink per worker; returns the sinks
+/// and the merged stats.
+fn par_scan<S: InstanceSink + Send>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    opts: SearchOptions,
+    sinks: Vec<S>,
+) -> (Vec<S>, SearchStats) {
+    let n = g.num_nodes() as u32;
+    let next_block = AtomicU32::new(0);
+    let results: Vec<(S, SearchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sinks
+            .into_iter()
+            .map(|mut sink| {
+                let next_block = &next_block;
+                scope.spawn(move || {
+                    let mut stats = SearchStats::default();
+                    let mut scratch = EnumerationScratch::default();
+                    loop {
+                        let lo = next_block.fetch_add(1, Ordering::Relaxed).saturating_mul(BLOCK);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + BLOCK).min(n);
+                        for_each_structural_match_in_node_range(
+                            g,
+                            motif.path(),
+                            lo as NodeId..hi as NodeId,
+                            &mut |sm| {
+                                stats.structural_matches += 1;
+                                enumerate_in_match_reusing(
+                                    g, motif, sm, opts, &mut sink, &mut stats, &mut scratch,
+                                );
+                            },
+                        );
+                    }
+                    (sink, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut stats = SearchStats::default();
+    let mut sinks = Vec::with_capacity(results.len());
+    for (s, st) in results {
+        stats.merge(&st);
+        sinks.push(s);
+    }
+    (sinks, stats)
+}
+
+/// Parallel instance counting. `threads = 0` uses all cores.
+pub fn par_count_instances(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    threads: usize,
+) -> (u64, SearchStats) {
+    let workers = effective_threads(threads);
+    let sinks = (0..workers).map(|_| CountSink::default()).collect();
+    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    (sinks.iter().map(|s| s.count).sum(), stats)
+}
+
+/// Parallel full enumeration. Groups arrive in worker order (i.e. not
+/// globally sorted); each structural match still owns one contiguous
+/// group.
+pub fn par_enumerate_all(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    threads: usize,
+) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
+    let workers = effective_threads(threads);
+    let sinks = (0..workers).map(|_| CollectSink::default()).collect();
+    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    let mut groups = Vec::new();
+    for s in sinks {
+        groups.extend(s.groups);
+    }
+    (groups, stats)
+}
+
+/// Parallel top-k: each worker keeps a local top-k heap; heaps are merged
+/// at the end. The floating threshold is per-worker, so pruning is weaker
+/// than in the sequential version, but results are identical.
+pub fn par_top_k(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    k: usize,
+    threads: usize,
+) -> (Vec<RankedInstance>, SearchStats) {
+    let workers = effective_threads(threads);
+    let sinks = (0..workers).map(|_| TopKSink::new(k)).collect();
+    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    let mut all: Vec<RankedInstance> = Vec::new();
+    for s in sinks {
+        all.extend(s.into_sorted());
+    }
+    all.sort_by(|a, b| b.instance.flow.total_cmp(&a.instance.flow));
+    all.truncate(k);
+    (all, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::enumerate::{count_instances, enumerate_all};
+    use crate::topk::top_k;
+    use flowmotif_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_graph(nodes: u32, edges: usize, seed: u64) -> TimeSeriesGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for _ in 0..edges {
+            let u = rng.random_range(0..nodes);
+            let mut v = rng.random_range(0..nodes);
+            while v == u {
+                v = rng.random_range(0..nodes);
+            }
+            b.add_interaction(u, v, rng.random_range(0..500), rng.random_range(1..10) as f64);
+        }
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let g = random_graph(200, 900, 7);
+        for name in ["M(3,2)", "M(3,3)", "M(4,3)"] {
+            let m = catalog::by_name(name, 50, 3.0).unwrap();
+            let (seq, seq_stats) = count_instances(&g, &m);
+            for threads in [1, 2, 4] {
+                let (par, par_stats) = par_count_instances(&g, &m, threads);
+                assert_eq!(par, seq, "{name} threads={threads}");
+                assert_eq!(par_stats.structural_matches, seq_stats.structural_matches);
+                assert_eq!(par_stats.instances_emitted, seq_stats.instances_emitted);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_collects_same_instances() {
+        let g = random_graph(150, 700, 11);
+        let m = catalog::by_name("M(3,2)", 60, 2.0).unwrap();
+        let (seq, _) = enumerate_all(&g, &m);
+        let (par, _) = par_enumerate_all(&g, &m, 3);
+        let norm = |groups: &[(StructuralMatch, Vec<MotifInstance>)]| {
+            let mut v: Vec<String> = groups
+                .iter()
+                .flat_map(|(sm, is)| {
+                    is.iter().map(move |i| format!("{:?}|{:?}", sm.pairs, i.edge_sets))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&seq), norm(&par));
+    }
+
+    #[test]
+    fn parallel_top_k_matches_sequential_flows() {
+        let g = random_graph(120, 800, 13);
+        let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
+        for k in [1, 5, 20] {
+            let (seq, _) = top_k(&g, &m, k);
+            let (par, _) = par_top_k(&g, &m, k, 4);
+            let sf: Vec<_> = seq.iter().map(|r| r.instance.flow).collect();
+            let pf: Vec<_> = par.iter().map(|r| r.instance.flow).collect();
+            assert_eq!(sf, pf, "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let g = random_graph(60, 300, 17);
+        let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
+        let (seq, _) = count_instances(&g, &m);
+        let (par, _) = par_count_instances(&g, &m, 0);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn node_range_partition_covers_all_matches() {
+        use crate::matcher::{count_structural_matches, for_each_structural_match_in_node_range};
+        let g = random_graph(100, 400, 23);
+        let path = catalog::by_name("M(3,2)", 1, 0.0).unwrap();
+        let total = count_structural_matches(&g, path.path());
+        let mut split = 0u64;
+        for lo in (0..100u32).step_by(17) {
+            let hi = (lo + 17).min(100);
+            for_each_structural_match_in_node_range(&g, path.path(), lo..hi, &mut |_| split += 1);
+        }
+        assert_eq!(split, total);
+    }
+}

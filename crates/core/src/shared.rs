@@ -1,0 +1,371 @@
+//! Shared-prefix search — the paper's future-work optimization (§7):
+//! "two or more structural matches may share the same prefix; we can
+//! compute the flow instances of their common prefix simultaneously
+//! before expanding these instances to complete ones".
+//!
+//! Instead of running phase P2 once per structural match, this module
+//! interleaves the structural DFS with the prefix enumeration of
+//! Algorithm 1: a motif edge's pair is chosen structurally, its element
+//! prefixes are enumerated, and only *viable* prefixes recurse into the
+//! structural expansion of the next motif edge. Matches sharing the pair
+//! prefix `pairs[0..j]` therefore share all enumeration work up to edge
+//! `j` — and, crucially, structurally valid matches with no temporally
+//! compatible elements are pruned before they are ever fully matched.
+//!
+//! The result set is identical to [`crate::enumerate_with_sink`]
+//! (verified by property tests); only the work differs. The redundant-
+//! window skip rule needs the *last* edge's series, which is unknown at
+//! anchor time here, so it is not applied — the prepend guard alone is
+//! sufficient for exact maximality (see `enumerate.rs`).
+
+use crate::enumerate::{CountSink, InstanceSink, SearchStats};
+use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
+use crate::motif::Motif;
+use flowmotif_graph::{Flow, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
+
+/// Runs the shared-prefix search, streaming instances to `sink`.
+///
+/// Notes vs [`crate::enumerate_with_sink`]: `structural_matches` in the
+/// returned stats stays 0 (matches are never completed separately), and a
+/// [`crate::CollectSink`] may hold several groups for the same structural
+/// match (instances of one match found in different windows are not
+/// adjacent in the emission order).
+pub fn enumerate_shared_with_sink<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    sink: &mut S,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let walk = motif.path().walk();
+    let n = motif.num_nodes();
+    let mut e = SharedEnumerator {
+        g,
+        motif,
+        walk,
+        sink,
+        stats: &mut stats,
+        assign: vec![0; n],
+        assigned: vec![false; n],
+        pairs: Vec::with_capacity(motif.num_edges()),
+        stack: Vec::with_capacity(motif.num_edges()),
+        window: TimeWindow::new(0, 0),
+        anchor_time: 0,
+        anchor_prev: None,
+        sm_buf: StructuralMatch { nodes: vec![0; n], pairs: Vec::new() },
+    };
+    e.run();
+    stats
+}
+
+/// Counts all maximal instances via the shared-prefix search.
+pub fn count_instances_shared(g: &TimeSeriesGraph, motif: &Motif) -> (u64, SearchStats) {
+    let mut sink = CountSink::default();
+    let stats = enumerate_shared_with_sink(g, motif, &mut sink);
+    (sink.count, stats)
+}
+
+struct SharedEnumerator<'a, 'g, S: InstanceSink> {
+    g: &'g TimeSeriesGraph,
+    motif: &'a Motif,
+    walk: &'a [u8],
+    sink: &'a mut S,
+    stats: &'a mut SearchStats,
+    /// Motif-vertex -> graph-vertex assignment (structural DFS state).
+    assign: Vec<NodeId>,
+    assigned: Vec<bool>,
+    /// Pair chosen for each matched motif edge so far.
+    pairs: Vec<u32>,
+    /// Chosen `(edge-set, flow)` per enumerated motif edge so far.
+    stack: Vec<(EdgeSet, Flow)>,
+    window: TimeWindow,
+    anchor_time: Timestamp,
+    anchor_prev: Option<Timestamp>,
+    /// Reusable emission buffer.
+    sm_buf: StructuralMatch,
+}
+
+impl<S: InstanceSink> SharedEnumerator<'_, '_, S> {
+    fn run(&mut self) {
+        let w0 = self.walk[0] as usize;
+        let w1 = self.walk[1] as usize;
+        for u in 0..self.g.num_nodes() as NodeId {
+            if self.g.out_degree(u) == 0 {
+                continue;
+            }
+            self.assign[w0] = u;
+            self.assigned[w0] = true;
+            for p0 in self.g.out_pair_range(u) {
+                let v = self.g.pair(p0).1;
+                if v == u {
+                    continue; // motif edges connect distinct vertices
+                }
+                self.assign[w1] = v;
+                self.assigned[w1] = true;
+                self.pairs.push(p0);
+                self.windows_for_first_edge(p0);
+                self.pairs.pop();
+                self.assigned[w1] = false;
+            }
+            self.assigned[w0] = false;
+        }
+    }
+
+    /// Anchored-window sweep over the first edge's series, then prefix
+    /// enumeration for edge 0 inside each window.
+    fn windows_for_first_edge(&mut self, p0: u32) {
+        let e1 = self.g.series(p0);
+        let delta = self.motif.delta();
+        let phi = self.motif.phi();
+        for a_idx in 0..e1.len() {
+            let t_a = e1.time(a_idx);
+            self.window = TimeWindow::anchored(t_a, delta);
+            self.anchor_time = t_a;
+            self.anchor_prev = a_idx.checked_sub(1).map(|i| e1.time(i));
+            self.stats.windows_processed += 1;
+            let range = a_idx..e1.idx_after(self.window.end);
+            if self.motif.num_edges() == 1 {
+                // Single-edge motif: the whole in-window range is the set.
+                self.emit_last_range(p0, range);
+                continue;
+            }
+            let mut acc = 0.0;
+            for j in range.clone() {
+                acc += e1.event(j).flow;
+                if acc < phi || acc <= self.sink.prune_threshold() {
+                    self.stats.prefixes_pruned_by_flow += 1;
+                    continue;
+                }
+                let split = e1.time(j);
+                let t_next = if j + 1 < range.end { Some(e1.time(j + 1)) } else { None };
+                self.stack.push((
+                    EdgeSet { pair: p0, start: range.start as u32, end: (j + 1) as u32 },
+                    acc,
+                ));
+                self.extend_edge(1, split, t_next);
+                self.stack.pop();
+            }
+        }
+    }
+
+    /// Structurally chooses the pair for motif edge `k`, then enumerates
+    /// its element prefixes; `split` is the previous edge's split time and
+    /// `t_prev_next` the previous edge's next element (guard 2).
+    fn extend_edge(&mut self, k: usize, split: Timestamp, t_prev_next: Option<Timestamp>) {
+        let src = self.assign[self.walk[k] as usize];
+        let tgt_label = self.walk[k + 1] as usize;
+        if self.assigned[tgt_label] {
+            if let Some(p) = self.g.pair_id(src, self.assign[tgt_label]) {
+                self.try_pair(k, p, split, t_prev_next, None);
+            }
+        } else {
+            for p in self.g.out_pair_range(src) {
+                let v = self.g.pair(p).1;
+                if self
+                    .assign
+                    .iter()
+                    .zip(self.assigned.iter())
+                    .any(|(&a, &set)| set && a == v)
+                {
+                    continue;
+                }
+                self.try_pair(k, p, split, t_prev_next, Some((tgt_label, v)));
+            }
+        }
+    }
+
+    /// Runs edge `k` on candidate pair `p`; `fresh` is a newly assigned
+    /// (label, vertex) binding to undo afterwards.
+    fn try_pair(
+        &mut self,
+        k: usize,
+        p: u32,
+        split: Timestamp,
+        t_prev_next: Option<Timestamp>,
+        fresh: Option<(usize, NodeId)>,
+    ) {
+        let s = self.g.series(p);
+        let range = s.range_open_closed(split, self.window.end);
+        if range.is_empty() {
+            return;
+        }
+        // Guard 2 (deferred from the previous edge's prefix choice): if
+        // this edge's first usable element lies strictly after the
+        // previous edge's next element, that element could have joined
+        // the previous prefix — non-maximal.
+        if let Some(tn) = t_prev_next {
+            if s.time(range.start) > tn {
+                self.stats.prefixes_skipped_nonmaximal += 1;
+                return;
+            }
+        }
+        if let Some((label, v)) = fresh {
+            self.assign[label] = v;
+            self.assigned[label] = true;
+        }
+        self.pairs.push(p);
+        if k + 1 == self.motif.num_edges() {
+            self.emit_last_range(p, range);
+        } else {
+            let phi = self.motif.phi();
+            let mut acc = 0.0;
+            for j in range.clone() {
+                acc += s.event(j).flow;
+                if acc < phi || acc <= self.sink.prune_threshold() {
+                    self.stats.prefixes_pruned_by_flow += 1;
+                    continue;
+                }
+                let t_next = if j + 1 < range.end { Some(s.time(j + 1)) } else { None };
+                self.stack.push((
+                    EdgeSet { pair: p, start: range.start as u32, end: (j + 1) as u32 },
+                    acc,
+                ));
+                self.extend_edge(k + 1, s.time(j), t_next);
+                self.stack.pop();
+            }
+        }
+        self.pairs.pop();
+        if let Some((label, _)) = fresh {
+            self.assigned[label] = false;
+        }
+    }
+
+    /// The last motif edge takes all remaining in-window elements; apply
+    /// the flow and prepend checks and emit.
+    fn emit_last_range(&mut self, p: u32, range: std::ops::Range<usize>) {
+        let s = self.g.series(p);
+        let set_flow = s.flow_of_range(range.clone());
+        let flow = self.stack.iter().map(|&(_, f)| f).fold(set_flow, Flow::min);
+        if flow < self.motif.phi() || flow <= self.sink.prune_threshold() {
+            self.stats.instances_rejected_by_flow += 1;
+            return;
+        }
+        let last_time = s.time(range.end - 1);
+        if let Some(tp) = self.anchor_prev {
+            if last_time - tp <= self.motif.delta() {
+                self.stats.instances_rejected_nonmaximal += 1;
+                return;
+            }
+        }
+        let mut edge_sets = Vec::with_capacity(self.motif.num_edges());
+        edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
+        edge_sets.push(EdgeSet { pair: p, start: range.start as u32, end: range.end as u32 });
+        let inst = MotifInstance {
+            edge_sets,
+            flow,
+            first_time: self.anchor_time,
+            last_time,
+        };
+        self.sm_buf.nodes.clear();
+        self.sm_buf.nodes.extend_from_slice(&self.assign);
+        self.sm_buf.pairs.clear();
+        self.sm_buf.pairs.extend_from_slice(&self.pairs);
+        self.stats.instances_emitted += 1;
+        self.sink.accept(&self.sm_buf, inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::enumerate::{count_instances, enumerate_all, CollectSink};
+    use crate::topk::TopKSink;
+    use flowmotif_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_graph(nodes: u32, edges: usize, seed: u64) -> TimeSeriesGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for _ in 0..edges {
+            let u = rng.random_range(0..nodes);
+            let mut v = rng.random_range(0..nodes);
+            while v == u {
+                v = rng.random_range(0..nodes);
+            }
+            b.add_interaction(u, v, rng.random_range(0..300), rng.random_range(1..10) as f64);
+        }
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn shared_matches_per_match_counts() {
+        let g = random_graph(15, 250, 3);
+        for name in ["M(3,2)", "M(3,3)", "M(4,3)", "M(4,4)A", "M(4,4)B", "M(5,4)"] {
+            for (delta, phi) in [(30, 0.0), (30, 5.0), (80, 3.0)] {
+                let m = catalog::by_name(name, delta, phi).unwrap();
+                let (per_match, _) = count_instances(&g, &m);
+                let (shared, _) = count_instances_shared(&g, &m);
+                assert_eq!(per_match, shared, "{name} δ={delta} ϕ={phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_collects_identical_instance_sets() {
+        let g = random_graph(12, 200, 9);
+        let m = catalog::by_name("M(3,3)", 60, 2.0).unwrap();
+        let (groups, _) = enumerate_all(&g, &m);
+        let mut a: Vec<String> = groups
+            .iter()
+            .flat_map(|(sm, v)| v.iter().map(move |i| format!("{:?}|{:?}", sm.pairs, i.edge_sets)))
+            .collect();
+        let mut sink = CollectSink::default();
+        enumerate_shared_with_sink(&g, &m, &mut sink);
+        let mut b: Vec<String> = sink
+            .groups
+            .iter()
+            .flat_map(|(sm, v)| v.iter().map(move |i| format!("{:?}|{:?}", sm.pairs, i.edge_sets)))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_supports_topk_with_floating_threshold() {
+        let g = random_graph(12, 200, 5);
+        let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
+        let mut shared_sink = TopKSink::new(5);
+        enumerate_shared_with_sink(&g, &m, &mut shared_sink);
+        let shared: Vec<f64> =
+            shared_sink.into_sorted().iter().map(|r| r.instance.flow).collect();
+        let (seq, _) = crate::topk::top_k(&g, &m, 5);
+        let want: Vec<f64> = seq.iter().map(|r| r.instance.flow).collect();
+        assert_eq!(shared, want);
+    }
+
+    #[test]
+    fn shared_single_edge_motif() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 2.0), (0, 1, 3, 3.0), (0, 1, 30, 4.0)]);
+        let g = b.build_time_series_graph();
+        let m = catalog::parse_motif("0-1", 5, 0.0).unwrap();
+        let (n, _) = count_instances_shared(&g, &m);
+        let (want, _) = count_instances(&g, &m);
+        assert_eq!(n, want);
+    }
+
+    #[test]
+    fn shared_on_fig7_fixture() {
+        let mut b = GraphBuilder::new();
+        for (t, f) in [(10, 5.0), (13, 2.0), (15, 3.0), (18, 7.0)] {
+            b.add_interaction(0, 1, t, f);
+        }
+        for (t, f) in [(9, 4.0), (11, 3.0), (16, 3.0)] {
+            b.add_interaction(1, 2, t, f);
+        }
+        for (t, f) in [(14, 4.0), (19, 6.0), (24, 3.0), (25, 2.0)] {
+            b.add_interaction(2, 0, t, f);
+        }
+        let g = b.build_time_series_graph();
+        for phi in [0.0, 5.0] {
+            let m = catalog::by_name("M(3,3)", 10, phi).unwrap();
+            assert_eq!(
+                count_instances_shared(&g, &m).0,
+                count_instances(&g, &m).0,
+                "phi={phi}"
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Top-k flow motif search (paper §5): replace the `ϕ` constraint by a
+//! ranking — find the `k` maximal instances with the highest flow.
+//!
+//! The implementation is Algorithm 1 with two changes, exactly as the
+//! paper prescribes: a size-`k` min-heap tracks the best instances found
+//! so far, and the flow of the current `k`-th instance serves as a
+//! *floating* pruning threshold in place of `ϕ`.
+
+use crate::enumerate::{enumerate_with_sink, InstanceSink, SearchOptions, SearchStats};
+use crate::instance::{MotifInstance, StructuralMatch};
+use crate::motif::Motif;
+use flowmotif_graph::{Flow, TimeSeriesGraph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One ranked result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedInstance {
+    /// The structural match the instance lives in.
+    pub structural_match: StructuralMatch,
+    /// The instance itself (its `flow` field is the ranking key).
+    pub instance: MotifInstance,
+}
+
+/// Min-heap entry ordered by flow (ties broken by discovery order so runs
+/// are deterministic).
+#[derive(Debug)]
+struct HeapEntry {
+    flow: Flow,
+    seq: u64,
+    result: RankedInstance,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the *lowest* flow on
+        // top for eviction.
+        other
+            .flow
+            .total_cmp(&self.flow)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Sink maintaining the top-k instances by flow with a floating threshold.
+#[derive(Debug)]
+pub struct TopKSink {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+}
+
+impl TopKSink {
+    /// Creates a sink keeping the best `k` instances.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k search needs k >= 1");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0 }
+    }
+
+    /// Flow of the current `k`-th best instance (the floating threshold),
+    /// or `-∞` while fewer than `k` instances have been seen.
+    pub fn kth_flow(&self) -> Flow {
+        if self.heap.len() == self.k {
+            self.heap.peek().map_or(f64::NEG_INFINITY, |e| e.flow)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Finishes the search: results sorted by descending flow.
+    pub fn into_sorted(self) -> Vec<RankedInstance> {
+        let mut v: Vec<HeapEntry> = self.heap.into_vec();
+        v.sort_by(|a, b| b.flow.total_cmp(&a.flow).then_with(|| a.seq.cmp(&b.seq)));
+        v.into_iter().map(|e| e.result).collect()
+    }
+}
+
+impl InstanceSink for TopKSink {
+    fn prune_threshold(&self) -> Flow {
+        self.kth_flow()
+    }
+
+    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
+        // The enumerator only delivers instances strictly above the
+        // floating threshold, so acceptance is unconditional.
+        let flow = inst.flow;
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            flow,
+            seq: self.seq,
+            result: RankedInstance { structural_match: sm.clone(), instance: inst },
+        });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+}
+
+/// Finds the `k` maximal instances of `motif` with the highest flow.
+///
+/// `motif.phi()` still applies as a hard lower bound; pass `ϕ = 0` for the
+/// paper's pure ranking semantics (§5 runs top-k with `ϕ = 0`).
+pub fn top_k(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    k: usize,
+) -> (Vec<RankedInstance>, SearchStats) {
+    let mut sink = TopKSink::new(k);
+    let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
+    (sink.into_sorted(), stats)
+}
+
+/// Convenience for Fig. 11: the flow of the `k`-th ranked instance, or
+/// `None` if fewer than `k` instances exist.
+pub fn kth_instance_flow(g: &TimeSeriesGraph, motif: &Motif, k: usize) -> Option<Flow> {
+    let (ranked, _) = top_k(g, motif, k);
+    (ranked.len() >= k).then(|| ranked[k - 1].instance.flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::enumerate::{enumerate_with_sink, CollectSink};
+    use flowmotif_graph::GraphBuilder;
+
+    /// Builds a graph with several M(3,2) instances of distinct flows.
+    fn chain_graph() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        // Three disjoint chains u -> v -> w at separated times, flows 5, 9, 2.
+        let mut base = 0;
+        for (i, f) in [5.0, 9.0, 2.0].into_iter().enumerate() {
+            let n = (i * 3) as u32;
+            b.add_interaction(n, n + 1, base, f);
+            b.add_interaction(n + 1, n + 2, base + 1, f + 1.0);
+            base += 100;
+        }
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn top_k_orders_by_flow() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let (r, _) = top_k(&g, &m, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].instance.flow, 9.0);
+        assert_eq!(r[1].instance.flow, 5.0);
+    }
+
+    #[test]
+    fn top_k_larger_than_result_set() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let (r, _) = top_k(&g, &m, 10);
+        assert_eq!(r.len(), 3);
+        let flows: Vec<_> = r.iter().map(|x| x.instance.flow).collect();
+        assert_eq!(flows, vec![9.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn kth_flow_matches_full_enumeration() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        assert_eq!(kth_instance_flow(&g, &m, 1), Some(9.0));
+        assert_eq!(kth_instance_flow(&g, &m, 3), Some(2.0));
+        assert_eq!(kth_instance_flow(&g, &m, 4), None);
+    }
+
+    #[test]
+    fn floating_threshold_agrees_with_sorted_enumeration() {
+        // top-k flows == first k flows of the sorted full enumeration.
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let mut all = CollectSink::default();
+        enumerate_with_sink(&g, &m, SearchOptions::default(), &mut all);
+        let mut flows: Vec<f64> = all
+            .groups
+            .iter()
+            .flat_map(|(_, v)| v.iter().map(|i| i.flow))
+            .collect();
+        flows.sort_by(|a, b| b.total_cmp(a));
+        for k in 1..=flows.len() {
+            let (r, _) = top_k(&g, &m, k);
+            let got: Vec<_> = r.iter().map(|x| x.instance.flow).collect();
+            assert_eq!(got, flows[..k].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_search() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let (_, stats_k1) = top_k(&g, &m, 1);
+        // With k=1 the threshold rises to 5 then 9, pruning later prefixes.
+        assert!(stats_k1.prefixes_pruned_by_flow + stats_k1.instances_rejected_by_flow > 0);
+    }
+
+    #[test]
+    fn phi_still_applies_as_floor() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 6.0).unwrap();
+        let (r, _) = top_k(&g, &m, 10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].instance.flow, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn k_zero_panics() {
+        TopKSink::new(0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The three evaluation datasets of the paper (§6.1, Table 3), as
+//! synthetic stand-ins with matching shape parameters.
+
+use crate::config::{FlowDistribution, GeneratorConfig};
+use crate::generate::generate;
+use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's three evaluation networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Bitcoin user graph: sparse, heavy-tailed degrees, rare parallel
+    /// edges (~1.4 per pair), wide flow distribution (avg 4.845 BTC).
+    Bitcoin,
+    /// Facebook interaction network: sparse, ~4 parallel edges per pair,
+    /// 30-second-bucketed timestamps, small integer flows (avg ~3).
+    Facebook,
+    /// NYC taxi passenger-flow network: 289 zones, dense, ~3 parallel
+    /// edges per pair, small passenger counts (avg ~1.9).
+    Passenger,
+}
+
+impl Dataset {
+    /// All three datasets, in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Bitcoin, Dataset::Facebook, Dataset::Passenger];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Bitcoin => "Bitcoin",
+            Dataset::Facebook => "Facebook",
+            Dataset::Passenger => "Passenger",
+        }
+    }
+
+    /// The paper's default duration constraint `δ` for this dataset
+    /// (§6.2: 600 s, 600 s, 900 s).
+    pub fn default_delta(&self) -> i64 {
+        match self {
+            Dataset::Bitcoin | Dataset::Facebook => 600,
+            Dataset::Passenger => 900,
+        }
+    }
+
+    /// The paper's default flow constraint `ϕ` (§6.2: 5, 3, 2).
+    pub fn default_phi(&self) -> f64 {
+        match self {
+            Dataset::Bitcoin => 5.0,
+            Dataset::Facebook => 3.0,
+            Dataset::Passenger => 2.0,
+        }
+    }
+
+    /// The `δ` sweep of Fig. 9 for this dataset.
+    pub fn delta_sweep(&self) -> Vec<i64> {
+        match self {
+            Dataset::Bitcoin | Dataset::Facebook => vec![200, 400, 600, 800, 1000],
+            Dataset::Passenger => vec![300, 600, 900, 1200, 1500],
+        }
+    }
+
+    /// The `ϕ` sweep of Fig. 10 for this dataset.
+    pub fn phi_sweep(&self) -> Vec<f64> {
+        match self {
+            Dataset::Bitcoin => vec![5.0, 10.0, 15.0, 20.0, 25.0],
+            Dataset::Facebook => vec![3.0, 5.0, 7.0, 9.0, 11.0],
+            Dataset::Passenger => vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    }
+
+    /// Generator shape at `scale = 1.0` (laptop-sized; see `DESIGN.md` for
+    /// the mapping from the paper's Table 3).
+    pub fn config(&self) -> GeneratorConfig {
+        match self {
+            Dataset::Bitcoin => GeneratorConfig {
+                num_nodes: 2500,
+                num_pairs: 5000,
+                mean_edges_per_pair: 1.4,
+                time_span: 2_500,
+                time_granularity: 1,
+                node_skew: 1.6,
+                closure_bias: 0.25,
+                propagation: 0.7,
+                propagation_window: 1_200,
+                // mean ≈ 4.8, median 3.5 — wide like BTC amounts.
+                flow: FlowDistribution::LogNormal { mu: 3.5f64.ln(), sigma: 0.8 },
+            },
+            Dataset::Facebook => GeneratorConfig {
+                num_nodes: 1200,
+                num_pairs: 4500,
+                mean_edges_per_pair: 4.0,
+                time_span: 5_000,
+                time_granularity: 30,
+                node_skew: 1.4,
+                closure_bias: 0.20,
+                propagation: 0.5,
+                propagation_window: 1_200,
+                // 1 + Poisson(2): mean 3 like the paper's per-bucket counts.
+                flow: FlowDistribution::SmallCount { lambda: 2.0 },
+            },
+            Dataset::Passenger => GeneratorConfig {
+                num_nodes: 289, // the paper's actual zone count
+                num_pairs: 1500,
+                mean_edges_per_pair: 2.8,
+                time_span: 4_500,
+                time_granularity: 1,
+                node_skew: 1.2,
+                closure_bias: 0.08,
+                propagation: 0.6,
+                propagation_window: 1_800,
+                // 1 + Poisson(0.93): mean 1.93 passengers.
+                flow: FlowDistribution::SmallCount { lambda: 0.93 },
+            },
+        }
+    }
+
+    /// Generates the multigraph at the given scale (1.0 = defaults).
+    pub fn generate_multigraph(&self, scale: f64, seed: u64) -> TemporalMultigraph {
+        generate(&self.config().scaled(scale), seed)
+    }
+
+    /// Generates the merged time-series graph at the given scale.
+    pub fn generate(&self, scale: f64, seed: u64) -> TimeSeriesGraph {
+        (&self.generate_multigraph(scale, seed)).into()
+    }
+
+    /// The time-prefix sample labels and fractions of §6.2.4:
+    /// B1–B5 cover 1/2/4/6/9 of 9 months, F1–F5 cover 1/2/3/4/6 of 6
+    /// months, T1–T4 cover 8/16/24/31 of 31 days.
+    pub fn prefix_fractions(&self) -> Vec<(String, f64)> {
+        let (letter, parts, total): (&str, &[u32], f64) = match self {
+            Dataset::Bitcoin => ("B", &[1, 2, 4, 6, 9], 9.0),
+            Dataset::Facebook => ("F", &[1, 2, 3, 4, 6], 6.0),
+            Dataset::Passenger => ("T", &[8, 16, 24, 31], 31.0),
+        };
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (format!("{letter}{}", i + 1), p as f64 / total))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dataset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_lowercase().as_str() {
+            "bitcoin" | "btc" | "b" => Ok(Dataset::Bitcoin),
+            "facebook" | "fb" | "f" => Ok(Dataset::Facebook),
+            "passenger" | "taxi" | "t" | "p" => Ok(Dataset::Passenger),
+            other => Err(format!("unknown dataset `{other}` (bitcoin|facebook|passenger)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmotif_graph::GraphStats;
+
+    #[test]
+    fn defaults_match_paper_section_6_2() {
+        assert_eq!(Dataset::Bitcoin.default_delta(), 600);
+        assert_eq!(Dataset::Facebook.default_delta(), 600);
+        assert_eq!(Dataset::Passenger.default_delta(), 900);
+        assert_eq!(Dataset::Bitcoin.default_phi(), 5.0);
+        assert_eq!(Dataset::Facebook.default_phi(), 3.0);
+        assert_eq!(Dataset::Passenger.default_phi(), 2.0);
+    }
+
+    #[test]
+    fn generated_shapes_track_table3_ratios() {
+        for d in Dataset::ALL {
+            let g = d.generate(0.5, 42);
+            let s = GraphStats::of(&g);
+            let cfg = d.config();
+            let want_mult = cfg.mean_edges_per_pair;
+            assert!(
+                (s.avg_edges_per_pair - want_mult).abs() / want_mult < 0.15,
+                "{d}: multiplicity {} vs {want_mult}",
+                s.avg_edges_per_pair
+            );
+            let want_flow = cfg.flow.mean();
+            assert!(
+                (s.avg_flow_per_edge - want_flow).abs() / want_flow < 0.15,
+                "{d}: flow {} vs {want_flow}",
+                s.avg_flow_per_edge
+            );
+        }
+    }
+
+    #[test]
+    fn facebook_times_are_bucketed() {
+        let g = Dataset::Facebook.generate_multigraph(0.3, 1);
+        assert!(g.interactions().iter().all(|i| i.time % 30 == 0));
+    }
+
+    #[test]
+    fn passenger_is_densest() {
+        let density = |d: Dataset| {
+            let s = GraphStats::of(&d.generate(1.0, 9));
+            s.num_connected_pairs as f64 / (s.num_nodes as f64 * (s.num_nodes - 1) as f64)
+        };
+        let p = density(Dataset::Passenger);
+        assert!(p > density(Dataset::Bitcoin) * 5.0);
+        assert!(p > density(Dataset::Facebook));
+    }
+
+    #[test]
+    fn prefix_fraction_labels() {
+        let b = Dataset::Bitcoin.prefix_fractions();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0].0, "B1");
+        assert_eq!(b[4], ("B5".to_string(), 1.0));
+        let t = Dataset::Passenger.prefix_fractions();
+        assert_eq!(t.len(), 4);
+        assert!((t[0].1 - 8.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_parsing() {
+        assert_eq!("bitcoin".parse::<Dataset>().unwrap(), Dataset::Bitcoin);
+        assert_eq!("FB".parse::<Dataset>().unwrap(), Dataset::Facebook);
+        assert_eq!("taxi".parse::<Dataset>().unwrap(), Dataset::Passenger);
+        assert!("mars".parse::<Dataset>().is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workloads for the flow-motif experiments.
+//!
+//! The paper evaluates on three proprietary datasets (a bitcoin user
+//! graph, a Facebook interaction network, and NYC yellow-taxi passenger
+//! flows). None are redistributable, so this crate generates synthetic
+//! networks that reproduce the *shape* parameters the paper reports in
+//! Table 3 and §6.1 — degree skew, parallel-edge multiplicity, flow
+//! distribution, density — at laptop scale. Time spans are compressed so
+//! that the expected number of interactions per `δ`-window is in the
+//! regime where the paper's instance counts arise at the paper's default
+//! `δ` values (see `DESIGN.md`, Substitutions).
+//!
+//! Also here: the flow-permutation null model of §6.3 and the time-prefix
+//! samples (B1–B5 / F1–F5 / T1–T4) of §6.2.4.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod dataset;
+pub mod generate;
+pub mod permute;
+pub mod rng;
+pub mod sampling;
+
+pub use config::{FlowDistribution, GeneratorConfig};
+pub use dataset::Dataset;
+pub use generate::generate;
+pub use permute::permute_flows;
+pub use sampling::{time_prefix_samples, PrefixSample};

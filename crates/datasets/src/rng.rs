@@ -1,0 +1,133 @@
+//! Small sampling helpers built on `rand` (no `rand_distr` dependency:
+//! the handful of distributions we need are a few lines each).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Log-normal with the given parameters of the underlying normal.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Poisson via Knuth's method (fine for the small λ used here).
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological λ
+        }
+    }
+}
+
+/// Heavy-tailed node index in `0..n`: `floor(n · u^skew)`. `skew = 1`
+/// is uniform; larger values concentrate mass on low indices, giving the
+/// power-law-ish degree distributions of real interaction networks.
+pub fn skewed_index(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    debug_assert!(n > 0);
+    let u: f64 = rng.random();
+    ((n as f64) * u.powf(skew)).min(n as f64 - 1.0) as usize
+}
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_expected_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let (mu, sigma) = (3.5f64.ln(), 0.8);
+        let xs: Vec<f64> = (0..n).map(|_| log_normal(&mut r, mu, sigma)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let expected = (mu + sigma * sigma / 2.0).exp(); // ≈ 4.82
+        assert!((mean - expected).abs() / expected < 0.1, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn skewed_index_is_skewed_and_in_range() {
+        let mut r = rng();
+        let n = 1000;
+        let samples: Vec<usize> = (0..20_000).map(|_| skewed_index(&mut r, n, 2.5)).collect();
+        assert!(samples.iter().all(|&i| i < n));
+        let low = samples.iter().filter(|&&i| i < n / 10).count();
+        // With skew 2.5, P(index < n/10) = (0.1)^(1/2.5) ≈ 0.40.
+        assert!(low as f64 / 20_000.0 > 0.3, "low fraction {}", low as f64 / 20_000.0);
+    }
+
+    #[test]
+    fn skewed_index_uniform_when_skew_is_one() {
+        let mut r = rng();
+        let n = 100;
+        let samples: Vec<usize> = (0..20_000).map(|_| skewed_index(&mut r, n, 1.0)).collect();
+        let low = samples.iter().filter(|&&i| i < n / 2).count();
+        assert!((low as f64 / 20_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng();
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut r, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should change order");
+    }
+}

@@ -1,0 +1,77 @@
+//! Time-prefix samples for the scalability experiment (paper §6.2.4).
+//!
+//! Each sample keeps the interactions whose timestamp falls within a
+//! prefix of the dataset's covered period — B1..B5 for Bitcoin (1, 2, 4,
+//! 6, 9 of 9 months), F1..F5 for Facebook, T1..T4 for Passenger.
+
+use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
+
+/// One labelled time-prefix sample.
+#[derive(Debug, Clone)]
+pub struct PrefixSample {
+    /// Label, e.g. `B3`.
+    pub label: String,
+    /// Fraction of the full period covered.
+    pub fraction: f64,
+    /// The sampled graph.
+    pub graph: TimeSeriesGraph,
+    /// Interactions in the sample.
+    pub num_interactions: usize,
+}
+
+/// Cuts `g` into labelled time-prefix samples. `fractions` pairs labels
+/// with period fractions in `(0, 1]` (see
+/// [`crate::Dataset::prefix_fractions`]).
+pub fn time_prefix_samples(
+    g: &TemporalMultigraph,
+    fractions: &[(String, f64)],
+) -> Vec<PrefixSample> {
+    let Some((t0, t1)) = g.time_span() else {
+        return Vec::new();
+    };
+    fractions
+        .iter()
+        .map(|(label, frac)| {
+            let cutoff = t0 + ((t1 - t0) as f64 * frac).round() as i64;
+            let mut sub = g.clone();
+            sub.retain_time_prefix(cutoff);
+            let num_interactions = sub.num_interactions();
+            PrefixSample {
+                label: label.clone(),
+                fraction: *frac,
+                graph: (&sub).into(),
+                num_interactions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn samples_grow_monotonically() {
+        let g = Dataset::Facebook.generate_multigraph(0.2, 5);
+        let samples = time_prefix_samples(&g, &Dataset::Facebook.prefix_fractions());
+        assert_eq!(samples.len(), 5);
+        for w in samples.windows(2) {
+            assert!(w[0].num_interactions <= w[1].num_interactions);
+        }
+        // The final sample is the full dataset.
+        assert_eq!(samples.last().unwrap().num_interactions, g.num_interactions());
+        // Early samples are strict subsets.
+        assert!(samples[0].num_interactions < g.num_interactions());
+        // Sizes are roughly proportional to the fraction (uniform times).
+        let s0 = &samples[0];
+        let expected = g.num_interactions() as f64 * s0.fraction;
+        assert!((s0.num_interactions as f64 - expected).abs() / expected < 0.2);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_samples() {
+        let g = TemporalMultigraph::new();
+        assert!(time_prefix_samples(&g, &[("X".into(), 0.5)]).is_empty());
+    }
+}

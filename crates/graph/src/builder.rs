@@ -1,0 +1,178 @@
+//! Incremental construction of interaction graphs.
+
+use crate::error::GraphError;
+use crate::event::{Event, Flow, NodeId, Timestamp};
+use crate::multigraph::{Interaction, TemporalMultigraph};
+use crate::tsgraph::TimeSeriesGraph;
+use rustc_hash::FxHashMap;
+
+/// Accumulates raw interactions and produces either representation.
+///
+/// The builder groups interactions per `(u, v)` pair as they arrive, so
+/// building the time-series graph is a sort of the (much smaller) pair set
+/// rather than of the full edge list.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    num_interactions: usize,
+    per_pair: FxHashMap<(NodeId, NodeId), Vec<Event>>,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder. Self-loops are rejected by
+    /// [`GraphBuilder::try_add_interaction`] unless enabled via
+    /// [`GraphBuilder::allow_self_loops`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Permits `u -> u` interactions (off by default: in the paper's data
+    /// model flow transfers connect distinct parties, and motif spanning
+    /// paths never map two adjacent motif nodes to the same graph node).
+    pub fn allow_self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Adds one interaction; panics on invalid input (see
+    /// [`GraphBuilder::try_add_interaction`] for the checked variant).
+    pub fn add_interaction(&mut self, from: NodeId, to: NodeId, time: Timestamp, flow: Flow) {
+        self.try_add_interaction(from, to, time, flow)
+            .expect("invalid interaction");
+    }
+
+    /// Adds one interaction, validating flow positivity and self-loops.
+    pub fn try_add_interaction(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+    ) -> Result<(), GraphError> {
+        if !(flow.is_finite() && flow > 0.0) {
+            return Err(GraphError::InvalidFlow { flow, from: from as u64, to: to as u64 });
+        }
+        if from == to && !self.allow_self_loops {
+            return Err(GraphError::SelfLoop(from as u64));
+        }
+        self.num_nodes = self.num_nodes.max(from.max(to) as usize + 1);
+        self.num_interactions += 1;
+        self.per_pair.entry((from, to)).or_default().push(Event::new(time, flow));
+        Ok(())
+    }
+
+    /// Bulk-adds interactions from an iterator of `(from, to, time, flow)`.
+    pub fn extend_interactions<I>(&mut self, iter: I)
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, Timestamp, Flow)>,
+    {
+        for (u, v, t, f) in iter {
+            self.add_interaction(u, v, t, f);
+        }
+    }
+
+    /// Number of interactions added so far.
+    pub fn num_interactions(&self) -> usize {
+        self.num_interactions
+    }
+
+    /// Number of distinct connected pairs so far.
+    pub fn num_pairs(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// Finalizes into the merged time-series graph `G_T`.
+    pub fn build_time_series_graph(self) -> TimeSeriesGraph {
+        TimeSeriesGraph::from_pair_events(self.num_nodes, self.per_pair.into_iter().collect())
+    }
+
+    /// Finalizes into the raw multigraph (interaction order is per-pair,
+    /// then by arrival).
+    pub fn build_multigraph(self) -> TemporalMultigraph {
+        let mut g = TemporalMultigraph::with_capacity(self.num_nodes, self.num_interactions);
+        for ((u, v), events) in self.per_pair {
+            for e in events {
+                g.push(Interaction::new(u, v, e.time, e.flow));
+            }
+        }
+        g
+    }
+}
+
+impl From<&TemporalMultigraph> for TimeSeriesGraph {
+    fn from(g: &TemporalMultigraph) -> Self {
+        let mut b = GraphBuilder::new().allow_self_loops(true);
+        for i in g.interactions() {
+            b.add_interaction(i.from, i.to, i.time, i.flow);
+        }
+        // Preserve isolated trailing nodes.
+        let mut ts = b.build_time_series_graph();
+        if ts.num_nodes() < g.num_nodes() {
+            ts = TimeSeriesGraph::from_pair_events(
+                g.num_nodes(),
+                ts.pairs()
+                    .iter()
+                    .zip(ts.all_series())
+                    .map(|(&p, s)| (p, s.events().to_vec()))
+                    .collect(),
+            );
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts() {
+        let mut b = GraphBuilder::new();
+        b.add_interaction(0, 1, 1, 1.0);
+        b.add_interaction(0, 1, 2, 1.0);
+        b.add_interaction(1, 2, 3, 1.0);
+        assert_eq!(b.num_interactions(), 3);
+        assert_eq!(b.num_pairs(), 2);
+        let g = b.build_time_series_graph();
+        assert_eq!(g.num_pairs(), 2);
+        assert_eq!(g.num_interactions(), 3);
+    }
+
+    #[test]
+    fn rejects_nonpositive_flow() {
+        let mut b = GraphBuilder::new();
+        assert!(b.try_add_interaction(0, 1, 1, 0.0).is_err());
+        assert!(b.try_add_interaction(0, 1, 1, -2.0).is_err());
+        assert!(b.try_add_interaction(0, 1, 1, f64::NAN).is_err());
+        assert!(b.try_add_interaction(0, 1, 1, f64::INFINITY).is_err());
+        assert_eq!(b.num_interactions(), 0);
+    }
+
+    #[test]
+    fn rejects_self_loops_unless_allowed() {
+        let mut b = GraphBuilder::new();
+        assert!(b.try_add_interaction(5, 5, 1, 1.0).is_err());
+        let mut b = GraphBuilder::new().allow_self_loops(true);
+        assert!(b.try_add_interaction(5, 5, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn multigraph_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0, 1, 5, 2.0), (1, 2, 6, 3.0), (0, 1, 7, 4.0)]);
+        let mg = b.build_multigraph();
+        assert_eq!(mg.num_interactions(), 3);
+        let ts: TimeSeriesGraph = (&mg).into();
+        assert_eq!(ts.num_pairs(), 2);
+        assert_eq!(ts.series(ts.pair_id(0, 1).unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn conversion_preserves_isolated_nodes() {
+        let mut mg = TemporalMultigraph::with_capacity(50, 1);
+        mg.push(Interaction::new(0, 1, 1, 1.0));
+        let ts: TimeSeriesGraph = (&mg).into();
+        assert_eq!(ts.num_nodes(), 50);
+    }
+}

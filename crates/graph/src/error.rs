@@ -1,0 +1,90 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while building or loading interaction graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An interaction referenced a node id that overflows `u32`.
+    NodeIdOverflow(u64),
+    /// An interaction carried a non-positive or non-finite flow value.
+    InvalidFlow {
+        /// Offending flow value.
+        flow: f64,
+        /// Source node of the interaction.
+        from: u64,
+        /// Target node of the interaction.
+        to: u64,
+    },
+    /// A self-loop `u -> u` was supplied and the builder forbids them.
+    SelfLoop(u64),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeIdOverflow(id) => {
+                write!(f, "node id {id} exceeds the u32 node-id space")
+            }
+            GraphError::InvalidFlow { flow, from, to } => write!(
+                f,
+                "interaction {from}->{to} has invalid flow {flow}; flows must be finite and > 0"
+            ),
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidFlow { flow: -1.0, from: 3, to: 4 };
+        assert!(e.to_string().contains("3->4"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = GraphError::Parse { line: 7, message: "bad field".into() };
+        assert!(e.to_string().contains("line 7"));
+
+        let e = GraphError::NodeIdOverflow(1 << 40);
+        assert!(e.to_string().contains("u32"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,69 @@
+//! Basic value types: node/pair identifiers, timestamps, flows and the
+//! `(t, f)` interaction element of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in the interaction network.
+///
+/// Vertices are dense integers in `0..num_nodes`, which keeps adjacency
+/// structures index-based and cache-friendly.
+pub type NodeId = u32;
+
+/// Identifier of a *connected node pair* `(u, v)` in the time-series graph
+/// `G_T` — i.e. an edge of `G_T` (paper notation `E_T`).
+pub type PairId = u32;
+
+/// Timestamps are integers in an application-defined unit (the paper uses
+/// seconds). The paper assumes a continuous time domain with unique
+/// timestamps; we tolerate duplicates and order ties deterministically.
+pub type Timestamp = i64;
+
+/// Flow transferred by a single interaction (money, messages, passengers…).
+/// Always positive in valid inputs.
+pub type Flow = f64;
+
+/// A flow interaction element `(t, f)` on an edge of the time-series graph
+/// (paper Table 1: "flow interaction element on an edge of `E_T`").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Time at which the interaction occurred.
+    pub time: Timestamp,
+    /// Amount of flow transferred.
+    pub flow: Flow,
+}
+
+impl Event {
+    /// Creates a new interaction element.
+    #[inline]
+    pub fn new(time: Timestamp, flow: Flow) -> Self {
+        Self { time, flow }
+    }
+}
+
+impl From<(Timestamp, Flow)> for Event {
+    #[inline]
+    fn from((time, flow): (Timestamp, Flow)) -> Self {
+        Self { time, flow }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction_and_conversion() {
+        let e = Event::new(10, 5.0);
+        assert_eq!(e.time, 10);
+        assert_eq!(e.flow, 5.0);
+        let f: Event = (10, 5.0).into();
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn event_is_small() {
+        // Events are stored in per-pair vectors by the million; keep them
+        // two words.
+        assert_eq!(std::mem::size_of::<Event>(), 16);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one interaction per line, `from to time flow`, separated by
+//! whitespace or commas. Lines starting with `#` or `%` and blank lines are
+//! ignored. This covers the usual distribution format of temporal-network
+//! datasets (SNAP, KONECT) with an extra flow column.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::multigraph::TemporalMultigraph;
+use crate::tsgraph::TimeSeriesGraph;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<(u32, u32, i64, f64)>, GraphError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+    let mut next = |name: &str| {
+        fields.next().ok_or_else(|| GraphError::Parse {
+            line: lineno,
+            message: format!("missing field `{name}` (expected `from to time flow`)"),
+        })
+    };
+    let from: u64 = next("from")?.parse().map_err(|e| GraphError::Parse {
+        line: lineno,
+        message: format!("bad `from`: {e}"),
+    })?;
+    let to: u64 = next("to")?.parse().map_err(|e| GraphError::Parse {
+        line: lineno,
+        message: format!("bad `to`: {e}"),
+    })?;
+    let time: i64 = next("time")?.parse().map_err(|e| GraphError::Parse {
+        line: lineno,
+        message: format!("bad `time`: {e}"),
+    })?;
+    let flow: f64 = next("flow")?.parse().map_err(|e| GraphError::Parse {
+        line: lineno,
+        message: format!("bad `flow`: {e}"),
+    })?;
+    let from = u32::try_from(from).map_err(|_| GraphError::NodeIdOverflow(from))?;
+    let to = u32::try_from(to).map_err(|_| GraphError::NodeIdOverflow(to))?;
+    Ok(Some((from, to, time, flow)))
+}
+
+/// Reads an edge list into a [`GraphBuilder`].
+pub fn read_edge_list<R: Read>(reader: R) -> Result<GraphBuilder, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut reader = buf;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        if let Some((u, v, t, f)) = parse_line(&line, lineno)? {
+            builder.try_add_interaction(u, v, t, f)?;
+        }
+    }
+    Ok(builder)
+}
+
+/// Loads a time-series graph from an edge-list file.
+pub fn load_time_series_graph<P: AsRef<Path>>(path: P) -> Result<TimeSeriesGraph, GraphError> {
+    Ok(read_edge_list(std::fs::File::open(path)?)?.build_time_series_graph())
+}
+
+/// Loads a raw multigraph from an edge-list file.
+pub fn load_multigraph<P: AsRef<Path>>(path: P) -> Result<TemporalMultigraph, GraphError> {
+    Ok(read_edge_list(std::fs::File::open(path)?)?.build_multigraph())
+}
+
+/// Writes a multigraph as a whitespace-separated edge list with a header
+/// comment; round-trips through [`load_multigraph`].
+pub fn write_edge_list<W: Write>(g: &TemporalMultigraph, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# from to time flow")?;
+    for i in g.interactions() {
+        writeln!(w, "{} {} {} {}", i.from, i.to, i.time, i.flow)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_whitespace_and_commas_and_comments() {
+        let input = "# comment\n\n0 1 10 5.0\n1,2,11,2.5\n% another comment\n2\t0\t12\t1\n";
+        let b = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(b.num_interactions(), 3);
+        let g = b.build_time_series_graph();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_pairs(), 3);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = read_edge_list("0 1 10 5.0\n0 x 11 1.0\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_fields() {
+        let err = read_edge_list("0 1 10\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("flow"));
+    }
+
+    #[test]
+    fn rejects_node_id_overflow() {
+        let err = read_edge_list("5000000000 1 10 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::NodeIdOverflow(_)));
+    }
+
+    #[test]
+    fn rejects_invalid_flow_values() {
+        let err = read_edge_list("0 1 10 -3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidFlow { .. }));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 10i64, 5.0), (1, 2, 11, 2.5), (2, 0, 12, 1.0)]);
+        let g = b.build_multigraph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap().build_multigraph();
+        assert_eq!(g2.num_interactions(), 3);
+        assert_eq!(g2.num_nodes(), 3);
+        assert!((g2.total_flow() - g.total_flow()).abs() < 1e-9);
+    }
+}

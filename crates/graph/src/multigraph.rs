@@ -1,0 +1,184 @@
+//! The raw temporal multigraph `G(V, E)` of the paper (§3, Fig. 2).
+//!
+//! Every interaction is a directed edge `u -> v` carrying a timestamp and a
+//! flow. Multiple parallel edges between the same pair are the norm — they
+//! are what flow motifs aggregate over.
+
+use crate::event::{Flow, NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A single timestamped flow transfer `u -> v` (one edge of the multigraph).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Time of the transfer.
+    pub time: Timestamp,
+    /// Amount transferred.
+    pub flow: Flow,
+}
+
+impl Interaction {
+    /// Creates a new interaction.
+    #[inline]
+    pub fn new(from: NodeId, to: NodeId, time: Timestamp, flow: Flow) -> Self {
+        Self { from, to, time, flow }
+    }
+}
+
+/// A directed temporal multigraph: the input representation `G(V, E)`.
+///
+/// This is a thin, append-only edge list. Motif algorithms never run on it
+/// directly; convert to a [`crate::TimeSeriesGraph`] first (the conversion
+/// is what the paper calls "merging parallel edges into time series").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TemporalMultigraph {
+    num_nodes: usize,
+    interactions: Vec<Interaction>,
+}
+
+impl TemporalMultigraph {
+    /// Creates an empty multigraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty multigraph that will hold at least `nodes` vertices
+    /// and reserves room for `interactions` edges.
+    pub fn with_capacity(nodes: usize, interactions: usize) -> Self {
+        Self { num_nodes: nodes, interactions: Vec::with_capacity(interactions) }
+    }
+
+    /// Appends an interaction, growing the vertex set as needed.
+    pub fn push(&mut self, i: Interaction) {
+        let hi = i.from.max(i.to) as usize + 1;
+        if hi > self.num_nodes {
+            self.num_nodes = hi;
+        }
+        self.interactions.push(i);
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of multigraph edges `|E|` (interactions).
+    #[inline]
+    pub fn num_interactions(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// All interactions in insertion order.
+    #[inline]
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Mutable access to the interactions, e.g. for the flow-permutation
+    /// null model of the significance experiment (paper §6.3).
+    #[inline]
+    pub fn interactions_mut(&mut self) -> &mut [Interaction] {
+        &mut self.interactions
+    }
+
+    /// Consumes the graph and returns its interactions.
+    pub fn into_interactions(self) -> Vec<Interaction> {
+        self.interactions
+    }
+
+    /// Earliest and latest timestamp, or `None` for an empty graph.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = self.interactions.iter().map(|i| i.time).min()?;
+        let last = self.interactions.iter().map(|i| i.time).max()?;
+        Some((first, last))
+    }
+
+    /// Total flow over all interactions.
+    pub fn total_flow(&self) -> Flow {
+        self.interactions.iter().map(|i| i.flow).sum()
+    }
+
+    /// Retains only interactions with `time <= cutoff`; used by the
+    /// time-prefix scalability samples of §6.2.4 (B1..B5 etc.).
+    pub fn retain_time_prefix(&mut self, cutoff: Timestamp) {
+        self.interactions.retain(|i| i.time <= cutoff);
+    }
+}
+
+impl FromIterator<Interaction> for TemporalMultigraph {
+    fn from_iter<T: IntoIterator<Item = Interaction>>(iter: T) -> Self {
+        let mut g = TemporalMultigraph::new();
+        for i in iter {
+            g.push(i);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bitcoin-user example of paper Fig. 2 with u1..u4 renumbered 0..3.
+    pub(crate) fn paper_fig2() -> TemporalMultigraph {
+        [
+            (0u32, 1u32, 13i64, 5.0), // u1 -> u2
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),  // u3 -> u1
+            (3, 2, 1, 2.0),    // u4 -> u3
+            (3, 2, 3, 5.0),    // u4 -> u3
+            (3, 0, 11, 10.0),  // u4 -> u1
+            (1, 2, 18, 20.0),  // u2 -> u3
+            (2, 3, 19, 5.0),   // u3 -> u4
+            (2, 3, 21, 4.0),   // u3 -> u4
+            (1, 3, 23, 7.0),   // u2 -> u4
+        ]
+        .into_iter()
+        .map(|(u, v, t, f)| Interaction::new(u, v, t, f))
+        .collect()
+    }
+
+    #[test]
+    fn counts_match_paper_fig2() {
+        let g = paper_fig2();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_interactions(), 10);
+    }
+
+    #[test]
+    fn node_count_grows_with_pushes() {
+        let mut g = TemporalMultigraph::new();
+        assert_eq!(g.num_nodes(), 0);
+        g.push(Interaction::new(5, 2, 1, 1.0));
+        assert_eq!(g.num_nodes(), 6);
+        g.push(Interaction::new(0, 9, 2, 1.0));
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn time_span_and_total_flow() {
+        let g = paper_fig2();
+        assert_eq!(g.time_span(), Some((1, 23)));
+        assert!((g.total_flow() - 75.0).abs() < 1e-9);
+        assert_eq!(TemporalMultigraph::new().time_span(), None);
+    }
+
+    #[test]
+    fn retain_time_prefix_drops_late_interactions() {
+        let mut g = paper_fig2();
+        g.retain_time_prefix(15);
+        assert_eq!(g.num_interactions(), 6);
+        assert!(g.interactions().iter().all(|i| i.time <= 15));
+    }
+
+    #[test]
+    fn with_capacity_reserves_without_interactions() {
+        let g = TemporalMultigraph::with_capacity(100, 50);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_interactions(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Time-respecting paths (Kempe–Kleinberg–Kumar, the temporal-network
+//! foundation the paper's related work builds on, §2): a path is
+//! time-respecting when consecutive hops use strictly increasing
+//! timestamps. Flow motif instances are time-respecting by construction;
+//! these utilities answer the simpler reachability questions analysts ask
+//! next ("could these funds have reached that account at all?").
+
+use crate::event::{NodeId, Timestamp};
+use crate::tsgraph::TimeSeriesGraph;
+use std::collections::BinaryHeap;
+
+/// Earliest-arrival times from `source`, departing no earlier than
+/// `t_start`: `result[v]` is the smallest timestamp of the last hop of a
+/// time-respecting path `source -> … -> v`, or `None` if unreachable.
+/// `result[source]` is `Some(t_start)` by convention.
+///
+/// Dijkstra-like label setting on (arrival time, node); each pair's
+/// series is binary-searched for the first usable departure, so the cost
+/// is `O(|E_T| log |E| + |V| log |V|)`.
+pub fn earliest_arrival(
+    g: &TimeSeriesGraph,
+    source: NodeId,
+    t_start: Timestamp,
+) -> Vec<Option<Timestamp>> {
+    let n = g.num_nodes();
+    let mut arrival: Vec<Option<Timestamp>> = vec![None; n];
+    if (source as usize) >= n {
+        return arrival;
+    }
+    arrival[source as usize] = Some(t_start);
+    // Max-heap on Reverse(time) = min-heap on arrival time.
+    let mut heap: BinaryHeap<(std::cmp::Reverse<Timestamp>, NodeId)> = BinaryHeap::new();
+    heap.push((std::cmp::Reverse(t_start), source));
+    while let Some((std::cmp::Reverse(t), u)) = heap.pop() {
+        if arrival[u as usize] != Some(t) {
+            continue; // stale entry
+        }
+        for (p, v) in g.out_pairs(u) {
+            let s = g.series(p);
+            // First interaction departing strictly after arrival (at the
+            // source itself, departures at exactly t_start are allowed).
+            let idx = if u == source && t == t_start {
+                s.idx_at_or_after(t)
+            } else {
+                s.idx_after(t)
+            };
+            if idx >= s.len() {
+                continue;
+            }
+            let depart = s.time(idx);
+            if arrival[v as usize].is_none_or(|cur| depart < cur) {
+                arrival[v as usize] = Some(depart);
+                heap.push((std::cmp::Reverse(depart), v));
+            }
+        }
+    }
+    arrival
+}
+
+/// Whether a time-respecting path `from -> … -> to` exists that departs
+/// at or after `t_start` and arrives by `deadline`.
+pub fn is_time_reachable(
+    g: &TimeSeriesGraph,
+    from: NodeId,
+    to: NodeId,
+    t_start: Timestamp,
+    deadline: Timestamp,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    earliest_arrival(g, from, t_start)
+        .get(to as usize)
+        .copied()
+        .flatten()
+        .is_some_and(|t| t <= deadline)
+}
+
+/// All nodes reachable from `source` by time-respecting paths departing
+/// at or after `t_start` and arriving within `delta` — the "where could
+/// this flow have gone in a δ window" query.
+pub fn reachable_set(
+    g: &TimeSeriesGraph,
+    source: NodeId,
+    t_start: Timestamp,
+    delta: Timestamp,
+) -> Vec<NodeId> {
+    let deadline = t_start.saturating_add(delta);
+    earliest_arrival(g, source, t_start)
+        .iter()
+        .enumerate()
+        .filter_map(|(v, t)| {
+            t.filter(|&t| t <= deadline && v != source as usize).map(|_| v as NodeId)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 -> 1 at t=5; 1 -> 2 at t=3 (too early) and t=8 (usable);
+    /// 2 -> 3 at t=20.
+    fn chain() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 5i64, 1.0),
+            (1, 2, 3, 1.0),
+            (1, 2, 8, 1.0),
+            (2, 3, 20, 1.0),
+        ]);
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn earliest_arrival_respects_time_order() {
+        let g = chain();
+        let a = earliest_arrival(&g, 0, 0);
+        assert_eq!(a[0], Some(0));
+        assert_eq!(a[1], Some(5));
+        // The t=3 interaction on (1,2) is before arrival at 1.
+        assert_eq!(a[2], Some(8));
+        assert_eq!(a[3], Some(20));
+    }
+
+    #[test]
+    fn departure_at_start_time_is_allowed_at_source_only() {
+        let g = chain();
+        // Starting exactly at t=5: the 0->1 hop at t=5 is usable.
+        let a = earliest_arrival(&g, 0, 5);
+        assert_eq!(a[1], Some(5));
+        // But from node 1 arriving at 5, the next hop must be strictly
+        // later (strict time-respecting order, as in motif instances).
+        let a1 = earliest_arrival(&g, 1, 3);
+        assert_eq!(a1[2], Some(3), "departure at exactly t_start from the source");
+    }
+
+    #[test]
+    fn late_start_cuts_reachability() {
+        let g = chain();
+        let a = earliest_arrival(&g, 0, 6);
+        assert_eq!(a[1], None, "the only 0->1 interaction is at t=5");
+        assert_eq!(a[2], None);
+    }
+
+    #[test]
+    fn reachability_with_deadline() {
+        let g = chain();
+        assert!(is_time_reachable(&g, 0, 2, 0, 8));
+        assert!(!is_time_reachable(&g, 0, 2, 0, 7));
+        assert!(is_time_reachable(&g, 0, 3, 0, 20));
+        assert!(is_time_reachable(&g, 5, 5, 0, 0), "trivial self-reachability");
+    }
+
+    #[test]
+    fn reachable_set_within_delta() {
+        let g = chain();
+        assert_eq!(reachable_set(&g, 0, 0, 8), vec![1, 2]);
+        assert_eq!(reachable_set(&g, 0, 0, 100), vec![1, 2, 3]);
+        assert_eq!(reachable_set(&g, 0, 0, 4), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn unknown_source_is_handled() {
+        let g = chain();
+        let a = earliest_arrival(&g, 99, 0);
+        assert!(a.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cycle_does_not_loop_forever() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 1.0), (1, 0, 2, 1.0), (0, 1, 3, 1.0)]);
+        let g = b.build_time_series_graph();
+        let a = earliest_arrival(&g, 0, 0);
+        assert_eq!(a[1], Some(1));
+    }
+}

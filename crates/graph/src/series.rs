@@ -1,0 +1,207 @@
+//! Interaction time series `R(u, v)`: the time-ordered `(t, f)` elements on
+//! one edge of the time-series graph, with O(1) range-flow queries.
+
+use crate::event::{Event, Flow, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// The interaction time series on an edge of `G_T` (paper Table 1:
+/// `R(u, v)`), stored sorted by time together with prefix sums of flow so
+/// that the aggregated flow of any contiguous element range is O(1).
+///
+/// Prefix-sum range flow is the workhorse of both Algorithm 1 (the `ϕ`
+/// check at every prefix, line 16) and the DP module (the `flow([tj, ti], κ)`
+/// term of Eq. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionSeries {
+    events: Vec<Event>,
+    /// `prefix[i]` = total flow of `events[..i]`; has `len + 1` entries.
+    prefix: Vec<Flow>,
+}
+
+impl Default for InteractionSeries {
+    fn default() -> Self {
+        Self { events: Vec::new(), prefix: vec![0.0] }
+    }
+}
+
+impl InteractionSeries {
+    /// Builds a series from events, sorting by time (stable, so equal
+    /// timestamps keep insertion order).
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Self::from_sorted_events(events)
+    }
+
+    /// Builds a series from events already sorted by time.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the events are not sorted.
+    pub fn from_sorted_events(events: Vec<Event>) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        let mut prefix = Vec::with_capacity(events.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for e in &events {
+            acc += e.flow;
+            prefix.push(acc);
+        }
+        Self { events, prefix }
+    }
+
+    /// Number of elements in the series.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the series is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The elements, sorted by time.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The `i`-th element.
+    #[inline]
+    pub fn event(&self, i: usize) -> Event {
+        self.events[i]
+    }
+
+    /// Timestamp of the `i`-th element.
+    #[inline]
+    pub fn time(&self, i: usize) -> Timestamp {
+        self.events[i].time
+    }
+
+    /// Index of the first element with `time >= t` (== `len` if none).
+    #[inline]
+    pub fn idx_at_or_after(&self, t: Timestamp) -> usize {
+        self.events.partition_point(|e| e.time < t)
+    }
+
+    /// Index of the first element with `time > t` (== `len` if none).
+    #[inline]
+    pub fn idx_after(&self, t: Timestamp) -> usize {
+        self.events.partition_point(|e| e.time <= t)
+    }
+
+    /// Index range of elements with time in the inclusive window `[a, b]`.
+    #[inline]
+    pub fn range_closed(&self, a: Timestamp, b: Timestamp) -> Range<usize> {
+        self.idx_at_or_after(a)..self.idx_after(b)
+    }
+
+    /// Index range of elements with time in the half-open window `(a, b]`.
+    /// This is the sub-window shape used by the recursion of Algorithm 1:
+    /// elements of edge `e_{i+1}` must be strictly after the chosen prefix
+    /// of `e_i` and at or before the window end.
+    #[inline]
+    pub fn range_open_closed(&self, a: Timestamp, b: Timestamp) -> Range<usize> {
+        self.idx_after(a)..self.idx_after(b)
+    }
+
+    /// Aggregated flow of the element index range `r` in O(1).
+    #[inline]
+    pub fn flow_of_range(&self, r: Range<usize>) -> Flow {
+        debug_assert!(r.start <= r.end && r.end <= self.len());
+        self.prefix[r.end] - self.prefix[r.start]
+    }
+
+    /// Total flow of the whole series.
+    #[inline]
+    pub fn total_flow(&self) -> Flow {
+        *self.prefix.last().expect("prefix always has at least one entry")
+    }
+
+    /// Aggregated flow of all elements with time in `[a, b]`.
+    #[inline]
+    pub fn flow_in_closed(&self, a: Timestamp, b: Timestamp) -> Flow {
+        self.flow_of_range(self.range_closed(a, b))
+    }
+}
+
+impl FromIterator<(Timestamp, Flow)> for InteractionSeries {
+    fn from_iter<T: IntoIterator<Item = (Timestamp, Flow)>>(iter: T) -> Self {
+        Self::from_events(iter.into_iter().map(Event::from).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `R(e1)` of paper Fig. 7: the series on edge (u3, u2).
+    fn fig7_e1() -> InteractionSeries {
+        [(10, 5.0), (13, 2.0), (15, 3.0), (18, 7.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn construction_sorts_by_time() {
+        let s: InteractionSeries = [(15, 3.0), (10, 5.0), (13, 2.0)].into_iter().collect();
+        let times: Vec<_> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 13, 15]);
+    }
+
+    #[test]
+    fn prefix_sums_give_range_flow() {
+        let s = fig7_e1();
+        assert_eq!(s.flow_of_range(0..0), 0.0);
+        assert_eq!(s.flow_of_range(0..1), 5.0);
+        assert_eq!(s.flow_of_range(0..4), 17.0);
+        assert_eq!(s.flow_of_range(1..3), 5.0);
+        assert_eq!(s.total_flow(), 17.0);
+    }
+
+    #[test]
+    fn index_queries() {
+        let s = fig7_e1();
+        assert_eq!(s.idx_at_or_after(10), 0);
+        assert_eq!(s.idx_at_or_after(11), 1);
+        assert_eq!(s.idx_after(10), 1);
+        assert_eq!(s.idx_after(18), 4);
+        assert_eq!(s.idx_at_or_after(19), 4);
+    }
+
+    #[test]
+    fn window_ranges() {
+        let s = fig7_e1();
+        // [10, 20] contains all four elements.
+        assert_eq!(s.range_closed(10, 20), 0..4);
+        // (10, 20] drops the element at t=10.
+        assert_eq!(s.range_open_closed(10, 20), 1..4);
+        // (15, 25] keeps only t=18.
+        assert_eq!(s.range_open_closed(15, 25), 3..4);
+        // Empty window.
+        assert_eq!(s.range_closed(19, 25), 4..4);
+    }
+
+    #[test]
+    fn flow_in_closed_window() {
+        let s = fig7_e1();
+        assert_eq!(s.flow_in_closed(10, 20), 17.0);
+        assert_eq!(s.flow_in_closed(13, 15), 5.0);
+        assert_eq!(s.flow_in_closed(19, 30), 0.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_tolerated() {
+        let s: InteractionSeries = [(5, 1.0), (5, 2.0), (6, 3.0)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.flow_in_closed(5, 5), 3.0);
+        assert_eq!(s.range_open_closed(5, 6), 2..3);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = InteractionSeries::default();
+        assert!(s.is_empty());
+        assert_eq!(s.total_flow(), 0.0);
+        assert_eq!(s.range_closed(0, 100), 0..0);
+    }
+}

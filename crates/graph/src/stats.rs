@@ -1,0 +1,113 @@
+//! Dataset statistics — the columns of paper Table 3.
+
+use crate::event::Flow;
+use crate::tsgraph::TimeSeriesGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an interaction network, mirroring paper Table 3
+/// ("#nodes, #connected node pairs, #edges, Avg. flow per edge") plus a few
+/// extra shape indicators used in the dataset generators' self-checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|` — number of vertices.
+    pub num_nodes: usize,
+    /// `|E_T|` — distinct connected node pairs (Table 3 column 3).
+    pub num_connected_pairs: usize,
+    /// `|E|` — multigraph edges / interactions (Table 3 column 4).
+    pub num_interactions: usize,
+    /// Mean flow value over all interactions (Table 3 column 5).
+    pub avg_flow_per_edge: Flow,
+    /// Mean parallel-edge multiplicity: `|E| / |E_T|` (the paper notes ~4
+    /// for Facebook, ~3 for Passenger, ~1.4 for Bitcoin).
+    pub avg_edges_per_pair: f64,
+    /// Earliest timestamp, if any interactions exist.
+    pub time_min: Option<i64>,
+    /// Latest timestamp, if any interactions exist.
+    pub time_max: Option<i64>,
+    /// Maximum out-degree in `G_T`.
+    pub max_out_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics from a time-series graph.
+    pub fn of(g: &TimeSeriesGraph) -> Self {
+        let num_interactions = g.num_interactions();
+        let total_flow: Flow = g.all_series().iter().map(|s| s.total_flow()).sum();
+        let span = g.time_span();
+        let max_out_degree = (0..g.num_nodes() as u32).map(|u| g.out_degree(u)).max().unwrap_or(0);
+        Self {
+            num_nodes: g.num_nodes(),
+            num_connected_pairs: g.num_pairs(),
+            num_interactions,
+            avg_flow_per_edge: if num_interactions == 0 {
+                0.0
+            } else {
+                total_flow / num_interactions as Flow
+            },
+            avg_edges_per_pair: if g.num_pairs() == 0 {
+                0.0
+            } else {
+                num_interactions as f64 / g.num_pairs() as f64
+            },
+            time_min: span.map(|(a, _)| a),
+            time_max: span.map(|(_, b)| b),
+            max_out_degree,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} pairs={} edges={} avg_flow={:.3} avg_multiplicity={:.2}",
+            self.num_nodes,
+            self.num_connected_pairs,
+            self.num_interactions,
+            self.avg_flow_per_edge,
+            self.avg_edges_per_pair
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 1i64, 2.0),
+            (0, 1, 2, 4.0),
+            (1, 2, 3, 6.0),
+            (2, 0, 4, 8.0),
+        ]);
+        let s = GraphStats::of(&b.build_time_series_graph());
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_connected_pairs, 3);
+        assert_eq!(s.num_interactions, 4);
+        assert!((s.avg_flow_per_edge - 5.0).abs() < 1e-9);
+        assert!((s.avg_edges_per_pair - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!((s.time_min, s.time_max), (Some(1), Some(4)));
+        assert_eq!(s.max_out_degree, 1);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&GraphBuilder::new().build_time_series_graph());
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_flow_per_edge, 0.0);
+        assert_eq!(s.time_min, None);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let mut b = GraphBuilder::new();
+        b.add_interaction(0, 1, 1, 3.0);
+        let s = GraphStats::of(&b.build_time_series_graph()).to_string();
+        assert!(s.contains("nodes=2"));
+        assert!(s.contains("edges=1"));
+    }
+}

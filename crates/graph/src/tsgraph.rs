@@ -1,0 +1,232 @@
+//! The time-series graph `G_T(V, E_T)` (paper §4, Fig. 5): parallel
+//! multigraph edges merged into one edge per connected node pair, each
+//! carrying an [`InteractionSeries`].
+//!
+//! Stored in CSR form: pairs are sorted by `(u, v)`, so the out-edges of a
+//! node are a contiguous slice and `pair_id(u, v)` is a binary search within
+//! that slice.
+
+use crate::event::{NodeId, PairId, Timestamp};
+use crate::series::InteractionSeries;
+use serde::{Deserialize, Serialize};
+
+/// The merged, index-based graph all motif algorithms run on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeriesGraph {
+    num_nodes: usize,
+    num_interactions: usize,
+    /// Connected node pairs, sorted by `(u, v)`. Index = `PairId`.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// `series[p]` is the interaction series of `pairs[p]`.
+    series: Vec<InteractionSeries>,
+    /// CSR offsets: out-pairs of node `u` are `pairs[out_start[u] as usize ..
+    /// out_start[u + 1] as usize]`. Length `num_nodes + 1`.
+    out_start: Vec<u32>,
+}
+
+impl TimeSeriesGraph {
+    /// Builds the graph from per-pair event lists. `pairs_events` may be in
+    /// any order; events within a pair may be unsorted.
+    ///
+    /// Prefer [`crate::GraphBuilder`], which produces this from raw
+    /// interactions.
+    pub fn from_pair_events(
+        num_nodes: usize,
+        mut pairs_events: Vec<((NodeId, NodeId), Vec<crate::Event>)>,
+    ) -> Self {
+        pairs_events.sort_by_key(|(p, _)| *p);
+        let mut pairs = Vec::with_capacity(pairs_events.len());
+        let mut series = Vec::with_capacity(pairs_events.len());
+        let mut num_interactions = 0;
+        for (pair, events) in pairs_events {
+            debug_assert!(
+                pairs.last().is_none_or(|&last| last != pair),
+                "duplicate pair {pair:?}"
+            );
+            num_interactions += events.len();
+            pairs.push(pair);
+            series.push(InteractionSeries::from_events(events));
+        }
+        let num_nodes = num_nodes.max(
+            pairs
+                .iter()
+                .map(|&(u, v)| u.max(v) as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut out_start = vec![0u32; num_nodes + 1];
+        for &(u, _) in &pairs {
+            out_start[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            out_start[i + 1] += out_start[i];
+        }
+        Self { num_nodes, num_interactions, pairs, series, out_start }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of connected node pairs `|E_T|`.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of underlying multigraph edges `|E|`.
+    #[inline]
+    pub fn num_interactions(&self) -> usize {
+        self.num_interactions
+    }
+
+    /// The `(u, v)` endpoints of pair `p`.
+    #[inline]
+    pub fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+        self.pairs[p as usize]
+    }
+
+    /// All connected pairs, sorted by `(u, v)`.
+    #[inline]
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// The interaction series on pair `p`.
+    #[inline]
+    pub fn series(&self, p: PairId) -> &InteractionSeries {
+        &self.series[p as usize]
+    }
+
+    /// All series, parallel to [`Self::pairs`].
+    #[inline]
+    pub fn all_series(&self) -> &[InteractionSeries] {
+        &self.series
+    }
+
+    /// Pair ids of the out-edges of `u`, a contiguous CSR range.
+    #[inline]
+    pub fn out_pair_range(&self, u: NodeId) -> std::ops::Range<u32> {
+        self.out_start[u as usize]..self.out_start[u as usize + 1]
+    }
+
+    /// Iterates `(pair_id, target)` over the out-neighbours of `u`,
+    /// sorted by target id.
+    pub fn out_pairs(&self, u: NodeId) -> impl Iterator<Item = (PairId, NodeId)> + '_ {
+        self.out_pair_range(u).map(move |p| (p, self.pairs[p as usize].1))
+    }
+
+    /// Out-degree of `u` in `G_T` (number of distinct targets).
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_pair_range(u).len()
+    }
+
+    /// Looks up the pair id of edge `(u, v)` by binary search in `u`'s
+    /// out-slice.
+    pub fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
+        let r = self.out_pair_range(u);
+        let slice = &self.pairs[r.start as usize..r.end as usize];
+        slice
+            .binary_search_by_key(&v, |&(_, t)| t)
+            .ok()
+            .map(|i| r.start + i as u32)
+    }
+
+    /// Earliest and latest timestamp over all series, or `None` if the
+    /// graph has no interactions.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut lo = None;
+        let mut hi = None;
+        for s in &self.series {
+            if let (Some(f), Some(l)) = (s.events().first(), s.events().last()) {
+                lo = Some(lo.map_or(f.time, |x: Timestamp| x.min(f.time)));
+                hi = Some(hi.map_or(l.time, |x: Timestamp| x.max(l.time)));
+            }
+        }
+        Some((lo?, hi?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Paper Fig. 5(b): the time-series graph of the Fig. 2 multigraph.
+    fn fig5() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        for (u, v, t, f) in [
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (3, 2, 1, 2.0),
+            (3, 2, 3, 5.0),
+            (3, 0, 11, 10.0),
+            (1, 2, 18, 20.0),
+            (2, 3, 19, 5.0),
+            (2, 3, 21, 4.0),
+            (1, 3, 23, 7.0),
+        ] {
+            b.add_interaction(u, v, t, f);
+        }
+        b.build_time_series_graph()
+    }
+
+    #[test]
+    fn merging_matches_paper_fig5() {
+        let g = fig5();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_pairs(), 7); // 7 connected node pairs
+        assert_eq!(g.num_interactions(), 10);
+
+        // (u1, u2) carries the two-element series (13,5), (15,7).
+        let p = g.pair_id(0, 1).unwrap();
+        let s = g.series(p);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.time(0), 13);
+        assert_eq!(s.time(1), 15);
+        assert_eq!(s.total_flow(), 12.0);
+    }
+
+    #[test]
+    fn pair_lookup() {
+        let g = fig5();
+        assert!(g.pair_id(0, 1).is_some());
+        assert!(g.pair_id(1, 0).is_none()); // direction matters
+        assert!(g.pair_id(0, 3).is_none());
+        for p in 0..g.num_pairs() as u32 {
+            let (u, v) = g.pair(p);
+            assert_eq!(g.pair_id(u, v), Some(p));
+        }
+    }
+
+    #[test]
+    fn out_neighbours_are_sorted_and_complete() {
+        let g = fig5();
+        let n3: Vec<_> = g.out_pairs(3).map(|(_, v)| v).collect();
+        assert_eq!(n3, vec![0, 2]); // u4 -> u1, u4 -> u3
+        assert_eq!(g.out_degree(1), 2); // u2 -> u3, u2 -> u4
+        let total: usize = (0..4).map(|u| g.out_degree(u)).sum();
+        assert_eq!(total, g.num_pairs());
+    }
+
+    #[test]
+    fn time_span_covers_all_series() {
+        let g = fig5();
+        assert_eq!(g.time_span(), Some((1, 23)));
+        assert_eq!(TimeSeriesGraph::default().time_span(), None);
+    }
+
+    #[test]
+    fn isolated_trailing_nodes_are_kept() {
+        let g = TimeSeriesGraph::from_pair_events(
+            10,
+            vec![((0, 1), vec![crate::Event::new(1, 1.0)])],
+        );
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Closed time windows `[start, end]` of length `δ` — the sliding windows
+//! of Algorithm 1 and the DP module.
+
+use crate::event::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A closed time interval `[start, end]`.
+///
+/// Algorithm 1 slides windows of length `δ` anchored at elements of
+/// `R(e1)`; a window anchored at time `t` is `[t, t + δ]` (paper example:
+/// anchor 10, δ=10 → window `[10, 20]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Inclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl TimeWindow {
+    /// Creates `[start, end]`. Panics in debug builds if `end < start`.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(end >= start, "window end before start");
+        Self { start, end }
+    }
+
+    /// The window of length `delta` anchored at `t`: `[t, t + delta]`
+    /// (saturating on overflow).
+    #[inline]
+    pub fn anchored(t: Timestamp, delta: Timestamp) -> Self {
+        Self::new(t, t.saturating_add(delta))
+    }
+
+    /// Window length `end - start` (a span of `δ` means the extreme
+    /// timestamps may differ by at most `δ`, matching Def. 3.2).
+    #[inline]
+    pub fn length(&self) -> Timestamp {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `self` and `other` overlap.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl std::fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_matches_paper_example() {
+        // δ=10 anchored at the first element of e1 (t=10) gives [10, 20].
+        let w = TimeWindow::anchored(10, 10);
+        assert_eq!(w, TimeWindow::new(10, 20));
+        assert_eq!(w.length(), 10);
+    }
+
+    #[test]
+    fn containment_is_closed_on_both_ends() {
+        let w = TimeWindow::new(10, 20);
+        assert!(w.contains(10));
+        assert!(w.contains(20));
+        assert!(!w.contains(9));
+        assert!(!w.contains(21));
+    }
+
+    #[test]
+    fn overlap() {
+        let a = TimeWindow::new(10, 20);
+        assert!(a.overlaps(&TimeWindow::new(20, 30)));
+        assert!(a.overlaps(&TimeWindow::new(0, 10)));
+        assert!(a.overlaps(&TimeWindow::new(12, 15)));
+        assert!(!a.overlaps(&TimeWindow::new(21, 30)));
+    }
+
+    #[test]
+    fn anchored_saturates_instead_of_overflowing() {
+        let w = TimeWindow::anchored(Timestamp::MAX - 1, 10);
+        assert_eq!(w.end, Timestamp::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeWindow::new(10, 20).to_string(), "[10, 20]");
+    }
+}

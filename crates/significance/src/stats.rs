@@ -1,0 +1,108 @@
+//! Descriptive statistics for the randomization experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (the paper's σ over the 20 replicas).
+pub fn population_std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolation quantile of a sorted slice, `q` in `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Five-number summary backing the box plots of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumberSummary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNumberSummary {
+    /// Computes the summary of the given samples.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            min: sorted.first().copied().unwrap_or(0.0),
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(population_std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        // Population σ of {2,4,4,4,5,5,7,9} is 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let s = FiveNumberSummary::of(&[9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.q1, 3.0);
+        assert_eq!(s.q3, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_range_checked() {
+        quantile(&[1.0], 1.5);
+    }
+}

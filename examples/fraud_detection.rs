@@ -1,0 +1,88 @@
+//! Fraud-detection scenario (the paper's §1 motivation): financial
+//! intelligence units look for cyclic transactions and for "smurfing" —
+//! many small transfers that aggregate to a large amount within a short
+//! window.
+//!
+//! We plant both patterns into a synthetic bitcoin-like background and
+//! show that flow motif search surfaces exactly the planted rings, and
+//! that the patterns are statistically significant against the
+//! flow-permutation null model.
+//!
+//! Run with: `cargo run --release --example fraud_detection`
+
+use flowmotif::prelude::*;
+
+/// Background network plus planted fraud patterns.
+fn build_network() -> (TemporalMultigraph, Vec<[u32; 3]>) {
+    // Background: bitcoin-like synthetic traffic.
+    let mut mg = Dataset::Bitcoin.generate_multigraph(0.5, 7);
+    let base = mg.num_nodes() as u32;
+    let span = mg.time_span().expect("non-empty").1;
+
+    // Plant 5 laundering rings a -> b -> c -> a. Each hop moves 50 units;
+    // the middle hop is *smurfed* into five transfers of 10.
+    let mut rings = Vec::new();
+    for r in 0..5u32 {
+        let (a, b, c) = (base + 3 * r, base + 3 * r + 1, base + 3 * r + 2);
+        let t0 = (r as i64 + 1) * span / 7;
+        mg.push(flowmotif::graph::Interaction::new(a, b, t0, 50.0));
+        for i in 0..5 {
+            mg.push(flowmotif::graph::Interaction::new(b, c, t0 + 10 + i, 10.0));
+        }
+        mg.push(flowmotif::graph::Interaction::new(c, a, t0 + 60, 50.0));
+        rings.push([a, b, c]);
+    }
+    (mg, rings)
+}
+
+fn main() {
+    let (mg, rings) = build_network();
+    let g: TimeSeriesGraph = (&mg).into();
+    println!("network: {}", GraphStats::of(&g));
+    println!("planted rings: {rings:?}\n");
+
+    // Cyclic flow of >= 50 units per hop, completed within 2 minutes.
+    // The smurfed hop only clears ϕ because edge-sets AGGREGATE: no
+    // single b -> c transfer reaches 50.
+    let motif = catalog::by_name("M(3,3)", 120, 50.0).unwrap();
+    let (groups, stats) = enumerate_all(&g, &motif);
+    println!(
+        "{motif}: {} instances out of {} structural matches",
+        stats.instances_emitted, stats.structural_matches
+    );
+    let mut found: Vec<Vec<u32>> = Vec::new();
+    for (sm, insts) in &groups {
+        for inst in insts {
+            let walk = sm.walk_nodes(&g);
+            println!(
+                "  ring {:?} moved {} units in {} time units",
+                walk,
+                inst.flow,
+                inst.span()
+            );
+            found.push(walk);
+        }
+    }
+    // Every planted ring is found (as one rotation of its cycle).
+    for ring in &rings {
+        let hit = found.iter().any(|w| {
+            let mut s = w[..3].to_vec();
+            s.sort_unstable();
+            let mut r = ring.to_vec();
+            r.sort_unstable();
+            s == r
+        });
+        assert!(hit, "planted ring {ring:?} not found");
+    }
+    println!("all planted rings recovered ✓\n");
+
+    // Are >= 50-unit cycles significant, or expected by chance? Compare
+    // against 10 flow-permuted replicas (paper §6.3).
+    let sig = assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 10, seed: 1 });
+    println!(
+        "significance: real={} vs random mean={:.1} (σ={:.2}) -> z={:.1}, empirical p={}",
+        sig.real_count, sig.random_mean, sig.random_std, sig.z_score, sig.p_value
+    );
+    assert!(sig.real_count >= 5);
+    assert_eq!(sig.p_value, 0.0, "planted structure should never arise in permuted flows");
+}

@@ -1,0 +1,79 @@
+//! Integration tests for the future-work extensions exposed through the
+//! facade: shared-prefix search, DAG motifs, analytics and the census.
+
+use flowmotif::prelude::*;
+
+#[test]
+fn shared_prefix_agrees_on_every_dataset_and_motif() {
+    for d in Dataset::ALL {
+        let g = d.generate(0.2, 7);
+        for name in ["M(3,2)", "M(3,3)", "M(4,4)B", "M(5,4)"] {
+            let m = catalog::by_name(name, d.default_delta(), d.default_phi()).unwrap();
+            let (per_match, _) = count_instances(&g, &m);
+            let (shared, _) = count_instances_shared(&g, &m);
+            assert_eq!(per_match, shared, "{d} {name}");
+        }
+    }
+}
+
+#[test]
+fn dag_engine_agrees_with_path_engine_on_generated_data() {
+    let g = Dataset::Passenger.generate(0.15, 3);
+    for name in ["M(3,2)", "M(3,3)"] {
+        let m = catalog::by_name(name, 900, 2.0).unwrap();
+        let dag = DagMotif::from_path(m.path(), 900, 2.0).unwrap();
+        let (n, _) = count_instances(&g, &m);
+        assert_eq!(n, dag_count(&g, &dag), "{name}");
+    }
+}
+
+#[test]
+fn census_totals_are_consistent_with_direct_counts() {
+    let g = Dataset::Bitcoin.generate(0.2, 9);
+    let rows = walk_census(&g, 2, 600, 5.0);
+    assert_eq!(rows.len(), 2); // 0-1-2 and 0-1-0
+    for row in &rows {
+        let motif = Motif::new(row.shape.clone(), 600, 5.0).unwrap();
+        let (direct, _) = count_instances(&g, &motif);
+        assert_eq!(direct, row.instances, "{}", row.shape);
+        assert_eq!(count_structural_matches(&g, &row.shape), row.structural_matches);
+    }
+}
+
+#[test]
+fn activity_analytics_cover_all_instances() {
+    let g = Dataset::Facebook.generate(0.2, 5);
+    let m = catalog::by_name("M(3,2)", 600, 3.0).unwrap();
+    let acts = per_match_activity(&g, &m);
+    let total: u64 = acts.iter().map(|a| a.instances).sum();
+    assert_eq!(total, count_instances(&g, &m).0);
+    // Sorted by activity.
+    for w in acts.windows(2) {
+        assert!(w[0].instances >= w[1].instances);
+    }
+    // Per-match top-1 flows are bounded by the global top-1.
+    let tops = per_match_top1(&g, &m);
+    let (global, _) = dp_max_flow(&g, &m);
+    assert!(tops.iter().all(|(_, f)| *f <= global + 1e-9));
+    assert_eq!(tops.first().map(|(_, f)| *f), Some(global));
+}
+
+#[test]
+fn time_respecting_paths_bound_motif_instances() {
+    // If an M(3,2) instance runs u -> v -> w, then w must be
+    // time-reachable from u within δ starting at the instance's first
+    // time.
+    use flowmotif::graph::paths::is_time_reachable;
+    let g = Dataset::Passenger.generate(0.15, 13);
+    let m = catalog::by_name("M(3,2)", 900, 2.0).unwrap();
+    let (groups, _) = enumerate_all(&g, &m);
+    for (sm, insts) in groups.iter().take(50) {
+        let walk = sm.walk_nodes(&g);
+        for inst in insts {
+            assert!(
+                is_time_reachable(&g, walk[0], walk[2], inst.first_time, inst.last_time),
+                "instance implies a time-respecting path"
+            );
+        }
+    }
+}

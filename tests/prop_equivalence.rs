@@ -1,0 +1,158 @@
+//! Property tests: on arbitrary small interaction networks, the
+//! two-phase algorithm, the join baseline and the brute-force reference
+//! agree exactly, and every emitted instance is valid (Def. 3.2) and
+//! maximal (Def. 3.3).
+
+use flowmotif::core::validate::{
+    brute_force_instances, check_instance_maximal, check_instance_valid,
+    check_structural_match,
+};
+use flowmotif::prelude::*;
+use proptest::prelude::*;
+
+/// Random small interaction network: up to `nodes` vertices, `edges`
+/// interactions with integer times and flows.
+fn graph_strategy(
+    nodes: u32,
+    max_edges: usize,
+) -> impl Strategy<Value = TimeSeriesGraph> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, 0i64..120, 1u32..10),
+        1..max_edges,
+    )
+    .prop_map(|edges| {
+        let mut b = GraphBuilder::new();
+        for (u, v, t, f) in edges {
+            if u != v {
+                b.add_interaction(u, v, t, f as f64);
+            }
+        }
+        b.build_time_series_graph()
+    })
+}
+
+fn catalog_motif() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["M(3,2)", "M(3,3)", "M(4,3)", "M(4,4)B"])
+}
+
+fn normalize(v: Vec<(StructuralMatch, MotifInstance)>) -> Vec<String> {
+    let mut out: Vec<String> =
+        v.iter().map(|(sm, i)| format!("{:?}|{:?}", sm.pairs, i.edge_sets)).collect();
+    out.sort();
+    out
+}
+
+fn flatten(groups: Vec<(StructuralMatch, Vec<MotifInstance>)>) -> Vec<(StructuralMatch, MotifInstance)> {
+    groups
+        .into_iter()
+        .flat_map(|(sm, is)| is.into_iter().map(move |i| (sm.clone(), i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two-phase output == join-baseline output, element for element.
+    #[test]
+    fn two_phase_equals_join(
+        g in graph_strategy(8, 40),
+        name in catalog_motif(),
+        delta in 1i64..50,
+        phi in 0u32..12,
+    ) {
+        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+        let (two_phase, _) = enumerate_all(&g, &motif);
+        let (joined, _) = join_enumerate(&g, &motif);
+        prop_assert_eq!(normalize(flatten(two_phase)), normalize(joined));
+    }
+
+    /// Every emitted instance is structurally sound, valid and maximal.
+    #[test]
+    fn instances_are_valid_and_maximal(
+        g in graph_strategy(8, 40),
+        name in catalog_motif(),
+        delta in 1i64..50,
+        phi in 0u32..12,
+    ) {
+        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+        let (groups, _) = enumerate_all(&g, &motif);
+        for (sm, insts) in &groups {
+            check_structural_match(&g, &motif, sm).map_err(TestCaseError::fail)?;
+            for inst in insts {
+                check_instance_valid(&g, &motif, sm, inst).map_err(TestCaseError::fail)?;
+                check_instance_maximal(&g, &motif, inst).map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+
+    /// Per structural match, the algorithm agrees with the exponential
+    /// brute-force reference (smaller graphs: the reference explodes).
+    #[test]
+    fn two_phase_equals_brute_force(
+        g in graph_strategy(6, 24),
+        name in prop::sample::select(vec!["M(3,2)", "M(3,3)"]),
+        delta in 1i64..40,
+        phi in 0u32..8,
+    ) {
+        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+        let matches = find_structural_matches(&g, motif.path());
+        let (groups, _) = enumerate_all(&g, &motif);
+        for sm in &matches {
+            let algo: Vec<_> = groups
+                .iter()
+                .filter(|(m, _)| m == sm)
+                .flat_map(|(_, v)| v.iter().map(|i| format!("{:?}", i.edge_sets)))
+                .collect();
+            let brute: Vec<_> = brute_force_instances(&g, &motif, sm)
+                .iter()
+                .map(|i| format!("{:?}", i.edge_sets))
+                .collect();
+            let mut a = algo; a.sort();
+            let mut b = brute; b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The ablation toggles change work done but never the result set.
+    #[test]
+    fn search_options_do_not_change_results(
+        g in graph_strategy(8, 40),
+        name in catalog_motif(),
+        delta in 1i64..50,
+        phi in 0u32..12,
+    ) {
+        use flowmotif::core::enumerate::{enumerate_with_sink, CollectSink};
+        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+        let mut reference: Option<Vec<String>> = None;
+        for skip in [true, false] {
+            for prune in [true, false] {
+                let opts = SearchOptions {
+                    skip_redundant_windows: skip,
+                    phi_prefix_pruning: prune,
+                };
+                let mut sink = CollectSink::default();
+                enumerate_with_sink(&g, &motif, opts, &mut sink);
+                let norm = normalize(flatten(sink.groups));
+                match &reference {
+                    None => reference = Some(norm),
+                    Some(r) => prop_assert_eq!(&norm, r, "skip={} prune={}", skip, prune),
+                }
+            }
+        }
+    }
+
+    /// Parallel drivers agree with the sequential ones.
+    #[test]
+    fn parallel_equals_sequential(
+        g in graph_strategy(10, 50),
+        name in catalog_motif(),
+        delta in 1i64..50,
+        phi in 0u32..10,
+        threads in 1usize..5,
+    ) {
+        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+        let (seq, _) = count_instances(&g, &motif);
+        let (par, _) = par_count_instances(&g, &motif, threads);
+        prop_assert_eq!(seq, par);
+    }
+}
