@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus lint gates. Run from the repo root.
+set -eux
+
+# The workspace must build and test with no network and no registry.
+cargo build --release --offline
+cargo test -q --offline --workspace
+
+# Benches and experiment binaries must at least compile.
+cargo build --offline --workspace --all-targets
+
+# Style gates.
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -5,13 +5,12 @@ use crate::quintuple::{build_quintuples, Quintuple};
 use flowmotif_core::validate::check_instance_maximal;
 use flowmotif_core::{EdgeSet, Motif, MotifInstance, StructuralMatch};
 use flowmotif_graph::{NodeId, TimeSeriesGraph, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Counters describing a join run; `intermediate_per_level[k]` is the
 /// number of sub-motif instances materialised after joining `k + 1` motif
 /// edges — the "large number of intermediate results" the paper attributes
 /// the baseline's slowness to.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JoinStats {
     /// Total quintuples materialised in step 1.
     pub quintuples: u64,
@@ -146,12 +145,7 @@ fn extend(
         let mut qs = Vec::with_capacity(partial.quints.len() + 1);
         qs.extend_from_slice(&partial.quints);
         qs.push(q);
-        next_level.push(Partial {
-            nodes,
-            quints: qs,
-            first_ts: partial.first_ts,
-            last_te: q.te,
-        });
+        next_level.push(Partial { nodes, quints: qs, first_ts: partial.first_ts, last_te: q.te });
     }
 }
 
@@ -179,10 +173,8 @@ mod tests {
     }
 
     fn normalized(mut v: Vec<(StructuralMatch, MotifInstance)>) -> Vec<String> {
-        let mut out: Vec<String> = v
-            .drain(..)
-            .map(|(sm, i)| format!("{:?}|{:?}", sm.pairs, i.edge_sets))
-            .collect();
+        let mut out: Vec<String> =
+            v.drain(..).map(|(sm, i)| format!("{:?}|{:?}", sm.pairs, i.edge_sets)).collect();
         out.sort();
         out
     }

@@ -1,12 +1,11 @@
 //! Step 1 of the join baseline: per-edge interval quintuples.
 
 use flowmotif_graph::{Flow, InteractionSeries, PairId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// One `(u, v, ts, te, f)` tuple of the baseline: a contiguous run of
 /// elements on a `G_T` pair spanning at most `δ`, with aggregated flow.
 /// `u, v` are implied by `pair`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quintuple {
     /// The `G_T` pair the run lives on.
     pub pair: PairId,
@@ -43,14 +42,7 @@ pub fn build_quintuples(
             }
             let flow = series.flow_of_range(i..j + 1);
             if flow >= phi {
-                out.push(Quintuple {
-                    pair,
-                    start: i as u32,
-                    end: (j + 1) as u32,
-                    ts,
-                    te,
-                    flow,
-                });
+                out.push(Quintuple { pair, start: i as u32, end: (j + 1) as u32, ts, te, flow });
             }
         }
     }

@@ -6,8 +6,7 @@
 //!
 //! All variants return identical result sets; only the work differs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::enumerate::{enumerate_with_sink, CountSink, SearchOptions};
 use flowmotif_core::parallel::par_count_instances;
 use flowmotif_core::shared::count_instances_shared;
@@ -16,43 +15,36 @@ use std::hint::black_box;
 
 const SCALE: f64 = 0.25;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("ablation");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
     let d = Dataset::Facebook; // multi-edge-heavy: pruning matters most
     let g = ctx.graph(d);
     let motif = &ctx.motifs(d)[0]; // M(3,2) at default δ/ϕ
 
     let variants = [
         ("full", SearchOptions { skip_redundant_windows: true, phi_prefix_pruning: true }),
-        ("no_window_skip", SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: true }),
+        (
+            "no_window_skip",
+            SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: true },
+        ),
         ("no_phi_prune", SearchOptions { skip_redundant_windows: true, phi_prefix_pruning: false }),
         ("neither", SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: false }),
     ];
+    micro::header();
     for (name, opts) in variants {
-        group.bench_with_input(BenchmarkId::new("options", name), &opts, |b, &opts| {
-            b.iter(|| {
-                let mut sink = CountSink::default();
-                black_box(enumerate_with_sink(&g, motif, opts, &mut sink));
-                sink.count
-            })
+        group.bench(format!("options/{name}"), || {
+            let mut sink = CountSink::default();
+            black_box(enumerate_with_sink(&g, motif, opts, &mut sink));
+            sink.count
         });
     }
-    group.bench_function("shared_prefix", |b| {
-        b.iter(|| black_box(count_instances_shared(&g, motif)))
-    });
+    group.bench("shared_prefix", || black_box(count_instances_shared(&g, motif)));
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(par_count_instances(&g, motif, t))),
-        );
+        group.bench(format!("threads/{threads}"), || {
+            black_box(par_count_instances(&g, motif, threads))
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,26 @@
-//! Criterion counterpart of experiment F9 (paper Fig. 9): enumeration
+//! Micro-bench counterpart of experiment F9 (paper Fig. 9): enumeration
 //! cost as the duration constraint δ grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::{catalog, count_instances};
 use flowmotif_datasets::Dataset;
 use std::hint::black_box;
 
 const SCALE: f64 = 0.25;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("fig9_delta_sweep");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig9_delta_sweep");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in [Dataset::Bitcoin, Dataset::Passenger] {
         let g = ctx.graph(d);
         for delta in d.delta_sweep() {
             let motif = catalog::by_name("M(3,2)", delta, d.default_phi()).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(d.name(), format!("delta={delta}")),
-                &motif,
-                |b, m| b.iter(|| black_box(count_instances(&g, m))),
-            );
+            group.bench(format!("{}/delta={delta}", d.name()), || {
+                black_box(count_instances(&g, &motif))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

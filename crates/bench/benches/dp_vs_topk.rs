@@ -1,8 +1,8 @@
-//! Criterion counterpart of experiment F12 (paper Fig. 12): top-1 search
-//! via the general top-k algorithm (k = 1) vs the DP module of §5.1.
+//! Micro-bench counterpart of experiment F12 (paper Fig. 12): top-1
+//! search via the general top-k algorithm (k = 1) vs the DP module of
+//! §5.1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::dp::dp_max_flow;
 use flowmotif_core::topk::top_k;
 use flowmotif_datasets::Dataset;
@@ -11,34 +11,22 @@ use std::hint::black_box;
 const SCALE: f64 = 0.25;
 const MOTIFS: [&str; 3] = ["M(3,2)", "M(3,3)", "M(4,4)A"];
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("fig12_dp_vs_topk");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig12_dp_vs_topk");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in Dataset::ALL {
         let g = ctx.graph(d);
-        for m in ctx
-            .motifs(d)
-            .into_iter()
-            .filter(|m| MOTIFS.contains(&m.name().as_str()))
-        {
+        for m in ctx.motifs(d).into_iter().filter(|m| MOTIFS.contains(&m.name().as_str())) {
             let motif = m.with_constraints(d.default_delta(), 0.0).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(format!("topk1/{}", d.name()), motif.name()),
-                &motif,
-                |b, m| b.iter(|| black_box(top_k(&g, m, 1))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("dp/{}", d.name()), motif.name()),
-                &motif,
-                |b, m| b.iter(|| black_box(dp_max_flow(&g, m))),
-            );
+            group.bench(format!("topk1/{}/{}", d.name(), motif.name()), || {
+                black_box(top_k(&g, &motif, 1))
+            });
+            group.bench(format!("dp/{}/{}", d.name(), motif.name()), || {
+                black_box(dp_max_flow(&g, &motif))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,32 +1,25 @@
-//! Criterion counterpart of experiment T4 (paper Table 4): phase-P1
+//! Micro-bench counterpart of experiment T4 (paper Table 4): phase-P1
 //! structural matching cost per motif.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::count_structural_matches;
 use flowmotif_datasets::Dataset;
 use std::hint::black_box;
 
 const SCALE: f64 = 0.25;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("table4_phase1");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("table4_phase1");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in Dataset::ALL {
         let g = ctx.graph(d);
         for m in ctx.motifs_quick(d) {
-            group.bench_with_input(
-                BenchmarkId::new(d.name(), m.name()),
-                m.path(),
-                |b, p| b.iter(|| black_box(count_structural_matches(&g, p))),
-            );
+            group.bench(format!("{}/{}", d.name(), m.name()), || {
+                black_box(count_structural_matches(&g, m.path()))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

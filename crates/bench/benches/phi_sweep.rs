@@ -1,33 +1,26 @@
-//! Criterion counterpart of experiment F10 (paper Fig. 10): enumeration
+//! Micro-bench counterpart of experiment F10 (paper Fig. 10): enumeration
 //! cost as the flow constraint ϕ grows (prefix pruning bites earlier).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::{catalog, count_instances};
 use flowmotif_datasets::Dataset;
 use std::hint::black_box;
 
 const SCALE: f64 = 0.25;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("fig10_phi_sweep");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig10_phi_sweep");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in [Dataset::Bitcoin, Dataset::Facebook] {
         let g = ctx.graph(d);
         for phi in d.phi_sweep() {
             let motif = catalog::by_name("M(3,2)", d.default_delta(), phi).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(d.name(), format!("phi={phi}")),
-                &motif,
-                |b, m| b.iter(|| black_box(count_instances(&g, m))),
-            );
+            group.bench(format!("{}/phi={phi}", d.name()), || {
+                black_box(count_instances(&g, &motif))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,34 +1,27 @@
-//! Criterion counterpart of experiment F13 (paper Fig. 13): enumeration
+//! Micro-bench counterpart of experiment F13 (paper Fig. 13): enumeration
 //! cost over growing time-prefix samples of each dataset.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::{catalog, count_instances};
 use flowmotif_datasets::{time_prefix_samples, Dataset};
 use std::hint::black_box;
 
 const SCALE: f64 = 0.25;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("fig13_scaling");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig13_scaling");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in Dataset::ALL {
         let mg = ctx.multigraph(d);
         let motif = catalog::by_name("M(3,2)", d.default_delta(), d.default_phi()).unwrap();
         for s in time_prefix_samples(&mg, &d.prefix_fractions()) {
-            group.throughput(Throughput::Elements(s.num_interactions as u64));
-            group.bench_with_input(
-                BenchmarkId::new(d.name(), &s.label),
-                &s.graph,
-                |b, g| b.iter(|| black_box(count_instances(g, &motif))),
+            group.bench(
+                format!("{}/{} ({} interactions)", d.name(), s.label, s.num_interactions),
+                || black_box(count_instances(&s.graph, &motif)),
             );
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

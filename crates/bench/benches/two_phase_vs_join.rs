@@ -1,9 +1,8 @@
-//! Criterion counterpart of experiment F8 (paper Fig. 8): two-phase
+//! Micro-bench counterpart of experiment F8 (paper Fig. 8): two-phase
 //! enumeration vs the join baseline, per dataset and motif.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowmotif_baseline::join_enumerate;
-use flowmotif_bench::ExpContext;
+use flowmotif_bench::{micro, BenchGroup, ExpContext};
 use flowmotif_core::count_instances;
 use flowmotif_datasets::Dataset;
 use std::hint::black_box;
@@ -11,33 +10,21 @@ use std::hint::black_box;
 const SCALE: f64 = 0.25;
 const MOTIFS: [&str; 4] = ["M(3,2)", "M(3,3)", "M(4,4)A", "M(5,5)A"];
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ctx = ExpContext::new(SCALE, 42);
-    let mut group = c.benchmark_group("fig8_two_phase_vs_join");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig8_two_phase_vs_join");
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    micro::header();
     for d in Dataset::ALL {
         let g = ctx.graph(d);
-        for m in ctx
-            .motifs(d)
-            .into_iter()
-            .filter(|m| MOTIFS.contains(&m.name().as_str()))
-        {
-            group.bench_with_input(
-                BenchmarkId::new(format!("two_phase/{}", d.name()), m.name()),
-                &m,
-                |b, m| b.iter(|| black_box(count_instances(&g, m))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("join/{}", d.name()), m.name()),
-                &m,
-                |b, m| b.iter(|| black_box(join_enumerate(&g, m))),
-            );
+        for m in ctx.motifs(d).into_iter().filter(|m| MOTIFS.contains(&m.name().as_str())) {
+            group.bench(format!("two_phase/{}/{}", d.name(), m.name()), || {
+                black_box(count_instances(&g, &m))
+            });
+            group.bench(format!("join/{}/{}", d.name(), m.name()), || {
+                black_box(join_enumerate(&g, &m))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -65,9 +65,9 @@ impl CommonArgs {
     }
 
     /// Writes `value` as pretty JSON to `--json` if given.
-    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+    pub fn maybe_write_json<T: flowmotif_util::ToJson>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let s = serde_json::to_string_pretty(value).expect("serializable");
+            let s = flowmotif_util::to_string_pretty(value);
             std::fs::write(path, s).expect("write json");
             eprintln!("wrote {}", path.display());
         }

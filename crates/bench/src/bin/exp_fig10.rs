@@ -6,9 +6,7 @@
 use flowmotif_bench::{harness::ms, time_it, CommonArgs, ExpContext, Table};
 use flowmotif_core::count_instances;
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     dataset: String,
     motif: String,
@@ -17,6 +15,8 @@ struct Point {
     instances: u64,
     time_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Point { dataset, motif, delta, phi, instances, time_ms });
 
 fn main() {
     let args = CommonArgs::parse();
@@ -29,11 +29,8 @@ fn main() {
     for d in Dataset::ALL {
         let g = ctx.graph(d);
         let motifs = if args.quick { ctx.motifs_quick(d) } else { ctx.motifs(d) };
-        let sweep = if args.quick {
-            d.phi_sweep().into_iter().step_by(2).collect()
-        } else {
-            d.phi_sweep()
-        };
+        let sweep =
+            if args.quick { d.phi_sweep().into_iter().step_by(2).collect() } else { d.phi_sweep() };
         let mut headers = vec!["Motif".to_string()];
         headers.extend(sweep.iter().map(|x| format!("ϕ={x}")));
         let mut counts = Table::new(headers.clone());

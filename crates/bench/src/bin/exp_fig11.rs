@@ -7,17 +7,17 @@
 use flowmotif_bench::{CommonArgs, ExpContext, Table};
 use flowmotif_core::topk::top_k;
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
 const KS: [usize; 6] = [1, 5, 10, 50, 100, 500];
 
-#[derive(Serialize)]
 struct Point {
     dataset: String,
     motif: String,
     k: usize,
     flow: Option<f64>,
 }
+
+flowmotif_util::impl_to_json!(Point { dataset, motif, k, flow });
 
 fn main() {
     let args = CommonArgs::parse();

@@ -15,9 +15,7 @@ use flowmotif_core::enumerate::{
 use flowmotif_core::find_structural_matches;
 use flowmotif_core::topk::TopKSink;
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     motif: String,
@@ -25,6 +23,8 @@ struct Row {
     topk_p2_ms: f64,
     dp_p2_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Row { dataset, motif, top1_flow, topk_p2_ms, dp_p2_ms });
 
 fn main() {
     let args = CommonArgs::parse();
@@ -50,7 +50,12 @@ fn main() {
                 let mut scratch = EnumerationScratch::default();
                 for sm in &matches {
                     enumerate_in_match_reusing(
-                        &g, &motif, sm, SearchOptions::default(), &mut sink, &mut stats,
+                        &g,
+                        &motif,
+                        sm,
+                        SearchOptions::default(),
+                        &mut sink,
+                        &mut stats,
                         &mut scratch,
                     );
                 }

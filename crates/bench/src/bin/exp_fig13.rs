@@ -7,9 +7,7 @@
 use flowmotif_bench::{harness::ms, time_it, CommonArgs, ExpContext, Table};
 use flowmotif_core::count_instances;
 use flowmotif_datasets::{time_prefix_samples, Dataset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     dataset: String,
     sample: String,
@@ -18,6 +16,8 @@ struct Point {
     instances: u64,
     time_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Point { dataset, sample, motif, interactions, instances, time_ms });
 
 fn main() {
     let args = CommonArgs::parse();

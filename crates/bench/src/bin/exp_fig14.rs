@@ -11,10 +11,7 @@ use flowmotif_significance::{assess_motifs, SignificanceConfig};
 fn main() {
     let args = CommonArgs::parse();
     let ctx = ExpContext::new(args.scale, args.seed);
-    let cfg = SignificanceConfig {
-        num_replicas: if args.quick { 5 } else { 20 },
-        seed: args.seed,
-    };
+    let cfg = SignificanceConfig { num_replicas: if args.quick { 5 } else { 20 }, seed: args.seed };
     println!(
         "Fig. 14: motif significance vs {} flow-permuted replicas, default δ/ϕ, scale={} seed={}\n",
         cfg.num_replicas, args.scale, args.seed
@@ -25,7 +22,13 @@ fn main() {
         let motifs = if args.quick { ctx.motifs_quick(d) } else { ctx.motifs(d) };
         let results = assess_motifs(&mg, &motifs, cfg);
         let mut table = Table::new([
-            "Motif", "real", "rand mean", "rand σ", "z-score", "p", "box [min q1 med q3 max]",
+            "Motif",
+            "real",
+            "rand mean",
+            "rand σ",
+            "z-score",
+            "p",
+            "box [min q1 med q3 max]",
         ]);
         for r in &results {
             table.row([

@@ -8,9 +8,7 @@ use flowmotif_baseline::join_enumerate;
 use flowmotif_bench::{harness::ms, time_it, CommonArgs, ExpContext, Table};
 use flowmotif_core::{count_instances, count_instances_shared};
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     motif: String,
@@ -19,6 +17,8 @@ struct Row {
     join_ms: f64,
     shared_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Row { dataset, motif, instances, two_phase_ms, join_ms, shared_ms });
 
 fn main() {
     let args = CommonArgs::parse();
@@ -32,7 +32,12 @@ fn main() {
         let g = ctx.graph(d);
         let motifs = if args.quick { ctx.motifs_quick(d) } else { ctx.motifs(d) };
         let mut table = Table::new([
-            "Motif", "#instances", "two-phase (ms)", "join (ms)", "shared (ms)", "join/two-phase",
+            "Motif",
+            "#instances",
+            "two-phase (ms)",
+            "join (ms)",
+            "shared (ms)",
+            "join/two-phase",
         ]);
         for m in &motifs {
             let ((n2, _), t2) = time_it(|| count_instances(&g, m));

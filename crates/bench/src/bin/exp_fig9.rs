@@ -6,9 +6,7 @@
 use flowmotif_bench::{harness::ms, time_it, CommonArgs, ExpContext, Table};
 use flowmotif_core::count_instances;
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     dataset: String,
     motif: String,
@@ -17,6 +15,8 @@ struct Point {
     instances: u64,
     time_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Point { dataset, motif, delta, phi, instances, time_ms });
 
 fn main() {
     let args = CommonArgs::parse();
@@ -64,6 +64,8 @@ fn main() {
         times.print();
         println!();
     }
-    println!("paper shape: both #instances and time grow with δ; time grows slower than #instances.");
+    println!(
+        "paper shape: both #instances and time grow with δ; time grows slower than #instances."
+    );
     args.maybe_write_json(&points);
 }

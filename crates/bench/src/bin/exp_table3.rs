@@ -6,13 +6,13 @@
 use flowmotif_bench::{CommonArgs, ExpContext, Table};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::GraphStats;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     stats: GraphStats,
 }
+
+flowmotif_util::impl_to_json!(Row { dataset, stats });
 
 fn main() {
     let args = CommonArgs::parse();

@@ -6,15 +6,15 @@
 use flowmotif_bench::{harness::ms, time_it, CommonArgs, ExpContext, Table};
 use flowmotif_core::count_structural_matches;
 use flowmotif_datasets::Dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     motif: String,
     matches: u64,
     p1_ms: f64,
 }
+
+flowmotif_util::impl_to_json!(Row { dataset, motif, matches, p1_ms });
 
 fn main() {
     let args = CommonArgs::parse();
@@ -31,7 +31,12 @@ fn main() {
         for m in &motifs {
             let (count, dur) = time_it(|| count_structural_matches(&g, m.path()));
             table.row([m.name(), count.to_string(), format!("{:.2}", ms(dur))]);
-            rows.push(Row { dataset: d.name().into(), motif: m.name(), matches: count, p1_ms: ms(dur) });
+            rows.push(Row {
+                dataset: d.name().into(),
+                motif: m.name(),
+                matches: count,
+                p1_ms: ms(dur),
+            });
         }
         println!("== {} ==", d.name());
         table.print();

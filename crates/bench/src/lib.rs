@@ -1,8 +1,8 @@
-//! Shared harness for the experiment binaries and Criterion benches.
+//! Shared harness for the experiment binaries and micro-benches.
 //!
 //! Every table and figure of the paper's §6 has a binary in `src/bin/`
 //! (`exp_table3`, `exp_fig8`, …, `exp_fig14`) that regenerates the same
-//! rows/series, plus a Criterion bench in `benches/` for the
+//! rows/series, plus a micro-bench in `benches/` for the
 //! runtime-focused artifacts. See `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
@@ -11,8 +11,10 @@
 
 pub mod args;
 pub mod harness;
+pub mod micro;
 pub mod table;
 
 pub use args::CommonArgs;
 pub use harness::{time_it, ExpContext};
+pub use micro::{BenchGroup, BenchResult};
 pub use table::Table;

@@ -1,0 +1,205 @@
+//! A tiny self-contained micro-benchmark runner (the workspace builds
+//! offline, so the Criterion benches were ported onto this harness).
+//!
+//! Each bench target is a plain `fn main()` (`harness = false`) that
+//! creates a [`BenchGroup`] and registers closures. Per benchmark the
+//! runner warms up, then runs timed batches until a measurement budget is
+//! spent, and reports min / mean / max per-iteration wall time.
+//!
+//! CLI surface (args after `cargo bench -- …`):
+//!
+//! * a positional substring filters benchmark ids;
+//! * `--quick` shrinks warm-up and measurement budgets ~10×.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runner configuration plus collected results.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    filter: Option<String>,
+    quick: bool,
+    warm_up: Duration,
+    measure: Duration,
+    min_iters: u32,
+    results: Vec<BenchResult>,
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/bench`).
+    pub id: String,
+    /// Iterations measured.
+    pub iters: u32,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Slowest observed iteration.
+    pub max: Duration,
+}
+
+impl BenchGroup {
+    /// Creates a group, reading the filter / `--quick` flags from
+    /// `std::env::args()`.
+    pub fn new(name: &str) -> Self {
+        Self::with_args(name, std::env::args().skip(1))
+    }
+
+    /// Creates a group from an explicit argument list (testable).
+    pub fn with_args<I: IntoIterator<Item = String>>(name: &str, args: I) -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for a in args {
+            match a.as_str() {
+                "--quick" => quick = true,
+                // `cargo bench` passes `--bench` through to the target.
+                "--bench" | "--exact" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        let (warm_up, measure) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(100))
+        } else {
+            (Duration::from_millis(200), Duration::from_secs(1))
+        };
+        Self {
+            name: name.to_string(),
+            filter,
+            quick,
+            warm_up,
+            measure,
+            min_iters: 5,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement budget (warm-up scales to 1/5th of it).
+    /// `--quick` runs still shrink the budget 10×.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = if self.quick { d / 10 } else { d };
+        self.warm_up = self.measure / 5;
+        self
+    }
+
+    /// Runs one benchmark unless the filter excludes it. The closure's
+    /// result is passed through [`black_box`] so work is not optimised
+    /// away.
+    pub fn bench<T>(&mut self, id: impl Into<String>, mut f: impl FnMut() -> T) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+
+        // Run until the budget is spent and at least `min_iters` samples
+        // exist; a long benchmark thus stops right after the budget (but
+        // never before its 5th sample).
+        let mut iters = 0u32;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.measure || iters < self.min_iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            iters += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let r = BenchResult { id, iters, min, mean: total / iters, max };
+        println!(
+            "{:<60} {:>12} {:>12} {:>12}   ({} iters)",
+            r.id,
+            fmt_duration(r.min),
+            fmt_duration(r.mean),
+            fmt_duration(r.max),
+            r.iters
+        );
+        self.results.push(r);
+        self
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the footer. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!("{}: {} benchmarks", self.name, self.results.len());
+    }
+}
+
+/// Prints the standard column header for bench output.
+pub fn header() {
+    println!("{:<60} {:>12} {:>12} {:>12}", "benchmark", "min", "mean", "max");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(name: &str) -> BenchGroup {
+        let mut g = BenchGroup::with_args(name, ["--quick".to_string()]);
+        g.measurement_time(Duration::from_millis(5));
+        g
+    }
+
+    #[test]
+    fn runs_and_records() {
+        let mut g = quick("g");
+        let mut calls = 0u64;
+        g.bench("inc", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(g.results().len(), 1);
+        let r = &g.results()[0];
+        assert_eq!(r.id, "g/inc");
+        assert!(r.iters >= 5);
+        assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(calls as u32 >= r.iters);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut g = BenchGroup::with_args("g", ["only".to_string(), "--quick".to_string()]);
+        g.measurement_time(Duration::from_millis(5));
+        g.bench("only_this", || 1);
+        g.bench("not_that", || 2);
+        assert_eq!(g.results().len(), 1);
+        assert_eq!(g.results()[0].id, "g/only_this");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -10,6 +10,7 @@ use flowmotif_core::{catalog, Motif};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::{io, GraphStats, TimeSeriesGraph};
 use flowmotif_significance::{assess_motif, SignificanceConfig};
+use flowmotif_util::json;
 use std::io::Write;
 use std::path::Path;
 
@@ -40,7 +41,7 @@ fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let g = load(path)?;
     let s = GraphStats::of(&g);
     if cli.json {
-        writeln!(out, "{}", serde_json::to_string_pretty(&s).unwrap()).ok();
+        writeln!(out, "{}", flowmotif_util::to_string_pretty(&s)).ok();
     } else {
         writeln!(out, "{s}").ok();
     }
@@ -61,7 +62,7 @@ fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
         writeln!(
             out,
             "{}",
-            serde_json::json!({
+            json!({
                 "motif": motif.name(),
                 "delta": motif.delta(),
                 "phi": motif.phi(),
@@ -109,9 +110,9 @@ fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     if cli.json {
         let rows: Vec<_> = ranked
             .iter()
-            .map(|r| serde_json::json!({"flow": r.instance.flow, "instance": &r.instance}))
+            .map(|r| json!({"flow": r.instance.flow, "instance": &r.instance}))
             .collect();
-        writeln!(out, "{}", serde_json::Value::Array(rows)).ok();
+        writeln!(out, "{}", flowmotif_util::Json::Array(rows)).ok();
         return Ok(());
     }
     writeln!(out, "top-{} instances of {} by flow:", cli.k, motif.name()).ok();
@@ -142,7 +143,7 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
                 writeln!(
                     out,
                     "{}",
-                    serde_json::json!({"flow": inst.flow, "nodes": sm.walk_nodes(&g), "instance": &inst})
+                    json!({"flow": inst.flow, "nodes": sm.walk_nodes(&g), "instance": &inst})
                 )
                 .ok();
             } else {
@@ -165,13 +166,12 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 }
 
 fn significance<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
-    let mg =
-        io::load_multigraph(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    let mg = io::load_multigraph(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
     let motif = motif_of(cli)?;
     let cfg = SignificanceConfig { num_replicas: cli.replicas, seed: cli.seed };
     let sig = assess_motif(&mg, &motif, cfg);
     if cli.json {
-        writeln!(out, "{}", serde_json::to_string_pretty(&sig).unwrap()).ok();
+        writeln!(out, "{}", flowmotif_util::to_string_pretty(&sig)).ok();
     } else {
         writeln!(
             out,
@@ -187,13 +187,20 @@ fn census<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let g = load(path)?;
     let rows = walk_census(&g, cli.edges, cli.delta, cli.phi);
     if cli.json {
-        writeln!(out, "{}", serde_json::to_string_pretty(&rows).unwrap()).ok();
+        writeln!(out, "{}", flowmotif_util::to_string_pretty(&rows)).ok();
         return Ok(());
     }
     writeln!(out, "census of {}-edge walk motifs (δ={}, ϕ={}):", cli.edges, cli.delta, cli.phi)
         .ok();
     for r in &rows {
-        writeln!(out, "  {:<16} {:>8} instances  ({} matches)", r.shape.to_string(), r.instances, r.structural_matches).ok();
+        writeln!(
+            out,
+            "  {:<16} {:>8} instances  ({} matches)",
+            r.shape.to_string(),
+            r.instances,
+            r.structural_matches
+        )
+        .ok();
     }
     Ok(())
 }
@@ -203,7 +210,7 @@ fn activity<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String>
     let motif = motif_of(cli)?;
     let acts = per_match_activity(&g, &motif);
     if cli.json {
-        writeln!(out, "{}", serde_json::to_string_pretty(&acts).unwrap()).ok();
+        writeln!(out, "{}", flowmotif_util::to_string_pretty(&acts)).ok();
         return Ok(());
     }
     writeln!(out, "most active vertex groups for {} (top {}):", motif.name(), cli.show).ok();
@@ -303,9 +310,8 @@ mod tests {
     #[test]
     fn find_command_reports_fig4_instance() {
         let path = temp_edge_list();
-        let (out, r) = run_args(&[
-            "find", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--phi", "7",
-        ]);
+        let (out, r) =
+            run_args(&["find", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--phi", "7"]);
         r.unwrap();
         assert!(out.contains("1 maximal instances"), "{out}");
         assert!(out.contains("(10, 10)"), "{out}");
@@ -314,13 +320,10 @@ mod tests {
     #[test]
     fn topk_and_top1_agree() {
         let path = temp_edge_list();
-        let (out_k, r) = run_args(&[
-            "topk", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--k", "1",
-        ]);
+        let (out_k, r) =
+            run_args(&["topk", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--k", "1"]);
         r.unwrap();
-        let (out_1, r) = run_args(&[
-            "top1", path.to_str(), "--motif", "M(3,3)", "--delta", "10",
-        ]);
+        let (out_1, r) = run_args(&["top1", path.to_str(), "--motif", "M(3,3)", "--delta", "10"]);
         r.unwrap();
         assert!(out_k.contains("flow 10.000"), "{out_k}");
         assert!(out_1.contains("top-1 flow 10.000"), "{out_1}");
@@ -330,7 +333,13 @@ mod tests {
     fn generate_and_stats_round_trip() {
         let path = TempFile(unique_path("synth"));
         let (_, r) = run_args(&[
-            "generate", "--dataset", "passenger", "--scale", "0.05", "--out", path.to_str(),
+            "generate",
+            "--dataset",
+            "passenger",
+            "--scale",
+            "0.05",
+            "--out",
+            path.to_str(),
         ]);
         r.unwrap();
         let (out, r) = run_args(&["stats", path.to_str()]);
@@ -342,8 +351,16 @@ mod tests {
     fn significance_command_runs() {
         let path = temp_edge_list();
         let (out, r) = run_args(&[
-            "significance", path.to_str(), "--motif", "M(3,3)", "--delta", "10",
-            "--phi", "7", "--replicas", "3",
+            "significance",
+            path.to_str(),
+            "--motif",
+            "M(3,3)",
+            "--delta",
+            "10",
+            "--phi",
+            "7",
+            "--replicas",
+            "3",
         ]);
         r.unwrap();
         assert!(out.contains("real=1"), "{out}");
@@ -361,7 +378,14 @@ mod tests {
     fn activity_command() {
         let path = temp_edge_list();
         let (out, r) = run_args(&[
-            "activity", path.to_str(), "--motif", "M(3,3)", "--delta", "10", "--phi", "7",
+            "activity",
+            path.to_str(),
+            "--motif",
+            "M(3,3)",
+            "--delta",
+            "10",
+            "--phi",
+            "7",
         ]);
         r.unwrap();
         assert!(out.contains("1 instances"), "{out}");

@@ -193,8 +193,8 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cli = parse(&["generate", "--dataset", "taxi", "--scale", "0.5", "--out", "x.tsv"])
-            .unwrap();
+        let cli =
+            parse(&["generate", "--dataset", "taxi", "--scale", "0.5", "--out", "x.tsv"]).unwrap();
         assert_eq!(cli.command, Command::Generate);
         assert_eq!(cli.dataset, "taxi");
         assert_eq!(cli.scale, 0.5);
@@ -233,5 +233,96 @@ mod tests {
         assert_eq!(cli.delta, 600);
         assert_eq!(cli.phi, 0.0);
         assert!(!cli.json);
+    }
+
+    #[test]
+    fn json_flag_is_recognised() {
+        let cli = parse(&["find", "g.tsv", "--json"]).unwrap();
+        assert!(cli.json);
+        // ... and is a bare flag: the next token is parsed as a flag, not
+        // as a value of --json.
+        assert!(parse(&["find", "g.tsv", "--json", "stray"]).is_err());
+    }
+
+    #[test]
+    fn negative_numerics() {
+        // Signed/float options accept negatives (δ may look back in time,
+        // ϕ=−1 disables the flow floor)...
+        let cli = parse(&["find", "g.tsv", "--delta", "-5", "--phi", "-2.5"]).unwrap();
+        assert_eq!(cli.delta, -5);
+        assert_eq!(cli.phi, -2.5);
+        // ...but unsigned options reject them with a parse error.
+        for flag in ["--k", "--threads", "--show", "--replicas", "--edges", "--seed"] {
+            let err = parse(&["find", "g.tsv", flag, "-1"]).unwrap_err();
+            assert!(err.contains(&format!("bad {flag}")), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn huge_numerics() {
+        // Values beyond the integer width are parse errors, not wraps.
+        assert!(parse(&["find", "g.tsv", "--delta", "99999999999999999999"]).is_err());
+        assert!(parse(&["find", "g.tsv", "--seed", "18446744073709551616"]).is_err());
+        // The extremes of the width still parse.
+        let cli = parse(&["find", "g.tsv", "--seed", "18446744073709551615"]).unwrap();
+        assert_eq!(cli.seed, u64::MAX);
+        let cli = parse(&["find", "g.tsv", "--delta", "-9223372036854775808"]).unwrap();
+        assert_eq!(cli.delta, i64::MIN);
+        // Float options tolerate huge magnitudes (f64 semantics).
+        let cli = parse(&["find", "g.tsv", "--phi", "1e300"]).unwrap();
+        assert_eq!(cli.phi, 1e300);
+    }
+
+    #[test]
+    fn generate_option_routing() {
+        // `generate` takes no positional file; its options route into the
+        // dataset/scale/seed/out fields.
+        let cli = parse(&[
+            "generate",
+            "--dataset",
+            "facebook",
+            "--scale",
+            "0.25",
+            "--seed",
+            "7",
+            "--out",
+            "o.tsv",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Generate);
+        assert_eq!(cli.dataset, "facebook");
+        assert_eq!(cli.scale, 0.25);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.out, Some(PathBuf::from("o.tsv")));
+        // Without --out the output goes to stdout.
+        assert_eq!(parse(&["generate"]).unwrap().out, None);
+        // Unknown flags and missing values error under generate too.
+        assert!(parse(&["generate", "--bogus"]).is_err());
+        assert!(parse(&["generate", "--dataset"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["generate", "--scale", "fast"]).is_err());
+    }
+
+    #[test]
+    fn every_value_flag_reports_missing_value() {
+        for flag in [
+            "--motif",
+            "--delta",
+            "--phi",
+            "--k",
+            "--threads",
+            "--show",
+            "--replicas",
+            "--edges",
+            "--seed",
+            "--dataset",
+            "--scale",
+            "--out",
+        ] {
+            let err = parse(&["find", "g.tsv", flag]).unwrap_err();
+            assert!(
+                err.contains(&format!("missing value for {flag}")) || err.contains("bad"),
+                "{flag}: {err}"
+            );
+        }
     }
 }

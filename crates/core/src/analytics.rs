@@ -18,11 +18,10 @@ use crate::instance::StructuralMatch;
 use crate::matcher::for_each_structural_match;
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Activity summary of one structural match (one row of the "which
 /// vertex groups are most active" analysis).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchActivity {
     /// The match (vertex group) itself.
     pub structural_match: StructuralMatch,
@@ -38,6 +37,15 @@ pub struct MatchActivity {
     pub last_activity: Option<Timestamp>,
 }
 
+flowmotif_util::impl_to_json!(MatchActivity {
+    structural_match,
+    instances,
+    max_flow,
+    total_flow,
+    first_activity,
+    last_activity,
+});
+
 /// Groups all maximal instances per structural match and summarises each
 /// group, sorted by instance count (most active first). Matches without
 /// instances are omitted.
@@ -48,7 +56,13 @@ pub fn per_match_activity(g: &TimeSeriesGraph, motif: &Motif) -> Vec<MatchActivi
     for_each_structural_match(g, motif.path(), &mut |sm| {
         let mut sink = CollectSink::default();
         enumerate_in_match_reusing(
-            g, motif, sm, SearchOptions::default(), &mut sink, &mut stats, &mut scratch,
+            g,
+            motif,
+            sm,
+            SearchOptions::default(),
+            &mut sink,
+            &mut stats,
+            &mut scratch,
         );
         let Some((_, insts)) = sink.groups.pop() else { return };
         let mut a = MatchActivity {
@@ -70,16 +84,14 @@ pub fn per_match_activity(g: &TimeSeriesGraph, motif: &Motif) -> Vec<MatchActivi
         out.push(a);
     });
     out.sort_by(|a, b| {
-        b.instances
-            .cmp(&a.instances)
-            .then_with(|| b.total_flow.total_cmp(&a.total_flow))
+        b.instances.cmp(&a.instances).then_with(|| b.total_flow.total_cmp(&a.total_flow))
     });
     out
 }
 
 /// One point of the per-window top-1 series: the best instance flow of
 /// any window anchored in `[bucket_start, bucket_start + bucket)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowActivity {
     /// Start of the time bucket.
     pub bucket_start: Timestamp,
@@ -89,6 +101,8 @@ pub struct WindowActivity {
     /// Number of windows evaluated in the bucket.
     pub windows: u32,
 }
+
+flowmotif_util::impl_to_json!(WindowActivity { bucket_start, max_flow, windows });
 
 /// The "top-1 per sliding-window position" analysis for one structural
 /// match, aggregated into time buckets of width `bucket` for plotting.

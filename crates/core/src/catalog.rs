@@ -40,9 +40,7 @@ pub fn all_motifs(delta: i64, phi: f64) -> Vec<Motif> {
     CATALOG
         .iter()
         .map(|(name, walk)| {
-            Motif::from_walk(walk, delta, phi)
-                .expect("catalog walks are valid")
-                .with_name(*name)
+            Motif::from_walk(walk, delta, phi).expect("catalog walks are valid").with_name(*name)
         })
         .collect()
 }
@@ -51,7 +49,8 @@ pub fn all_motifs(delta: i64, phi: f64) -> Vec<Motif> {
 /// case-insensitive and ignores whitespace; the suffix letter of the
 /// single-variant motifs may be omitted.
 pub fn by_name(name: &str, delta: i64, phi: f64) -> Result<Motif, MotifError> {
-    let needle: String = name.chars().filter(|c| !c.is_whitespace()).collect::<String>().to_uppercase();
+    let needle: String =
+        name.chars().filter(|c| !c.is_whitespace()).collect::<String>().to_uppercase();
     for (n, walk) in CATALOG {
         if n.to_uppercase() == needle {
             return Ok(Motif::from_walk(walk, delta, phi)?.with_name(n));

@@ -9,7 +9,6 @@ use crate::matcher::count_structural_matches;
 use crate::motif::{Motif, MotifNode, SpanningPath};
 use crate::shared::count_instances_shared;
 use flowmotif_graph::{Flow, TimeSeriesGraph, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Enumerates every canonical spanning path with exactly `num_edges`
 /// edges. Canonical means vertex labels appear in first-appearance order,
@@ -49,7 +48,7 @@ fn extend(walk: &mut Vec<MotifNode>, remaining: usize, out: &mut Vec<SpanningPat
 }
 
 /// One census row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensusRow {
     /// The motif shape (canonical walk).
     pub shape: SpanningPath,
@@ -58,6 +57,8 @@ pub struct CensusRow {
     /// Structural matches examined.
     pub structural_matches: u64,
 }
+
+flowmotif_util::impl_to_json!(CensusRow { shape, instances, structural_matches });
 
 /// Counts the maximal instances of *every* walk shape with `num_edges`
 /// edges in `g`, under a common `δ`/`ϕ`. Rows are sorted by instance
@@ -98,10 +99,7 @@ mod tests {
         assert_eq!(s2, vec!["0-1-0", "0-1-2"]);
         // m=3: walks of length 3 with unique directed steps.
         let s3: Vec<String> = all_walk_shapes(3).iter().map(|p| p.to_string()).collect();
-        assert_eq!(
-            s3,
-            vec!["0-1-0-2", "0-1-2-0", "0-1-2-1", "0-1-2-3"]
-        );
+        assert_eq!(s3, vec!["0-1-0-2", "0-1-2-0", "0-1-2-1", "0-1-2-3"]);
     }
 
     #[test]

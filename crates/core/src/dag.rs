@@ -29,8 +29,7 @@
 
 use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
 use flowmotif_graph::{Flow, NodeId, TimeSeriesGraph, Timestamp};
-use rustc_hash::FxHashSet;
-use serde::{Deserialize, Serialize};
+use flowmotif_util::FxHashSet;
 
 /// Errors raised when building a [`DagMotif`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +67,7 @@ impl std::error::Error for DagMotifError {}
 
 /// A DAG-shaped flow motif: labeled edges `(source, target)` in label
 /// order, plus the usual `δ` and `ϕ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DagMotif {
     edges: Vec<(u8, u8)>,
     delta: Timestamp,
@@ -105,20 +104,14 @@ impl DagMotif {
                 return Err(DagMotifError::NonCanonicalLabels(i));
             }
             if i > 0 {
-                let touches = edges[..i]
-                    .iter()
-                    .any(|&(a, b)| a == u || a == v || b == u || b == v);
+                let touches = edges[..i].iter().any(|&(a, b)| a == u || a == v || b == u || b == v);
                 if !touches {
                     return Err(DagMotifError::Disconnected(i));
                 }
             }
         }
         let order = (0..edges.len())
-            .map(|b| {
-                (0..b)
-                    .filter(|&a| edges[a].1 == edges[b].0)
-                    .collect::<Vec<_>>()
-            })
+            .map(|b| (0..b).filter(|&a| edges[a].1 == edges[b].0).collect::<Vec<_>>())
             .collect();
         Ok(Self { edges, delta, phi, order })
     }
@@ -269,11 +262,7 @@ fn dag_match_dfs(
 }
 
 /// Checks Def. 3.2 (DAG variant) for a candidate instance.
-fn dag_instance_valid(
-    g: &TimeSeriesGraph,
-    motif: &DagMotif,
-    inst: &MotifInstance,
-) -> bool {
+fn dag_instance_valid(g: &TimeSeriesGraph, motif: &DagMotif, inst: &MotifInstance) -> bool {
     let mut t_min = Timestamp::MAX;
     let mut t_max = Timestamp::MIN;
     for es in &inst.edge_sets {
@@ -305,11 +294,7 @@ fn dag_instance_valid(
 /// Checks Def. 3.3 (DAG variant): no series element can join any edge-set
 /// while keeping the instance valid.
 #[allow(clippy::needless_range_loop)]
-fn dag_instance_maximal(
-    g: &TimeSeriesGraph,
-    motif: &DagMotif,
-    inst: &MotifInstance,
-) -> bool {
+fn dag_instance_maximal(g: &TimeSeriesGraph, motif: &DagMotif, inst: &MotifInstance) -> bool {
     let m = motif.num_edges();
     // successors[a] = edges whose elements must come after edge a's.
     let mut successors: Vec<Vec<usize>> = vec![Vec::new(); m];
@@ -363,10 +348,8 @@ pub fn dag_instances_in_match(
         return Vec::new();
     }
     // Candidate windows: anchored at every element timestamp.
-    let mut anchors: Vec<Timestamp> = series
-        .iter()
-        .flat_map(|s| s.events().iter().map(|e| e.time))
-        .collect();
+    let mut anchors: Vec<Timestamp> =
+        series.iter().flat_map(|s| s.events().iter().map(|e| e.time)).collect();
     anchors.sort_unstable();
     anchors.dedup();
 
@@ -376,9 +359,7 @@ pub fn dag_instances_in_match(
         let end = anchor.saturating_add(motif.delta());
         // splits[k] = (first element idx, last element idx exclusive) per edge.
         let mut chosen: Vec<EdgeSet> = Vec::with_capacity(m);
-        assemble(
-            g, motif, sm, &series, anchor, end, 0, &mut chosen, &mut seen, &mut out,
-        );
+        assemble(g, motif, sm, &series, anchor, end, 0, &mut chosen, &mut seen, &mut out);
     }
     out
 }
@@ -410,12 +391,8 @@ fn assemble(
             t_max = t_max.max(ev.last().expect("non-empty").time);
         }
         let flow = chosen.iter().map(|es| es.flow(g)).fold(f64::INFINITY, f64::min);
-        let inst = MotifInstance {
-            edge_sets: chosen.clone(),
-            flow,
-            first_time: t_min,
-            last_time: t_max,
-        };
+        let inst =
+            MotifInstance { edge_sets: chosen.clone(), flow, first_time: t_min, last_time: t_max };
         if dag_instance_valid(g, motif, &inst)
             && dag_instance_maximal(g, motif, &inst)
             && seen.insert(inst.edge_sets.clone())
@@ -484,8 +461,8 @@ mod tests {
     use crate::catalog;
     use crate::enumerate::enumerate_all;
     use flowmotif_graph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use flowmotif_util::rng::StdRng;
+    use flowmotif_util::rng::{RngExt, SeedableRng};
 
     #[test]
     fn validation() {
@@ -499,10 +476,7 @@ mod tests {
             DagMotif::new(vec![(0, 1), (2, 3)], 1, 0.0),
             Err(DagMotifError::Disconnected(1))
         );
-        assert_eq!(
-            DagMotif::new(vec![(0, 2)], 1, 0.0),
-            Err(DagMotifError::NonCanonicalLabels(0))
-        );
+        assert_eq!(DagMotif::new(vec![(0, 2)], 1, 0.0), Err(DagMotifError::NonCanonicalLabels(0)));
         // Fork: 0 -> 1, then 1 -> 2 and 1 -> 3.
         let fork = DagMotif::new(vec![(0, 1), (1, 2), (1, 3)], 10, 0.0).unwrap();
         assert_eq!(fork.num_nodes(), 4);
@@ -588,11 +562,7 @@ mod tests {
         // 0 and 2 both pay 1; 1 forwards the total to 3. Both inputs must
         // precede the output; their mutual order is free.
         let mut b = GraphBuilder::new();
-        b.extend_interactions([
-            (0u32, 1u32, 10i64, 3.0),
-            (2, 1, 12, 4.0),
-            (1, 3, 15, 7.0),
-        ]);
+        b.extend_interactions([(0u32, 1u32, 10i64, 3.0), (2, 1, 12, 4.0), (1, 3, 15, 7.0)]);
         let g = b.build_time_series_graph();
         let join = DagMotif::new(vec![(0, 1), (2, 1), (1, 3)], 10, 3.0).unwrap();
         // Two automorphic matches (the join's two inputs are symmetric).

@@ -24,10 +24,9 @@ use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
 use crate::matcher::for_each_structural_match;
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Counters for a DP run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpStats {
     /// Structural matches processed.
     pub structural_matches: u64,
@@ -63,11 +62,7 @@ impl DpTable {
 /// Builds the DP table for one window of one structural match.
 ///
 /// `series` are the match's interaction series in motif-edge order.
-pub fn dp_table(
-    series: &[&InteractionSeries],
-    window: TimeWindow,
-    stats: &mut DpStats,
-) -> DpTable {
+pub fn dp_table(series: &[&InteractionSeries], window: TimeWindow, stats: &mut DpStats) -> DpTable {
     let m = series.len();
     // Gather t_1 … t_τ: all element timestamps inside the window.
     let mut ts: Vec<Timestamp> = Vec::new();
@@ -87,10 +82,7 @@ pub fn dp_table(
     // κ = 1: all R(e_1) elements in [t_1, t_i].
     let s0 = series[0];
     let a0 = s0.idx_at_or_after(window.start);
-    let row0: Vec<Flow> = ts
-        .iter()
-        .map(|&t| s0.flow_of_range(a0..s0.idx_after(t)))
-        .collect();
+    let row0: Vec<Flow> = ts.iter().map(|&t| s0.flow_of_range(a0..s0.idx_after(t))).collect();
     stats.cells_computed += tau as u64;
     rows.push(row0);
 
@@ -245,10 +237,8 @@ pub fn dp_best_window_in_match(
         }
         prev_end = Some(w.end);
         // Window-level admissible bound.
-        let ub = series
-            .iter()
-            .map(|s| s.flow_in_closed(w.start, w.end))
-            .fold(f64::INFINITY, Flow::min);
+        let ub =
+            series.iter().map(|s| s.flow_in_closed(w.start, w.end)).fold(f64::INFINITY, Flow::min);
         if ub <= thr {
             stats.windows_skipped += 1;
             continue;
@@ -326,16 +316,14 @@ pub fn dp_top1(
     for_each_structural_match(g, motif.path(), &mut |sm| {
         stats.structural_matches += 1;
         let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
-        if let Some((f, w)) = dp_best_window_in_match(g, motif, sm, thr, &mut scratch, &mut stats)
-        {
+        if let Some((f, w)) = dp_best_window_in_match(g, motif, sm, thr, &mut scratch, &mut stats) {
             best = Some((f, sm.clone(), w));
         }
     });
     match best {
         None => (None, stats),
         Some((flow, sm, window)) => {
-            let series: Vec<&InteractionSeries> =
-                sm.pairs.iter().map(|&p| g.series(p)).collect();
+            let series: Vec<&InteractionSeries> = sm.pairs.iter().map(|&p| g.series(p)).collect();
             let table = dp_table(&series, window, &mut stats);
             let inst = reconstruct(&series, &sm, window, &table, flow);
             (Some((sm, inst)), stats)
@@ -457,11 +445,7 @@ mod tests {
         let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
         let mut stats = DpStats::default();
         let inst = dp_top1_in_match(&g, &motif, &sm, &mut stats).unwrap();
-        let min_flow = inst
-            .edge_sets
-            .iter()
-            .map(|es| es.flow(&g))
-            .fold(f64::INFINITY, f64::min);
+        let min_flow = inst.edge_sets.iter().map(|es| es.flow(&g)).fold(f64::INFINITY, f64::min);
         assert_eq!(inst.flow, min_flow);
     }
 }

@@ -36,12 +36,11 @@ use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
 use crate::matcher::for_each_structural_match;
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Tuning knobs for the enumerator. The defaults implement the paper's
 /// Algorithm 1; the toggles exist for the ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOptions {
     /// Skip window positions that contribute no new `R(e_m)` element
     /// (guard 1 above). Disabling processes every anchor; the result set
@@ -62,7 +61,7 @@ impl Default for SearchOptions {
 
 /// Counters describing one enumeration run; useful for the ablation
 /// benchmarks and for sanity-checking scalability claims.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Structural matches processed (phase P1 results).
     pub structural_matches: u64,
@@ -289,9 +288,7 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
                 // Later splits only shrink the next edge's sub-window.
                 break;
             }
-            if self.opts.phi_prefix_pruning
-                && (acc < phi || acc <= self.sink.prune_threshold())
-            {
+            if self.opts.phi_prefix_pruning && (acc < phi || acc <= self.sink.prune_threshold()) {
                 self.stats.prefixes_pruned_by_flow += 1;
                 continue;
             }
@@ -305,11 +302,7 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
                 continue;
             }
             self.stack.push((
-                EdgeSet {
-                    pair: self.sm.pairs[k],
-                    start: range.start as u32,
-                    end: (j + 1) as u32,
-                },
+                EdgeSet { pair: self.sm.pairs[k], start: range.start as u32, end: (j + 1) as u32 },
                 acc,
             ));
             self.recurse(k + 1, nstart..next_end);
@@ -344,12 +337,7 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
             start: range.start as u32,
             end: range.end as u32,
         });
-        let inst = MotifInstance {
-            edge_sets,
-            flow,
-            first_time: self.anchor_time,
-            last_time,
-        };
+        let inst = MotifInstance { edge_sets, flow, first_time: self.anchor_time, last_time };
         self.stats.instances_emitted += 1;
         self.sink.accept(self.sm, inst);
     }
@@ -466,10 +454,7 @@ mod tests {
         let shown = rendered(&g, &insts);
         // Paper §4: "the latter instance would be rejected for ϕ = 5";
         // Table 2's top-1 instance is the survivor.
-        assert_eq!(
-            shown,
-            vec!["[e1 <- {(10, 5)}, e2 <- {(11, 3), (16, 3)}, e3 <- {(19, 6)}]"]
-        );
+        assert_eq!(shown, vec!["[e1 <- {(10, 5)}, e2 <- {(11, 3), (16, 3)}, e3 <- {(19, 6)}]"]);
         assert_eq!(insts[0].flow, 5.0);
         assert_eq!(insts[0].first_time, 10);
         assert_eq!(insts[0].last_time, 19);
@@ -498,10 +483,8 @@ mod tests {
         let mut expected = None;
         for skip in [true, false] {
             for prune in [true, false] {
-                let opts = SearchOptions {
-                    skip_redundant_windows: skip,
-                    phi_prefix_pruning: prune,
-                };
+                let opts =
+                    SearchOptions { skip_redundant_windows: skip, phi_prefix_pruning: prune };
                 let mut sink = CollectSink::default();
                 let mut stats = SearchStats::default();
                 enumerate_in_match(&g, &motif, &sm, opts, &mut sink, &mut stats);
@@ -632,12 +615,16 @@ mod tests {
         assert_eq!(algo, brute);
         // The instance [e1 <- {(30,2)}, e2 <- {(60,4),(90,1)}] is maximal:
         // the tied (60,3) e1 element cannot be added (order is strict).
-        assert!(algo.iter().any(|s| s == "[e1 <- {(30, 2)}, e2 <- {(60, 4), (90, 1)}]"), "{algo:?}");
+        assert!(
+            algo.iter().any(|s| s == "[e1 <- {(30, 2)}, e2 <- {(60, 4), (90, 1)}]"),
+            "{algo:?}"
+        );
     }
 
     #[test]
     fn stats_merge() {
-        let mut a = SearchStats { windows_processed: 2, instances_emitted: 3, ..Default::default() };
+        let mut a =
+            SearchStats { windows_processed: 2, instances_emitted: 3, ..Default::default() };
         let b = SearchStats { windows_processed: 5, windows_skipped: 1, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.windows_processed, 7);

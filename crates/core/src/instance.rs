@@ -2,12 +2,11 @@
 //! output) — paper Def. 3.2.
 
 use flowmotif_graph::{Event, Flow, NodeId, PairId, TimeSeriesGraph, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// A structural match `G_s` of a motif in `G_T` (paper phase P1, Fig. 6):
 /// a mapping from motif vertices and edges to graph vertices and `G_T`
 /// pairs that respects the motif structure, ignoring time and flow.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StructuralMatch {
     /// `nodes[w]` is the graph vertex that motif vertex `w` maps to (the
     /// bijection µ of Def. 3.2). Distinct motif vertices map to distinct
@@ -45,7 +44,7 @@ impl StructuralMatch {
 /// Contiguity is not a restriction — in a *maximal* instance every edge-set
 /// is exactly the elements of its series falling in a sub-window (see
 /// `enumerate.rs`), which is a contiguous run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EdgeSet {
     /// The `G_T` pair this motif edge maps to.
     pub pair: PairId,
@@ -82,7 +81,7 @@ impl EdgeSet {
 /// A flow motif instance `G_I` (paper Def. 3.2): one non-empty,
 /// time-respecting edge-set per motif edge, within a `δ` window, each set
 /// aggregating at least `ϕ` flow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MotifInstance {
     /// Edge-sets in motif-edge label order.
     pub edge_sets: Vec<EdgeSet>,
@@ -130,6 +129,10 @@ impl MotifInstance {
     }
 }
 
+flowmotif_util::impl_to_json!(StructuralMatch { nodes, pairs });
+flowmotif_util::impl_to_json!(EdgeSet { pair, start, end });
+flowmotif_util::impl_to_json!(MotifInstance { edge_sets, flow, first_time, last_time });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,11 +140,7 @@ mod tests {
 
     fn tiny_graph() -> TimeSeriesGraph {
         let mut b = GraphBuilder::new();
-        b.extend_interactions([
-            (0u32, 1u32, 10i64, 5.0),
-            (0, 1, 12, 3.0),
-            (1, 2, 14, 4.0),
-        ]);
+        b.extend_interactions([(0u32, 1u32, 10i64, 5.0), (0, 1, 12, 3.0), (1, 2, 14, 4.0)]);
         b.build_time_series_graph()
     }
 

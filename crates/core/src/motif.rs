@@ -4,7 +4,6 @@
 
 use crate::error::MotifError;
 use flowmotif_graph::{Flow, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// A vertex of the motif graph, labeled `0..n` in order of first appearance
 /// along the spanning path.
@@ -21,7 +20,7 @@ pub type MotifNode = u8;
 /// * no directed pair traversed twice (edge labels are unique, Def. 3.1);
 /// * vertex labels are dense and appear in first-appearance order, which
 ///   makes the encoding canonical: two isomorphic motifs have equal walks.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SpanningPath {
     walk: Vec<MotifNode>,
 }
@@ -109,6 +108,13 @@ impl SpanningPath {
     }
 }
 
+impl flowmotif_util::ToJson for SpanningPath {
+    /// Serializes as the canonical walk string, e.g. `"0-1-2-0"`.
+    fn to_json(&self) -> flowmotif_util::Json {
+        flowmotif_util::Json::Str(self.to_string())
+    }
+}
+
 impl std::fmt::Display for SpanningPath {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut first = true;
@@ -124,7 +130,7 @@ impl std::fmt::Display for SpanningPath {
 }
 
 /// A network flow motif `M = (G_M, δ, ϕ)` (paper Def. 3.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Motif {
     /// The motif graph, encoded by its spanning path.
     path: SpanningPath,
@@ -250,23 +256,14 @@ mod tests {
 
     #[test]
     fn rejects_self_loops() {
-        assert_eq!(
-            SpanningPath::new(vec![0, 0]),
-            Err(MotifError::SelfLoopStep { step: 0 })
-        );
-        assert_eq!(
-            SpanningPath::new(vec![0, 1, 1]),
-            Err(MotifError::SelfLoopStep { step: 1 })
-        );
+        assert_eq!(SpanningPath::new(vec![0, 0]), Err(MotifError::SelfLoopStep { step: 0 }));
+        assert_eq!(SpanningPath::new(vec![0, 1, 1]), Err(MotifError::SelfLoopStep { step: 1 }));
     }
 
     #[test]
     fn rejects_repeated_directed_pairs() {
         // 0->1, 1->0, 0->1 traverses (0,1) twice.
-        assert_eq!(
-            SpanningPath::new(vec![0, 1, 0, 1]),
-            Err(MotifError::RepeatedEdge { step: 2 })
-        );
+        assert_eq!(SpanningPath::new(vec![0, 1, 0, 1]), Err(MotifError::RepeatedEdge { step: 2 }));
         // The reverse pair is fine: 0->1, 1->0.
         assert!(SpanningPath::new(vec![0, 1, 0]).is_ok());
     }

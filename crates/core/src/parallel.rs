@@ -63,7 +63,13 @@ fn par_scan<S: InstanceSink + Send>(
                             &mut |sm| {
                                 stats.structural_matches += 1;
                                 enumerate_in_match_reusing(
-                                    g, motif, sm, opts, &mut sink, &mut stats, &mut scratch,
+                                    g,
+                                    motif,
+                                    sm,
+                                    opts,
+                                    &mut sink,
+                                    &mut stats,
+                                    &mut scratch,
                                 );
                             },
                         );
@@ -141,8 +147,8 @@ mod tests {
     use crate::enumerate::{count_instances, enumerate_all};
     use crate::topk::top_k;
     use flowmotif_graph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use flowmotif_util::rng::StdRng;
+    use flowmotif_util::rng::{RngExt, SeedableRng};
 
     fn random_graph(nodes: u32, edges: usize, seed: u64) -> TimeSeriesGraph {
         let mut rng = StdRng::seed_from_u64(seed);

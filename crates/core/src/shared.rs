@@ -160,12 +160,7 @@ impl<S: InstanceSink> SharedEnumerator<'_, '_, S> {
         } else {
             for p in self.g.out_pair_range(src) {
                 let v = self.g.pair(p).1;
-                if self
-                    .assign
-                    .iter()
-                    .zip(self.assigned.iter())
-                    .any(|(&a, &set)| set && a == v)
-                {
+                if self.assign.iter().zip(self.assigned.iter()).any(|(&a, &set)| set && a == v) {
                     continue;
                 }
                 self.try_pair(k, p, split, t_prev_next, Some((tgt_label, v)));
@@ -249,12 +244,7 @@ impl<S: InstanceSink> SharedEnumerator<'_, '_, S> {
         let mut edge_sets = Vec::with_capacity(self.motif.num_edges());
         edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
         edge_sets.push(EdgeSet { pair: p, start: range.start as u32, end: range.end as u32 });
-        let inst = MotifInstance {
-            edge_sets,
-            flow,
-            first_time: self.anchor_time,
-            last_time,
-        };
+        let inst = MotifInstance { edge_sets, flow, first_time: self.anchor_time, last_time };
         self.sm_buf.nodes.clear();
         self.sm_buf.nodes.extend_from_slice(&self.assign);
         self.sm_buf.pairs.clear();
@@ -271,8 +261,8 @@ mod tests {
     use crate::enumerate::{count_instances, enumerate_all, CollectSink};
     use crate::topk::TopKSink;
     use flowmotif_graph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use flowmotif_util::rng::StdRng;
+    use flowmotif_util::rng::{RngExt, SeedableRng};
 
     fn random_graph(nodes: u32, edges: usize, seed: u64) -> TimeSeriesGraph {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -328,8 +318,7 @@ mod tests {
         let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
         let mut shared_sink = TopKSink::new(5);
         enumerate_shared_with_sink(&g, &m, &mut shared_sink);
-        let shared: Vec<f64> =
-            shared_sink.into_sorted().iter().map(|r| r.instance.flow).collect();
+        let shared: Vec<f64> = shared_sink.into_sorted().iter().map(|r| r.instance.flow).collect();
         let (seq, _) = crate::topk::top_k(&g, &m, 5);
         let want: Vec<f64> = seq.iter().map(|r| r.instance.flow).collect();
         assert_eq!(shared, want);
@@ -361,11 +350,7 @@ mod tests {
         let g = b.build_time_series_graph();
         for phi in [0.0, 5.0] {
             let m = catalog::by_name("M(3,3)", 10, phi).unwrap();
-            assert_eq!(
-                count_instances_shared(&g, &m).0,
-                count_instances(&g, &m).0,
-                "phi={phi}"
-            );
+            assert_eq!(count_instances_shared(&g, &m).0, count_instances(&g, &m).0, "phi={phi}");
         }
     }
 }

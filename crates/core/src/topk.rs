@@ -46,10 +46,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the *lowest* flow on
         // top for eviction.
-        other
-            .flow
-            .total_cmp(&self.flow)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.flow.total_cmp(&self.flow).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -114,11 +111,7 @@ impl InstanceSink for TopKSink {
 ///
 /// `motif.phi()` still applies as a hard lower bound; pass `ϕ = 0` for the
 /// paper's pure ranking semantics (§5 runs top-k with `ϕ = 0`).
-pub fn top_k(
-    g: &TimeSeriesGraph,
-    motif: &Motif,
-    k: usize,
-) -> (Vec<RankedInstance>, SearchStats) {
+pub fn top_k(g: &TimeSeriesGraph, motif: &Motif, k: usize) -> (Vec<RankedInstance>, SearchStats) {
     let mut sink = TopKSink::new(k);
     let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
     (sink.into_sorted(), stats)
@@ -188,11 +181,8 @@ mod tests {
         let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
         let mut all = CollectSink::default();
         enumerate_with_sink(&g, &m, SearchOptions::default(), &mut all);
-        let mut flows: Vec<f64> = all
-            .groups
-            .iter()
-            .flat_map(|(_, v)| v.iter().map(|i| i.flow))
-            .collect();
+        let mut flows: Vec<f64> =
+            all.groups.iter().flat_map(|(_, v)| v.iter().map(|i| i.flow)).collect();
         flows.sort_by(|a, b| b.total_cmp(a));
         for k in 1..=flows.len() {
             let (r, _) = top_k(&g, &m, k);

@@ -100,11 +100,7 @@ pub fn check_instance_valid(
     if inst.first_time != t_min || inst.last_time != t_max {
         return Err("recorded first/last times disagree with edge-sets".into());
     }
-    let min_flow = inst
-        .edge_sets
-        .iter()
-        .map(|es| es.flow(g))
-        .fold(f64::INFINITY, f64::min);
+    let min_flow = inst.edge_sets.iter().map(|es| es.flow(g)).fold(f64::INFINITY, f64::min);
     if (inst.flow - min_flow).abs() > 1e-9 {
         return Err(format!("recorded flow {} != min edge-set flow {min_flow}", inst.flow));
     }
@@ -223,10 +219,7 @@ pub fn brute_force_instances(
                 let first_time = series[0].time(edge_sets[0].start as usize);
                 let last = &edge_sets[m - 1];
                 let last_time = series[m - 1].time(last.end as usize - 1);
-                let flow = edge_sets
-                    .iter()
-                    .map(|es| es.flow(g))
-                    .fold(f64::INFINITY, f64::min);
+                let flow = edge_sets.iter().map(|es| es.flow(g)).fold(f64::INFINITY, f64::min);
                 let inst = MotifInstance { edge_sets, flow, first_time, last_time };
                 if check_instance_valid(g, motif, sm, &inst).is_ok()
                     && check_instance_maximal(g, motif, &inst).is_ok()

@@ -1,10 +1,8 @@
 //! Generator configuration: the shape parameters of a synthetic
 //! interaction network.
 
-use serde::{Deserialize, Serialize};
-
 /// Distribution of per-interaction flow values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FlowDistribution {
     /// `exp(N(mu, sigma))` — wide positive distribution, like bitcoin
     /// transaction amounts (Table 3: avg 4.845).
@@ -42,7 +40,7 @@ impl FlowDistribution {
 }
 
 /// Shape parameters of a synthetic interaction network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorConfig {
     /// Number of vertices.
     pub num_nodes: usize,

@@ -4,10 +4,9 @@
 use crate::config::{FlowDistribution, GeneratorConfig};
 use crate::generate::generate;
 use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
-use serde::{Deserialize, Serialize};
 
 /// One of the paper's three evaluation networks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Bitcoin user graph: sparse, heavy-tailed degrees, rare parallel
     /// edges (~1.4 per pair), wide flow distribution (avg 4.845 BTC).

@@ -4,9 +4,9 @@
 use crate::config::{FlowDistribution, GeneratorConfig};
 use crate::rng::{log_normal, poisson, skewed_index};
 use flowmotif_graph::{Interaction, TemporalMultigraph};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use rustc_hash::FxHashSet;
+use flowmotif_util::rng::StdRng;
+use flowmotif_util::rng::{RngExt, SeedableRng};
+use flowmotif_util::FxHashSet;
 
 fn sample_flow(rng: &mut StdRng, dist: FlowDistribution) -> f64 {
     match dist {
@@ -31,12 +31,13 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> TemporalMultigraph {
     let closure_target = (target_pairs as f64 * config.closure_bias.clamp(0.0, 1.0)) as usize;
     let base_target = target_pairs - closure_target;
     let mut pair_vec: Vec<(u32, u32)> = Vec::with_capacity(target_pairs);
-    let mut out_adj: rustc_hash::FxHashMap<u32, Vec<u32>> = rustc_hash::FxHashMap::default();
+    let mut out_adj: flowmotif_util::FxHashMap<u32, Vec<u32>> =
+        flowmotif_util::FxHashMap::default();
     let push_pair = |pairs: &mut FxHashSet<(u32, u32)>,
-                         pair_vec: &mut Vec<(u32, u32)>,
-                         out_adj: &mut rustc_hash::FxHashMap<u32, Vec<u32>>,
-                         u: u32,
-                         v: u32| {
+                     pair_vec: &mut Vec<(u32, u32)>,
+                     out_adj: &mut flowmotif_util::FxHashMap<u32, Vec<u32>>,
+                     u: u32,
+                     v: u32| {
         if u != v && pairs.insert((u, v)) {
             pair_vec.push((u, v));
             out_adj.entry(u).or_default().push(v);
@@ -127,8 +128,9 @@ fn propagate_flows(config: &GeneratorConfig, rng: &mut StdRng, g: &mut TemporalM
     order.sort_by_key(|&i| interactions[i].time);
 
     // (decayed balance, last update time) per node.
-    let mut balances: rustc_hash::FxHashMap<u32, (f64, i64)> = rustc_hash::FxHashMap::default();
-    let decayed = |balances: &rustc_hash::FxHashMap<u32, (f64, i64)>, node: u32, now: i64| {
+    let mut balances: flowmotif_util::FxHashMap<u32, (f64, i64)> =
+        flowmotif_util::FxHashMap::default();
+    let decayed = |balances: &flowmotif_util::FxHashMap<u32, (f64, i64)>, node: u32, now: i64| {
         let (b, last) = balances.get(&node).copied().unwrap_or((0.0, now));
         b * 0.5f64.powf((now - last).max(0) as f64 / halflife)
     };

@@ -8,8 +8,8 @@
 
 use crate::rng::shuffle;
 use flowmotif_graph::TemporalMultigraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowmotif_util::rng::SeedableRng;
+use flowmotif_util::rng::StdRng;
 
 /// Permutes the flow values of `g` in place, deterministically in `seed`.
 pub fn permute_flows_in_place(g: &mut TemporalMultigraph, seed: u64) {

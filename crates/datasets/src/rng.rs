@@ -1,8 +1,8 @@
 //! Small sampling helpers built on `rand` (no `rand_distr` dependency:
 //! the handful of distributions we need are a few lines each).
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use flowmotif_util::rng::RngExt;
+use flowmotif_util::rng::StdRng;
 
 /// Standard normal via Box–Muller.
 pub fn normal(rng: &mut StdRng) -> f64 {
@@ -61,7 +61,7 @@ pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use flowmotif_util::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

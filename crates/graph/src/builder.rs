@@ -4,7 +4,7 @@ use crate::error::GraphError;
 use crate::event::{Event, Flow, NodeId, Timestamp};
 use crate::multigraph::{Interaction, TemporalMultigraph};
 use crate::tsgraph::TimeSeriesGraph;
-use rustc_hash::FxHashMap;
+use flowmotif_util::FxHashMap;
 
 /// Accumulates raw interactions and produces either representation.
 ///
@@ -38,8 +38,7 @@ impl GraphBuilder {
     /// Adds one interaction; panics on invalid input (see
     /// [`GraphBuilder::try_add_interaction`] for the checked variant).
     pub fn add_interaction(&mut self, from: NodeId, to: NodeId, time: Timestamp, flow: Flow) {
-        self.try_add_interaction(from, to, time, flow)
-            .expect("invalid interaction");
+        self.try_add_interaction(from, to, time, flow).expect("invalid interaction");
     }
 
     /// Adds one interaction, validating flow positivity and self-loops.

@@ -1,8 +1,6 @@
 //! Basic value types: node/pair identifiers, timestamps, flows and the
 //! `(t, f)` interaction element of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a vertex in the interaction network.
 ///
 /// Vertices are dense integers in `0..num_nodes`, which keeps adjacency
@@ -24,7 +22,7 @@ pub type Flow = f64;
 
 /// A flow interaction element `(t, f)` on an edge of the time-series graph
 /// (paper Table 1: "flow interaction element on an edge of `E_T`").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Time at which the interaction occurred.
     pub time: Timestamp,

@@ -17,29 +17,26 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<(u32, u32, i64, f64)>,
     if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
         return Ok(None);
     }
-    let mut fields = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+    let mut fields =
+        trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
     let mut next = |name: &str| {
         fields.next().ok_or_else(|| GraphError::Parse {
             line: lineno,
             message: format!("missing field `{name}` (expected `from to time flow`)"),
         })
     };
-    let from: u64 = next("from")?.parse().map_err(|e| GraphError::Parse {
-        line: lineno,
-        message: format!("bad `from`: {e}"),
-    })?;
-    let to: u64 = next("to")?.parse().map_err(|e| GraphError::Parse {
-        line: lineno,
-        message: format!("bad `to`: {e}"),
-    })?;
-    let time: i64 = next("time")?.parse().map_err(|e| GraphError::Parse {
-        line: lineno,
-        message: format!("bad `time`: {e}"),
-    })?;
-    let flow: f64 = next("flow")?.parse().map_err(|e| GraphError::Parse {
-        line: lineno,
-        message: format!("bad `flow`: {e}"),
-    })?;
+    let from: u64 = next("from")?
+        .parse()
+        .map_err(|e| GraphError::Parse { line: lineno, message: format!("bad `from`: {e}") })?;
+    let to: u64 = next("to")?
+        .parse()
+        .map_err(|e| GraphError::Parse { line: lineno, message: format!("bad `to`: {e}") })?;
+    let time: i64 = next("time")?
+        .parse()
+        .map_err(|e| GraphError::Parse { line: lineno, message: format!("bad `time`: {e}") })?;
+    let flow: f64 = next("flow")?
+        .parse()
+        .map_err(|e| GraphError::Parse { line: lineno, message: format!("bad `flow`: {e}") })?;
     let from = u32::try_from(from).map_err(|_| GraphError::NodeIdOverflow(from))?;
     let to = u32::try_from(to).map_err(|_| GraphError::NodeIdOverflow(to))?;
     Ok(Some((from, to, time, flow)))

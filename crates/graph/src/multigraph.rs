@@ -5,10 +5,9 @@
 //! are what flow motifs aggregate over.
 
 use crate::event::{Flow, NodeId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// A single timestamped flow transfer `u -> v` (one edge of the multigraph).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interaction {
     /// Source node.
     pub from: NodeId,
@@ -33,7 +32,7 @@ impl Interaction {
 /// This is a thin, append-only edge list. Motif algorithms never run on it
 /// directly; convert to a [`crate::TimeSeriesGraph`] first (the conversion
 /// is what the paper calls "merging parallel edges into time series").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TemporalMultigraph {
     num_nodes: usize,
     interactions: Vec<Interaction>,
@@ -128,14 +127,14 @@ mod tests {
         [
             (0u32, 1u32, 13i64, 5.0), // u1 -> u2
             (0, 1, 15, 7.0),
-            (2, 0, 10, 10.0),  // u3 -> u1
-            (3, 2, 1, 2.0),    // u4 -> u3
-            (3, 2, 3, 5.0),    // u4 -> u3
-            (3, 0, 11, 10.0),  // u4 -> u1
-            (1, 2, 18, 20.0),  // u2 -> u3
-            (2, 3, 19, 5.0),   // u3 -> u4
-            (2, 3, 21, 4.0),   // u3 -> u4
-            (1, 3, 23, 7.0),   // u2 -> u4
+            (2, 0, 10, 10.0), // u3 -> u1
+            (3, 2, 1, 2.0),   // u4 -> u3
+            (3, 2, 3, 5.0),   // u4 -> u3
+            (3, 0, 11, 10.0), // u4 -> u1
+            (1, 2, 18, 20.0), // u2 -> u3
+            (2, 3, 19, 5.0),  // u3 -> u4
+            (2, 3, 21, 4.0),  // u3 -> u4
+            (1, 3, 23, 7.0),  // u2 -> u4
         ]
         .into_iter()
         .map(|(u, v, t, f)| Interaction::new(u, v, t, f))

@@ -39,11 +39,8 @@ pub fn earliest_arrival(
             let s = g.series(p);
             // First interaction departing strictly after arrival (at the
             // source itself, departures at exactly t_start are allowed).
-            let idx = if u == source && t == t_start {
-                s.idx_at_or_after(t)
-            } else {
-                s.idx_after(t)
-            };
+            let idx =
+                if u == source && t == t_start { s.idx_at_or_after(t) } else { s.idx_after(t) };
             if idx >= s.len() {
                 continue;
             }

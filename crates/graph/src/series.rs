@@ -2,7 +2,6 @@
 //! one edge of the time-series graph, with O(1) range-flow queries.
 
 use crate::event::{Event, Flow, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// The interaction time series on an edge of `G_T` (paper Table 1:
@@ -12,7 +11,7 @@ use std::ops::Range;
 /// Prefix-sum range flow is the workhorse of both Algorithm 1 (the `ϕ`
 /// check at every prefix, line 16) and the DP module (the `flow([tj, ti], κ)`
 /// term of Eq. 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteractionSeries {
     events: Vec<Event>,
     /// `prefix[i]` = total flow of `events[..i]`; has `len + 1` entries.

@@ -2,12 +2,11 @@
 
 use crate::event::Flow;
 use crate::tsgraph::TimeSeriesGraph;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of an interaction network, mirroring paper Table 3
 /// ("#nodes, #connected node pairs, #edges, Avg. flow per edge") plus a few
 /// extra shape indicators used in the dataset generators' self-checks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// `|V|` — number of vertices.
     pub num_nodes: usize,
@@ -55,6 +54,17 @@ impl GraphStats {
         }
     }
 }
+
+flowmotif_util::impl_to_json!(GraphStats {
+    num_nodes,
+    num_connected_pairs,
+    num_interactions,
+    avg_flow_per_edge,
+    avg_edges_per_pair,
+    time_min,
+    time_max,
+    max_out_degree,
+});
 
 impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -8,10 +8,9 @@
 
 use crate::event::{NodeId, PairId, Timestamp};
 use crate::series::InteractionSeries;
-use serde::{Deserialize, Serialize};
 
 /// The merged, index-based graph all motif algorithms run on.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeriesGraph {
     num_nodes: usize,
     num_interactions: usize,
@@ -39,21 +38,13 @@ impl TimeSeriesGraph {
         let mut series = Vec::with_capacity(pairs_events.len());
         let mut num_interactions = 0;
         for (pair, events) in pairs_events {
-            debug_assert!(
-                pairs.last().is_none_or(|&last| last != pair),
-                "duplicate pair {pair:?}"
-            );
+            debug_assert!(pairs.last().is_none_or(|&last| last != pair), "duplicate pair {pair:?}");
             num_interactions += events.len();
             pairs.push(pair);
             series.push(InteractionSeries::from_events(events));
         }
-        let num_nodes = num_nodes.max(
-            pairs
-                .iter()
-                .map(|&(u, v)| u.max(v) as usize + 1)
-                .max()
-                .unwrap_or(0),
-        );
+        let num_nodes =
+            num_nodes.max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
         let mut out_start = vec![0u32; num_nodes + 1];
         for &(u, _) in &pairs {
             out_start[u as usize + 1] += 1;
@@ -129,10 +120,7 @@ impl TimeSeriesGraph {
     pub fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
         let r = self.out_pair_range(u);
         let slice = &self.pairs[r.start as usize..r.end as usize];
-        slice
-            .binary_search_by_key(&v, |&(_, t)| t)
-            .ok()
-            .map(|i| r.start + i as u32)
+        slice.binary_search_by_key(&v, |&(_, t)| t).ok().map(|i| r.start + i as u32)
     }
 
     /// Earliest and latest timestamp over all series, or `None` if the
@@ -222,10 +210,8 @@ mod tests {
 
     #[test]
     fn isolated_trailing_nodes_are_kept() {
-        let g = TimeSeriesGraph::from_pair_events(
-            10,
-            vec![((0, 1), vec![crate::Event::new(1, 1.0)])],
-        );
+        let g =
+            TimeSeriesGraph::from_pair_events(10, vec![((0, 1), vec![crate::Event::new(1, 1.0)])]);
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.out_degree(9), 0);
     }

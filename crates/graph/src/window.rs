@@ -2,14 +2,13 @@
 //! of Algorithm 1 and the DP module.
 
 use crate::event::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// A closed time interval `[start, end]`.
 ///
 /// Algorithm 1 slides windows of length `δ` anchored at elements of
 /// `R(e1)`; a window anchored at time `t` is `[t, t + δ]` (paper example:
 /// anchor 10, δ=10 → window `[10, 20]`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeWindow {
     /// Inclusive lower bound.
     pub start: Timestamp,

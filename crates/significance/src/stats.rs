@@ -1,7 +1,5 @@
 //! Descriptive statistics for the randomization experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean (0 for an empty slice).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -37,7 +35,7 @@ pub fn quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Five-number summary backing the box plots of Fig. 14.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FiveNumberSummary {
     /// Minimum.
     pub min: f64,
@@ -50,6 +48,8 @@ pub struct FiveNumberSummary {
     /// Maximum.
     pub max: f64,
 }
+
+flowmotif_util::impl_to_json!(FiveNumberSummary { min, q1, median, q3, max });
 
 impl FiveNumberSummary {
     /// Computes the summary of the given samples.

@@ -8,10 +8,9 @@ use flowmotif_core::enumerate::{
 use flowmotif_core::{find_structural_matches, Motif, StructuralMatch};
 use flowmotif_datasets::permute_flows;
 use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the randomization experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignificanceConfig {
     /// Number of randomized replicas (the paper uses 20).
     pub num_replicas: usize,
@@ -26,7 +25,7 @@ impl Default for SignificanceConfig {
 }
 
 /// Significance verdict for one motif on one dataset (one bar of Fig. 14).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MotifSignificance {
     /// Motif display name.
     pub motif: String,
@@ -48,17 +47,30 @@ pub struct MotifSignificance {
     pub box_plot: FiveNumberSummary,
 }
 
-fn count_with_matches(
-    g: &TimeSeriesGraph,
-    motif: &Motif,
-    matches: &[StructuralMatch],
-) -> u64 {
+flowmotif_util::impl_to_json!(MotifSignificance {
+    motif,
+    real_count,
+    random_counts,
+    random_mean,
+    random_std,
+    z_score,
+    p_value,
+    box_plot,
+});
+
+fn count_with_matches(g: &TimeSeriesGraph, motif: &Motif, matches: &[StructuralMatch]) -> u64 {
     let mut sink = CountSink::default();
     let mut stats = SearchStats::default();
     let mut scratch = EnumerationScratch::default();
     for sm in matches {
         enumerate_in_match_reusing(
-            g, motif, sm, SearchOptions::default(), &mut sink, &mut stats, &mut scratch,
+            g,
+            motif,
+            sm,
+            SearchOptions::default(),
+            &mut sink,
+            &mut stats,
+            &mut scratch,
         );
     }
     sink.count
@@ -174,10 +186,8 @@ mod tests {
     #[test]
     fn assess_motifs_covers_all_inputs() {
         let mg = Dataset::Passenger.generate_multigraph(0.1, 5);
-        let motifs: Vec<_> = ["M(3,2)", "M(3,3)"]
-            .iter()
-            .map(|n| catalog::by_name(n, 900, 2.0).unwrap())
-            .collect();
+        let motifs: Vec<_> =
+            ["M(3,2)", "M(3,3)"].iter().map(|n| catalog::by_name(n, 900, 2.0).unwrap()).collect();
         let cfg = SignificanceConfig { num_replicas: 3, seed: 1 };
         let out = assess_motifs(&mg, &motifs, cfg);
         assert_eq!(out.len(), 2);

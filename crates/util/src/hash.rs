@@ -1,0 +1,111 @@
+//! `FxHash` — the rustc hash function, re-implemented locally so the
+//! workspace has no external dependency. It is a simple multiply-rotate
+//! mix: extremely fast for the small integer keys (node ids, pair ids,
+//! `(u32, u32)` tuples) that dominate this workspace, at the cost of not
+//! being DoS-resistant (fine: all keys are internal).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHasher`: word-at-a-time rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), i as u64 * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(10, 11)), Some(&20));
+        let mut s: FxHashSet<u32> = FxHashSet::with_capacity_and_hasher(16, Default::default());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        use std::hash::BuildHasher;
+        let build = BuildHasherDefault::<FxHasher>::default();
+        let hash_of = |k: &(u32, u32)| build.hash_one(k);
+        assert_eq!(hash_of(&(1, 2)), hash_of(&(1, 2)));
+        assert_ne!(hash_of(&(1, 2)), hash_of(&(2, 1)));
+    }
+
+    #[test]
+    fn byte_slices_of_different_length_differ() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh_tail");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh_tali");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

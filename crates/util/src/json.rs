@@ -1,0 +1,320 @@
+//! Minimal JSON value model and serialization.
+//!
+//! The CLI's `--json` output and the experiment binaries' `--json` dumps
+//! are the only JSON producers in the workspace, so instead of `serde` +
+//! `serde_json` this module provides a small [`Json`] tree, the [`ToJson`]
+//! conversion trait, and compact/pretty writers. Public result types
+//! implement `ToJson` by hand (see the [`crate::impl_to_json!`] helper);
+//! ad-hoc objects are built with the [`crate::json!`] macro.
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer (covers `u64` and `i64` without loss).
+    Int(i128),
+    /// A floating-point number. Non-finite values serialize as `null`,
+    /// matching `serde_json`'s behaviour.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Rust's float Display is already a valid JSON number.
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes any [`ToJson`] value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Serializes any [`ToJson`] value with two-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut s = String::new();
+    value.to_json().write(&mut s, Some(2), 0);
+    s
+}
+
+/// Conversion into a [`Json`] tree — the workspace's stand-in for
+/// `serde::Serialize`.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_tojson_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    /// Tuples serialize as two-element arrays, as `serde` does.
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+/// Builds a [`Json`] value with a `serde_json::json!`-like syntax:
+/// `json!({"key": expr, ...})`, `json!([a, b])`, or `json!(expr)` where
+/// every expression implements [`ToJson`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Json::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::json::Json::Array(vec![ $( $crate::json::ToJson::to_json(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::json::Json::Object(vec![
+            $( (($key).to_string(), $crate::json::ToJson::to_json(&$val)) ),*
+        ])
+    };
+    ($e:expr) => { $crate::json::ToJson::to_json(&$e) };
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+/// `impl_to_json!(GraphStats { num_nodes, num_interactions, ... });`
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Object(vec![
+                    $( (
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    ) ),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(json!(true).to_string(), "true");
+        assert_eq!(json!(42u64).to_string(), "42");
+        assert_eq!(json!(-7i64).to_string(), "-7");
+        assert_eq!(json!(1.5).to_string(), "1.5");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+        assert_eq!(json!("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(json!(s).to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(json!(vec![1u32, 2, 3]).to_string(), "[1,2,3]");
+        assert_eq!(json!(Option::<u32>::None).to_string(), "null");
+        assert_eq!(json!(Some(5u32)).to_string(), "5");
+        assert_eq!(json!(("a", 1u32)).to_string(), "[\"a\",1]");
+    }
+
+    #[test]
+    fn object_macro_and_get() {
+        let v = json!({"name": "M(3,3)", "count": 7u64, "nested": json!([1u8])});
+        assert_eq!(v.to_string(), "{\"name\":\"M(3,3)\",\"count\":7,\"nested\":[1]}");
+        assert_eq!(v.get("count"), Some(&Json::Int(7)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({"a": 1u8, "b": json!([2u8])});
+        let s = to_string_pretty(&v);
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+        assert_eq!(to_string_pretty(&Json::Array(vec![])), "[]");
+    }
+
+    #[test]
+    fn impl_to_json_macro_works() {
+        struct P {
+            x: u32,
+            y: Option<f64>,
+        }
+        crate::impl_to_json!(P { x, y });
+        let p = P { x: 3, y: None };
+        assert_eq!(to_string(&p), "{\"x\":3,\"y\":null}");
+    }
+}

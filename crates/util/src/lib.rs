@@ -1,0 +1,23 @@
+//! Dependency-free utility layer for the flowmotif workspace.
+//!
+//! The build environment is fully offline (no crates-io registry), so the
+//! handful of external crates the original code leaned on are replaced by
+//! small local implementations:
+//!
+//! * [`rng`] — a seedable xoshiro256++ generator with the `StdRng` /
+//!   `SeedableRng` / `RngExt` call surface (replaces `rand`).
+//! * [`hash`] — `FxHashMap` / `FxHashSet` over the rustc hash function
+//!   (replaces `rustc_hash`).
+//! * [`json`] — a minimal JSON tree + `ToJson` trait + `json!` macro
+//!   (replaces `serde` / `serde_json` for the CLI's output paths).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hash;
+pub mod json;
+pub mod rng;
+
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use json::{to_string, to_string_pretty, Json, ToJson};
+pub use rng::{RngCore, RngExt, SampleRange, SeedableRng, Standard, StdRng};

@@ -1,0 +1,273 @@
+//! Self-contained seedable random number generation.
+//!
+//! The workspace builds fully offline, so instead of the `rand` crate this
+//! module provides the small surface the rest of the workspace needs:
+//! [`StdRng`] (a xoshiro256++ generator), [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] extension trait with `random::<T>()` and
+//! `random_range(..)`. Determinism is part of the contract: the same seed
+//! always yields the same stream, across platforms and releases within the
+//! same major version (dataset generation and `--seed` reproducibility
+//! depend on it).
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit output interface.
+pub trait RngCore {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The workspace's default generator: xoshiro256++, seeded via SplitMix64.
+///
+/// Fast, tiny, and statistically solid for simulation workloads (it is the
+/// same family `rand`'s small RNGs use). Not cryptographically secure —
+/// nothing in this workspace needs that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to fill xoshiro state
+        // from a small seed (avoids the all-zero state by construction).
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Values samplable uniformly over their whole domain (`rng.random::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with full 53-bit mantissa resolution.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable into a `T` (`rng.random_range(lo..hi)`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, span)` via Lemire's multiply-shift reduction.
+/// The modulo bias is < span / 2^64 — irrelevant for simulation use.
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    // Full-domain range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        // Rounding in the affine map can land exactly on `end` (e.g. when
+        // `end - start` underflows resolution); clamp below the exclusive
+        // bound to honour the half-open contract.
+        let v = self.start + (self.end - self.start) * f64::sample(rng);
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring the call surface the workspace
+/// uses (`random`, `random_range`, `random_bool`).
+pub trait RngExt: RngCore {
+    /// Uniform value over `T`'s domain (`[0, 1)` for floats).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in the given range.
+    #[inline]
+    fn random_range<T, Rng: SampleRange<T>>(&mut self, range: Rng) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..=9)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn signed_and_float_ranges() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.random_range(-50i64..50);
+            assert!((-50..50).contains(&x));
+            let y = r.random_range(0.5f64..0.95);
+            assert!((0.5..0.95).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_never_returns_the_exclusive_bound() {
+        // A range of one ULP maximises the rounding pressure on the
+        // affine map: without clamping, the top samples round to `end`.
+        let mut r = StdRng::seed_from_u64(6);
+        let (lo, hi) = (1.0f64, 1.0 + f64::EPSILON);
+        for _ in 0..10_000 {
+            let x = r.random_range(lo..hi);
+            assert!(lo <= x && x < hi, "{x}");
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "{hits}");
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.1));
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match r.random_range(0usize..=1) {
+                0 => lo_seen = true,
+                1 => hi_seen = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

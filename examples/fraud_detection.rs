@@ -54,12 +54,7 @@ fn main() {
     for (sm, insts) in &groups {
         for inst in insts {
             let walk = sm.walk_nodes(&g);
-            println!(
-                "  ring {:?} moved {} units in {} time units",
-                walk,
-                inst.flow,
-                inst.span()
-            );
+            println!("  ring {:?} moved {} units in {} time units", walk, inst.flow, inst.span());
             found.push(walk);
         }
     }

@@ -22,10 +22,7 @@ fn main() {
     for delta in Dataset::Passenger.delta_sweep() {
         let motif = catalog::by_name("M(4,3)", delta, phi).unwrap();
         let (n, stats) = count_instances(&g, &motif);
-        println!(
-            "  δ={delta:>5}: {n:>6} chains ({} windows examined)",
-            stats.windows_processed
-        );
+        println!("  δ={delta:>5}: {n:>6} chains ({} windows examined)", stats.windows_processed);
     }
 
     // Chains vs cycles at the default δ: passenger flows rarely loop.

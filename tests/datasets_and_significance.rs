@@ -2,8 +2,11 @@
 //! model, time-prefix sampling, and the significance pipeline — the
 //! pieces behind experiments T3, F13 and F14.
 
+mod common;
+
+use common::case_rng;
 use flowmotif::prelude::*;
-use proptest::prelude::*;
+use flowmotif_util::rng::RngExt;
 
 #[test]
 fn all_datasets_generate_and_search_end_to_end() {
@@ -59,18 +62,18 @@ fn prefix_samples_nest_and_final_equals_full() {
     assert_eq!(prev_count, n_full, "final sample == full dataset");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The permutation null model preserves exactly what §6.3 requires:
-    /// structure, timestamps, and the multiset of flow values.
-    #[test]
-    fn permutation_null_model_invariants(seed in 0u64..500) {
+/// The permutation null model preserves exactly what §6.3 requires:
+/// structure, timestamps, and the multiset of flow values.
+#[test]
+fn permutation_null_model_invariants() {
+    for case in 0..16u64 {
+        let mut rng = case_rng(0x21, case);
+        let seed = rng.random_range(0u64..500);
         let mg = Dataset::Passenger.generate_multigraph(0.08, 11);
         let r = permute_flows(&mg, seed);
         // skeleton identical
         for (a, b) in mg.interactions().iter().zip(r.interactions()) {
-            prop_assert_eq!((a.from, a.to, a.time), (b.from, b.to, b.time));
+            assert_eq!((a.from, a.to, a.time), (b.from, b.to, b.time), "case {case}");
         }
         // flow multiset identical
         let key = |g: &TemporalMultigraph| {
@@ -78,28 +81,33 @@ proptest! {
             v.sort_unstable();
             v
         };
-        prop_assert_eq!(key(&mg), key(&r));
+        assert_eq!(key(&mg), key(&r), "case {case}");
         // structural matches identical (flow-agnostic phase P1)
         let motif = catalog::by_name("M(3,3)", 900, 0.0).unwrap();
         let a: TimeSeriesGraph = (&mg).into();
         let b: TimeSeriesGraph = (&r).into();
-        prop_assert_eq!(
+        assert_eq!(
             find_structural_matches(&a, motif.path()),
-            find_structural_matches(&b, motif.path())
+            find_structural_matches(&b, motif.path()),
+            "case {case}"
         );
         // with ϕ = 0 even the instance count is invariant
-        prop_assert_eq!(count_instances(&a, &motif).0, count_instances(&b, &motif).0);
+        assert_eq!(count_instances(&a, &motif).0, count_instances(&b, &motif).0, "case {case}");
     }
+}
 
-    /// Generators are deterministic and honour the scale knob.
-    #[test]
-    fn generator_scaling(scale in 0.05f64..0.5) {
+/// Generators are deterministic and honour the scale knob.
+#[test]
+fn generator_scaling() {
+    for case in 0..16u64 {
+        let mut rng = case_rng(0x22, case);
+        let scale = rng.random_range(0.05f64..0.5);
         let a = Dataset::Facebook.generate_multigraph(scale, 1);
         let b = Dataset::Facebook.generate_multigraph(scale, 1);
-        prop_assert_eq!(a.interactions().len(), b.interactions().len());
+        assert_eq!(a.interactions().len(), b.interactions().len(), "case {case}");
         let cfg = Dataset::Facebook.config().scaled(scale);
         let ts: TimeSeriesGraph = (&a).into();
-        prop_assert_eq!(ts.num_pairs(), cfg.num_pairs);
+        assert_eq!(ts.num_pairs(), cfg.num_pairs, "case {case} scale={scale}");
     }
 }
 
@@ -108,9 +116,7 @@ fn edge_list_io_round_trips_generated_data() {
     let mg = Dataset::Passenger.generate_multigraph(0.1, 17);
     let mut buf = Vec::new();
     flowmotif::graph::io::write_edge_list(&mg, &mut buf).unwrap();
-    let loaded = flowmotif::graph::io::read_edge_list(buf.as_slice())
-        .unwrap()
-        .build_multigraph();
+    let loaded = flowmotif::graph::io::read_edge_list(buf.as_slice()).unwrap().build_multigraph();
     assert_eq!(loaded.num_interactions(), mg.num_interactions());
     assert!((loaded.total_flow() - mg.total_flow()).abs() < 1e-6);
     // Search results identical through the round trip.

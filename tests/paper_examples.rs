@@ -46,10 +46,8 @@ fn fig1_chain_instances() {
     let motif = catalog::by_name("M(3,2)", 5, 5.0).unwrap();
     let (groups, _) = enumerate_all(&g, &motif);
     let gr = &g;
-    let mut walks: Vec<Vec<u32>> = groups
-        .iter()
-        .flat_map(|(sm, v)| v.iter().map(move |_| sm.walk_nodes(gr)))
-        .collect();
+    let mut walks: Vec<Vec<u32>> =
+        groups.iter().flat_map(|(sm, v)| v.iter().map(move |_| sm.walk_nodes(gr))).collect();
     walks.sort();
     assert_eq!(walks, vec![vec![0, 1, 2], vec![3, 0, 1]]);
 
@@ -111,10 +109,7 @@ fn fig7_walkthrough_all_algorithms_agree() {
     let (flow, _) = dp_max_flow(&g, &motif);
     assert_eq!(flow, 5.0);
     let (groups, _) = enumerate_all(&g, &motif);
-    let max = groups
-        .iter()
-        .flat_map(|(_, v)| v.iter().map(|i| i.flow))
-        .fold(0.0f64, f64::max);
+    let max = groups.iter().flat_map(|(_, v)| v.iter().map(|i| i.flow)).fold(0.0f64, f64::max);
     assert_eq!(max, 5.0);
 
     // ϕ=5 leaves exactly the paper's surviving instance.

@@ -1,39 +1,22 @@
-//! Property tests: on arbitrary small interaction networks, the
-//! two-phase algorithm, the join baseline and the brute-force reference
-//! agree exactly, and every emitted instance is valid (Def. 3.2) and
-//! maximal (Def. 3.3).
+//! Randomized equivalence tests: on arbitrary small interaction networks,
+//! the two-phase algorithm, the join baseline and the brute-force
+//! reference agree exactly, and every emitted instance is valid
+//! (Def. 3.2) and maximal (Def. 3.3).
+//!
+//! Formerly proptest suites; now seeded randomized tests with the same
+//! case counts and oracles (the workspace builds offline).
 
+mod common;
+
+use common::{case_rng, pick, random_graph};
 use flowmotif::core::validate::{
-    brute_force_instances, check_instance_maximal, check_instance_valid,
-    check_structural_match,
+    brute_force_instances, check_instance_maximal, check_instance_valid, check_structural_match,
 };
 use flowmotif::prelude::*;
-use proptest::prelude::*;
+use flowmotif_util::rng::RngExt;
 
-/// Random small interaction network: up to `nodes` vertices, `edges`
-/// interactions with integer times and flows.
-fn graph_strategy(
-    nodes: u32,
-    max_edges: usize,
-) -> impl Strategy<Value = TimeSeriesGraph> {
-    prop::collection::vec(
-        (0..nodes, 0..nodes, 0i64..120, 1u32..10),
-        1..max_edges,
-    )
-    .prop_map(|edges| {
-        let mut b = GraphBuilder::new();
-        for (u, v, t, f) in edges {
-            if u != v {
-                b.add_interaction(u, v, t, f as f64);
-            }
-        }
-        b.build_time_series_graph()
-    })
-}
-
-fn catalog_motif() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec!["M(3,2)", "M(3,3)", "M(4,3)", "M(4,4)B"])
-}
+const CASES: u64 = 64;
+const CATALOG: [&str; 4] = ["M(3,2)", "M(3,3)", "M(4,3)", "M(4,4)B"];
 
 fn normalize(v: Vec<(StructuralMatch, MotifInstance)>) -> Vec<String> {
     let mut out: Vec<String> =
@@ -42,117 +25,128 @@ fn normalize(v: Vec<(StructuralMatch, MotifInstance)>) -> Vec<String> {
     out
 }
 
-fn flatten(groups: Vec<(StructuralMatch, Vec<MotifInstance>)>) -> Vec<(StructuralMatch, MotifInstance)> {
-    groups
-        .into_iter()
-        .flat_map(|(sm, is)| is.into_iter().map(move |i| (sm.clone(), i)))
-        .collect()
+fn flatten(
+    groups: Vec<(StructuralMatch, Vec<MotifInstance>)>,
+) -> Vec<(StructuralMatch, MotifInstance)> {
+    groups.into_iter().flat_map(|(sm, is)| is.into_iter().map(move |i| (sm.clone(), i))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Two-phase output == join-baseline output, element for element.
-    #[test]
-    fn two_phase_equals_join(
-        g in graph_strategy(8, 40),
-        name in catalog_motif(),
-        delta in 1i64..50,
-        phi in 0u32..12,
-    ) {
-        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+/// Two-phase output == join-baseline output, element for element.
+#[test]
+fn two_phase_equals_join() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x01, case);
+        let g = random_graph(&mut rng, 8, 40);
+        let name = pick(&mut rng, &CATALOG);
+        let delta = rng.random_range(1i64..50);
+        let phi = rng.random_range(0u32..12) as f64;
+        let motif = catalog::by_name(name, delta, phi).unwrap();
         let (two_phase, _) = enumerate_all(&g, &motif);
         let (joined, _) = join_enumerate(&g, &motif);
-        prop_assert_eq!(normalize(flatten(two_phase)), normalize(joined));
+        assert_eq!(
+            normalize(flatten(two_phase)),
+            normalize(joined),
+            "case {case}: {name} δ={delta} ϕ={phi}"
+        );
     }
+}
 
-    /// Every emitted instance is structurally sound, valid and maximal.
-    #[test]
-    fn instances_are_valid_and_maximal(
-        g in graph_strategy(8, 40),
-        name in catalog_motif(),
-        delta in 1i64..50,
-        phi in 0u32..12,
-    ) {
-        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+/// Every emitted instance is structurally sound, valid and maximal.
+#[test]
+fn instances_are_valid_and_maximal() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x02, case);
+        let g = random_graph(&mut rng, 8, 40);
+        let name = pick(&mut rng, &CATALOG);
+        let delta = rng.random_range(1i64..50);
+        let phi = rng.random_range(0u32..12) as f64;
+        let motif = catalog::by_name(name, delta, phi).unwrap();
         let (groups, _) = enumerate_all(&g, &motif);
         for (sm, insts) in &groups {
-            check_structural_match(&g, &motif, sm).map_err(TestCaseError::fail)?;
+            check_structural_match(&g, &motif, sm).unwrap_or_else(|e| panic!("case {case}: {e}"));
             for inst in insts {
-                check_instance_valid(&g, &motif, sm, inst).map_err(TestCaseError::fail)?;
-                check_instance_maximal(&g, &motif, inst).map_err(TestCaseError::fail)?;
+                check_instance_valid(&g, &motif, sm, inst)
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
+                check_instance_maximal(&g, &motif, inst)
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
             }
         }
     }
+}
 
-    /// Per structural match, the algorithm agrees with the exponential
-    /// brute-force reference (smaller graphs: the reference explodes).
-    #[test]
-    fn two_phase_equals_brute_force(
-        g in graph_strategy(6, 24),
-        name in prop::sample::select(vec!["M(3,2)", "M(3,3)"]),
-        delta in 1i64..40,
-        phi in 0u32..8,
-    ) {
-        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+/// Per structural match, the algorithm agrees with the exponential
+/// brute-force reference (smaller graphs: the reference explodes).
+#[test]
+fn two_phase_equals_brute_force() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x03, case);
+        let g = random_graph(&mut rng, 6, 24);
+        let name = pick(&mut rng, &["M(3,2)", "M(3,3)"]);
+        let delta = rng.random_range(1i64..40);
+        let phi = rng.random_range(0u32..8) as f64;
+        let motif = catalog::by_name(name, delta, phi).unwrap();
         let matches = find_structural_matches(&g, motif.path());
         let (groups, _) = enumerate_all(&g, &motif);
         for sm in &matches {
-            let algo: Vec<_> = groups
+            let mut algo: Vec<_> = groups
                 .iter()
                 .filter(|(m, _)| m == sm)
                 .flat_map(|(_, v)| v.iter().map(|i| format!("{:?}", i.edge_sets)))
                 .collect();
-            let brute: Vec<_> = brute_force_instances(&g, &motif, sm)
+            let mut brute: Vec<_> = brute_force_instances(&g, &motif, sm)
                 .iter()
                 .map(|i| format!("{:?}", i.edge_sets))
                 .collect();
-            let mut a = algo; a.sort();
-            let mut b = brute; b.sort();
-            prop_assert_eq!(a, b);
+            algo.sort();
+            brute.sort();
+            assert_eq!(algo, brute, "case {case}: {name} δ={delta} ϕ={phi}");
         }
     }
+}
 
-    /// The ablation toggles change work done but never the result set.
-    #[test]
-    fn search_options_do_not_change_results(
-        g in graph_strategy(8, 40),
-        name in catalog_motif(),
-        delta in 1i64..50,
-        phi in 0u32..12,
-    ) {
-        use flowmotif::core::enumerate::{enumerate_with_sink, CollectSink};
-        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+/// The ablation toggles change work done but never the result set.
+#[test]
+fn search_options_do_not_change_results() {
+    use flowmotif::core::enumerate::{enumerate_with_sink, CollectSink};
+    for case in 0..CASES {
+        let mut rng = case_rng(0x04, case);
+        let g = random_graph(&mut rng, 8, 40);
+        let name = pick(&mut rng, &CATALOG);
+        let delta = rng.random_range(1i64..50);
+        let phi = rng.random_range(0u32..12) as f64;
+        let motif = catalog::by_name(name, delta, phi).unwrap();
         let mut reference: Option<Vec<String>> = None;
         for skip in [true, false] {
             for prune in [true, false] {
-                let opts = SearchOptions {
-                    skip_redundant_windows: skip,
-                    phi_prefix_pruning: prune,
-                };
+                let opts =
+                    SearchOptions { skip_redundant_windows: skip, phi_prefix_pruning: prune };
                 let mut sink = CollectSink::default();
                 enumerate_with_sink(&g, &motif, opts, &mut sink);
                 let norm = normalize(flatten(sink.groups));
                 match &reference {
                     None => reference = Some(norm),
-                    Some(r) => prop_assert_eq!(&norm, r, "skip={} prune={}", skip, prune),
+                    Some(r) => {
+                        assert_eq!(&norm, r, "case {case}: skip={skip} prune={prune}")
+                    }
                 }
             }
         }
     }
+}
 
-    /// Parallel drivers agree with the sequential ones.
-    #[test]
-    fn parallel_equals_sequential(
-        g in graph_strategy(10, 50),
-        name in catalog_motif(),
-        delta in 1i64..50,
-        phi in 0u32..10,
-        threads in 1usize..5,
-    ) {
-        let motif = catalog::by_name(name, delta, phi as f64).unwrap();
+/// Parallel drivers agree with the sequential ones.
+#[test]
+fn parallel_equals_sequential() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x05, case);
+        let g = random_graph(&mut rng, 10, 50);
+        let name = pick(&mut rng, &CATALOG);
+        let delta = rng.random_range(1i64..50);
+        let phi = rng.random_range(0u32..10) as f64;
+        let threads = rng.random_range(1usize..5);
+        let motif = catalog::by_name(name, delta, phi).unwrap();
         let (seq, _) = count_instances(&g, &motif);
         let (par, _) = par_count_instances(&g, &motif, threads);
-        prop_assert_eq!(seq, par);
+        assert_eq!(seq, par, "case {case}: {name} threads={threads}");
     }
 }
