@@ -9,6 +9,10 @@ cargo test -q --offline --workspace
 # Benches and experiment binaries must at least compile.
 cargo build --offline --workspace --all-targets
 
+# Bench smoke: every micro-bench (including streaming.rs) must *run*
+# with the quick budgets, so bench bit-rot fails the gate.
+cargo bench --offline -p flowmotif-bench --benches -- --quick
+
 # Style gates.
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -11,7 +11,11 @@ use flowmotif_significance::{assess_motifs, SignificanceConfig};
 fn main() {
     let args = CommonArgs::parse();
     let ctx = ExpContext::new(args.scale, args.seed);
-    let cfg = SignificanceConfig { num_replicas: if args.quick { 5 } else { 20 }, seed: args.seed };
+    let cfg = SignificanceConfig {
+        num_replicas: if args.quick { 5 } else { 20 },
+        seed: args.seed,
+        threads: args.threads,
+    };
     println!(
         "Fig. 14: motif significance vs {} flow-permuted replicas, default δ/ϕ, scale={} seed={}\n",
         cfg.num_replicas, args.scale, args.seed

@@ -8,10 +8,11 @@ use flowmotif_core::dp::dp_top1;
 use flowmotif_core::parallel::{par_enumerate_all, par_top_k};
 use flowmotif_core::{catalog, Motif};
 use flowmotif_datasets::Dataset;
-use flowmotif_graph::{io, GraphStats, TimeSeriesGraph};
+use flowmotif_graph::{io, GraphStats, TimeSeriesGraph, TimeWindow};
 use flowmotif_significance::{assess_motif, SignificanceConfig};
+use flowmotif_stream::{QueryEngine, SlidingWindow};
 use flowmotif_util::json;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// Runs the parsed CLI, writing output to `out`. Returns a process exit
@@ -26,6 +27,7 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
         Command::Census(path) => census(path, cli, out),
         Command::Activity(path) => activity(path, cli, out),
         Command::Generate => generate(cli, out),
+        Command::Stream(path) => stream(path.as_deref(), cli, out),
     }
 }
 
@@ -168,7 +170,8 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 fn significance<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let mg = io::load_multigraph(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
     let motif = motif_of(cli)?;
-    let cfg = SignificanceConfig { num_replicas: cli.replicas, seed: cli.seed };
+    let cfg =
+        SignificanceConfig { num_replicas: cli.replicas, seed: cli.seed, threads: cli.threads };
     let sig = assess_motif(&mg, &motif, cfg);
     if cli.json {
         writeln!(out, "{}", flowmotif_util::to_string_pretty(&sig)).ok();
@@ -230,6 +233,170 @@ fn activity<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String>
         writeln!(out, "  (no instances)").ok();
     }
     Ok(())
+}
+
+fn stream<W: Write>(path: Option<&Path>, cli: &Cli, out: &mut W) -> Result<(), String> {
+    match path {
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| format!("opening {}: {e}", p.display()))?;
+            run_stream_script(std::io::BufReader::new(f), cli, out)
+        }
+        None => run_stream_script(std::io::stdin().lock(), cli, out),
+    }
+}
+
+/// Drives a [`QueryEngine`] session from a line-oriented script (see the
+/// `stream` section of [`crate::opts::USAGE`] for the grammar), writing
+/// query answers to `out`.
+pub fn run_stream_script<R: BufRead, W: Write>(
+    reader: R,
+    cli: &Cli,
+    out: &mut W,
+) -> Result<(), String> {
+    if cli.horizon < 0 {
+        return Err(format!("--horizon must be non-negative, got {}", cli.horizon));
+    }
+    let mut engine = QueryEngine::new();
+    if cli.horizon > 0 {
+        engine = engine.with_window(SlidingWindow::new(cli.horizon));
+    }
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| format!("reading line {lineno}: {e}"))?;
+        let at = |e: String| format!("line {lineno}: {e}");
+        // `#` starts a comment anywhere on the line; `%` only as a whole
+        // line (matching the edge-list loader's comment conventions).
+        let trimmed = line.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let exact_len = |n: usize, what: &str| {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(at(format!("`{what}` takes {} fields, got {}", n - 1, fields.len() - 1)))
+            }
+        };
+        match fields[0] {
+            "query" => {
+                let (motif, window) = parse_query(&fields[1..]).map_err(at)?;
+                stream_query(&mut engine, &motif, window, cli, out);
+            }
+            "evict" => {
+                exact_len(2, "evict <t>")?;
+                let floor: i64 = parse_field(&fields[1..], 0, "evict <t>").map_err(at)?;
+                let dropped = engine.evict_before(floor);
+                writeln!(out, "evicted {dropped} interactions before t={floor}").ok();
+            }
+            "compact" => {
+                exact_len(1, "compact")?;
+                engine.compact();
+            }
+            "stats" => {
+                exact_len(1, "stats")?;
+                writeln!(out, "{}", engine.stats()).ok();
+            }
+            _ => {
+                let edge = if fields[0] == "add" { &fields[1..] } else { &fields[..] };
+                if edge.len() != 4 {
+                    return Err(at(format!("edge `u v t f` takes 4 fields, got {}", edge.len())));
+                }
+                let u = parse_field(edge, 0, "edge `u v t f`").map_err(at)?;
+                let v = parse_field(edge, 1, "edge `u v t f`").map_err(at)?;
+                let t = parse_field(edge, 2, "edge `u v t f`").map_err(at)?;
+                let f = parse_field(edge, 3, "edge `u v t f`").map_err(at)?;
+                engine.try_append(u, v, t, f).map_err(|e| at(e.to_string()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_field<T: std::str::FromStr>(fields: &[&str], i: usize, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = fields.get(i).ok_or_else(|| format!("missing field {} of {what}", i + 1))?;
+    raw.parse().map_err(|e| format!("bad field `{raw}` of {what}: {e}"))
+}
+
+/// Parses `query <motif> <delta> <phi> [<from> <to>]`.
+fn parse_query(args: &[&str]) -> Result<(Motif, Option<TimeWindow>), String> {
+    if args.len() != 3 && args.len() != 5 {
+        return Err(format!(
+            "`query <motif> <delta> <phi> [<from> <to>]` takes 3 or 5 fields, got {}",
+            args.len()
+        ));
+    }
+    let spec: String = parse_field(args, 0, "query <motif> <delta> <phi>")?;
+    let delta: i64 = parse_field(args, 1, "query <motif> <delta> <phi>")?;
+    let phi: f64 = parse_field(args, 2, "query <motif> <delta> <phi>")?;
+    let motif = catalog::parse_motif(&spec, delta, phi).map_err(|e| e.to_string())?;
+    let window = if args.len() > 3 {
+        let from: i64 = parse_field(args, 3, "query window <from> <to>")?;
+        let to: i64 = parse_field(args, 4, "query window <from> <to>")?;
+        if to < from {
+            return Err(format!("query window [{from}, {to}] ends before it starts"));
+        }
+        Some(TimeWindow::new(from, to))
+    } else {
+        None
+    };
+    Ok((motif, window))
+}
+
+fn stream_query<W: Write>(
+    engine: &mut QueryEngine,
+    motif: &Motif,
+    window: Option<TimeWindow>,
+    cli: &Cli,
+    out: &mut W,
+) {
+    let res = engine.query(motif, window);
+    let total = res.num_instances();
+    let g = engine.graph();
+    if cli.json {
+        let shown: Vec<_> = res
+            .groups
+            .iter()
+            .flat_map(|(sm, v)| v.iter().map(move |i| (sm, i)))
+            .take(cli.show)
+            .collect();
+        writeln!(
+            out,
+            "{}",
+            json!({
+                "motif": motif.name(),
+                "delta": motif.delta(),
+                "phi": motif.phi(),
+                "window": window.map(|w| vec![w.start, w.end]),
+                "instances": total,
+                "sample": shown,
+            })
+        )
+        .ok();
+        return;
+    }
+    let scope = window.map_or_else(|| "all retained".to_string(), |w| w.to_string());
+    writeln!(out, "{motif} over {scope}: {total} maximal instances").ok();
+    let mut printed = 0;
+    'outer: for (sm, insts) in &res.groups {
+        for inst in insts {
+            if printed >= cli.show {
+                break 'outer;
+            }
+            writeln!(
+                out,
+                "  nodes {:?} flow {:.3}: {}",
+                sm.walk_nodes(g),
+                inst.flow,
+                inst.display(g)
+            )
+            .ok();
+            printed += 1;
+        }
+    }
 }
 
 fn generate<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
@@ -395,5 +562,113 @@ mod tests {
     fn missing_file_is_an_error() {
         let (_, r) = run_args(&["stats", "/no/such/file"]);
         assert!(r.is_err());
+    }
+
+    fn run_script(script: &str, extra: &[&str]) -> (String, Result<(), String>) {
+        let mut args = vec!["stream".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let cli = Cli::parse_from(args).unwrap();
+        let mut buf = Vec::new();
+        let r = run_stream_script(script.as_bytes(), &cli, &mut buf);
+        (String::from_utf8(buf).unwrap(), r)
+    }
+
+    #[test]
+    fn stream_script_interleaves_edges_and_queries() {
+        let script = "\
+# the paper's Fig. 2 example, streamed
+3 2 1 2
+3 2 3 5
+2 0 10 10
+3 0 11 10
+0 1 13 5
+0 1 15 7
+query M(3,3) 10 7
+add 1 2 18 20
+2 3 19 5
+2 3 21 4
+1 3 23 7
+query M(3,3) 10 7
+query M(3,3) 10 7 11 23
+stats
+";
+        let (out, r) = run_script(script, &[]);
+        r.unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("0 maximal instances"), "{out}");
+        assert!(lines[1].contains("1 maximal instances"), "{out}");
+        assert!(lines[2].contains("(10, 10)"), "{out}");
+        // The window query excludes t=10, killing the instance.
+        assert!(lines[3].contains("[11, 23]: 0 maximal instances"), "{out}");
+        assert!(lines[4].contains("interactions=10"), "{out}");
+        assert!(lines[4].contains("watermark=23"), "{out}");
+    }
+
+    #[test]
+    fn stream_script_from_file_with_horizon_and_evict() {
+        let path = TempFile(unique_path("stream"));
+        let script = "\
+0 1 10 1
+1 2 12 2
+evict 11
+query M(3,2) 10 0
+stats
+";
+        std::fs::write(&path.0, script).unwrap();
+        let (out, r) = run_args(&["stream", path.to_str(), "--horizon", "100"]);
+        r.unwrap();
+        assert!(out.contains("evicted 1 interactions before t=11"), "{out}");
+        assert!(out.contains("0 maximal instances"), "{out}");
+        assert!(out.contains("evicted=1"), "{out}");
+    }
+
+    #[test]
+    fn stream_script_json_query_output() {
+        let script = "0 1 10 1\n1 2 12 2\nquery M(3,2) 10 0\n";
+        let (out, r) = run_script(script, &["--json"]);
+        r.unwrap();
+        assert!(out.contains("\"instances\":1"), "{out}");
+        assert!(out.contains("\"window\":null"), "{out}");
+    }
+
+    #[test]
+    fn stream_script_errors_carry_line_numbers() {
+        let (_, r) = run_script("0 1 10 1\n0 1 oops 1\n", &[]);
+        assert!(r.unwrap_err().contains("line 2"));
+        let (_, r) = run_script("query M(3,2)\n", &[]);
+        assert!(r.unwrap_err().contains("line 1"));
+        let (_, r) = run_script("0 1 10 -5\n", &[]);
+        assert!(r.unwrap_err().contains("invalid flow"));
+        let (_, r) = run_script("query M(3,2) 10 0 20 5\n", &[]);
+        assert!(r.unwrap_err().contains("ends before"));
+        // Extra fields are errors, not silently dropped data.
+        let (_, r) = run_script("0 1 10 5 2 3 11 4\n", &[]);
+        assert!(r.unwrap_err().contains("4 fields"));
+        let (_, r) = run_script("query M(3,2) 10 0 20 30 junk\n", &[]);
+        assert!(r.unwrap_err().contains("3 or 5 fields"));
+        let (_, r) = run_script("stats now\n", &[]);
+        assert!(r.unwrap_err().contains("takes 0 fields"));
+    }
+
+    #[test]
+    fn stream_script_allows_trailing_comments() {
+        // The README example annotates operations in place.
+        let script = "\
+% whole-line comment
+0 1 10 1           # first hop
+1 2 12 2
+query M(3,2) 10 0  # the chain
+stats              # and the state
+";
+        let (out, r) = run_script(script, &[]);
+        r.unwrap();
+        assert!(out.contains("1 maximal instances"), "{out}");
+        assert!(out.contains("interactions=2"), "{out}");
+    }
+
+    #[test]
+    fn stream_rejects_negative_horizon() {
+        let (_, r) = run_script("0 1 10 1\n", &["--horizon", "-5"]);
+        assert!(r.unwrap_err().contains("non-negative"));
     }
 }

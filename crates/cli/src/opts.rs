@@ -20,6 +20,8 @@ COMMANDS:
   census <file>           instance counts of every walk shape of --edges size
   activity <file>         most active vertex groups for a motif (§5.1 ext.)
   generate                emit a synthetic dataset as an edge list
+  stream [file]           resident engine: ingest edges + answer interleaved
+                          queries from a script (stdin if no file is given)
 
 OPTIONS (find/topk/top1/significance):
   --motif <spec>          catalog name like M(3,3) or a walk like 0-1-2-0   [M(3,2)]
@@ -32,6 +34,16 @@ OPTIONS (find/topk/top1/significance):
   --edges <int>           motif size for census                             [2]
   --seed <int>            RNG seed                                          [42]
   --json                  machine-readable output on stdout
+
+OPTIONS (stream):
+  --horizon <int>         sliding-window horizon; evict older interactions
+                          (0 = retain everything)                           [0]
+  --show <int>            print up to N instances per query                 [5]
+
+  A stream script holds one operation per line: an edge `u v t f` (an
+  optional `add` prefix is accepted), `query <motif> <delta> <phi>
+  [<from> <to>]`, `evict <t>`, `compact`, or `stats`. A `#` starts a
+  comment anywhere on a line; `%` comments out a whole line.
 
 OPTIONS (generate):
   --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
@@ -63,6 +75,8 @@ pub struct Cli {
     pub edges: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Sliding-window horizon for `stream` (0 = retain everything).
+    pub horizon: i64,
     /// JSON output.
     pub json: bool,
     /// Dataset for `generate`.
@@ -92,6 +106,8 @@ pub enum Command {
     Activity(PathBuf),
     /// Generate a synthetic dataset.
     Generate,
+    /// Resident streaming engine fed by a script (file or stdin).
+    Stream(Option<PathBuf>),
 }
 
 impl Default for Cli {
@@ -107,6 +123,7 @@ impl Default for Cli {
             replicas: 20,
             edges: 2,
             seed: 42,
+            horizon: 0,
             json: false,
             dataset: "bitcoin".into(),
             scale: 1.0,
@@ -124,7 +141,13 @@ impl Cli {
             return Err(USAGE.to_string());
         }
         let mut file: Option<PathBuf> = None;
-        if cmd_name != "generate" {
+        if cmd_name == "stream" {
+            // The script file is optional: without one the engine reads
+            // stdin.
+            if it.peek().is_some_and(|a| !a.starts_with("--")) {
+                file = Some(PathBuf::from(it.next().unwrap()));
+            }
+        } else if cmd_name != "generate" {
             let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
             file = Some(PathBuf::from(f));
         }
@@ -137,6 +160,7 @@ impl Cli {
             "census" => Command::Census(file.unwrap()),
             "activity" => Command::Activity(file.unwrap()),
             "generate" => Command::Generate,
+            "stream" => Command::Stream(file),
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
         let mut cli = Cli { command, ..Cli::default() };
@@ -159,6 +183,7 @@ impl Cli {
                 "--replicas" => cli.replicas = parse_val!("--replicas"),
                 "--edges" => cli.edges = parse_val!("--edges"),
                 "--seed" => cli.seed = parse_val!("--seed"),
+                "--horizon" => cli.horizon = parse_val!("--horizon"),
                 "--json" => cli.json = true,
                 "--dataset" => cli.dataset = value("--dataset")?,
                 "--scale" => cli.scale = parse_val!("--scale"),
@@ -224,6 +249,21 @@ mod tests {
         assert_eq!(cli.edges, 3);
         let cli = parse(&["activity", "g.tsv", "--motif", "M(3,3)"]).unwrap();
         assert_eq!(cli.command, Command::Activity(PathBuf::from("g.tsv")));
+    }
+
+    #[test]
+    fn parses_stream_with_and_without_file() {
+        let cli = parse(&["stream", "s.txt", "--horizon", "600", "--show", "2"]).unwrap();
+        assert_eq!(cli.command, Command::Stream(Some(PathBuf::from("s.txt"))));
+        assert_eq!(cli.horizon, 600);
+        assert_eq!(cli.show, 2);
+        // No positional: the script comes from stdin; flags still parse.
+        let cli = parse(&["stream", "--horizon", "60"]).unwrap();
+        assert_eq!(cli.command, Command::Stream(None));
+        assert_eq!(cli.horizon, 60);
+        let cli = parse(&["stream"]).unwrap();
+        assert_eq!(cli.command, Command::Stream(None));
+        assert_eq!(cli.horizon, 0);
     }
 
     #[test]

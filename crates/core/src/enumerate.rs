@@ -33,7 +33,6 @@
 //!    that element emits the enlarged instance instead.
 
 use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
-use crate::matcher::for_each_structural_match;
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::ops::Range;
@@ -175,6 +174,10 @@ pub struct EnumerationScratch<'g> {
     stack: Vec<(EdgeSet, Flow)>,
 }
 
+/// The unbounded search window: every timestamp is admissible. Searching
+/// with these bounds is exactly the paper's Algorithm 1.
+const UNBOUNDED: TimeWindow = TimeWindow { start: Timestamp::MIN, end: Timestamp::MAX };
+
 /// Enumerates all maximal instances of `motif` inside the single
 /// structural match `sm`, delivering them to `sink`.
 pub fn enumerate_in_match<S: InstanceSink>(
@@ -200,6 +203,28 @@ pub fn enumerate_in_match_reusing<'g, S: InstanceSink>(
     stats: &mut SearchStats,
     scratch: &mut EnumerationScratch<'g>,
 ) {
+    enumerate_in_match_bounded(g, motif, sm, UNBOUNDED, opts, sink, stats, scratch);
+}
+
+/// [`enumerate_in_match_reusing`] restricted to the closed time window
+/// `bounds`: the result is exactly what Algorithm 1 would produce on the
+/// sub-network of interactions with `bounds.start <= time <= bounds.end`,
+/// but computed by *borrowing* the resident graph — no rebuild, no
+/// copying. Window anchors, the prepend guard and all series ranges are
+/// clamped to the bounds, so maximality is judged relative to the
+/// restricted edge set (an instance extendable only by out-of-window
+/// elements is still reported). Requires `motif.delta() >= 0`.
+#[allow(clippy::too_many_arguments)] // mirrors enumerate_in_match_reusing + bounds
+pub fn enumerate_in_match_bounded<'g, S: InstanceSink>(
+    g: &'g TimeSeriesGraph,
+    motif: &Motif,
+    sm: &StructuralMatch,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    sink: &mut S,
+    stats: &mut SearchStats,
+    scratch: &mut EnumerationScratch<'g>,
+) {
     let EnumerationScratch { series, stack } = scratch;
     series.clear();
     series.extend(sm.pairs.iter().map(|&p| g.series(p)));
@@ -215,6 +240,7 @@ pub fn enumerate_in_match_reusing<'g, S: InstanceSink>(
         sink,
         stats,
         window: TimeWindow::new(0, 0),
+        bounds,
         anchor_time: 0,
         anchor_prev: None,
         stack,
@@ -230,6 +256,9 @@ struct MatchEnumerator<'a, 'g, S: InstanceSink> {
     sink: &'a mut S,
     stats: &'a mut SearchStats,
     window: TimeWindow,
+    /// Only interactions inside these closed bounds participate; the
+    /// unbounded window recovers plain Algorithm 1.
+    bounds: TimeWindow,
     anchor_time: Timestamp,
     anchor_prev: Option<Timestamp>,
     /// Chosen `(edge-set, aggregated flow)` for motif edges `0..k`.
@@ -242,10 +271,16 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
         let delta = self.motif.delta();
         let e1 = self.series[0];
         let em = self.series[m - 1];
+        // Anchor only at R(e_1) elements inside the bounds; clamping every
+        // window end to `bounds.end` makes the recursion see exactly the
+        // in-bounds elements of every series (range starts always move
+        // forward from the anchor, so the lower bound needs no clamping).
+        let first = e1.idx_at_or_after(self.bounds.start);
+        let last = e1.idx_after(self.bounds.end);
         let mut prev_end: Option<Timestamp> = None;
-        for a_idx in 0..e1.len() {
+        for a_idx in first..last {
             let t_a = e1.time(a_idx);
-            let w = TimeWindow::anchored(t_a, delta);
+            let w = TimeWindow::new(t_a, t_a.saturating_add(delta).min(self.bounds.end));
             // Guard 1: require a new R(e_m) element vs the last processed
             // window; otherwise every instance here is non-maximal.
             if self.opts.skip_redundant_windows {
@@ -258,7 +293,10 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
             }
             self.window = w;
             self.anchor_time = t_a;
-            self.anchor_prev = a_idx.checked_sub(1).map(|i| e1.time(i));
+            // The prepend guard must only see in-bounds R(e_1) elements: a
+            // predecessor outside the bounds does not exist in the
+            // restricted network and cannot make an instance non-maximal.
+            self.anchor_prev = (a_idx > first).then(|| e1.time(a_idx - 1));
             self.stats.windows_processed += 1;
             let r = a_idx..e1.idx_after(w.end);
             self.recurse(0, r);
@@ -350,13 +388,61 @@ pub fn enumerate_with_sink<S: InstanceSink>(
     opts: SearchOptions,
     sink: &mut S,
 ) -> SearchStats {
+    enumerate_window_with_sink(g, motif, UNBOUNDED, opts, sink)
+}
+
+/// Runs the two-phase search restricted to the closed time window
+/// `bounds`, streaming instances to `sink`. Instances are exactly those a
+/// batch rebuild of the in-window interactions would produce (see
+/// [`enumerate_in_match_bounded`]); only `SearchStats::structural_matches`
+/// may differ from such a rebuild, because phase P1 runs on the resident
+/// graph with window pruning
+/// ([`crate::matcher::for_each_structural_match_bounded`]), so its cost —
+/// and its visit count — scales with the structure active inside the
+/// window rather than with everything retained.
+pub fn enumerate_window_with_sink<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    sink: &mut S,
+) -> SearchStats {
     let mut stats = SearchStats::default();
     let mut scratch = EnumerationScratch::default();
-    for_each_structural_match(g, motif.path(), &mut |sm| {
-        stats.structural_matches += 1;
-        enumerate_in_match_reusing(g, motif, sm, opts, sink, &mut stats, &mut scratch);
-    });
+    crate::matcher::for_each_structural_match_bounded(
+        g,
+        motif.path(),
+        bounds,
+        0..g.num_nodes() as flowmotif_graph::NodeId,
+        &mut |sm| {
+            stats.structural_matches += 1;
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, &mut scratch);
+        },
+    );
     stats
+}
+
+/// Convenience: collects the maximal instances inside `bounds`, grouped by
+/// structural match.
+pub fn enumerate_all_in_window(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
+    let mut sink = CollectSink::default();
+    let stats = enumerate_window_with_sink(g, motif, bounds, SearchOptions::default(), &mut sink);
+    (sink.groups, stats)
+}
+
+/// Convenience: counts the maximal instances inside `bounds`.
+pub fn count_instances_in_window(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+) -> (u64, SearchStats) {
+    let mut sink = CountSink::default();
+    let stats = enumerate_window_with_sink(g, motif, bounds, SearchOptions::default(), &mut sink);
+    (sink.count, stats)
 }
 
 /// Convenience: collects all maximal instances grouped by structural match.
@@ -619,6 +705,92 @@ mod tests {
             algo.iter().any(|s| s == "[e1 <- {(30, 2)}, e2 <- {(60, 4), (90, 1)}]"),
             "{algo:?}"
         );
+    }
+
+    /// Renders every instance with its walk so outputs of different graph
+    /// builds (different pair ids) compare structurally.
+    fn canonical(
+        g: &TimeSeriesGraph,
+        groups: &[(StructuralMatch, Vec<MotifInstance>)],
+    ) -> Vec<String> {
+        let mut out: Vec<String> = groups
+            .iter()
+            .flat_map(|(sm, v)| {
+                v.iter().map(move |i| format!("{:?} {}", sm.walk_nodes(g), i.display(g)))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn unbounded_window_reproduces_plain_search() {
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (1, 2, 18, 20.0),
+        ]);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        let (plain, plain_stats) = enumerate_all(&g, &motif);
+        let w = TimeWindow::new(Timestamp::MIN, Timestamp::MAX);
+        let (windowed, win_stats) = enumerate_all_in_window(&g, &motif, w);
+        assert_eq!(canonical(&g, &plain), canonical(&g, &windowed));
+        assert_eq!(plain_stats, win_stats);
+    }
+
+    #[test]
+    fn windowed_search_equals_rebuild_on_restricted_edges() {
+        // The Fig. 7 fixture, queried over several windows: the borrowed
+        // windowed search must agree with a batch rebuild of only the
+        // in-window interactions.
+        let edges = [
+            (0u32, 1u32, 10i64, 5.0),
+            (0, 1, 13, 2.0),
+            (0, 1, 15, 3.0),
+            (0, 1, 18, 7.0),
+            (1, 2, 9, 4.0),
+            (1, 2, 11, 3.0),
+            (1, 2, 16, 3.0),
+            (2, 0, 14, 4.0),
+            (2, 0, 19, 6.0),
+            (2, 0, 24, 3.0),
+            (2, 0, 25, 2.0),
+        ];
+        let mut b = GraphBuilder::new();
+        b.extend_interactions(edges);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        for (a, z) in [(9, 25), (10, 20), (12, 24), (14, 16), (0, 5), (11, 19)] {
+            let (windowed, _) = enumerate_all_in_window(&g, &motif, TimeWindow::new(a, z));
+            let mut rb = GraphBuilder::new();
+            rb.extend_interactions(edges.iter().copied().filter(|&(_, _, t, _)| a <= t && t <= z));
+            let rg = rb.build_time_series_graph();
+            let (rebuilt, _) = enumerate_all(&rg, &motif);
+            assert_eq!(canonical(&g, &windowed), canonical(&rg, &rebuilt), "window [{a}, {z}]");
+        }
+    }
+
+    #[test]
+    fn windowed_search_reports_instances_cut_by_the_bound() {
+        // 0 -> 1 at t=10, 1 -> 2 at t=12 and t=30. Restricted to [5, 20],
+        // the t=30 element is invisible: the M(3,2) instance is
+        // {(10)},{(12)} — and it IS maximal relative to the window.
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 10i64, 1.0), (1, 2, 12, 2.0), (1, 2, 30, 4.0)]);
+        let g = b.build_time_series_graph();
+        let motif = catalog::by_name("M(3,2)", 100, 0.0).unwrap();
+        let (groups, _) = enumerate_all_in_window(&g, &motif, TimeWindow::new(5, 20));
+        let insts: Vec<_> = groups.iter().flat_map(|(_, v)| v.iter()).collect();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].display(&g), "[e1 <- {(10, 1)}, e2 <- {(12, 2)}]");
+        // Whole-span query sees the full instance instead.
+        let (groups, _) = enumerate_all_in_window(&g, &motif, TimeWindow::new(0, 100));
+        let insts: Vec<_> = groups.iter().flat_map(|(_, v)| v.iter()).collect();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].display(&g), "[e1 <- {(10, 1)}, e2 <- {(12, 2), (30, 4)}]");
     }
 
     #[test]

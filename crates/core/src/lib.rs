@@ -56,12 +56,16 @@ pub mod topk;
 pub mod validate;
 
 pub use enumerate::{
-    count_instances, enumerate_all, enumerate_in_match, enumerate_in_match_reusing,
-    enumerate_with_sink, CollectSink, CountSink, EnumerationScratch, FnSink, InstanceSink,
-    SearchOptions, SearchStats,
+    count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window,
+    enumerate_in_match, enumerate_in_match_bounded, enumerate_in_match_reusing,
+    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, EnumerationScratch,
+    FnSink, InstanceSink, SearchOptions, SearchStats,
 };
 pub use error::MotifError;
 pub use instance::{EdgeSet, MotifInstance, StructuralMatch};
-pub use matcher::{count_structural_matches, find_structural_matches, for_each_structural_match};
+pub use matcher::{
+    count_structural_matches, find_structural_matches, for_each_structural_match,
+    for_each_structural_match_bounded,
+};
 pub use motif::{Motif, MotifNode, SpanningPath};
 pub use shared::{count_instances_shared, enumerate_shared_with_sink};

@@ -9,7 +9,7 @@
 
 use crate::instance::StructuralMatch;
 use crate::motif::SpanningPath;
-use flowmotif_graph::{NodeId, TimeSeriesGraph};
+use flowmotif_graph::{NodeId, PairId, TimeSeriesGraph, TimeWindow};
 
 /// Streams every structural match of `path` in `g` to `visit`.
 ///
@@ -33,6 +33,26 @@ pub fn for_each_structural_match_in_node_range<F>(
 ) where
     F: FnMut(&StructuralMatch),
 {
+    for_each_structural_match_bounded(g, path, TimeWindow::new(i64::MIN, i64::MAX), origins, visit);
+}
+
+/// Streams the structural matches that can host an instance inside the
+/// closed time window `bounds`: walks through pairs carrying no
+/// interaction in the window are pruned mid-DFS, because every motif edge
+/// of an in-window instance needs at least one in-window element. With
+/// unbounded `bounds` this is plain phase P1. The pruning makes
+/// window-restricted queries on a large resident graph cheap — cost
+/// scales with the structure *active* in the window, not with everything
+/// retained.
+pub fn for_each_structural_match_bounded<F>(
+    g: &TimeSeriesGraph,
+    path: &SpanningPath,
+    bounds: TimeWindow,
+    origins: std::ops::Range<NodeId>,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
     let walk = path.walk();
     let n = path.num_nodes();
     // The match under construction doubles as the working buffers: its
@@ -41,6 +61,7 @@ pub fn for_each_structural_match_in_node_range<F>(
     // per match (callers that keep matches clone them).
     let mut sm = StructuralMatch { nodes: vec![0; n], pairs: Vec::with_capacity(path.num_edges()) };
     let mut assigned: Vec<bool> = vec![false; n];
+    let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
 
     let end = origins.end.min(g.num_nodes() as NodeId);
     for u in origins.start..end {
@@ -50,8 +71,19 @@ pub fn for_each_structural_match_in_node_range<F>(
         let w0 = walk[0] as usize;
         sm.nodes[w0] = u;
         assigned[w0] = true;
-        dfs(g, walk, 0, &mut sm, &mut assigned, visit);
+        dfs(g, walk, 0, bounded.then_some(bounds), &mut sm, &mut assigned, visit);
         assigned[w0] = false;
+    }
+}
+
+/// Whether pair `p` carries at least one interaction inside `bounds`
+/// (`None` = unbounded, always true). A pair failing this cannot host any
+/// motif-edge set of an in-window instance.
+#[inline]
+fn pair_active(g: &TimeSeriesGraph, p: PairId, bounds: Option<TimeWindow>) -> bool {
+    match bounds {
+        None => true,
+        Some(w) => !g.series(p).range_closed(w.start, w.end).is_empty(),
     }
 }
 
@@ -59,6 +91,7 @@ fn dfs<F>(
     g: &TimeSeriesGraph,
     walk: &[u8],
     step: usize,
+    bounds: Option<TimeWindow>,
     sm: &mut StructuralMatch,
     assigned: &mut Vec<bool>,
     visit: &mut F,
@@ -75,13 +108,19 @@ fn dfs<F>(
         // Revisited motif vertex: the graph vertex is fixed; the edge must
         // exist (e.g. the cycle-closing check of M(3,3), paper §4 P1).
         if let Some(p) = g.pair_id(src, sm.nodes[tgt_label]) {
+            if !pair_active(g, p, bounds) {
+                return;
+            }
             sm.pairs.push(p);
-            dfs(g, walk, step + 1, sm, assigned, visit);
+            dfs(g, walk, step + 1, bounds, sm, assigned, visit);
             sm.pairs.pop();
         }
     } else {
         let range = g.out_pair_range(src);
         for p in range {
+            if !pair_active(g, p, bounds) {
+                continue;
+            }
             let v = g.pair(p).1;
             // Injectivity: distinct motif vertices need distinct graph
             // vertices.
@@ -91,7 +130,7 @@ fn dfs<F>(
             sm.nodes[tgt_label] = v;
             assigned[tgt_label] = true;
             sm.pairs.push(p);
-            dfs(g, walk, step + 1, sm, assigned, visit);
+            dfs(g, walk, step + 1, bounds, sm, assigned, visit);
             sm.pairs.pop();
             assigned[tgt_label] = false;
         }
@@ -211,6 +250,56 @@ mod tests {
         let mut sorted = walks.clone();
         sorted.sort();
         assert_eq!(walks, sorted);
+    }
+
+    #[test]
+    fn bounded_matching_prunes_inactive_pairs() {
+        let g = fig5();
+        let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        // Unbounded bounds reproduce plain P1 exactly.
+        let mut all = Vec::new();
+        for_each_structural_match_bounded(
+            &g,
+            m33.path(),
+            TimeWindow::new(i64::MIN, i64::MAX),
+            0..g.num_nodes() as NodeId,
+            &mut |m| all.push(m.clone()),
+        );
+        assert_eq!(all, find_structural_matches(&g, m33.path()));
+        // Only the 10..23 window is active for the (2,0)/(0,1)/(1,2)
+        // triangle; restricting to [0, 9] leaves no active triangle edge
+        // sets at all.
+        let mut count = 0;
+        for_each_structural_match_bounded(
+            &g,
+            m33.path(),
+            TimeWindow::new(0, 9),
+            0..g.num_nodes() as NodeId,
+            &mut |_| count += 1,
+        );
+        assert_eq!(count, 0, "every triangle needs an edge active before t=10");
+        // [10, 23] keeps both directed triangles (3 rotations each).
+        let mut count = 0;
+        for_each_structural_match_bounded(
+            &g,
+            m33.path(),
+            TimeWindow::new(10, 23),
+            0..g.num_nodes() as NodeId,
+            &mut |_| count += 1,
+        );
+        assert_eq!(count, 6);
+        // A window touching only the (3,2) pair prunes down to walks over
+        // active pairs: M(3,2) paths need both hops active in [1, 3].
+        let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let mut walks = Vec::new();
+        for_each_structural_match_bounded(
+            &g,
+            m32.path(),
+            TimeWindow::new(1, 3),
+            0..g.num_nodes() as NodeId,
+            &mut |m| walks.push(m.walk_nodes(&g)),
+        );
+        assert!(walks.is_empty(), "only one pair is active: no 2-hop walk, got {walks:?}");
     }
 
     #[test]

@@ -20,9 +20,9 @@ pub struct GraphBuilder {
 }
 
 impl GraphBuilder {
-    /// Creates an empty builder. Self-loops are rejected by
-    /// [`GraphBuilder::try_add_interaction`] unless enabled via
-    /// [`GraphBuilder::allow_self_loops`].
+    /// Creates an empty builder (equivalent to `GraphBuilder::default()`).
+    /// Self-loops are rejected by [`GraphBuilder::try_add_interaction`]
+    /// unless enabled via [`GraphBuilder::allow_self_loops`].
     pub fn new() -> Self {
         Self::default()
     }
@@ -61,11 +61,19 @@ impl GraphBuilder {
         Ok(())
     }
 
-    /// Bulk-adds interactions from an iterator of `(from, to, time, flow)`.
+    /// Bulk-adds interactions from an iterator of `(from, to, time, flow)`,
+    /// pre-reserving pair-table capacity from the iterator's `size_hint`.
+    /// The distinct-pair count is at most the interaction count but can be
+    /// far smaller (hot pairs), so the reservation is capped — sparse
+    /// streams skip the rehash cascade, dense ones don't over-allocate.
     pub fn extend_interactions<I>(&mut self, iter: I)
     where
         I: IntoIterator<Item = (NodeId, NodeId, Timestamp, Flow)>,
     {
+        const RESERVE_CAP: usize = 1 << 20;
+        let iter = iter.into_iter();
+        let (lo, _) = iter.size_hint();
+        self.per_pair.reserve(lo.min(RESERVE_CAP));
         for (u, v, t, f) in iter {
             self.add_interaction(u, v, t, f);
         }

@@ -123,6 +123,79 @@ impl InteractionSeries {
     pub fn flow_in_closed(&self, a: Timestamp, b: Timestamp) -> Flow {
         self.flow_of_range(self.range_closed(a, b))
     }
+
+    /// Appends an element whose time is `>=` the current last time,
+    /// maintaining the prefix sums in O(1). This is the fast path for
+    /// in-order streaming ingestion.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `e` is older than the last element.
+    #[inline]
+    pub fn append_in_order(&mut self, e: Event) {
+        debug_assert!(
+            self.events.last().is_none_or(|l| l.time <= e.time),
+            "append_in_order: out-of-order event"
+        );
+        self.prefix.push(self.total_flow() + e.flow);
+        self.events.push(e);
+    }
+
+    /// Merges a time-sorted batch of elements into the series in
+    /// O(len + batch), rebuilding the prefix sums. Elements tied on time
+    /// keep existing-before-incoming order, so an append stream split into
+    /// sorted batches reproduces the order of a batch
+    /// [`InteractionSeries::from_events`] build of the same arrivals.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `incoming` is not sorted by time.
+    pub fn merge_sorted(&mut self, incoming: &[Event]) {
+        debug_assert!(incoming.windows(2).all(|w| w[0].time <= w[1].time));
+        if incoming.is_empty() {
+            return;
+        }
+        // Fast path: the whole batch appends after the current tail.
+        if self.events.last().is_none_or(|l| l.time <= incoming[0].time) {
+            self.events.reserve(incoming.len());
+            self.prefix.reserve(incoming.len());
+            for &e in incoming {
+                self.append_in_order(e);
+            }
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.events.len() + incoming.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.events.len() && j < incoming.len() {
+            // `<=` keeps existing elements first on ties (stable).
+            if self.events[i].time <= incoming[j].time {
+                merged.push(self.events[i]);
+                i += 1;
+            } else {
+                merged.push(incoming[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.events[i..]);
+        merged.extend_from_slice(&incoming[j..]);
+        *self = Self::from_sorted_events(merged);
+    }
+
+    /// Removes every element with `time < t`, rebuilding the prefix sums;
+    /// returns how many elements were dropped. This is the sliding-window
+    /// eviction hook: amortized O(dropped + survivors) per call.
+    pub fn evict_before(&mut self, t: Timestamp) -> usize {
+        let k = self.idx_at_or_after(t);
+        if k == 0 {
+            return 0;
+        }
+        self.events.drain(..k);
+        self.prefix.truncate(1);
+        let mut acc = 0.0;
+        for e in &self.events {
+            acc += e.flow;
+            self.prefix.push(acc);
+        }
+        k
+    }
 }
 
 impl FromIterator<(Timestamp, Flow)> for InteractionSeries {
@@ -202,5 +275,54 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.total_flow(), 0.0);
         assert_eq!(s.range_closed(0, 100), 0..0);
+    }
+
+    #[test]
+    fn append_in_order_maintains_prefix_sums() {
+        let mut s = InteractionSeries::default();
+        for (t, f) in [(10, 5.0), (13, 2.0), (13, 1.0), (15, 3.0)] {
+            s.append_in_order(Event::new(t, f));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total_flow(), 11.0);
+        assert_eq!(s.flow_in_closed(13, 13), 3.0);
+        let batch: InteractionSeries =
+            [(10, 5.0), (13, 2.0), (13, 1.0), (15, 3.0)].into_iter().collect();
+        assert_eq!(s, batch);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_and_keeps_tie_order() {
+        let mut s = fig7_e1(); // times 10, 13, 15, 18
+        s.merge_sorted(&[Event::new(9, 1.0), Event::new(13, 9.0), Event::new(20, 4.0)]);
+        let times: Vec<_> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![9, 10, 13, 13, 15, 18, 20]);
+        // The existing (13, 2) precedes the merged (13, 9).
+        assert_eq!(s.event(2).flow, 2.0);
+        assert_eq!(s.event(3).flow, 9.0);
+        assert_eq!(s.total_flow(), 17.0 + 14.0);
+        // Prefix sums were rebuilt consistently.
+        assert_eq!(s.flow_of_range(0..7), s.total_flow());
+        // Appending batch entirely after the tail takes the fast path.
+        s.merge_sorted(&[Event::new(21, 1.0), Event::new(22, 1.0)]);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.total_flow(), 33.0);
+        // Merging nothing is a no-op.
+        s.merge_sorted(&[]);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn evict_before_drops_old_elements() {
+        let mut s = fig7_e1();
+        assert_eq!(s.evict_before(5), 0, "nothing older than 5");
+        assert_eq!(s.evict_before(14), 2);
+        let times: Vec<_> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![15, 18]);
+        assert_eq!(s.total_flow(), 10.0);
+        assert_eq!(s.flow_of_range(0..1), 3.0);
+        assert_eq!(s.evict_before(100), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.total_flow(), 0.0);
     }
 }

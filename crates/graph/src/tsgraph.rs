@@ -6,7 +6,7 @@
 //! node are a contiguous slice and `pair_id(u, v)` is a binary search within
 //! that slice.
 
-use crate::event::{NodeId, PairId, Timestamp};
+use crate::event::{Event, NodeId, PairId, Timestamp};
 use crate::series::InteractionSeries;
 
 /// The merged, index-based graph all motif algorithms run on.
@@ -45,13 +45,7 @@ impl TimeSeriesGraph {
         }
         let num_nodes =
             num_nodes.max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
-        let mut out_start = vec![0u32; num_nodes + 1];
-        for &(u, _) in &pairs {
-            out_start[u as usize + 1] += 1;
-        }
-        for i in 0..num_nodes {
-            out_start[i + 1] += out_start[i];
-        }
+        let out_start = Self::csr_offsets(num_nodes, &pairs);
         Self { num_nodes, num_interactions, pairs, series, out_start }
     }
 
@@ -121,6 +115,144 @@ impl TimeSeriesGraph {
         let r = self.out_pair_range(u);
         let slice = &self.pairs[r.start as usize..r.end as usize];
         slice.binary_search_by_key(&v, |&(_, t)| t).ok().map(|i| r.start + i as u32)
+    }
+
+    /// Builds the graph from per-pair *series* (already sorted with prefix
+    /// sums), skipping the per-event sort of
+    /// [`TimeSeriesGraph::from_pair_events`]. This is the snapshot path of
+    /// the streaming engine: series maintained incrementally are moved in
+    /// without touching their elements.
+    pub fn from_pair_series(
+        num_nodes: usize,
+        mut pairs_series: Vec<((NodeId, NodeId), InteractionSeries)>,
+    ) -> Self {
+        pairs_series.sort_by_key(|(p, _)| *p);
+        let mut pairs = Vec::with_capacity(pairs_series.len());
+        let mut series = Vec::with_capacity(pairs_series.len());
+        let mut num_interactions = 0;
+        for (pair, s) in pairs_series {
+            debug_assert!(pairs.last().is_none_or(|&last| last != pair), "duplicate pair {pair:?}");
+            num_interactions += s.len();
+            pairs.push(pair);
+            series.push(s);
+        }
+        let num_nodes =
+            num_nodes.max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
+        let out_start = Self::csr_offsets(num_nodes, &pairs);
+        Self { num_nodes, num_interactions, pairs, series, out_start }
+    }
+
+    fn csr_offsets(num_nodes: usize, pairs: &[(NodeId, NodeId)]) -> Vec<u32> {
+        let mut out_start = vec![0u32; num_nodes + 1];
+        for &(u, _) in pairs {
+            out_start[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            out_start[i + 1] += out_start[i];
+        }
+        out_start
+    }
+
+    /// Appends an in-order event to the series of pair `p` in O(1)
+    /// (see [`InteractionSeries::append_in_order`]), keeping
+    /// [`TimeSeriesGraph::num_interactions`] consistent.
+    #[inline]
+    pub fn append_in_order(&mut self, p: PairId, e: Event) {
+        self.series[p as usize].append_in_order(e);
+        self.num_interactions += 1;
+    }
+
+    /// Merges a time-sorted event batch into the series of pair `p` (see
+    /// [`InteractionSeries::merge_sorted`]), keeping the interaction count
+    /// consistent.
+    pub fn merge_events(&mut self, p: PairId, sorted: &[Event]) {
+        self.series[p as usize].merge_sorted(sorted);
+        self.num_interactions += sorted.len();
+    }
+
+    /// Removes every interaction with `time < t` from all series; returns
+    /// the number removed. Pairs whose series become empty stay in the
+    /// graph (so `PairId`s remain stable) until
+    /// [`TimeSeriesGraph::retain_nonempty`] is called; the search layers
+    /// treat empty series as contributing no matches.
+    pub fn evict_before(&mut self, t: Timestamp) -> usize {
+        let mut removed = 0;
+        for s in &mut self.series {
+            removed += s.evict_before(t);
+        }
+        self.num_interactions -= removed;
+        removed
+    }
+
+    /// Inserts new connected pairs (with their series) into the graph,
+    /// rebuilding the CSR index in O(existing + new·log new). Existing
+    /// `PairId`s are invalidated. The pairs must not already be present.
+    pub fn insert_series(&mut self, mut new: Vec<((NodeId, NodeId), InteractionSeries)>) {
+        if new.is_empty() {
+            return;
+        }
+        new.sort_by_key(|(p, _)| *p);
+        let mut pairs = Vec::with_capacity(self.pairs.len() + new.len());
+        let mut series = Vec::with_capacity(self.pairs.len() + new.len());
+        let mut old = self.pairs.drain(..).zip(self.series.drain(..)).peekable();
+        let mut incoming = new.into_iter().peekable();
+        loop {
+            match (old.peek(), incoming.peek()) {
+                (Some(&(op, _)), Some(&(np, _))) => {
+                    debug_assert!(op != np, "insert_series: pair {np:?} already present");
+                    if op < np {
+                        let (p, s) = old.next().unwrap();
+                        pairs.push(p);
+                        series.push(s);
+                    } else {
+                        let ((u, v), s) = incoming.next().unwrap();
+                        self.num_interactions += s.len();
+                        pairs.push((u, v));
+                        series.push(s);
+                    }
+                }
+                (Some(_), None) => {
+                    let (p, s) = old.next().unwrap();
+                    pairs.push(p);
+                    series.push(s);
+                }
+                (None, Some(_)) => {
+                    let ((u, v), s) = incoming.next().unwrap();
+                    self.num_interactions += s.len();
+                    pairs.push((u, v));
+                    series.push(s);
+                }
+                (None, None) => break,
+            }
+        }
+        drop(old);
+        drop(incoming);
+        self.num_nodes = self
+            .num_nodes
+            .max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
+        self.out_start = Self::csr_offsets(self.num_nodes, &pairs);
+        self.pairs = pairs;
+        self.series = series;
+    }
+
+    /// Drops pairs whose series are empty (left behind by
+    /// [`TimeSeriesGraph::evict_before`]) and rebuilds the CSR index.
+    /// Existing `PairId`s are invalidated. Returns the number of pairs
+    /// removed.
+    pub fn retain_nonempty(&mut self) -> usize {
+        let before = self.pairs.len();
+        let mut kept_pairs = Vec::with_capacity(before);
+        let mut kept_series = Vec::with_capacity(before);
+        for (p, s) in self.pairs.drain(..).zip(self.series.drain(..)) {
+            if !s.is_empty() {
+                kept_pairs.push(p);
+                kept_series.push(s);
+            }
+        }
+        self.pairs = kept_pairs;
+        self.series = kept_series;
+        self.out_start = Self::csr_offsets(self.num_nodes, &self.pairs);
+        before - self.pairs.len()
     }
 
     /// Earliest and latest timestamp over all series, or `None` if the
@@ -214,5 +346,77 @@ mod tests {
             TimeSeriesGraph::from_pair_events(10, vec![((0, 1), vec![crate::Event::new(1, 1.0)])]);
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn from_pair_series_matches_from_pair_events() {
+        let events = vec![
+            ((0u32, 1u32), vec![Event::new(13, 5.0), Event::new(15, 7.0)]),
+            ((2, 0), vec![Event::new(10, 10.0)]),
+        ];
+        let by_events = TimeSeriesGraph::from_pair_events(0, events.clone());
+        let by_series: Vec<_> =
+            events.into_iter().map(|(p, ev)| (p, InteractionSeries::from_events(ev))).collect();
+        let g = TimeSeriesGraph::from_pair_series(0, by_series);
+        assert_eq!(g.num_nodes(), by_events.num_nodes());
+        assert_eq!(g.num_interactions(), by_events.num_interactions());
+        assert_eq!(g.pairs(), by_events.pairs());
+        assert_eq!(g.all_series(), by_events.all_series());
+    }
+
+    #[test]
+    fn in_place_mutation_keeps_counts_consistent() {
+        let mut g = fig5();
+        let p = g.pair_id(0, 1).unwrap();
+        g.append_in_order(p, Event::new(20, 1.0));
+        assert_eq!(g.num_interactions(), 11);
+        assert_eq!(g.series(p).len(), 3);
+        g.merge_events(p, &[Event::new(12, 2.0), Event::new(14, 2.0)]);
+        assert_eq!(g.num_interactions(), 13);
+        let times: Vec<_> = g.series(p).events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![12, 13, 14, 15, 20]);
+    }
+
+    #[test]
+    fn evict_and_retain_nonempty() {
+        let mut g = fig5();
+        // Drop everything before t=13: removes times 10, 1, 3 and 11.
+        let removed = g.evict_before(13);
+        assert_eq!(removed, 4);
+        assert_eq!(g.num_interactions(), 6);
+        // Pair ids are stable; emptied pairs remain with empty series.
+        assert_eq!(g.num_pairs(), 7);
+        let p32 = g.pair_id(3, 2).unwrap();
+        assert!(g.series(p32).is_empty());
+        let dropped = g.retain_nonempty();
+        assert_eq!(dropped, 3); // (2,0), (3,2), (3,0) all lived before t=13
+        assert_eq!(g.num_pairs(), 4);
+        assert_eq!(g.num_interactions(), 6);
+        // CSR lookups still work after the rebuild.
+        for p in 0..g.num_pairs() as u32 {
+            let (u, v) = g.pair(p);
+            assert_eq!(g.pair_id(u, v), Some(p));
+        }
+        assert_eq!(g.time_span(), Some((13, 23)));
+    }
+
+    #[test]
+    fn insert_series_merges_new_pairs() {
+        let mut g = fig5();
+        let s = InteractionSeries::from_events(vec![Event::new(30, 2.0), Event::new(31, 3.0)]);
+        g.insert_series(vec![((1, 0), s), ((5, 2), InteractionSeries::default())]);
+        assert_eq!(g.num_pairs(), 9);
+        assert_eq!(g.num_interactions(), 12);
+        assert_eq!(g.num_nodes(), 6);
+        let p = g.pair_id(1, 0).unwrap();
+        assert_eq!(g.series(p).total_flow(), 5.0);
+        assert!(g.pair_id(5, 2).is_some());
+        for p in 0..g.num_pairs() as u32 {
+            let (u, v) = g.pair(p);
+            assert_eq!(g.pair_id(u, v), Some(p));
+        }
+        // Inserting nothing is a no-op.
+        g.insert_series(Vec::new());
+        assert_eq!(g.num_pairs(), 9);
     }
 }

@@ -8,6 +8,7 @@ use flowmotif_core::enumerate::{
 use flowmotif_core::{find_structural_matches, Motif, StructuralMatch};
 use flowmotif_datasets::permute_flows;
 use flowmotif_graph::{TemporalMultigraph, TimeSeriesGraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parameters of the randomization experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,11 +17,15 @@ pub struct SignificanceConfig {
     pub num_replicas: usize,
     /// Base RNG seed; replica `i` uses `seed + i`.
     pub seed: u64,
+    /// Worker threads for the replica counts (0 = all cores). Replicas
+    /// are embarrassingly parallel — each is seeded independently — so
+    /// results are identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SignificanceConfig {
     fn default() -> Self {
-        Self { num_replicas: 20, seed: 0xF10F }
+        Self { num_replicas: 20, seed: 0xF10F, threads: 1 }
     }
 }
 
@@ -76,6 +81,59 @@ fn count_with_matches(g: &TimeSeriesGraph, motif: &Motif, matches: &[StructuralM
     sink.count
 }
 
+/// Counts instances in each flow-permuted replica. Replicas shard over
+/// worker threads through a shared atomic counter (the
+/// `flowmotif_core::parallel` pattern); replica `i` always uses
+/// `seed + i`, so the counts are independent of the thread count.
+fn replica_counts(
+    real: &TemporalMultigraph,
+    motif: &Motif,
+    matches: &[StructuralMatch],
+    cfg: SignificanceConfig,
+) -> Vec<u64> {
+    let count_one = |i: usize| {
+        let replica = permute_flows(real, cfg.seed + i as u64);
+        let replica_ts: TimeSeriesGraph = (&replica).into();
+        count_with_matches(&replica_ts, motif, matches)
+    };
+    let workers = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(cfg.num_replicas.max(1));
+    if workers <= 1 {
+        return (0..cfg.num_replicas).map(count_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut counts = vec![0u64; cfg.num_replicas];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let count_one = &count_one;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfg.num_replicas {
+                            break;
+                        }
+                        local.push((i, count_one(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, c) in h.join().expect("replica worker panicked") {
+                counts[i] = c;
+            }
+        }
+    });
+    counts
+}
+
 /// Assesses one motif: counts instances in the real graph and in
 /// `cfg.num_replicas` flow-permuted replicas, reusing the structural
 /// matches (valid because the null model fixes structure and timestamps).
@@ -87,14 +145,7 @@ pub fn assess_motif(
     let real_ts: TimeSeriesGraph = real.into();
     let matches = find_structural_matches(&real_ts, motif.path());
     let real_count = count_with_matches(&real_ts, motif, &matches);
-
-    let random_counts: Vec<u64> = (0..cfg.num_replicas)
-        .map(|i| {
-            let replica = permute_flows(real, cfg.seed + i as u64);
-            let replica_ts: TimeSeriesGraph = (&replica).into();
-            count_with_matches(&replica_ts, motif, &matches)
-        })
-        .collect();
+    let random_counts = replica_counts(real, motif, &matches, cfg);
 
     let counts_f: Vec<f64> = random_counts.iter().map(|&c| c as f64).collect();
     let mu = mean(&counts_f);
@@ -161,7 +212,7 @@ mod tests {
         }
         let mg: TemporalMultigraph = b.build_multigraph();
         let motif = catalog::by_name("M(3,2)", 10, 10.0).unwrap();
-        let cfg = SignificanceConfig { num_replicas: 10, seed: 7 };
+        let cfg = SignificanceConfig { num_replicas: 10, seed: 7, threads: 1 };
         let sig = assess_motif(&mg, &motif, cfg);
         assert_eq!(sig.real_count, 30);
         assert!(sig.random_mean < sig.real_count as f64, "{sig:?}");
@@ -176,7 +227,7 @@ mod tests {
         // equals the real count and z = 0.
         let mg = Dataset::Passenger.generate_multigraph(0.1, 5);
         let motif = catalog::by_name("M(3,2)", 900, 0.0).unwrap();
-        let cfg = SignificanceConfig { num_replicas: 5, seed: 11 };
+        let cfg = SignificanceConfig { num_replicas: 5, seed: 11, threads: 1 };
         let sig = assess_motif(&mg, &motif, cfg);
         assert!(sig.random_counts.iter().all(|&c| c == sig.real_count));
         assert_eq!(sig.z_score, 0.0);
@@ -188,7 +239,7 @@ mod tests {
         let mg = Dataset::Passenger.generate_multigraph(0.1, 5);
         let motifs: Vec<_> =
             ["M(3,2)", "M(3,3)"].iter().map(|n| catalog::by_name(n, 900, 2.0).unwrap()).collect();
-        let cfg = SignificanceConfig { num_replicas: 3, seed: 1 };
+        let cfg = SignificanceConfig { num_replicas: 3, seed: 1, threads: 2 };
         let out = assess_motifs(&mg, &motifs, cfg);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].motif, "M(3,2)");
@@ -196,10 +247,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_replicas_match_serial() {
+        let mg = Dataset::Passenger.generate_multigraph(0.1, 13);
+        let motif = catalog::by_name("M(3,2)", 900, 3.0).unwrap();
+        let serial =
+            assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 7, seed: 21, threads: 1 });
+        for threads in [2, 3, 0] {
+            let par = assess_motif(
+                &mg,
+                &motif,
+                SignificanceConfig { num_replicas: 7, seed: 21, threads },
+            );
+            assert_eq!(par.random_counts, serial.random_counts, "threads={threads}");
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn deterministic_in_seed() {
         let mg = Dataset::Passenger.generate_multigraph(0.08, 2);
         let motif = catalog::by_name("M(3,2)", 900, 2.0).unwrap();
-        let cfg = SignificanceConfig { num_replicas: 4, seed: 3 };
+        let cfg = SignificanceConfig { num_replicas: 4, seed: 3, threads: 0 };
         let a = assess_motif(&mg, &motif, cfg);
         let b = assess_motif(&mg, &motif, cfg);
         assert_eq!(a, b);

@@ -1,0 +1,108 @@
+//! Sliding-window retention policy for the streaming engine.
+
+use flowmotif_graph::Timestamp;
+
+/// Keeps only the interactions younger than a fixed horizon behind the
+/// stream watermark.
+///
+/// The policy is *amortized*: the eviction floor only advances once it has
+/// moved by at least `slack` (default `horizon / 8`, at least 1), so a
+/// steady stream triggers one O(window) eviction sweep per slack-widths of
+/// progress instead of one per append. Late events older than the current
+/// floor are admitted and survive until the floor passes them again —
+/// eviction is a retention bound, not an ingestion filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingWindow {
+    horizon: Timestamp,
+    slack: Timestamp,
+    floor: Option<Timestamp>,
+}
+
+impl SlidingWindow {
+    /// A window keeping interactions with `time >= watermark - horizon`,
+    /// with the default eviction slack of `max(horizon / 8, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `horizon < 0`.
+    pub fn new(horizon: Timestamp) -> Self {
+        Self::with_slack(horizon, (horizon / 8).max(1))
+    }
+
+    /// A window with an explicit eviction slack: the floor advances (and
+    /// an eviction sweep is requested) only after it would move by at
+    /// least `slack`.
+    ///
+    /// # Panics
+    /// Panics if `horizon < 0` or `slack < 1`.
+    pub fn with_slack(horizon: Timestamp, slack: Timestamp) -> Self {
+        assert!(horizon >= 0, "horizon must be non-negative");
+        assert!(slack >= 1, "slack must be positive");
+        Self { horizon, slack, floor: None }
+    }
+
+    /// The retention horizon.
+    pub fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// The current eviction floor: every interaction with `time < floor`
+    /// has been handed to eviction. `None` until the first advance.
+    pub fn floor(&self) -> Option<Timestamp> {
+        self.floor
+    }
+
+    /// Observes the stream watermark; returns `Some(new_floor)` when the
+    /// caller should evict interactions older than `new_floor`.
+    pub fn advance(&mut self, watermark: Timestamp) -> Option<Timestamp> {
+        let target = watermark.saturating_sub(self.horizon);
+        match self.floor {
+            Some(f) if target.saturating_sub(f) < self.slack => None,
+            None if target == Timestamp::MIN => None,
+            _ => {
+                self.floor = Some(target);
+                Some(target)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_advances_in_slack_steps() {
+        let mut w = SlidingWindow::with_slack(100, 10);
+        assert_eq!(w.advance(50), Some(-50));
+        // Watermark creeping forward: no new sweep until slack is covered.
+        assert_eq!(w.advance(55), None);
+        assert_eq!(w.advance(59), None);
+        assert_eq!(w.advance(60), Some(-40));
+        assert_eq!(w.floor(), Some(-40));
+        // A big jump advances immediately.
+        assert_eq!(w.advance(1000), Some(900));
+    }
+
+    #[test]
+    fn default_slack_scales_with_horizon() {
+        let mut w = SlidingWindow::new(800);
+        assert_eq!(w.horizon(), 800);
+        assert_eq!(w.advance(1000), Some(200));
+        assert_eq!(w.advance(1099), None, "less than horizon/8 = 100 progress");
+        assert_eq!(w.advance(1100), Some(300));
+    }
+
+    #[test]
+    fn zero_horizon_keeps_only_the_watermark() {
+        let mut w = SlidingWindow::new(0);
+        assert_eq!(w.advance(5), Some(5));
+        assert_eq!(w.advance(5), None);
+        assert_eq!(w.advance(6), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn negative_horizon_panics() {
+        let _ = SlidingWindow::new(-1);
+    }
+}

@@ -73,7 +73,8 @@ fn main() {
 
     // Are >= 50-unit cycles significant, or expected by chance? Compare
     // against 10 flow-permuted replicas (paper §6.3).
-    let sig = assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 10, seed: 1 });
+    let sig =
+        assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 10, seed: 1, threads: 0 });
     println!(
         "significance: real={} vs random mean={:.1} (σ={:.2}) -> z={:.1}, empirical p={}",
         sig.real_count, sig.random_mean, sig.random_std, sig.z_score, sig.p_value

@@ -51,7 +51,8 @@ fn main() {
     }
 
     // Significance of chains against the flow-permutation null model.
-    let sig = assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 10, seed: 5 });
+    let sig =
+        assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 10, seed: 5, threads: 0 });
     println!(
         "\nsignificance of M(3,2): real={} random mean={:.1} z={:.2} p={:.2}",
         sig.real_count, sig.random_mean, sig.z_score, sig.p_value

@@ -20,6 +20,9 @@
 //! * [`datasets`] — synthetic Bitcoin/Facebook/Passenger-like workloads,
 //!   permutation null model, time-prefix samples.
 //! * [`significance`] — z-score / box-plot randomization experiment.
+//! * [`stream`] — streaming ingestion and the resident query engine
+//!   (incremental appends, sliding-window eviction, window-bounded
+//!   queries without rebuilds).
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use flowmotif_core as core;
 pub use flowmotif_datasets as datasets;
 pub use flowmotif_graph as graph;
 pub use flowmotif_significance as significance;
+pub use flowmotif_stream as stream;
 
 /// Convenient glob-import surface covering the common API.
 pub mod prelude {
@@ -58,10 +62,11 @@ pub mod prelude {
         analytics::{per_match_activity, per_match_top1, window_top1_series, MatchActivity},
         catalog,
         census::{all_walk_shapes, walk_census, CensusRow},
-        count_instances, count_instances_shared, count_structural_matches,
+        count_instances, count_instances_in_window, count_instances_shared,
+        count_structural_matches,
         dag::{dag_count, dag_enumerate, DagMotif},
         dp::{dp_max_flow, dp_top1},
-        enumerate_all, find_structural_matches,
+        enumerate_all, enumerate_all_in_window, find_structural_matches,
         parallel::{par_count_instances, par_enumerate_all, par_top_k},
         topk::{kth_instance_flow, top_k},
         EdgeSet, Motif, MotifInstance, SearchOptions, SearchStats, SpanningPath, StructuralMatch,
@@ -75,5 +80,8 @@ pub mod prelude {
     };
     pub use flowmotif_significance::{
         assess_motif, assess_motifs, MotifSignificance, SignificanceConfig,
+    };
+    pub use flowmotif_stream::{
+        EngineStats, IncrementalGraph, QueryEngine, QueryResult, SlidingWindow,
     };
 }

@@ -31,7 +31,8 @@ fn propagation_produces_significant_motifs() {
     for d in [Dataset::Bitcoin, Dataset::Facebook] {
         let mg = d.generate_multigraph(0.4, 42);
         let motif = catalog::by_name("M(3,2)", d.default_delta(), d.default_phi()).unwrap();
-        let sig = assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 8, seed: 9 });
+        let sig =
+            assess_motif(&mg, &motif, SignificanceConfig { num_replicas: 8, seed: 9, threads: 2 });
         assert!(
             sig.z_score > 3.0,
             "{d}: z={} real={} mean={}",
