@@ -13,6 +13,12 @@ cargo build --offline --workspace --all-targets
 # with the quick budgets, so bench bit-rot fails the gate.
 cargo bench --offline -p flowmotif-bench --benches -- --quick
 
+# Docs gate: rustdoc must build warning-free (broken intra-doc links,
+# missing docs, …) and every doctest must pass, so the documented
+# examples cannot drift from the API.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+cargo test -q --offline --workspace --doc
+
 # Style gates.
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -9,8 +9,9 @@ use flowmotif_core::parallel::{par_enumerate_all, par_top_k};
 use flowmotif_core::{catalog, Motif};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::{io, GraphStats, TimeSeriesGraph, TimeWindow};
+use flowmotif_serve::{Client, Server, ServerConfig};
 use flowmotif_significance::{assess_motif, SignificanceConfig};
-use flowmotif_stream::{QueryEngine, SlidingWindow};
+use flowmotif_stream::{QueryEngine, SlidingWindow, SnapshotEngine};
 use flowmotif_util::json;
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -28,6 +29,8 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
         Command::Activity(path) => activity(path, cli, out),
         Command::Generate => generate(cli, out),
         Command::Stream(path) => stream(path.as_deref(), cli, out),
+        Command::Serve => serve(cli, out),
+        Command::Client(path) => client(path.as_deref(), cli, out),
     }
 }
 
@@ -399,6 +402,82 @@ fn stream_query<W: Write>(
     }
 }
 
+fn serve<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
+    let server = start_server(cli)?;
+    writeln!(out, "flowmotif-serve listening on {}", server.local_addr()).ok();
+    out.flush().ok();
+    // Foreground mode: serve until the process is killed.
+    server.join();
+    Ok(())
+}
+
+/// Builds the snapshot engine and binds the protocol server from the
+/// parsed flags; `serve` then blocks on it, while tests bind port 0 and
+/// drive the returned handle from in-process clients.
+pub fn start_server(cli: &Cli) -> Result<Server, String> {
+    if cli.horizon < 0 {
+        return Err(format!("--horizon must be non-negative, got {}", cli.horizon));
+    }
+    if cli.max_window < 0 {
+        return Err(format!("--max-window must be non-negative, got {}", cli.max_window));
+    }
+    let mut inner = QueryEngine::new();
+    if cli.horizon > 0 {
+        inner = inner.with_window(SlidingWindow::new(cli.horizon));
+    }
+    let engine = SnapshotEngine::with_engine(inner).publish_every(cli.publish_every);
+    let config = ServerConfig {
+        workers: cli.pool.max(1),
+        max_inflight: cli.max_inflight,
+        max_window: (cli.max_window > 0).then_some(cli.max_window),
+        show: cli.show,
+        ..ServerConfig::default()
+    };
+    Server::start(std::sync::Arc::new(engine), config, (cli.host.as_str(), cli.port))
+        .map_err(|e| format!("binding {}:{}: {e}", cli.host, cli.port))
+}
+
+fn client<W: Write>(path: Option<&Path>, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let mut client = Client::connect((cli.host.as_str(), cli.port))
+        .map_err(|e| format!("connecting to {}:{}: {e}", cli.host, cli.port))?;
+    match path {
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| format!("opening {}: {e}", p.display()))?;
+            run_client_script(std::io::BufReader::new(f), &mut client, out)
+        }
+        None => run_client_script(std::io::stdin().lock(), &mut client, out),
+    }
+}
+
+/// Sends each non-comment script line as one protocol request and prints
+/// the framed reply (`DATA` lines, then the status line). Server-side
+/// `ERR`/`BUSY` statuses are output, not failures; only transport errors
+/// abort the script.
+pub fn run_client_script<R: BufRead, W: Write>(
+    reader: R,
+    client: &mut Client,
+    out: &mut W,
+) -> Result<(), String> {
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| format!("reading line {lineno}: {e}"))?;
+        // Same comment conventions as the stream script.
+        let trimmed = line.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let reply = client.send(trimmed).map_err(|e| format!("line {lineno}: {e}"))?;
+        for payload in &reply.data {
+            writeln!(out, "DATA {payload}").ok();
+        }
+        writeln!(out, "{}", reply.status).ok();
+        if reply.status == "OK bye" {
+            break;
+        }
+    }
+    Ok(())
+}
+
 fn generate<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
     let dataset: Dataset = cli.dataset.parse()?;
     let mg = dataset.generate_multigraph(cli.scale, cli.seed);
@@ -670,5 +749,88 @@ stats              # and the state
     fn stream_rejects_negative_horizon() {
         let (_, r) = run_script("0 1 10 1\n", &["--horizon", "-5"]);
         assert!(r.unwrap_err().contains("non-negative"));
+    }
+
+    /// Starts an in-process server from CLI flags, runs a client script
+    /// against it, and returns the client's output.
+    fn serve_round_trip(serve_flags: &[&str], script: &str) -> String {
+        let mut args = vec!["serve".to_string(), "--port".to_string(), "0".to_string()];
+        args.extend(serve_flags.iter().map(|s| s.to_string()));
+        let serve_cli = Cli::parse_from(args).unwrap();
+        let server = start_server(&serve_cli).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut buf = Vec::new();
+        run_client_script(script.as_bytes(), &mut client, &mut buf).unwrap();
+        drop(client);
+        server.shutdown();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_a_session() {
+        let script = "\
+% comment lines and inline comments work like stream scripts
+add 0 1 10 5      # first hop
+add 1 2 12 4
+count M(3,2) 10 0 # still epoch 0: nothing published
+publish
+count M(3,2) 10 0
+query M(3,2) 10 0
+stats
+session
+quit
+";
+        let out = serve_round_trip(&["--publish-every", "0"], script);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "OK added watermark=10");
+        assert_eq!(lines[1], "OK added watermark=12");
+        assert_eq!(lines[2], "OK count=0 matches=0 epoch=0");
+        assert_eq!(lines[3], "OK published epoch=1");
+        assert_eq!(lines[4], "OK count=1 matches=1 epoch=1");
+        assert!(lines[5].starts_with("DATA nodes=0-1-2"), "{out}");
+        assert!(lines[6].starts_with("OK query instances=1 shown=1"), "{out}");
+        assert!(lines[7].contains("interactions=2"), "{out}");
+        assert_eq!(lines[8], "OK session queries=3 appends=2 errors=0");
+        assert_eq!(lines[9], "OK bye");
+    }
+
+    #[test]
+    fn serve_applies_admission_flags() {
+        let out = serve_round_trip(
+            &["--max-window", "100"],
+            "query M(3,2) 10 0\nquery M(3,2) 10 0 0 50\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ERR admission unbounded"), "{out}");
+        assert!(lines[1].starts_with("OK query instances=0"), "{out}");
+    }
+
+    #[test]
+    fn serve_auto_publishes_on_the_configured_period() {
+        let out = serve_round_trip(
+            &["--publish-every", "2"],
+            "add 0 1 10 5\nadd 1 2 12 4\ncount M(3,2) 10 0\n",
+        );
+        assert!(out.contains("OK count=1 matches=1 epoch=1"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        for flags in [["--horizon", "-1"], ["--max-window", "-1"]] {
+            let mut args = vec!["serve".to_string()];
+            args.extend(flags.iter().map(|s| s.to_string()));
+            let cli = Cli::parse_from(args).unwrap();
+            assert!(start_server(&cli).unwrap_err().contains("non-negative"));
+        }
+    }
+
+    #[test]
+    fn client_reports_connection_failure() {
+        // A port nothing listens on (port 1 needs root to bind and is
+        // essentially never in use on a test machine).
+        let cli = Cli::parse_from(["client", "--port", "1"].iter().map(|s| s.to_string())).unwrap();
+        let mut buf = Vec::new();
+        let err = run(&cli, &mut buf).unwrap_err();
+        assert!(err.contains("connecting to 127.0.0.1:1"), "{err}");
     }
 }

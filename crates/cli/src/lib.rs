@@ -1,6 +1,21 @@
 //! Library backing the `flowmotif` command-line tool: argument parsing
 //! and the implementations of each subcommand, factored out of `main` so
 //! they are unit-testable.
+//!
+//! Three families of subcommands share one flag surface ([`opts::USAGE`]):
+//!
+//! * **batch analyses** over an edge-list file — `stats`, `find`,
+//!   `topk`, `top1`, `significance`, `census`, `activity` — plus
+//!   `generate` for synthetic datasets;
+//! * **resident sessions** — `stream` drives a
+//!   [`flowmotif_stream::QueryEngine`] from a line-oriented script
+//!   interleaving appends and queries;
+//! * **the network service** — `serve` binds a
+//!   [`flowmotif_serve::Server`] over a snapshot engine, `client` sends
+//!   protocol requests from a script and prints the framed replies.
+//!
+//! Every analysis output has a `--json` variant; all parsing is
+//! hand-rolled so the workspace stays dependency-free.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -8,5 +23,5 @@
 pub mod cmd;
 pub mod opts;
 
-pub use cmd::run;
+pub use cmd::{run, run_client_script, run_stream_script, start_server};
 pub use opts::{Cli, Command};

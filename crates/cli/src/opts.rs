@@ -22,6 +22,10 @@ COMMANDS:
   generate                emit a synthetic dataset as an edge list
   stream [file]           resident engine: ingest edges + answer interleaved
                           queries from a script (stdin if no file is given)
+  serve                   TCP server over the resident engine (snapshot
+                          reads, multi-client; see crates/serve/PROTOCOL.md)
+  client [file]           send protocol requests (file or stdin, one per
+                          line) to a running server and print the replies
 
 OPTIONS (find/topk/top1/significance):
   --motif <spec>          catalog name like M(3,3) or a walk like 0-1-2-0   [M(3,2)]
@@ -44,6 +48,17 @@ OPTIONS (stream):
   optional `add` prefix is accepted), `query <motif> <delta> <phi>
   [<from> <to>]`, `evict <t>`, `compact`, or `stats`. A `#` starts a
   comment anywhere on a line; `%` comments out a whole line.
+
+OPTIONS (serve/client):
+  --host <addr>           interface to bind / connect to                  [127.0.0.1]
+  --port <int>            TCP port (serve: 0 picks a free port)           [7878]
+  --pool <int>            worker threads = max concurrent sessions        [4]
+  --max-inflight <int>    queries executing at once (0 = unlimited)       [0]
+  --max-window <int>      per-query time-window cap (0 = unlimited)       [0]
+  --publish-every <int>   auto-publish a snapshot every N appends
+                          (0 = only on explicit `publish` requests)       [1024]
+  --horizon <int>         sliding-window eviction, as in stream           [0]
+  --show <int>            DATA lines per query reply                      [5]
 
 OPTIONS (generate):
   --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
@@ -75,8 +90,21 @@ pub struct Cli {
     pub edges: usize,
     /// RNG seed.
     pub seed: u64,
-    /// Sliding-window horizon for `stream` (0 = retain everything).
+    /// Sliding-window horizon for `stream`/`serve` (0 = retain
+    /// everything).
     pub horizon: i64,
+    /// Interface for `serve`/`client`.
+    pub host: String,
+    /// TCP port for `serve`/`client`.
+    pub port: u16,
+    /// Worker-pool size for `serve`.
+    pub pool: usize,
+    /// Concurrent-query cap for `serve` (0 = unlimited).
+    pub max_inflight: usize,
+    /// Per-query window cap for `serve` (0 = unlimited).
+    pub max_window: i64,
+    /// Auto-publish period (appends) for `serve`; 0 = manual only.
+    pub publish_every: usize,
     /// JSON output.
     pub json: bool,
     /// Dataset for `generate`.
@@ -108,6 +136,10 @@ pub enum Command {
     Generate,
     /// Resident streaming engine fed by a script (file or stdin).
     Stream(Option<PathBuf>),
+    /// TCP protocol server over the resident engine.
+    Serve,
+    /// Protocol client: requests from a script (file or stdin).
+    Client(Option<PathBuf>),
 }
 
 impl Default for Cli {
@@ -124,6 +156,12 @@ impl Default for Cli {
             edges: 2,
             seed: 42,
             horizon: 0,
+            host: "127.0.0.1".into(),
+            port: 7878,
+            pool: 4,
+            max_inflight: 0,
+            max_window: 0,
+            publish_every: 1024,
             json: false,
             dataset: "bitcoin".into(),
             scale: 1.0,
@@ -141,13 +179,13 @@ impl Cli {
             return Err(USAGE.to_string());
         }
         let mut file: Option<PathBuf> = None;
-        if cmd_name == "stream" {
-            // The script file is optional: without one the engine reads
+        if cmd_name == "stream" || cmd_name == "client" {
+            // The script file is optional: without one the command reads
             // stdin.
             if it.peek().is_some_and(|a| !a.starts_with("--")) {
                 file = Some(PathBuf::from(it.next().unwrap()));
             }
-        } else if cmd_name != "generate" {
+        } else if cmd_name != "generate" && cmd_name != "serve" {
             let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
             file = Some(PathBuf::from(f));
         }
@@ -161,6 +199,8 @@ impl Cli {
             "activity" => Command::Activity(file.unwrap()),
             "generate" => Command::Generate,
             "stream" => Command::Stream(file),
+            "serve" => Command::Serve,
+            "client" => Command::Client(file),
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
         let mut cli = Cli { command, ..Cli::default() };
@@ -184,6 +224,12 @@ impl Cli {
                 "--edges" => cli.edges = parse_val!("--edges"),
                 "--seed" => cli.seed = parse_val!("--seed"),
                 "--horizon" => cli.horizon = parse_val!("--horizon"),
+                "--host" => cli.host = value("--host")?,
+                "--port" => cli.port = parse_val!("--port"),
+                "--pool" => cli.pool = parse_val!("--pool"),
+                "--max-inflight" => cli.max_inflight = parse_val!("--max-inflight"),
+                "--max-window" => cli.max_window = parse_val!("--max-window"),
+                "--publish-every" => cli.publish_every = parse_val!("--publish-every"),
                 "--json" => cli.json = true,
                 "--dataset" => cli.dataset = value("--dataset")?,
                 "--scale" => cli.scale = parse_val!("--scale"),
@@ -264,6 +310,57 @@ mod tests {
         let cli = parse(&["stream"]).unwrap();
         assert_eq!(cli.command, Command::Stream(None));
         assert_eq!(cli.horizon, 0);
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        let cli = parse(&[
+            "serve",
+            "--port",
+            "0",
+            "--pool",
+            "8",
+            "--max-inflight",
+            "16",
+            "--max-window",
+            "3600",
+            "--publish-every",
+            "256",
+            "--horizon",
+            "7200",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.port, 0);
+        assert_eq!(cli.pool, 8);
+        assert_eq!(cli.max_inflight, 16);
+        assert_eq!(cli.max_window, 3600);
+        assert_eq!(cli.publish_every, 256);
+        assert_eq!(cli.horizon, 7200);
+        // serve takes no positional argument.
+        assert!(parse(&["serve", "stray"]).is_err());
+
+        let cli = parse(&["client", "req.txt", "--host", "10.0.0.1", "--port", "9999"]).unwrap();
+        assert_eq!(cli.command, Command::Client(Some(PathBuf::from("req.txt"))));
+        assert_eq!(cli.host, "10.0.0.1");
+        assert_eq!(cli.port, 9999);
+        // No positional: requests come from stdin.
+        let cli = parse(&["client", "--port", "9999"]).unwrap();
+        assert_eq!(cli.command, Command::Client(None));
+        // Ports are u16: out-of-range values are parse errors.
+        assert!(parse(&["serve", "--port", "65536"]).is_err());
+        assert!(parse(&["serve", "--port", "-1"]).is_err());
+    }
+
+    #[test]
+    fn serve_client_defaults() {
+        let cli = parse(&["serve"]).unwrap();
+        assert_eq!(cli.host, "127.0.0.1");
+        assert_eq!(cli.port, 7878);
+        assert_eq!(cli.pool, 4);
+        assert_eq!(cli.max_inflight, 0);
+        assert_eq!(cli.max_window, 0);
+        assert_eq!(cli.publish_every, 1024);
     }
 
     #[test]

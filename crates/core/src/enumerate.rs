@@ -392,7 +392,44 @@ pub fn enumerate_with_sink<S: InstanceSink>(
 }
 
 /// Runs the two-phase search restricted to the closed time window
-/// `bounds`, streaming instances to `sink`. Instances are exactly those a
+/// `bounds`, streaming instances to `sink`.
+///
+/// All inputs are taken by shared reference and all of them are `Sync`,
+/// so any number of threads may run bounded searches over one graph
+/// concurrently — this is the entry point behind the snapshot reads of
+/// `flowmotif-stream`/`flowmotif-serve` (each thread brings its own
+/// sink and gets its own stats back):
+///
+/// ```
+/// use flowmotif_core::{catalog, enumerate_window_with_sink, CountSink, SearchOptions};
+/// use flowmotif_graph::{GraphBuilder, TimeWindow};
+///
+/// let mut b = GraphBuilder::new();
+/// b.extend_interactions([
+///     (0u32, 1u32, 10i64, 5.0), (1, 2, 12, 4.0), // one 2-hop chain ...
+///     (5, 6, 30, 2.0), (6, 7, 35, 1.0),          // ... and a later one
+/// ]);
+/// let g = b.build_time_series_graph();
+/// let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+///
+/// // Two threads, two windows, one shared graph.
+/// let counts: Vec<u64> = std::thread::scope(|scope| {
+///     [TimeWindow::new(0, 20), TimeWindow::new(25, 40)]
+///         .map(|w| {
+///             let (g, motif) = (&g, &motif);
+///             scope.spawn(move || {
+///                 let mut sink = CountSink::default();
+///                 enumerate_window_with_sink(g, motif, w, SearchOptions::default(), &mut sink);
+///                 sink.count
+///             })
+///         })
+///         .map(|h| h.join().unwrap())
+///         .to_vec()
+/// });
+/// assert_eq!(counts, vec![1, 1]); // 0->1->2 in [0,20]; 5->6->7 in [25,40]
+/// ```
+///
+/// Instances are exactly those a
 /// batch rebuild of the in-window interactions would produce (see
 /// [`enumerate_in_match_bounded`]); only `SearchStats::structural_matches`
 /// may differ from such a rebuild, because phase P1 runs on the resident

@@ -69,3 +69,18 @@ pub use matcher::{
 };
 pub use motif::{Motif, MotifNode, SpanningPath};
 pub use shared::{count_instances_shared, enumerate_shared_with_sink};
+
+// The search entry points are used from multi-threaded servers
+// (snapshot reads in `flowmotif-serve`): everything a query needs to
+// share across threads must stay `Send + Sync`. Compile-time assertion
+// so a future interior-mutability change fails loudly here, not in a
+// downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<flowmotif_graph::TimeSeriesGraph>();
+    assert_send_sync::<Motif>();
+    assert_send_sync::<SearchOptions>();
+    assert_send_sync::<SearchStats>();
+    assert_send_sync::<StructuralMatch>();
+    assert_send_sync::<MotifInstance>();
+};

@@ -1,0 +1,46 @@
+//! A minimal blocking client for the wire protocol: send one request
+//! line, read one framed reply.
+
+use crate::protocol::{read_reply, Reply};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection. Requests are strictly sequential
+/// (send → reply); open several clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running [`crate::Server`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply round trips are latency-bound: never batch the
+        // tiny request segments behind Nagle's algorithm.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { writer: stream, reader })
+    }
+
+    /// Sends one request line (without a trailing newline) and reads the
+    /// framed reply. `ERR`/`BUSY` statuses are returned as normal
+    /// [`Reply`] values, not `Err` — only transport failures error.
+    pub fn send(&mut self, line: &str) -> io::Result<Reply> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "request must be a single line",
+            ));
+        }
+        // One write per request: a split line + newline pair would
+        // otherwise stall on Nagle + delayed-ACK interaction.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+}

@@ -1,0 +1,52 @@
+//! Network front-end for the resident motif query engine: a
+//! dependency-free TCP line-protocol server over
+//! [`flowmotif_stream::SnapshotEngine`].
+//!
+//! The paper positions flow-motif search as an analytics primitive over
+//! live interaction networks; this crate turns the single-threaded
+//! resident engine into a multi-client service:
+//!
+//! * [`Server`] — `std::net::TcpListener`, an accept thread and a
+//!   **bounded worker pool** (thread-per-connection up to the pool size,
+//!   excess connections queue, overflow is refused with `BUSY`).
+//! * **Snapshot reads** — queries run against immutable epoch-stamped
+//!   [`flowmotif_stream::Snapshot`]s, so readers never block the
+//!   ingesting writer and a slow query never delays an append.
+//! * **Admission control** — a cap on concurrently executing queries
+//!   (transient `BUSY` reply, retryable) and a per-query time-window cap
+//!   (permanent `ERR admission` reply), so one client cannot monopolise
+//!   the pool with unbounded scans.
+//! * [`Client`] — a tiny blocking client speaking the same protocol, used
+//!   by `flowmotif client` and the integration tests.
+//!
+//! The wire protocol is one request line in, one framed reply out
+//! (`DATA …` lines, then a single `OK`/`ERR`/`BUSY` status line); see
+//! `PROTOCOL.md` next to this crate for the normative description.
+//!
+//! ```
+//! use flowmotif_serve::{Client, Server, ServerConfig};
+//! use flowmotif_stream::SnapshotEngine;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(SnapshotEngine::new());
+//! let server = Server::start(engine, ServerConfig::default(), "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! client.send("add 0 1 10 5").unwrap();
+//! client.send("add 1 2 12 4").unwrap();
+//! client.send("publish").unwrap();
+//! let reply = client.send("count M(3,2) 10 0").unwrap();
+//! assert_eq!(reply.field("count"), Some("1"));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ErrorCode, Reply, Request, MAX_LINE_BYTES};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,555 @@
+//! The TCP server: accept loop, bounded worker pool, admission control
+//! and per-session request handling.
+
+use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
+use flowmotif_stream::SnapshotEngine;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; also the maximum number of concurrently served
+    /// connections (excess connections queue, see `backlog`).
+    pub workers: usize,
+    /// Accepted connections waiting for a free worker. Connections beyond
+    /// `workers + backlog` are refused with a `BUSY` status.
+    pub backlog: usize,
+    /// Maximum queries (`query`/`count`) executing at once across all
+    /// sessions; further queries get a transient `BUSY` reply. 0 means
+    /// unlimited.
+    pub max_inflight: usize,
+    /// Per-query cap on the explicit time-window length. When set,
+    /// queries must carry a window no longer than this; unbounded queries
+    /// are rejected with `ERR admission`. `None` admits everything.
+    pub max_window: Option<i64>,
+    /// Maximum `DATA` instance lines per `query` reply (the total count
+    /// is always reported in the status line).
+    ///
+    /// Snapshot freshness is configured on the [`SnapshotEngine`] itself
+    /// (`SnapshotEngine::publish_every`), not here: the engine may be
+    /// shared with non-server writers that publish on their own schedule.
+    pub show: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, backlog: 16, max_inflight: 0, max_window: None, show: 5 }
+    }
+}
+
+/// State shared by all workers.
+#[derive(Debug)]
+struct Shared {
+    engine: Arc<SnapshotEngine>,
+    config: ServerConfig,
+    /// Queries currently executing (gauge).
+    inflight: AtomicUsize,
+    /// Connections served over the server's lifetime.
+    sessions: AtomicU64,
+    /// Queries answered over the server's lifetime (admitted ones).
+    queries: AtomicU64,
+}
+
+/// Decrements the in-flight gauge when an admitted query finishes.
+#[derive(Debug)]
+struct InflightGuard<'a>(&'a Shared);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Shared {
+    /// Admission check for one query: bumps the in-flight gauge or
+    /// reports how many queries are already running.
+    fn try_admit(&self) -> Result<InflightGuard<'_>, usize> {
+        let max = self.config.max_inflight;
+        let mut current = self.inflight.load(Ordering::Acquire);
+        loop {
+            if max > 0 && current >= max {
+                return Err(current);
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(InflightGuard(self)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// A running motif query server. Dropping (or [`Server::shutdown`])
+/// stops the accept loop, drains the workers and joins all threads;
+/// [`Server::join`] instead blocks forever (the CLI's foreground mode).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 picks a free port)
+    /// and starts the accept thread plus `config.workers` workers. The
+    /// `engine` is shared — the caller may keep ingesting into it
+    /// directly while the server runs.
+    pub fn start<A: ToSocketAddrs>(
+        engine: Arc<SnapshotEngine>,
+        config: ServerConfig,
+        addr: A,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        // Polled non-blocking accept so shutdown does not hang on a
+        // listener with no final connection.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let backlog = config.backlog;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            inflight: AtomicUsize::new(0),
+            sessions: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || worker_loop(&rx, &shared, &shutdown))
+            })
+            .collect();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+        };
+        Ok(Server { addr, shutdown, accept: Some(accept), workers: worker_handles })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes idle sessions and joins every thread.
+    /// Sessions blocked inside a request finish it first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks the calling thread until the server shuts down (which, with
+    /// the handle consumed, is when the process exits) — the foreground
+    /// mode behind `flowmotif serve`.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    // Admission control at the connection level: the pool
+                    // and its backlog are saturated.
+                    let _ = stream.write_all(b"BUSY connection backlog full, retry later\n");
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` here wakes the workers out of `recv_timeout` with a
+    // disconnect once the queue drains.
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, shutdown: &AtomicBool) {
+    loop {
+        // Take the next queued connection; the lock is held only while
+        // polling the channel, not while serving.
+        let next = rx.lock().unwrap().recv_timeout(Duration::from_millis(20));
+        match next {
+            Ok(stream) => {
+                shared.sessions.fetch_add(1, Ordering::Relaxed);
+                serve_connection(stream, shared, shutdown);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Per-connection counters, reported by the `session` command.
+#[derive(Debug, Default)]
+struct Session {
+    queries: u64,
+    appends: u64,
+    errors: u64,
+}
+
+/// Serves one connection until the peer disconnects, sends `quit`, the
+/// server shuts down, or a protocol violation forces a close.
+fn serve_connection(stream: TcpStream, shared: &Shared, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
+        return;
+    }
+    // Replies are built as one buffer and written once; disable Nagle so
+    // the status line is never held back waiting for more output.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut session = Session::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Accumulate one line, tolerating read timeouts (used to poll the
+        // shutdown flag without dropping partially received requests).
+        // Reads are budgeted so `line` can never grow past the protocol
+        // cap, no matter how fast a hostile client streams newline-free
+        // bytes.
+        let complete = loop {
+            let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+            match Read::take(&mut reader, budget).read_line(&mut line) {
+                // Budget exhausted reads as Ok(0) on the next turn;
+                // a genuine EOF is a peer close (possibly mid-line).
+                Ok(0) => break line.len() > MAX_LINE_BYTES,
+                Ok(_) if line.ends_with('\n') => break true,
+                Ok(_) => continue, // partial read without newline
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if !complete {
+            return; // mid-stream disconnect: drop any partial request
+        }
+        if line.len() > MAX_LINE_BYTES {
+            // Swallow the rest of the oversized line (bounded) before
+            // replying, so closing with unread input does not RST the
+            // error reply away mid-flight.
+            drain_oversized_line(&mut reader);
+            let _ = writer.write_all(b"ERR proto line exceeds 65536 bytes\n");
+            return;
+        }
+        let (reply, close) = handle_line(line.trim_end_matches(['\r', '\n']), shared, &mut session);
+        if writer.write_all(reply.as_bytes()).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Discards the tail of a line that exceeded [`MAX_LINE_BYTES`], up to a
+/// hard cap — memory stays O(chunk) and a trickling client cannot pin
+/// the worker (any timeout or error just abandons the drain; the
+/// connection is closing anyway).
+fn drain_oversized_line(reader: &mut BufReader<TcpStream>) {
+    let mut sink = Vec::with_capacity(8 * 1024);
+    let mut drained = 0usize;
+    while drained <= 16 * MAX_LINE_BYTES {
+        sink.clear();
+        match Read::take(&mut *reader, 8 * 1024).read_until(b'\n', &mut sink) {
+            Ok(0) => return,
+            Ok(n) => {
+                if sink.ends_with(b"\n") {
+                    return;
+                }
+                drained += n;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Processes one request line into a framed reply (every returned string
+/// ends with the status line + `\n`). The bool asks the caller to close
+/// the connection after writing.
+fn handle_line(line: &str, shared: &Shared, session: &mut Session) -> (String, bool) {
+    match parse_request(line) {
+        Ok(request) => handle_request(request, shared, session),
+        Err(e) => {
+            session.errors += 1;
+            (format!("{}\n", e.status_line()), false)
+        }
+    }
+}
+
+fn handle_request(request: Request, shared: &Shared, session: &mut Session) -> (String, bool) {
+    let engine = &shared.engine;
+    match request {
+        Request::Ping => ("OK pong\n".to_string(), false),
+        Request::Add { from, to, time, flow } => {
+            session.appends += 1;
+            match engine.append(from, to, time, flow) {
+                Ok(watermark) => (format!("OK added watermark={watermark}\n"), false),
+                Err(e) => {
+                    session.errors += 1;
+                    (format!("ERR {} {e}\n", ErrorCode::Data.token()), false)
+                }
+            }
+        }
+        Request::Query(spec) => run_query(&spec, shared, session, true),
+        Request::Count(spec) => run_query(&spec, shared, session, false),
+        Request::Publish => (format!("OK published epoch={}\n", engine.publish()), false),
+        Request::Evict(floor) => (format!("OK evicted={}\n", engine.evict_before(floor)), false),
+        Request::Compact => {
+            engine.compact();
+            ("OK compacted\n".to_string(), false)
+        }
+        Request::Stats => {
+            let s = engine.stats();
+            let fmt_t = |t: Option<i64>| t.map_or_else(|| "-".to_string(), |t| t.to_string());
+            (
+                format!(
+                    "OK stats interactions={} pairs={} watermark={} floor={} appended={} \
+                     evicted={} epoch={} inflight={} sessions={} queries={}\n",
+                    s.interactions,
+                    s.pairs,
+                    fmt_t(s.watermark),
+                    fmt_t(s.floor),
+                    s.appended,
+                    s.evicted,
+                    engine.published_epoch(),
+                    shared.inflight.load(Ordering::Acquire),
+                    shared.sessions.load(Ordering::Relaxed),
+                    shared.queries.load(Ordering::Relaxed),
+                ),
+                false,
+            )
+        }
+        Request::Session => (
+            format!(
+                "OK session queries={} appends={} errors={}\n",
+                session.queries, session.appends, session.errors
+            ),
+            false,
+        ),
+        Request::Quit => ("OK bye\n".to_string(), true),
+    }
+}
+
+/// Admission control plus the actual snapshot search, shared by `query`
+/// (instances on `DATA` lines) and `count` (status line only).
+fn run_query(
+    spec: &QuerySpec,
+    shared: &Shared,
+    session: &mut Session,
+    materialise: bool,
+) -> (String, bool) {
+    // Per-query window cap: a non-transient admission error.
+    if let Some(cap) = shared.config.max_window {
+        let admission = ErrorCode::Admission.token();
+        match spec.window {
+            None => {
+                session.errors += 1;
+                return (
+                    format!(
+                        "ERR {admission} unbounded query refused: supply a window of at most \
+                         {cap} time units\n"
+                    ),
+                    false,
+                );
+            }
+            Some(w) if w.length() > cap => {
+                session.errors += 1;
+                return (
+                    format!(
+                        "ERR {admission} window length {} exceeds the per-query cap {cap}\n",
+                        w.length()
+                    ),
+                    false,
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    // In-flight cap: a transient, retryable rejection.
+    let _guard = match shared.try_admit() {
+        Ok(guard) => guard,
+        Err(inflight) => {
+            session.errors += 1;
+            return (
+                format!(
+                    "BUSY {inflight} queries in flight (cap {}), retry\n",
+                    shared.config.max_inflight
+                ),
+                false,
+            );
+        }
+    };
+    session.queries += 1;
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+
+    // The query runs on an immutable snapshot: no writer lock is held, and
+    // concurrent appends/publishes cannot change what this query sees.
+    let snapshot = shared.engine.snapshot();
+    let epoch = snapshot.epoch();
+    let motif = &spec.motif;
+    if !materialise {
+        let (count, stats) = snapshot.count(motif, spec.window);
+        return (
+            format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches),
+            false,
+        );
+    }
+    let result = snapshot.query(motif, spec.window);
+    let total = result.num_instances();
+    let g = snapshot.graph();
+    let mut reply = String::new();
+    let mut shown = 0usize;
+    'outer: for (sm, instances) in &result.groups {
+        for inst in instances {
+            if shown >= shared.config.show {
+                break 'outer;
+            }
+            let nodes: Vec<String> = sm.walk_nodes(g).into_iter().map(|n| n.to_string()).collect();
+            reply.push_str(&format!(
+                "DATA nodes={} flow={} span={} sets={}\n",
+                nodes.join("-"),
+                inst.flow,
+                inst.span(),
+                inst.display(g)
+            ));
+            shown += 1;
+        }
+    }
+    reply.push_str(&format!(
+        "OK query instances={total} shown={shown} matches={} epoch={epoch}\n",
+        result.stats.structural_matches
+    ));
+    (reply, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(config: ServerConfig) -> Shared {
+        Shared {
+            engine: Arc::new(SnapshotEngine::new()),
+            config,
+            inflight: AtomicUsize::new(0),
+            sessions: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn inflight_gauge_caps_and_releases() {
+        let s = shared(ServerConfig { max_inflight: 2, ..ServerConfig::default() });
+        let a = s.try_admit().unwrap();
+        let _b = s.try_admit().unwrap();
+        assert_eq!(s.try_admit().unwrap_err(), 2);
+        drop(a);
+        let _c = s.try_admit().unwrap();
+        assert_eq!(s.inflight.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn unlimited_inflight_still_counts() {
+        let s = shared(ServerConfig::default());
+        let g = s.try_admit().unwrap();
+        assert_eq!(s.inflight.load(Ordering::Acquire), 1);
+        drop(g);
+        assert_eq!(s.inflight.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn window_cap_rejects_wide_and_unbounded_queries() {
+        let s = shared(ServerConfig { max_window: Some(100), ..ServerConfig::default() });
+        let mut session = Session::default();
+        let (reply, close) = handle_line("count M(3,2) 10 0", &s, &mut session);
+        assert!(reply.starts_with("ERR admission unbounded"), "{reply}");
+        assert!(!close);
+        let (reply, _) = handle_line("count M(3,2) 10 0 0 101", &s, &mut session);
+        assert!(reply.starts_with("ERR admission window length 101"), "{reply}");
+        let (reply, _) = handle_line("count M(3,2) 10 0 0 100", &s, &mut session);
+        assert!(reply.starts_with("OK count=0"), "{reply}");
+        assert_eq!(session.errors, 2);
+        assert_eq!(session.queries, 1);
+    }
+
+    #[test]
+    fn session_and_stats_replies() {
+        let s = shared(ServerConfig::default());
+        let mut session = Session::default();
+        let (r, _) = handle_line("add 0 1 10 5", &s, &mut session);
+        assert_eq!(r, "OK added watermark=10\n");
+        let (r, _) = handle_line("publish", &s, &mut session);
+        assert_eq!(r, "OK published epoch=1\n");
+        let (r, _) = handle_line("query M(3,2) 10 0", &s, &mut session);
+        assert!(r.ends_with("OK query instances=0 shown=0 matches=0 epoch=1\n"), "{r}");
+        let (r, _) = handle_line("bogus", &s, &mut session);
+        assert!(r.starts_with("ERR proto"), "{r}");
+        let (r, _) = handle_line("session", &s, &mut session);
+        assert_eq!(r, "OK session queries=1 appends=1 errors=1\n");
+        let (r, _) = handle_line("stats", &s, &mut session);
+        assert!(r.contains("interactions=1"), "{r}");
+        assert!(r.contains("epoch=1"), "{r}");
+        let (r, close) = handle_line("quit", &s, &mut session);
+        assert_eq!(r, "OK bye\n");
+        assert!(close);
+    }
+
+    #[test]
+    fn add_rejections_are_data_errors() {
+        let s = shared(ServerConfig::default());
+        let mut session = Session::default();
+        let (r, _) = handle_line("add 0 0 10 5", &s, &mut session);
+        assert!(r.starts_with("ERR data"), "{r}");
+        let (r, _) = handle_line("add 0 1 10 -5", &s, &mut session);
+        assert!(r.starts_with("ERR data"), "{r}");
+        assert_eq!(session.errors, 2);
+    }
+}

@@ -19,6 +19,10 @@
 //!   [`flowmotif_graph::TimeWindow`], *borrowing* the resident graph
 //!   (`flowmotif_core::enumerate_window_with_sink`) instead of rebuilding
 //!   it per query.
+//! * [`SnapshotEngine`] adds concurrent readers on top: ingestion keeps
+//!   appending under a writer lock while queries run against cheap,
+//!   immutable, epoch-stamped [`Snapshot`]s of the compacted graph —
+//!   the substrate of the `flowmotif-serve` network front-end.
 //!
 //! ```
 //! use flowmotif_core::catalog;
@@ -39,8 +43,10 @@
 
 pub mod engine;
 pub mod incremental;
+pub mod snapshot;
 pub mod window;
 
 pub use engine::{EngineStats, QueryEngine, QueryResult};
 pub use incremental::IncrementalGraph;
+pub use snapshot::{Snapshot, SnapshotEngine};
 pub use window::SlidingWindow;

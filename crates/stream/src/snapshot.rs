@@ -1,0 +1,483 @@
+//! Concurrent reads during live ingestion: an epoch/snapshot layer over
+//! the resident [`QueryEngine`].
+//!
+//! The single-threaded engine answers queries by *borrowing* its mutable
+//! graph, so a long search blocks every append (and vice versa). This
+//! module decouples the two:
+//!
+//! * a **writer side** — the [`QueryEngine`] behind a mutex — absorbs
+//!   appends and evictions exactly as before;
+//! * a **reader side** — an `Arc`-swapped [`Snapshot`] holding a
+//!   compacted, immutable [`TimeSeriesGraph`] — serves any number of
+//!   concurrent searches without taking the writer lock at all.
+//!
+//! [`SnapshotEngine::publish`] bridges them: it folds the writer's
+//! buffered tails in (`compact`), clones the consolidated CSR into a
+//! fresh [`Snapshot`] stamped with a monotonically increasing *epoch*,
+//! and swaps it into the published slot. Readers that already hold a
+//! snapshot keep it alive through its `Arc` — publishing never
+//! invalidates an in-progress query, it only makes newer data visible to
+//! the *next* [`SnapshotEngine::snapshot`] call.
+//!
+//! The cost model: readers pay one `RwLock` read + `Arc` clone per
+//! snapshot acquisition and then run lock-free; the writer pays an
+//! `O(resident)` graph clone per publish (skipped entirely when nothing
+//! changed since the last publish). Batching appends between publishes —
+//! see [`SnapshotEngine::publish_every`] — amortizes that clone the same
+//! way the incremental graph amortizes tail merges.
+
+use crate::engine::{EngineStats, QueryResult};
+use crate::window::SlidingWindow;
+use crate::QueryEngine;
+use flowmotif_core::{
+    count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window, Motif,
+    SearchStats,
+};
+use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// An immutable point-in-time view of the stream, cheap to share across
+/// threads and safe to query while ingestion continues.
+///
+/// Snapshots are produced by [`SnapshotEngine::publish`] and handed out
+/// by [`SnapshotEngine::snapshot`]; each carries the *epoch* at which it
+/// was published, so results can be attributed to an exact stream
+/// prefix.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    graph: Arc<TimeSeriesGraph>,
+    epoch: u64,
+    stats: EngineStats,
+}
+
+impl Snapshot {
+    /// The publish sequence number of this snapshot (0 = the empty
+    /// snapshot every engine starts with).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Engine statistics frozen at publish time.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The immutable compacted graph; all core search drivers (top-k,
+    /// census, analytics, …) can run on it directly.
+    pub fn graph(&self) -> &TimeSeriesGraph {
+        &self.graph
+    }
+
+    /// Two-phase motif search over the snapshot, restricted to `bounds`
+    /// when given. Unlike [`QueryEngine::query`] this takes `&self`: any
+    /// number of threads may search one snapshot concurrently.
+    pub fn query(&self, motif: &Motif, bounds: Option<TimeWindow>) -> QueryResult {
+        let (groups, stats) = match bounds {
+            Some(w) => enumerate_all_in_window(&self.graph, motif, w),
+            None => enumerate_all(&self.graph, motif),
+        };
+        QueryResult { groups, stats }
+    }
+
+    /// Counts maximal instances without materialising them.
+    pub fn count(&self, motif: &Motif, bounds: Option<TimeWindow>) -> (u64, SearchStats) {
+        match bounds {
+            Some(w) => count_instances_in_window(&self.graph, motif, w),
+            None => count_instances(&self.graph, motif),
+        }
+    }
+}
+
+/// State owned by the writer lock: the resident engine plus the epoch
+/// counter and the watermark of the last publish.
+#[derive(Debug)]
+struct WriterState {
+    engine: QueryEngine,
+    epoch: u64,
+    /// `(appended, evicted)` lifetime totals at the last publish; a
+    /// publish with unchanged totals is a no-op.
+    published_totals: (u64, u64),
+}
+
+/// A [`QueryEngine`] that supports concurrent readers via epoch-stamped
+/// snapshots.
+///
+/// All methods take `&self`; share the engine as an `Arc<SnapshotEngine>`
+/// between one (or more, serialised by the writer mutex) ingesting
+/// thread and any number of query threads.
+///
+/// ```
+/// use flowmotif_core::catalog;
+/// use flowmotif_stream::SnapshotEngine;
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(SnapshotEngine::new());
+/// engine.ingest([(0u32, 1u32, 10i64, 5.0), (1, 2, 12, 4.0)]).unwrap();
+/// engine.publish();
+///
+/// // A snapshot is immutable: appends racing with the search below
+/// // cannot affect its result.
+/// let snap = engine.snapshot();
+/// let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+/// let reader = std::thread::spawn(move || snap.count(&motif, None).0);
+/// engine.ingest([(2u32, 3u32, 14i64, 3.0)]).unwrap();
+/// assert_eq!(reader.join().unwrap(), 1);
+///
+/// // The new edge becomes visible at the next publish.
+/// let epoch = engine.publish();
+/// assert_eq!(engine.snapshot().epoch(), epoch);
+/// assert_eq!(engine.snapshot().stats().appended, 3);
+/// ```
+#[derive(Debug)]
+pub struct SnapshotEngine {
+    writer: Mutex<WriterState>,
+    published: RwLock<Arc<Snapshot>>,
+    /// Auto-publish after this many appends since the last publish
+    /// (0 = only on explicit [`SnapshotEngine::publish`] calls).
+    publish_every: usize,
+}
+
+impl Default for SnapshotEngine {
+    fn default() -> Self {
+        Self::with_engine(QueryEngine::new())
+    }
+}
+
+impl SnapshotEngine {
+    /// An engine that retains the whole stream and publishes only on
+    /// explicit [`SnapshotEngine::publish`] calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing (possibly pre-loaded) [`QueryEngine`]. Epoch 0
+    /// is published immediately from its current contents.
+    pub fn with_engine(mut engine: QueryEngine) -> Self {
+        engine.compact();
+        let stats = engine.stats();
+        let snapshot =
+            Arc::new(Snapshot { graph: Arc::new(engine.graph().clone()), epoch: 0, stats });
+        Self {
+            writer: Mutex::new(WriterState {
+                engine,
+                epoch: 0,
+                published_totals: (stats.appended, stats.evicted),
+            }),
+            published: RwLock::new(snapshot),
+            publish_every: 0,
+        }
+    }
+
+    /// Installs a sliding-window retention policy on the writer side
+    /// (see [`QueryEngine::with_window`]).
+    pub fn with_window(self, window: SlidingWindow) -> Self {
+        {
+            let mut w = self.writer.lock().unwrap();
+            let engine = std::mem::take(&mut w.engine).with_window(window);
+            w.engine = engine;
+        }
+        self
+    }
+
+    /// Permits self-loop interactions (off by default).
+    pub fn allow_self_loops(self, allow: bool) -> Self {
+        {
+            let mut w = self.writer.lock().unwrap();
+            let engine = std::mem::take(&mut w.engine).allow_self_loops(allow);
+            w.engine = engine;
+        }
+        self
+    }
+
+    /// Auto-publishes a fresh snapshot once `n` appends have accumulated
+    /// since the last publish (0 disables auto-publish). The check runs
+    /// at the end of each [`SnapshotEngine::append`] / ingest batch, so a
+    /// large `ingest` publishes once, not once per `n` edges.
+    pub fn publish_every(mut self, n: usize) -> Self {
+        self.publish_every = n;
+        self
+    }
+
+    /// Appends one interaction and returns the stream watermark after it
+    /// (computed under the same writer lock, so it is exactly this
+    /// append's view even with other writers racing). Auto-publishes
+    /// when due.
+    pub fn append(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+    ) -> Result<Timestamp, GraphError> {
+        let mut w = self.writer.lock().unwrap();
+        w.engine.try_append(from, to, time, flow)?;
+        let watermark = w.engine.stats().watermark.unwrap_or(time);
+        self.maybe_publish(&mut w);
+        Ok(watermark)
+    }
+
+    /// Appends a batch; returns how many were appended. Fails on the
+    /// first invalid interaction (earlier ones stay applied).
+    /// Auto-publishes at most once, after the whole batch.
+    pub fn ingest<I>(&self, batch: I) -> Result<usize, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, Timestamp, Flow)>,
+    {
+        let mut w = self.writer.lock().unwrap();
+        let mut n = 0;
+        let r: Result<(), GraphError> = (|| {
+            for (u, v, t, f) in batch {
+                w.engine.try_append(u, v, t, f)?;
+                n += 1;
+            }
+            Ok(())
+        })();
+        self.maybe_publish(&mut w);
+        r.map(|()| n)
+    }
+
+    /// Drops interactions older than `floor` on the writer side; the
+    /// published snapshot keeps serving the old view until the next
+    /// publish. Returns how many were dropped.
+    pub fn evict_before(&self, floor: Timestamp) -> usize {
+        self.writer.lock().unwrap().engine.evict_before(floor)
+    }
+
+    /// Consolidates the writer-side graph (see [`QueryEngine::compact`]).
+    pub fn compact(&self) {
+        self.writer.lock().unwrap().engine.compact();
+    }
+
+    /// Publishes the current writer state as a new immutable snapshot and
+    /// returns its epoch. When nothing was appended or evicted since the
+    /// last publish this is a no-op returning the current epoch — so
+    /// polling publishers are cheap on a quiescent stream.
+    pub fn publish(&self) -> u64 {
+        let mut w = self.writer.lock().unwrap();
+        self.publish_locked(&mut w)
+    }
+
+    /// Live writer-side statistics (includes not-yet-published appends).
+    pub fn stats(&self) -> EngineStats {
+        self.writer.lock().unwrap().engine.stats()
+    }
+
+    /// The currently published snapshot. Cheap: one `RwLock` read and an
+    /// `Arc` clone; the returned snapshot stays valid (and unchanged)
+    /// however far the stream advances.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.published.read().unwrap())
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn published_epoch(&self) -> u64 {
+        self.published.read().unwrap().epoch
+    }
+
+    fn maybe_publish(&self, w: &mut WriterState) {
+        if self.publish_every == 0 {
+            return;
+        }
+        let (appended, _) = w.engine.stats().totals();
+        if (appended - w.published_totals.0) as usize >= self.publish_every {
+            self.publish_locked(w);
+        }
+    }
+
+    fn publish_locked(&self, w: &mut WriterState) -> u64 {
+        let totals = w.engine.stats().totals();
+        if totals == w.published_totals {
+            return w.epoch;
+        }
+        // Fold tails and drop evicted-empty pairs so the snapshot is a
+        // dense CSR, then clone it out. The clone runs under the writer
+        // lock (publishes are serialised with appends) but readers are
+        // only blocked for the final pointer swap below.
+        w.engine.compact();
+        w.epoch += 1;
+        w.published_totals = totals;
+        let snapshot = Arc::new(Snapshot {
+            graph: Arc::new(w.engine.graph().clone()),
+            epoch: w.epoch,
+            stats: w.engine.stats(),
+        });
+        *self.published.write().unwrap() = snapshot;
+        w.epoch
+    }
+}
+
+impl EngineStats {
+    /// Lifetime `(appended, evicted)` totals — the pair that decides
+    /// whether a publish would produce a new epoch.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.appended, self.evicted)
+    }
+}
+
+// The whole point of this module: prove at compile time that snapshots
+// and the engine may cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<SnapshotEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmotif_core::catalog;
+    use flowmotif_graph::GraphBuilder;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const FIG2: [(NodeId, NodeId, Timestamp, Flow); 10] = [
+        (3, 2, 1, 2.0),
+        (3, 2, 3, 5.0),
+        (2, 0, 10, 10.0),
+        (3, 0, 11, 10.0),
+        (0, 1, 13, 5.0),
+        (0, 1, 15, 7.0),
+        (1, 2, 18, 20.0),
+        (2, 3, 19, 5.0),
+        (2, 3, 21, 4.0),
+        (1, 3, 23, 7.0),
+    ];
+
+    #[test]
+    fn snapshots_are_immutable_and_epoch_stamped() {
+        let engine = SnapshotEngine::new();
+        let motif = catalog::by_name("M(3,3)", 10, 7.0).unwrap();
+
+        let empty = engine.snapshot();
+        assert_eq!(empty.epoch(), 0);
+        assert_eq!(empty.count(&motif, None).0, 0);
+
+        engine.ingest(FIG2).unwrap();
+        // Not yet published: readers still see the empty graph.
+        assert_eq!(engine.snapshot().epoch(), 0);
+        assert_eq!(engine.snapshot().count(&motif, None).0, 0);
+        assert_eq!(engine.stats().appended, 10, "writer side is live");
+
+        let e = engine.publish();
+        assert_eq!(e, 1);
+        let snap = engine.snapshot();
+        assert_eq!(snap.count(&motif, None).0, 1);
+        // The old snapshot is untouched by the publish.
+        assert_eq!(empty.count(&motif, None).0, 0);
+        // Publishing with no new data is a no-op.
+        assert_eq!(engine.publish(), 1);
+        assert_eq!(engine.published_epoch(), 1);
+    }
+
+    #[test]
+    fn snapshot_query_matches_batch_rebuild() {
+        let engine = SnapshotEngine::new();
+        engine.ingest(FIG2).unwrap();
+        engine.publish();
+        let snap = engine.snapshot();
+
+        let mut b = GraphBuilder::new();
+        b.extend_interactions(FIG2);
+        let batch = b.build_time_series_graph();
+
+        let motif = catalog::by_name("M(3,3)", 10, 7.0).unwrap();
+        for bounds in [None, Some(TimeWindow::new(10, 18)), Some(TimeWindow::new(11, 23))] {
+            let got = snap.query(&motif, bounds);
+            let expect = match bounds {
+                Some(w) => enumerate_all_in_window(&batch, &motif, w).0,
+                None => enumerate_all(&batch, &motif).0,
+            };
+            assert_eq!(got.groups.len(), expect.len(), "{bounds:?}");
+            for ((gsm, gi), (esm, ei)) in got.groups.iter().zip(&expect) {
+                assert_eq!(gsm.walk_nodes(snap.graph()), esm.walk_nodes(&batch));
+                let gd: Vec<_> = gi.iter().map(|i| i.display(snap.graph())).collect();
+                let ed: Vec<_> = ei.iter().map(|i| i.display(&batch)).collect();
+                assert_eq!(gd, ed);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_publish_after_n_appends() {
+        let engine = SnapshotEngine::new().publish_every(4);
+        for (i, &(u, v, t, f)) in FIG2.iter().enumerate() {
+            engine.append(u, v, t, f).unwrap();
+            assert_eq!(engine.published_epoch(), ((i + 1) / 4) as u64, "after {} appends", i + 1);
+        }
+        // A batch ingest publishes once at the end, not every 4 edges.
+        let engine = SnapshotEngine::new().publish_every(4);
+        engine.ingest(FIG2).unwrap();
+        assert_eq!(engine.published_epoch(), 1);
+        assert_eq!(engine.snapshot().stats().appended, 10);
+    }
+
+    #[test]
+    fn eviction_surfaces_at_next_publish() {
+        let engine = SnapshotEngine::new().with_window(SlidingWindow::with_slack(10, 1));
+        engine.ingest(FIG2).unwrap();
+        engine.publish();
+        let snap = engine.snapshot();
+        // The sliding window evicted everything before t=13.
+        assert_eq!(snap.stats().floor, Some(13));
+        assert!(snap.graph().time_span().unwrap().0 >= 13);
+        // Manual eviction is writer-side only until published.
+        let before = engine.snapshot().graph().num_interactions();
+        engine.evict_before(20);
+        assert_eq!(engine.snapshot().graph().num_interactions(), before);
+        engine.publish();
+        assert!(engine.snapshot().graph().num_interactions() < before);
+    }
+
+    #[test]
+    fn with_engine_publishes_preloaded_contents_as_epoch_zero() {
+        let mut inner = QueryEngine::new();
+        inner.ingest(FIG2).unwrap();
+        let engine = SnapshotEngine::with_engine(inner);
+        let motif = catalog::by_name("M(3,3)", 10, 7.0).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.count(&motif, None).0, 1);
+        // No changes since construction: publish is a no-op.
+        assert_eq!(engine.publish(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_state() {
+        // Readers hammer snapshots while a writer appends and publishes;
+        // every observed snapshot must be internally consistent (its
+        // stats match its graph).
+        let engine = std::sync::Arc::new(SnapshotEngine::new());
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = engine.snapshot();
+                        assert_eq!(
+                            snap.graph().num_interactions() as u64,
+                            snap.stats().appended - snap.stats().evicted,
+                            "epoch {}",
+                            snap.epoch()
+                        );
+                        seen = seen.max(snap.epoch());
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..200i64 {
+            engine.append(0, 1 + (i % 7) as u32, i, 1.0).unwrap();
+            if i % 10 == 0 {
+                engine.publish();
+            }
+        }
+        engine.publish();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(engine.published_epoch(), 21);
+    }
+}

@@ -2,15 +2,25 @@
 
 use flowmotif_graph::Timestamp;
 
-/// Keeps only the interactions younger than a fixed horizon behind the
-/// stream watermark.
+/// Keeps only the interactions at most a fixed horizon behind the stream
+/// watermark.
+///
+/// The horizon bound is **inclusive**: the eviction floor is
+/// `watermark − horizon` and eviction removes interactions with
+/// `time < floor`, so an interaction *exactly* `horizon` behind the
+/// watermark is retained. Equivalently, at a watermark `w` the retained
+/// span is the closed interval `[w − horizon, w]` — `horizon + 1`
+/// distinct timestamps on an integer clock (see the
+/// `horizon_bound_is_inclusive` regression test).
 ///
 /// The policy is *amortized*: the eviction floor only advances once it has
 /// moved by at least `slack` (default `horizon / 8`, at least 1), so a
 /// steady stream triggers one O(window) eviction sweep per slack-widths of
-/// progress instead of one per append. Late events older than the current
-/// floor are admitted and survive until the floor passes them again —
-/// eviction is a retention bound, not an ingestion filter.
+/// progress instead of one per append. Between sweeps, up to `slack`
+/// timestamps of expired interactions may still be resident. Late events
+/// older than the current floor are admitted and survive until the floor
+/// passes them again — eviction is a retention bound, not an ingestion
+/// filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlidingWindow {
     horizon: Timestamp,
@@ -104,5 +114,27 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn negative_horizon_panics() {
         let _ = SlidingWindow::new(-1);
+    }
+
+    /// Regression test pinning the documented retention semantics: the
+    /// horizon bound is *inclusive*. An interaction exactly `horizon`
+    /// behind the watermark survives eviction; one time unit older is
+    /// dropped.
+    #[test]
+    fn horizon_bound_is_inclusive() {
+        // Policy level: the floor equals `watermark - horizon`, and the
+        // eviction contract ("evict `time < floor`") keeps `time == floor`.
+        let mut w = SlidingWindow::with_slack(10, 1);
+        assert_eq!(w.advance(25), Some(15), "floor = watermark - horizon");
+
+        // Engine level, end to end through `evict_before`.
+        let mut engine = crate::QueryEngine::new().with_window(SlidingWindow::with_slack(10, 1));
+        engine.try_append(0, 1, 14, 1.0).unwrap(); // horizon + 1 behind: evicted
+        engine.try_append(0, 2, 15, 1.0).unwrap(); // exactly horizon behind: kept
+        engine.try_append(0, 3, 25, 1.0).unwrap(); // the watermark itself
+        let s = engine.stats();
+        assert_eq!(s.floor, Some(15));
+        assert_eq!(s.evicted, 1, "only the t=14 interaction is outside [15, 25]");
+        assert_eq!(engine.graph().time_span(), Some((15, 25)));
     }
 }

@@ -8,7 +8,7 @@
 //!   `SeedableRng` / `RngExt` call surface (replaces `rand`).
 //! * [`hash`] — `FxHashMap` / `FxHashSet` over the rustc hash function
 //!   (replaces `rustc_hash`).
-//! * [`json`] — a minimal JSON tree + `ToJson` trait + `json!` macro
+//! * [`mod@json`] — a minimal JSON tree + `ToJson` trait + `json!` macro
 //!   (replaces `serde` / `serde_json` for the CLI's output paths).
 
 #![warn(missing_docs)]

@@ -22,7 +22,10 @@
 //! * [`significance`] — z-score / box-plot randomization experiment.
 //! * [`stream`] — streaming ingestion and the resident query engine
 //!   (incremental appends, sliding-window eviction, window-bounded
-//!   queries without rebuilds).
+//!   queries without rebuilds, epoch-stamped snapshots for concurrent
+//!   readers).
+//! * [`serve`] — the TCP line-protocol front-end over the snapshot
+//!   engine: bounded worker pool, admission control, a tiny client.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use flowmotif_baseline as baseline;
 pub use flowmotif_core as core;
 pub use flowmotif_datasets as datasets;
 pub use flowmotif_graph as graph;
+pub use flowmotif_serve as serve;
 pub use flowmotif_significance as significance;
 pub use flowmotif_stream as stream;
 
@@ -78,10 +82,12 @@ pub mod prelude {
         Event, Flow, GraphBuilder, GraphStats, InteractionSeries, NodeId, PairId,
         TemporalMultigraph, TimeSeriesGraph, TimeWindow, Timestamp,
     };
+    pub use flowmotif_serve::{Client, Server, ServerConfig};
     pub use flowmotif_significance::{
         assess_motif, assess_motifs, MotifSignificance, SignificanceConfig,
     };
     pub use flowmotif_stream::{
-        EngineStats, IncrementalGraph, QueryEngine, QueryResult, SlidingWindow,
+        EngineStats, IncrementalGraph, QueryEngine, QueryResult, SlidingWindow, Snapshot,
+        SnapshotEngine,
     };
 }
