@@ -1,24 +1,77 @@
 #!/usr/bin/env sh
-# Tier-1 gate plus lint gates. Run from the repo root.
-set -eux
+# The offline CI gate, in named stages with per-stage wall-clock timing.
+#
+#   ./ci.sh         full gate: build, test, all-targets, bench-regression,
+#                   docs, fmt, clippy
+#   ./ci.sh quick   build + tests only (the tier-1 inner loop)
+#
+# Everything runs with no network and no registry. The bench-regression
+# stage re-runs every micro-bench with the quick budgets, collects
+# medians into target/bench-current.jsonl (FLOWMOTIF_BENCH_JSON), and
+# fails on any >1.5x median regression against the committed
+# BENCH_baseline.json (see `bench_gate --help`; re-seed intentional
+# changes with its `bless` mode).
+set -eu
 
-# The workspace must build and test with no network and no registry.
-cargo build --release --offline
-cargo test -q --offline --workspace
+MODE="${1:-full}"
 
-# Benches and experiment binaries must at least compile.
-cargo build --offline --workspace --all-targets
+stage() {
+  _name="$1"
+  shift
+  echo "==> stage: ${_name}"
+  _t0=$(date +%s)
+  "$@"
+  echo "==> stage ${_name}: ok ($(($(date +%s) - _t0))s)"
+}
 
-# Bench smoke: every micro-bench (including streaming.rs) must *run*
-# with the quick budgets, so bench bit-rot fails the gate.
-cargo bench --offline -p flowmotif-bench --benches -- --quick
+stage_build() {
+  cargo build --release --offline
+}
 
-# Docs gate: rustdoc must build warning-free (broken intra-doc links,
-# missing docs, …) and every doctest must pass, so the documented
-# examples cannot drift from the API.
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
-cargo test -q --offline --workspace --doc
+stage_test() {
+  cargo test -q --offline --workspace
+}
 
-# Style gates.
-cargo fmt --check
-cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_all_targets() {
+  # Benches and experiment binaries must at least compile.
+  cargo build --offline --workspace --all-targets
+}
+
+stage_bench_regression() {
+  # Bench smoke + regression gate: every micro-bench must *run* with the
+  # quick budgets (so bench bit-rot fails the gate), and the recorded
+  # medians must stay within 1.5x of the committed baseline.
+  rm -f target/bench-current.jsonl
+  FLOWMOTIF_BENCH_JSON="$PWD/target/bench-current.jsonl" \
+    cargo bench --offline -p flowmotif-bench --benches -- --quick
+  cargo run --release --offline -p flowmotif-bench --bin bench_gate -- \
+    check BENCH_baseline.json target/bench-current.jsonl
+}
+
+stage_docs() {
+  # rustdoc must build warning-free and every doctest must pass, so the
+  # documented examples cannot drift from the API.
+  RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+  cargo test -q --offline --workspace --doc
+}
+
+stage_fmt() {
+  cargo fmt --check
+}
+
+stage_clippy() {
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+stage build stage_build
+stage test stage_test
+if [ "$MODE" = "quick" ]; then
+  echo "==> quick mode: skipping all-targets, bench-regression, docs, fmt, clippy"
+  exit 0
+fi
+stage all-targets stage_all_targets
+stage bench-regression stage_bench_regression
+stage docs stage_docs
+stage fmt stage_fmt
+stage clippy stage_clippy
+echo "==> all stages ok"

@@ -23,14 +23,15 @@ fn main() {
     let g = ctx.graph(d);
     let motif = &ctx.motifs(d)[0]; // M(3,2) at default δ/ϕ
 
+    let base = SearchOptions::default();
     let variants = [
-        ("full", SearchOptions { skip_redundant_windows: true, phi_prefix_pruning: true }),
+        ("full", base),
+        ("no_window_skip", SearchOptions { skip_redundant_windows: false, ..base }),
+        ("no_phi_prune", SearchOptions { phi_prefix_pruning: false, ..base }),
         (
-            "no_window_skip",
-            SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: true },
+            "neither",
+            SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: false, ..base },
         ),
-        ("no_phi_prune", SearchOptions { skip_redundant_windows: true, phi_prefix_pruning: false }),
-        ("neither", SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: false }),
     ];
     micro::header();
     for (name, opts) in variants {

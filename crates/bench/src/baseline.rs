@@ -1,0 +1,196 @@
+//! Parsing and comparison of bench-baseline files for the CI
+//! bench-regression gate.
+//!
+//! Two file shapes share one grammar — a stream of `"<bench id>":
+//! <number>` entries inside `{ … }` objects, whitespace-insensitive:
+//!
+//! * `BENCH_baseline.json` — one pretty-printed object mapping bench id
+//!   to median ns/iter (committed at the repo root);
+//! * the JSON-lines file the harness appends under `FLOWMOTIF_BENCH_JSON`
+//!   (one single-entry object per line).
+//!
+//! The scanner below accepts both (and their concatenation), so the gate
+//! and the `bless` re-seeding path need no format negotiation.
+
+/// Parses every `"key": number` entry in `text`, in order. Later
+/// duplicates win (a re-run bench overrides its earlier line). Errors on
+/// malformed entries rather than skipping them, so a corrupted baseline
+/// fails the gate loudly.
+pub fn parse_entries(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        // Key: bench ids never contain quotes or escapes; reject if so.
+        let mut key = String::new();
+        let mut closed = false;
+        for (_, k) in chars.by_ref() {
+            match k {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => return Err(format!("escape in key at byte {start}")),
+                k => key.push(k),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated key at byte {start}"));
+        }
+        // Separator.
+        while chars.peek().is_some_and(|&(_, c)| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            other => return Err(format!("expected `:` after key {key:?}, got {other:?}")),
+        }
+        while chars.peek().is_some_and(|&(_, c)| c.is_whitespace()) {
+            chars.next();
+        }
+        // Number: consume until a delimiter.
+        let mut num = String::new();
+        while let Some(&(_, c)) = chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                num.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let value: f64 =
+            num.parse().map_err(|e| format!("bad number {num:?} for key {key:?}: {e}"))?;
+        if let Some(slot) = out.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            out.push((key, value));
+        }
+    }
+    Ok(out)
+}
+
+/// One row of the gate's comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Bench id.
+    pub id: String,
+    /// Baseline median ns/iter.
+    pub baseline_ns: f64,
+    /// Current median ns/iter, `None` if the bench did not run.
+    pub current_ns: Option<f64>,
+    /// What the gate concluded for this row.
+    pub verdict: Verdict,
+}
+
+/// Gate outcome for one bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold (or faster).
+    Ok,
+    /// Slower than `threshold ×` the baseline.
+    Regressed,
+    /// Baseline too small to judge reliably (below the noise floor).
+    BelowFloor,
+    /// Present in the baseline but absent from the current run.
+    Missing,
+}
+
+/// Compares `current` against `baseline`: a bench regresses when its
+/// current median exceeds `threshold × max(baseline, floor_ns)`. The
+/// floor makes sub-`floor_ns` baselines tolerant of scheduler noise at
+/// quick budgets without exempting them entirely — a 15 µs bench that
+/// jumps to 50 ms still fails; one that wobbles to 25 µs does not.
+/// Returns one row per baseline entry; benches only in `current` are
+/// ignored (run `bench_gate bless` to adopt them).
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    threshold: f64,
+    floor_ns: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|(id, base)| {
+            let cur = current.iter().find(|(k, _)| k == id).map(|&(_, v)| v);
+            let verdict = match cur {
+                None => Verdict::Missing,
+                Some(c) if c > threshold * base.max(floor_ns) => Verdict::Regressed,
+                Some(_) if *base < floor_ns => Verdict::BelowFloor,
+                Some(_) => Verdict::Ok,
+            };
+            Comparison { id: id.clone(), baseline_ns: *base, current_ns: cur, verdict }
+        })
+        .collect()
+}
+
+/// Renders entries as the pretty `BENCH_baseline.json` object (sorted by
+/// id, one entry per line).
+pub fn render_baseline(entries: &[(String, f64)]) -> String {
+    let mut sorted: Vec<&(String, f64)> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        out.push_str(&format!("  \"{k}\": {v}"));
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pretty_objects_and_json_lines() {
+        let pretty = "{\n  \"a/b\": 120.5,\n  \"c/d\": 7\n}\n";
+        assert_eq!(
+            parse_entries(pretty).unwrap(),
+            vec![("a/b".to_string(), 120.5), ("c/d".to_string(), 7.0)]
+        );
+        let jsonl = "{\"a/b\": 10}\n{\"c/d\": 20}\n{\"a/b\": 30}\n";
+        assert_eq!(
+            parse_entries(jsonl).unwrap(),
+            vec![("a/b".to_string(), 30.0), ("c/d".to_string(), 20.0)],
+            "later duplicates win"
+        );
+        assert!(parse_entries("{\"a\" 5}").is_err(), "missing colon");
+        assert!(parse_entries("{\"a\": oops}").is_err(), "bad number");
+        assert_eq!(parse_entries("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let entries = vec![("z".to_string(), 3.0), ("a".to_string(), 1.5)];
+        let rendered = render_baseline(&entries);
+        let mut parsed = parse_entries(&rendered).unwrap();
+        parsed.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(parsed, vec![("a".to_string(), 1.5), ("z".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn compare_flags_regressions_missing_and_floor() {
+        let baseline = vec![
+            ("jitter".to_string(), 100.0), // sub-floor, wobbles within the noise band
+            ("blowup".to_string(), 100.0), // sub-floor, regresses far past the band
+            ("same".to_string(), 1e6),
+            ("slow".to_string(), 1e6),
+            ("gone".to_string(), 1e6),
+        ];
+        let current = vec![
+            ("jitter".to_string(), 25_000.0), // < 1.5 × floor: noise, not a regression
+            ("blowup".to_string(), 1e9),
+            ("same".to_string(), 1.2e6),
+            ("slow".to_string(), 1.6e6),
+        ];
+        let rows = compare(&baseline, &current, 1.5, 20_000.0);
+        let verdict_of = |id: &str| rows.iter().find(|c| c.id == id).unwrap().verdict;
+        assert_eq!(verdict_of("jitter"), Verdict::BelowFloor);
+        assert_eq!(verdict_of("blowup"), Verdict::Regressed, "the floor is not a blank cheque");
+        assert_eq!(verdict_of("same"), Verdict::Ok);
+        assert_eq!(verdict_of("slow"), Verdict::Regressed);
+        assert_eq!(verdict_of("gone"), Verdict::Missing);
+    }
+}

@@ -1,0 +1,136 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate check <BENCH_baseline.json> <current.jsonl> [--threshold X] [--floor-ns N]
+//! bench_gate bless <current.jsonl> <BENCH_baseline.json>
+//! ```
+//!
+//! `check` compares the current run's medians against the committed
+//! baseline and exits non-zero when any bench regressed past the
+//! threshold (default 1.5×, overridable with `--threshold` or the
+//! `BENCH_GATE_THRESHOLD` environment variable) or is missing from the
+//! run. Baselines below the noise floor (default 20 µs, `--floor-ns`)
+//! are judged against `threshold × floor` instead of their own median —
+//! at quick budgets they measure scheduler jitter, so wobble inside the
+//! noise band passes, but a genuine blow-up still fails.
+//!
+//! `bless` rewrites the baseline from a current run (seeding it, or
+//! adopting intentional changes). Review the diff before committing.
+
+use flowmotif_bench::baseline::{compare, parse_entries, render_baseline, Verdict};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: bench_gate check <baseline> <current> [--threshold X] [--floor-ns N]\n       bench_gate bless <current> <baseline-out>";
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let (mut threshold, mut floor_ns) = (default_threshold(), 20_000.0f64);
+            let mut paths = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threshold" => {
+                        threshold = it
+                            .next()
+                            .ok_or("missing value for --threshold")?
+                            .parse()
+                            .map_err(|e| format!("bad --threshold: {e}"))?;
+                    }
+                    "--floor-ns" => {
+                        floor_ns = it
+                            .next()
+                            .ok_or("missing value for --floor-ns")?
+                            .parse()
+                            .map_err(|e| format!("bad --floor-ns: {e}"))?;
+                    }
+                    p => paths.push(p.to_string()),
+                }
+            }
+            let [baseline_path, current_path] = paths.as_slice() else {
+                return Err(usage.to_string());
+            };
+            check(baseline_path, current_path, threshold, floor_ns)
+        }
+        Some("bless") => {
+            let [_, current_path, out_path] = args else {
+                return Err(usage.to_string());
+            };
+            let entries = parse_entries(&read(current_path)?)?;
+            if entries.is_empty() {
+                return Err(format!("{current_path}: no bench results to bless"));
+            }
+            std::fs::write(out_path, render_baseline(&entries))
+                .map_err(|e| format!("writing {out_path}: {e}"))?;
+            println!("blessed {} benches into {out_path}", entries.len());
+            Ok(())
+        }
+        _ => Err(usage.to_string()),
+    }
+}
+
+fn default_threshold() -> f64 {
+    std::env::var("BENCH_GATE_THRESHOLD").ok().and_then(|v| v.parse().ok()).unwrap_or(1.5)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn check(
+    baseline_path: &str,
+    current_path: &str,
+    threshold: f64,
+    floor_ns: f64,
+) -> Result<(), String> {
+    let baseline = parse_entries(&read(baseline_path)?)?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: empty baseline — seed it with `bench_gate bless`"));
+    }
+    let current = parse_entries(&read(current_path)?)?;
+    let rows = compare(&baseline, &current, threshold, floor_ns);
+
+    println!(
+        "{:<60} {:>14} {:>14} {:>8}  verdict",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    let mut failures = 0usize;
+    for row in &rows {
+        let (cur, ratio) = match row.current_ns {
+            Some(c) => (format!("{c:.0}"), format!("{:.2}x", c / row.baseline_ns)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::BelowFloor => "below-floor (informational)",
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED"
+            }
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING from current run"
+            }
+        };
+        println!("{:<60} {:>14.0} {:>14} {:>8}  {}", row.id, row.baseline_ns, cur, ratio, verdict);
+    }
+    println!("bench gate: {} baselines, threshold {threshold}x, floor {floor_ns} ns", rows.len());
+    if failures > 0 {
+        return Err(format!(
+            "{failures} bench(es) regressed past {threshold}x or went missing; if intentional, \
+             re-seed with `cargo run -p flowmotif-bench --bin bench_gate -- bless {current_path} \
+             {baseline_path}`"
+        ));
+    }
+    println!("bench gate: ok");
+    Ok(())
+}

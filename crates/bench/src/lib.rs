@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod args;
+pub mod baseline;
 pub mod harness;
 pub mod micro;
 pub mod table;

@@ -10,8 +10,18 @@
 //!
 //! * a positional substring filters benchmark ids;
 //! * `--quick` shrinks warm-up and measurement budgets ~10×.
+//!
+//! # Machine-readable output
+//!
+//! When the `FLOWMOTIF_BENCH_JSON` environment variable names a file,
+//! [`BenchGroup::finish`] *appends* one JSON object per result —
+//! `{"<bench id>": <median ns/iter>}` — so a run over several bench
+//! binaries accumulates a single JSON-lines file. The CI
+//! bench-regression gate (`bench_gate` in `src/bin/`) compares such a
+//! file against the committed `BENCH_baseline.json`.
 
 use std::hint::black_box;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Runner configuration plus collected results.
@@ -37,9 +47,18 @@ pub struct BenchResult {
     pub min: Duration,
     /// Mean iteration time.
     pub mean: Duration,
+    /// Median iteration time (over the first [`MAX_SAMPLES`] samples) —
+    /// the statistic the regression gate compares, being robust to the
+    /// occasional scheduling hiccup that skews mean and max.
+    pub median: Duration,
     /// Slowest observed iteration.
     pub max: Duration,
 }
+
+/// Per-benchmark cap on retained samples for the median; beyond it the
+/// summary keeps updating min/mean/max but the median is computed over
+/// this prefix (plenty for a stable median at any realistic bench cost).
+pub const MAX_SAMPLES: usize = 4096;
 
 impl BenchGroup {
     /// Creates a group, reading the filter / `--quick` flags from
@@ -109,6 +128,7 @@ impl BenchGroup {
         let mut total = Duration::ZERO;
         let mut min = Duration::MAX;
         let mut max = Duration::ZERO;
+        let mut samples: Vec<Duration> = Vec::new();
         while total < self.measure || iters < self.min_iters {
             let t0 = Instant::now();
             black_box(f());
@@ -117,13 +137,19 @@ impl BenchGroup {
             total += dt;
             min = min.min(dt);
             max = max.max(dt);
+            if samples.len() < MAX_SAMPLES {
+                samples.push(dt);
+            }
         }
-        let r = BenchResult { id, iters, min, mean: total / iters, max };
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let r = BenchResult { id, iters, min, mean: total / iters, median, max };
         println!(
-            "{:<60} {:>12} {:>12} {:>12}   ({} iters)",
+            "{:<60} {:>12} {:>12} {:>12} {:>12}   ({} iters)",
             r.id,
             fmt_duration(r.min),
             fmt_duration(r.mean),
+            fmt_duration(r.median),
             fmt_duration(r.max),
             r.iters
         );
@@ -136,15 +162,38 @@ impl BenchGroup {
         &self.results
     }
 
-    /// Prints the footer. Call at the end of `main`.
+    /// Prints the footer and, when `FLOWMOTIF_BENCH_JSON` names a file,
+    /// appends every result as a JSON line (`{"<id>": <median ns>}`).
+    /// Call at the end of `main`.
     pub fn finish(&self) {
         println!("{}: {} benchmarks", self.name, self.results.len());
+        if let Ok(path) = std::env::var("FLOWMOTIF_BENCH_JSON") {
+            if let Err(e) = self.append_json(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+
+    /// Appends this group's results to `path` in the JSON-lines format
+    /// the regression gate consumes.
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut body = String::new();
+        for r in &self.results {
+            let line = flowmotif_util::Json::Object(vec![(
+                r.id.clone(),
+                flowmotif_util::Json::Int(r.median.as_nanos() as i128),
+            )]);
+            body.push_str(&line.to_string());
+            body.push('\n');
+        }
+        f.write_all(body.as_bytes())
     }
 }
 
 /// Prints the standard column header for bench output.
 pub fn header() {
-    println!("{:<60} {:>12} {:>12} {:>12}", "benchmark", "min", "mean", "max");
+    println!("{:<60} {:>12} {:>12} {:>12} {:>12}", "benchmark", "min", "mean", "median", "max");
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -183,7 +232,28 @@ mod tests {
         assert_eq!(r.id, "g/inc");
         assert!(r.iters >= 5);
         assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(r.min <= r.median && r.median <= r.max);
         assert!(calls as u32 >= r.iters);
+    }
+
+    #[test]
+    fn json_lines_are_appended_per_result() {
+        let path = std::env::temp_dir().join(format!(
+            "flowmotif_bench_json_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let mut g = quick("j");
+        g.bench("one", || 1);
+        g.bench("two", || 2);
+        g.append_json(path.to_str().unwrap()).unwrap();
+        g.append_json(path.to_str().unwrap()).unwrap(); // append, not truncate
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"j/one\":"), "{body}");
+        assert!(lines[1].starts_with("{\"j/two\":"), "{body}");
     }
 
     #[test]

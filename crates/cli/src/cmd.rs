@@ -6,7 +6,7 @@ use flowmotif_core::analytics::per_match_activity;
 use flowmotif_core::census::walk_census;
 use flowmotif_core::dp::dp_top1;
 use flowmotif_core::parallel::{par_enumerate_all, par_top_k};
-use flowmotif_core::{catalog, Motif};
+use flowmotif_core::{catalog, Motif, SearchOptions};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::{io, GraphStats, TimeSeriesGraph, TimeWindow};
 use flowmotif_serve::{Client, Server, ServerConfig};
@@ -259,7 +259,7 @@ pub fn run_stream_script<R: BufRead, W: Write>(
     if cli.horizon < 0 {
         return Err(format!("--horizon must be non-negative, got {}", cli.horizon));
     }
-    let mut engine = QueryEngine::new();
+    let mut engine = QueryEngine::new().search_options(search_options_of(cli));
     if cli.horizon > 0 {
         engine = engine.with_window(SlidingWindow::new(cli.horizon));
     }
@@ -314,6 +314,12 @@ pub fn run_stream_script<R: BufRead, W: Write>(
         }
     }
     Ok(())
+}
+
+/// Search options derived from the CLI flags (`--no-index` is the A/B
+/// switch over the active-time origin index).
+fn search_options_of(cli: &Cli) -> SearchOptions {
+    SearchOptions { use_active_index: cli.use_index, ..SearchOptions::default() }
 }
 
 fn parse_field<T: std::str::FromStr>(fields: &[&str], i: usize, what: &str) -> Result<T, String>
@@ -421,7 +427,7 @@ pub fn start_server(cli: &Cli) -> Result<Server, String> {
     if cli.max_window < 0 {
         return Err(format!("--max-window must be non-negative, got {}", cli.max_window));
     }
-    let mut inner = QueryEngine::new();
+    let mut inner = QueryEngine::new().search_options(search_options_of(cli));
     if cli.horizon > 0 {
         inner = inner.with_window(SlidingWindow::new(cli.horizon));
     }
@@ -743,6 +749,30 @@ stats              # and the state
         r.unwrap();
         assert!(out.contains("1 maximal instances"), "{out}");
         assert!(out.contains("interactions=2"), "{out}");
+    }
+
+    #[test]
+    fn stream_no_index_answers_identically() {
+        // A/B: the same script with and without the origin index must
+        // print byte-identical answers.
+        let script = "\
+0 1 10 1
+1 2 12 2
+2 0 14 3
+0 1 40 1
+1 2 44 2
+query M(3,2) 10 0 0 20
+query M(3,3) 10 0 8 15
+query M(3,2) 10 0 35 50
+query M(3,2) 10 0
+stats
+";
+        let (with_index, r) = run_script(script, &[]);
+        r.unwrap();
+        let (without, r) = run_script(script, &["--no-index"]);
+        r.unwrap();
+        assert_eq!(with_index, without);
+        assert!(with_index.contains("1 maximal instances"), "{with_index}");
     }
 
     #[test]

@@ -43,6 +43,8 @@ OPTIONS (stream):
   --horizon <int>         sliding-window horizon; evict older interactions
                           (0 = retain everything)                           [0]
   --show <int>            print up to N instances per query                 [5]
+  --no-index              answer window-bounded queries without the
+                          active-time origin index (A/B baseline)
 
   A stream script holds one operation per line: an edge `u v t f` (an
   optional `add` prefix is accepted), `query <motif> <delta> <phi>
@@ -59,6 +61,8 @@ OPTIONS (serve/client):
                           (0 = only on explicit `publish` requests)       [1024]
   --horizon <int>         sliding-window eviction, as in stream           [0]
   --show <int>            DATA lines per query reply                      [5]
+  --no-index              disable the active-time origin index for
+                          window-bounded snapshot queries (A/B)
 
 OPTIONS (generate):
   --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
@@ -105,6 +109,9 @@ pub struct Cli {
     pub max_window: i64,
     /// Auto-publish period (appends) for `serve`; 0 = manual only.
     pub publish_every: usize,
+    /// Consult the active-time origin index for window-bounded queries
+    /// in `stream`/`serve` (`--no-index` turns it off for A/B runs).
+    pub use_index: bool,
     /// JSON output.
     pub json: bool,
     /// Dataset for `generate`.
@@ -162,6 +169,7 @@ impl Default for Cli {
             max_inflight: 0,
             max_window: 0,
             publish_every: 1024,
+            use_index: true,
             json: false,
             dataset: "bitcoin".into(),
             scale: 1.0,
@@ -230,6 +238,7 @@ impl Cli {
                 "--max-inflight" => cli.max_inflight = parse_val!("--max-inflight"),
                 "--max-window" => cli.max_window = parse_val!("--max-window"),
                 "--publish-every" => cli.publish_every = parse_val!("--publish-every"),
+                "--no-index" => cli.use_index = false,
                 "--json" => cli.json = true,
                 "--dataset" => cli.dataset = value("--dataset")?,
                 "--scale" => cli.scale = parse_val!("--scale"),
@@ -350,6 +359,17 @@ mod tests {
         // Ports are u16: out-of-range values are parse errors.
         assert!(parse(&["serve", "--port", "65536"]).is_err());
         assert!(parse(&["serve", "--port", "-1"]).is_err());
+    }
+
+    #[test]
+    fn no_index_flag_is_recognised_for_stream_and_serve() {
+        assert!(parse(&["stream"]).unwrap().use_index);
+        let cli = parse(&["stream", "--no-index"]).unwrap();
+        assert!(!cli.use_index);
+        let cli = parse(&["serve", "--no-index", "--port", "0"]).unwrap();
+        assert!(!cli.use_index);
+        // Bare flag: the next token is not swallowed as a value.
+        assert!(parse(&["stream", "--no-index", "stray"]).is_err());
     }
 
     #[test]

@@ -50,11 +50,17 @@ pub struct SearchOptions {
     /// Disabling defers all flow checking to instance assembly; the
     /// result set is unchanged but the search space is not pruned.
     pub phi_prefix_pruning: bool,
+    /// Drive window-bounded phase P1 from the graph's active-time origin
+    /// index ([`flowmotif_graph::TimeSeriesGraph::active_origins_in`])
+    /// instead of sweeping every origin. The result set and emission
+    /// order are unchanged; disabling exists for A/B comparisons (the
+    /// CLI's `--no-index`). Ignored by unbounded searches.
+    pub use_active_index: bool,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { skip_redundant_windows: true, phi_prefix_pruning: true }
+        Self { skip_redundant_windows: true, phi_prefix_pruning: true, use_active_index: true }
     }
 }
 
@@ -446,11 +452,12 @@ pub fn enumerate_window_with_sink<S: InstanceSink>(
 ) -> SearchStats {
     let mut stats = SearchStats::default();
     let mut scratch = EnumerationScratch::default();
-    crate::matcher::for_each_structural_match_bounded(
+    crate::matcher::for_each_structural_match_bounded_with(
         g,
         motif.path(),
         bounds,
         0..g.num_nodes() as flowmotif_graph::NodeId,
+        opts.use_active_index,
         &mut |sm| {
             stats.structural_matches += 1;
             enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, &mut scratch);
@@ -606,8 +613,11 @@ mod tests {
         let mut expected = None;
         for skip in [true, false] {
             for prune in [true, false] {
-                let opts =
-                    SearchOptions { skip_redundant_windows: skip, phi_prefix_pruning: prune };
+                let opts = SearchOptions {
+                    skip_redundant_windows: skip,
+                    phi_prefix_pruning: prune,
+                    ..SearchOptions::default()
+                };
                 let mut sink = CollectSink::default();
                 let mut stats = SearchStats::default();
                 enumerate_in_match(&g, &motif, &sm, opts, &mut sink, &mut stats);

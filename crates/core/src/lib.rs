@@ -65,7 +65,7 @@ pub use error::MotifError;
 pub use instance::{EdgeSet, MotifInstance, StructuralMatch};
 pub use matcher::{
     count_structural_matches, find_structural_matches, for_each_structural_match,
-    for_each_structural_match_bounded,
+    for_each_structural_match_bounded, for_each_structural_match_bounded_with,
 };
 pub use motif::{Motif, MotifNode, SpanningPath};
 pub use shared::{count_instances_shared, enumerate_shared_with_sink};

@@ -44,11 +44,36 @@ pub fn for_each_structural_match_in_node_range<F>(
 /// window-restricted queries on a large resident graph cheap — cost
 /// scales with the structure *active* in the window, not with everything
 /// retained.
+///
+/// Candidate walk origins come from the graph's active-time origin index
+/// ([`TimeSeriesGraph::active_origins_in`]), so origins with no in-window
+/// out-interaction are never visited at all — the per-query sweep over
+/// every node (and every pair's window probe) is gone. Use
+/// [`for_each_structural_match_bounded_with`] to disable the index for
+/// A/B comparisons.
 pub fn for_each_structural_match_bounded<F>(
     g: &TimeSeriesGraph,
     path: &SpanningPath,
     bounds: TimeWindow,
     origins: std::ops::Range<NodeId>,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
+    for_each_structural_match_bounded_with(g, path, bounds, origins, true, visit);
+}
+
+/// [`for_each_structural_match_bounded`] with an explicit `use_index`
+/// switch: `false` falls back to sweeping every origin in `origins` and
+/// probing each pair's window activity — the pre-index behaviour, kept
+/// for ablation benchmarks and equivalence tests. Both settings emit
+/// exactly the same matches in the same (lexicographic walk) order.
+pub fn for_each_structural_match_bounded_with<F>(
+    g: &TimeSeriesGraph,
+    path: &SpanningPath,
+    bounds: TimeWindow,
+    origins: std::ops::Range<NodeId>,
+    use_index: bool,
     visit: &mut F,
 ) where
     F: FnMut(&StructuralMatch),
@@ -62,17 +87,30 @@ pub fn for_each_structural_match_bounded<F>(
     let mut sm = StructuralMatch { nodes: vec![0; n], pairs: Vec::with_capacity(path.num_edges()) };
     let mut assigned: Vec<bool> = vec![false; n];
     let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
+    let ctx = DfsCtx { g, walk, bounds: bounded.then_some(bounds), prune_spans: use_index };
 
     let end = origins.end.min(g.num_nodes() as NodeId);
-    for u in origins.start..end {
-        if g.out_degree(u) == 0 {
-            continue;
-        }
+    let mut seed = |u: NodeId, sm: &mut StructuralMatch, assigned: &mut Vec<bool>| {
         let w0 = walk[0] as usize;
         sm.nodes[w0] = u;
         assigned[w0] = true;
-        dfs(g, walk, 0, bounded.then_some(bounds), &mut sm, &mut assigned, visit);
+        dfs(&ctx, 0, sm, assigned, visit);
         assigned[w0] = false;
+    };
+    if bounded && use_index {
+        // Index-assisted P1: only origins with in-window out-activity are
+        // even considered (ascending ids keep the emission order).
+        for u in g.active_origins_in(bounds) {
+            if u >= origins.start && u < end && g.out_degree(u) > 0 {
+                seed(u, &mut sm, &mut assigned);
+            }
+        }
+    } else {
+        for u in origins.start..end {
+            if g.out_degree(u) > 0 {
+                seed(u, &mut sm, &mut assigned);
+            }
+        }
     }
 }
 
@@ -83,21 +121,30 @@ pub fn for_each_structural_match_bounded<F>(
 fn pair_active(g: &TimeSeriesGraph, p: PairId, bounds: Option<TimeWindow>) -> bool {
     match bounds {
         None => true,
-        Some(w) => !g.series(p).range_closed(w.start, w.end).is_empty(),
+        Some(w) => g.series(p).active_in(w.start, w.end),
     }
 }
 
-fn dfs<F>(
-    g: &TimeSeriesGraph,
-    walk: &[u8],
-    step: usize,
+/// Immutable per-enumeration state shared by every DFS frame.
+struct DfsCtx<'a> {
+    g: &'a TimeSeriesGraph,
+    walk: &'a [u8],
     bounds: Option<TimeWindow>,
+    /// Consult the per-origin active intervals before iterating a node's
+    /// out-pairs (on for the indexed path, off for the A/B baseline).
+    prune_spans: bool,
+}
+
+fn dfs<F>(
+    ctx: &DfsCtx<'_>,
+    step: usize,
     sm: &mut StructuralMatch,
     assigned: &mut Vec<bool>,
     visit: &mut F,
 ) where
     F: FnMut(&StructuralMatch),
 {
+    let (g, walk, bounds) = (ctx.g, ctx.walk, ctx.bounds);
     if step + 1 == walk.len() {
         visit(sm);
         return;
@@ -112,10 +159,19 @@ fn dfs<F>(
                 return;
             }
             sm.pairs.push(p);
-            dfs(g, walk, step + 1, bounds, sm, assigned, visit);
+            dfs(ctx, step + 1, sm, assigned, visit);
             sm.pairs.pop();
         }
     } else {
+        // Span pre-check: if none of `src`'s out-interactions fall inside
+        // the bounds, no out-pair can be active — skip the whole slice.
+        if ctx.prune_spans {
+            if let Some(w) = bounds {
+                if !g.origin_active_in(src, w) {
+                    return;
+                }
+            }
+        }
         let range = g.out_pair_range(src);
         for p in range {
             if !pair_active(g, p, bounds) {
@@ -130,7 +186,7 @@ fn dfs<F>(
             sm.nodes[tgt_label] = v;
             assigned[tgt_label] = true;
             sm.pairs.push(p);
-            dfs(g, walk, step + 1, bounds, sm, assigned, visit);
+            dfs(ctx, step + 1, sm, assigned, visit);
             sm.pairs.pop();
             assigned[tgt_label] = false;
         }
@@ -300,6 +356,30 @@ mod tests {
             &mut |m| walks.push(m.walk_nodes(&g)),
         );
         assert!(walks.is_empty(), "only one pair is active: no 2-hop walk, got {walks:?}");
+    }
+
+    #[test]
+    fn indexed_and_unindexed_bounded_matching_agree() {
+        let g = fig5();
+        for name in ["M(3,2)", "M(3,3)"] {
+            let motif = catalog::by_name(name, 10, 0.0).unwrap();
+            for (a, b) in [(0, 9), (10, 15), (10, 23), (1, 3), (16, 30), (i64::MIN, i64::MAX)] {
+                let mut with_index = Vec::new();
+                let mut without = Vec::new();
+                let w = TimeWindow { start: a, end: b };
+                for (use_index, out) in [(true, &mut with_index), (false, &mut without)] {
+                    for_each_structural_match_bounded_with(
+                        &g,
+                        motif.path(),
+                        w,
+                        0..g.num_nodes() as NodeId,
+                        use_index,
+                        &mut |m| out.push(m.clone()),
+                    );
+                }
+                assert_eq!(with_index, without, "{name} window [{a}, {b}]");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Time-bucketed origin-activity index: answers "which origins have any
+//! out-edge interaction inside window `W`?" without touching the series
+//! of inactive node pairs.
+//!
+//! The timeline is split into fixed-width buckets; every bucket holds the
+//! sorted, deduplicated set of origins with at least one out-edge event
+//! in that bucket. A window query unions the buckets it overlaps, so its
+//! cost scales with the *activity* inside the window, not with the total
+//! pair count. The width adapts automatically: whenever the bucket count
+//! exceeds a cap the index coarsens (doubles the width and merges
+//! neighbouring buckets), so memory stays bounded for arbitrarily long
+//! streams while short test timelines keep single-timestamp resolution.
+//!
+//! Bucket membership is only ever *added* by appends and merges; eviction
+//! drops whole buckets below the floor but may leave an origin listed in
+//! a bucket straddling the floor after its events there were evicted.
+//! Such entries are conservative (the index answers a *superset* of the
+//! truly active origins) and [`crate::TimeSeriesGraph::active_origins_in`]
+//! filters them through the exact per-origin active spans, which *are*
+//! recomputed on eviction — so no evicted-empty origin is ever
+//! resurrected.
+//!
+//! Bucket vectors are `Arc`-shared: cloning the index (for a published
+//! snapshot) copies `O(buckets)` pointers, and a mutation after a clone
+//! copies only the touched bucket (copy-on-write via [`Arc::make_mut`]).
+
+use crate::event::{NodeId, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Soft cap on the number of buckets; exceeding it doubles the width.
+const MAX_BUCKETS: usize = 512;
+
+/// The time-bucketed origin index (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveOriginIndex {
+    /// Bucket width in time units; bucket `b` covers `[b*width, (b+1)*width)`.
+    width: i64,
+    /// Sorted, deduplicated origins per non-empty bucket.
+    buckets: BTreeMap<i64, Arc<Vec<NodeId>>>,
+}
+
+impl Default for ActiveOriginIndex {
+    fn default() -> Self {
+        Self { width: 1, buckets: BTreeMap::new() }
+    }
+}
+
+impl ActiveOriginIndex {
+    /// An empty index with single-timestamp buckets (the width grows on
+    /// demand as entries accumulate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the bucket width for a known time span, so bulk builds
+    /// insert directly at the final resolution instead of coarsening
+    /// repeatedly. Only meaningful on an empty index.
+    pub fn preset_span(&mut self, lo: Timestamp, hi: Timestamp) {
+        debug_assert!(self.buckets.is_empty(), "preset_span on a non-empty index");
+        let span = hi.saturating_sub(lo).max(0);
+        let target = (span / (MAX_BUCKETS as i64 / 2) + 1) as u64;
+        self.width = target.next_power_of_two().min(1 << 62) as i64;
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: Timestamp) -> i64 {
+        t.div_euclid(self.width)
+    }
+
+    /// Records an out-edge event of `origin` at time `t`. Amortized
+    /// `O(log buckets + log bucket_len)` (plus the occasional coarsen).
+    pub fn record(&mut self, origin: NodeId, t: Timestamp) {
+        let b = self.bucket_of(t);
+        let v = Arc::make_mut(self.buckets.entry(b).or_default());
+        if let Err(i) = v.binary_search(&origin) {
+            v.insert(i, origin);
+        }
+        if self.buckets.len() > MAX_BUCKETS {
+            self.coarsen();
+        }
+    }
+
+    /// Doubles the bucket width, merging neighbouring buckets, until the
+    /// bucket count is back under the cap.
+    fn coarsen(&mut self) {
+        while self.buckets.len() > MAX_BUCKETS && self.width < i64::MAX / 4 {
+            self.width *= 2;
+            let mut merged: BTreeMap<i64, Arc<Vec<NodeId>>> = BTreeMap::new();
+            for (b, origins) in std::mem::take(&mut self.buckets) {
+                // Flooring division composes: t.div_euclid(2w) ==
+                // t.div_euclid(w).div_euclid(2).
+                let nb = b.div_euclid(2);
+                match merged.entry(nb) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(origins);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let a = e.get().as_slice();
+                        let b = origins.as_slice();
+                        let mut out = Vec::with_capacity(a.len() + b.len());
+                        let (mut i, mut j) = (0, 0);
+                        while i < a.len() && j < b.len() {
+                            match a[i].cmp(&b[j]) {
+                                std::cmp::Ordering::Less => {
+                                    out.push(a[i]);
+                                    i += 1;
+                                }
+                                std::cmp::Ordering::Greater => {
+                                    out.push(b[j]);
+                                    j += 1;
+                                }
+                                std::cmp::Ordering::Equal => {
+                                    out.push(a[i]);
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                        out.extend_from_slice(&a[i..]);
+                        out.extend_from_slice(&b[j..]);
+                        e.insert(Arc::new(out));
+                    }
+                }
+            }
+            self.buckets = merged;
+        }
+    }
+
+    /// Drops every bucket lying entirely before `floor` (eviction hook).
+    /// A bucket straddling the floor is kept whole — see the module docs
+    /// for why that is safe.
+    pub fn evict_below(&mut self, floor: Timestamp) {
+        let first_kept = self.bucket_of(floor);
+        self.buckets = self.buckets.split_off(&first_kept);
+    }
+
+    /// Collects (into `out`, which is cleared first) every origin with at
+    /// least one recorded event in a bucket overlapping the closed window
+    /// `[a, b]`, sorted and deduplicated. The result is a superset of the
+    /// origins with an actual event in `[a, b]` (bucket granularity +
+    /// eviction staleness); callers filter through exact per-origin
+    /// spans.
+    pub fn origins_overlapping(&self, a: Timestamp, b: Timestamp, out: &mut Vec<NodeId>) {
+        out.clear();
+        if b < a {
+            return;
+        }
+        let (ba, bb) = (self.bucket_of(a), self.bucket_of(b));
+        let mut runs = 0;
+        for origins in self.buckets.range(ba..=bb).map(|(_, v)| v) {
+            out.extend_from_slice(origins);
+            runs += 1;
+        }
+        if runs > 1 {
+            out.sort_unstable();
+            out.dedup();
+        }
+    }
+
+    /// Number of non-empty buckets currently held.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in time units.
+    pub fn bucket_width(&self) -> i64 {
+        self.width
+    }
+
+    /// Removes every entry (the width is kept).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collected(idx: &ActiveOriginIndex, a: i64, b: i64) -> Vec<NodeId> {
+        let mut v = Vec::new();
+        idx.origins_overlapping(a, b, &mut v);
+        v
+    }
+
+    #[test]
+    fn records_and_queries_by_window() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.record(3, 10);
+        idx.record(1, 10);
+        idx.record(1, 10); // duplicate is a no-op
+        idx.record(7, 50);
+        assert_eq!(collected(&idx, 0, 20), vec![1, 3]);
+        assert_eq!(collected(&idx, 0, 100), vec![1, 3, 7]);
+        assert_eq!(collected(&idx, 40, 60), vec![7]);
+        assert_eq!(collected(&idx, 20, 40), Vec::<NodeId>::new());
+        assert_eq!(collected(&idx, 60, 40), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn coarsening_keeps_bucket_count_bounded_and_answers_identically() {
+        let mut idx = ActiveOriginIndex::new();
+        for t in 0..5000i64 {
+            idx.record((t % 97) as NodeId, t);
+        }
+        assert!(idx.num_buckets() <= MAX_BUCKETS, "{}", idx.num_buckets());
+        assert!(idx.bucket_width() > 1);
+        // Wide query sees everything.
+        assert_eq!(collected(&idx, 0, 5000).len(), 97);
+        // Narrow queries stay a superset of the truth at bucket
+        // resolution: origin (t % 97) for t in [100, 120] must appear.
+        let got = collected(&idx, 100, 120);
+        for t in 100..=120i64 {
+            assert!(got.contains(&((t % 97) as NodeId)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn negative_timestamps_bucket_correctly() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.preset_span(-1000, 1000);
+        idx.record(5, -900);
+        idx.record(6, 900);
+        assert_eq!(collected(&idx, -1000, 0), vec![5]);
+        assert_eq!(collected(&idx, 0, 1000), vec![6]);
+        assert_eq!(collected(&idx, -1000, 1000), vec![5, 6]);
+    }
+
+    #[test]
+    fn eviction_drops_whole_buckets_below_the_floor() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.preset_span(0, 1000);
+        for t in (0..1000i64).step_by(10) {
+            idx.record((t / 10) as NodeId, t);
+        }
+        let before = idx.num_buckets();
+        idx.evict_below(500);
+        assert!(idx.num_buckets() < before);
+        // Everything at or above the floor's bucket survives.
+        let got = collected(&idx, 0, 1000);
+        for t in (500..1000i64).step_by(10) {
+            assert!(got.contains(&((t / 10) as NodeId)), "t={t}");
+        }
+        // Origins whose bucket lies entirely below the floor are gone.
+        assert!(!got.contains(&0));
+    }
+
+    #[test]
+    fn preset_span_targets_the_cap() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.preset_span(0, 1_000_000);
+        for t in (0..1_000_000i64).step_by(1000) {
+            idx.record(1, t);
+        }
+        assert!(idx.num_buckets() <= MAX_BUCKETS);
+        assert_eq!(collected(&idx, 0, 1_000_000), vec![1]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_width() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.preset_span(0, 100_000);
+        let w = idx.bucket_width();
+        idx.record(1, 10);
+        idx.clear();
+        assert_eq!(idx.num_buckets(), 0);
+        assert_eq!(idx.bucket_width(), w);
+        assert_eq!(collected(&idx, 0, 100_000), Vec::<NodeId>::new());
+    }
+}

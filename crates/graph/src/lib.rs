@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod active;
 pub mod builder;
 pub mod error;
 pub mod event;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod tsgraph;
 pub mod window;
 
+pub use active::ActiveOriginIndex;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use event::{Event, Flow, NodeId, PairId, Timestamp};

@@ -3,6 +3,7 @@
 
 use crate::event::{Event, Flow, Timestamp};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The interaction time series on an edge of `G_T` (paper Table 1:
 /// `R(u, v)`), stored sorted by time together with prefix sums of flow so
@@ -11,16 +12,30 @@ use std::ops::Range;
 /// Prefix-sum range flow is the workhorse of both Algorithm 1 (the `ϕ`
 /// check at every prefix, line 16) and the DP module (the `flow([tj, ti], κ)`
 /// term of Eq. 2).
+///
+/// # Copy-on-write storage
+///
+/// The element and prefix-sum vectors live behind [`Arc`]s, so cloning a
+/// series is O(1) — two reference-count bumps — and cloning a whole
+/// [`crate::TimeSeriesGraph`] is O(pairs) instead of O(interactions).
+/// Mutators ([`InteractionSeries::append_in_order`],
+/// [`InteractionSeries::merge_sorted`],
+/// [`InteractionSeries::evict_before`]) go through [`Arc::make_mut`]: a
+/// uniquely-owned series mutates in place at the old cost, while a series
+/// shared with a published snapshot is copied once on first touch. This
+/// is what makes the streaming engine's snapshot publish O(dirty): only
+/// the series actually modified since the previous publish ever get
+/// deep-copied.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InteractionSeries {
-    events: Vec<Event>,
+    events: Arc<Vec<Event>>,
     /// `prefix[i]` = total flow of `events[..i]`; has `len + 1` entries.
-    prefix: Vec<Flow>,
+    prefix: Arc<Vec<Flow>>,
 }
 
 impl Default for InteractionSeries {
     fn default() -> Self {
-        Self { events: Vec::new(), prefix: vec![0.0] }
+        Self { events: Arc::new(Vec::new()), prefix: Arc::new(vec![0.0]) }
     }
 }
 
@@ -45,7 +60,7 @@ impl InteractionSeries {
             acc += e.flow;
             prefix.push(acc);
         }
-        Self { events, prefix }
+        Self { events: Arc::new(events), prefix: Arc::new(prefix) }
     }
 
     /// Number of elements in the series.
@@ -124,6 +139,48 @@ impl InteractionSeries {
         self.flow_of_range(self.range_closed(a, b))
     }
 
+    /// Timestamp of the earliest element (`None` when empty). Together
+    /// with [`InteractionSeries::last_time`] this is the pair's *active
+    /// interval* — maintained for free by the sorted representation.
+    #[inline]
+    pub fn first_time(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Timestamp of the latest element (`None` when empty).
+    #[inline]
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Whether the series has at least one element inside the closed
+    /// window `[a, b]`. Exact, but cheap: the active-interval endpoints
+    /// answer most calls in O(1) and only a window strictly inside the
+    /// span falls back to one binary search.
+    #[inline]
+    pub fn active_in(&self, a: Timestamp, b: Timestamp) -> bool {
+        let (Some(first), Some(last)) = (self.first_time(), self.last_time()) else {
+            return false;
+        };
+        if last < a || first > b {
+            return false;
+        }
+        // An endpoint inside the window is itself an in-window element.
+        if first >= a || last <= b {
+            return true;
+        }
+        self.idx_at_or_after(a) < self.idx_after(b)
+    }
+
+    /// Whether this series shares its backing storage with `other`
+    /// (copy-on-write clones do until one side is mutated). Exposed for
+    /// the structural-sharing assertions of the streaming snapshot tests
+    /// and benches.
+    #[doc(hidden)]
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.events, &other.events) && Arc::ptr_eq(&self.prefix, &other.prefix)
+    }
+
     /// Appends an element whose time is `>=` the current last time,
     /// maintaining the prefix sums in O(1). This is the fast path for
     /// in-order streaming ingestion.
@@ -136,8 +193,9 @@ impl InteractionSeries {
             self.events.last().is_none_or(|l| l.time <= e.time),
             "append_in_order: out-of-order event"
         );
-        self.prefix.push(self.total_flow() + e.flow);
-        self.events.push(e);
+        let total = self.total_flow();
+        Arc::make_mut(&mut self.prefix).push(total + e.flow);
+        Arc::make_mut(&mut self.events).push(e);
     }
 
     /// Merges a time-sorted batch of elements into the series in
@@ -155,8 +213,8 @@ impl InteractionSeries {
         }
         // Fast path: the whole batch appends after the current tail.
         if self.events.last().is_none_or(|l| l.time <= incoming[0].time) {
-            self.events.reserve(incoming.len());
-            self.prefix.reserve(incoming.len());
+            Arc::make_mut(&mut self.events).reserve(incoming.len());
+            Arc::make_mut(&mut self.prefix).reserve(incoming.len());
             for &e in incoming {
                 self.append_in_order(e);
             }
@@ -187,12 +245,14 @@ impl InteractionSeries {
         if k == 0 {
             return 0;
         }
-        self.events.drain(..k);
-        self.prefix.truncate(1);
+        let events = Arc::make_mut(&mut self.events);
+        events.drain(..k);
+        let prefix = Arc::make_mut(&mut self.prefix);
+        prefix.truncate(1);
         let mut acc = 0.0;
-        for e in &self.events {
+        for e in events.iter() {
             acc += e.flow;
-            self.prefix.push(acc);
+            prefix.push(acc);
         }
         k
     }
@@ -310,6 +370,45 @@ mod tests {
         // Merging nothing is a no-op.
         s.merge_sorted(&[]);
         assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn active_interval_and_window_activity() {
+        let s = fig7_e1(); // times 10, 13, 15, 18
+        assert_eq!(s.first_time(), Some(10));
+        assert_eq!(s.last_time(), Some(18));
+        assert!(s.active_in(0, 100));
+        assert!(s.active_in(10, 10));
+        assert!(s.active_in(18, 30));
+        assert!(s.active_in(14, 16), "window strictly inside the span, element at 15");
+        assert!(!s.active_in(16, 17), "inside the span but between elements");
+        assert!(!s.active_in(0, 9));
+        assert!(!s.active_in(19, 30));
+        let empty = InteractionSeries::default();
+        assert_eq!(empty.first_time(), None);
+        assert!(!empty.active_in(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = fig7_e1();
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b), "a clone is O(1) and shares storage");
+        b.append_in_order(Event::new(30, 1.0));
+        assert!(!a.shares_storage_with(&b), "mutation copies on write");
+        assert_eq!(a.len(), 4, "the original is untouched");
+        assert_eq!(b.len(), 5);
+        assert_eq!(a.total_flow(), 17.0);
+        assert_eq!(b.total_flow(), 18.0);
+        // Eviction and merges also detach shared storage.
+        let mut c = a.clone();
+        c.evict_before(14);
+        assert!(!a.shares_storage_with(&c));
+        assert_eq!(a.len(), 4);
+        let mut d = a.clone();
+        d.merge_sorted(&[Event::new(11, 2.0)]);
+        assert!(!a.shares_storage_with(&d));
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

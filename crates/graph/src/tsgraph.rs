@@ -6,10 +6,23 @@
 //! node are a contiguous slice and `pair_id(u, v)` is a binary search within
 //! that slice.
 
+use crate::active::ActiveOriginIndex;
 use crate::event::{Event, NodeId, PairId, Timestamp};
 use crate::series::InteractionSeries;
+use crate::window::TimeWindow;
+
+/// Sentinel for "no events": an empty interval that any real timestamp
+/// expands.
+const EMPTY_SPAN: (Timestamp, Timestamp) = (Timestamp::MAX, Timestamp::MIN);
 
 /// The merged, index-based graph all motif algorithms run on.
+///
+/// Besides the CSR pair/series storage, the graph maintains *activity
+/// metadata* incrementally through every mutation path: a per-origin
+/// active interval (`[min_time, max_time]` over all out-pair series) and
+/// a time-bucketed [`ActiveOriginIndex`], so window-restricted searches
+/// can skip origins and pairs with no in-window interaction without
+/// touching their series (see [`TimeSeriesGraph::active_origins_in`]).
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeriesGraph {
     num_nodes: usize,
@@ -21,6 +34,11 @@ pub struct TimeSeriesGraph {
     /// CSR offsets: out-pairs of node `u` are `pairs[out_start[u] as usize ..
     /// out_start[u + 1] as usize]`. Length `num_nodes + 1`.
     out_start: Vec<u32>,
+    /// `origin_span[u]` = active interval of `u`'s out-edges
+    /// ([`EMPTY_SPAN`] when none). Length `num_nodes`.
+    origin_span: Vec<(Timestamp, Timestamp)>,
+    /// Time-bucketed origin activity (see [`ActiveOriginIndex`]).
+    index: ActiveOriginIndex,
 }
 
 impl TimeSeriesGraph {
@@ -46,7 +64,17 @@ impl TimeSeriesGraph {
         let num_nodes =
             num_nodes.max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
         let out_start = Self::csr_offsets(num_nodes, &pairs);
-        Self { num_nodes, num_interactions, pairs, series, out_start }
+        let mut g = Self {
+            num_nodes,
+            num_interactions,
+            pairs,
+            series,
+            out_start,
+            origin_span: Vec::new(),
+            index: ActiveOriginIndex::new(),
+        };
+        g.rebuild_activity();
+        g
     }
 
     /// Number of vertices `|V|`.
@@ -139,7 +167,93 @@ impl TimeSeriesGraph {
         let num_nodes =
             num_nodes.max(pairs.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0));
         let out_start = Self::csr_offsets(num_nodes, &pairs);
-        Self { num_nodes, num_interactions, pairs, series, out_start }
+        let mut g = Self {
+            num_nodes,
+            num_interactions,
+            pairs,
+            series,
+            out_start,
+            origin_span: Vec::new(),
+            index: ActiveOriginIndex::new(),
+        };
+        g.rebuild_activity();
+        g
+    }
+
+    /// Recomputes the per-origin spans and the origin index from the
+    /// series — the bulk-construction path (O(interactions)).
+    fn rebuild_activity(&mut self) {
+        self.origin_span = vec![EMPTY_SPAN; self.num_nodes];
+        self.recompute_origin_spans();
+        let mut index = ActiveOriginIndex::new();
+        if let Some((lo, hi)) = self.time_span() {
+            index.preset_span(lo, hi);
+        }
+        for (p, s) in self.series.iter().enumerate() {
+            if !s.is_empty() {
+                record_series(&mut index, self.pairs[p].0, s.events());
+            }
+        }
+        self.index = index;
+    }
+
+    #[inline]
+    fn expand_origin_span(&mut self, u: NodeId, lo: Timestamp, hi: Timestamp) {
+        let span = &mut self.origin_span[u as usize];
+        span.0 = span.0.min(lo);
+        span.1 = span.1.max(hi);
+    }
+
+    /// Re-derives every origin span from the series (after eviction
+    /// shrank them); O(pairs).
+    fn recompute_origin_spans(&mut self) {
+        self.origin_span.iter_mut().for_each(|s| *s = EMPTY_SPAN);
+        for (p, s) in self.series.iter().enumerate() {
+            if let (Some(first), Some(last)) = (s.first_time(), s.last_time()) {
+                let span = &mut self.origin_span[self.pairs[p].0 as usize];
+                span.0 = span.0.min(first);
+                span.1 = span.1.max(last);
+            }
+        }
+    }
+
+    /// The active interval `[min_time, max_time]` of `u`'s out-edge
+    /// interactions, or `None` if `u` currently has none. Kept exact
+    /// through appends, merges and evictions.
+    pub fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)> {
+        let &(lo, hi) = self.origin_span.get(u as usize)?;
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Whether origin `u` *may* have an out-edge interaction inside `w`:
+    /// true iff `u`'s active interval overlaps `w`. Conservative (the
+    /// interval may contain gaps); pair-level checks stay exact via
+    /// [`InteractionSeries::active_in`].
+    #[inline]
+    pub fn origin_active_in(&self, u: NodeId, w: TimeWindow) -> bool {
+        self.origin_span
+            .get(u as usize)
+            .is_some_and(|&(lo, hi)| lo <= hi && lo <= w.end && hi >= w.start)
+    }
+
+    /// Sorted, deduplicated origins that may have an out-edge interaction
+    /// inside the closed window `w`: the time-bucketed index narrows the
+    /// candidates and the exact per-origin spans filter out evicted or
+    /// out-of-interval origins. A superset of the origins with an actual
+    /// in-window event, and always a subset of the origins with any
+    /// events at all — the window-bounded phase-P1 driver iterates this
+    /// instead of every node.
+    pub fn active_origins_in(&self, w: TimeWindow) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.index.origins_overlapping(w.start, w.end, &mut out);
+        out.retain(|&u| self.origin_active_in(u, w));
+        out
+    }
+
+    /// Number of buckets the origin index currently holds (observability:
+    /// eviction must shrink this as whole buckets fall below the floor).
+    pub fn active_index_buckets(&self) -> usize {
+        self.index.num_buckets()
     }
 
     fn csr_offsets(num_nodes: usize, pairs: &[(NodeId, NodeId)]) -> Vec<u32> {
@@ -155,19 +269,28 @@ impl TimeSeriesGraph {
 
     /// Appends an in-order event to the series of pair `p` in O(1)
     /// (see [`InteractionSeries::append_in_order`]), keeping
-    /// [`TimeSeriesGraph::num_interactions`] consistent.
+    /// [`TimeSeriesGraph::num_interactions`] and the activity metadata
+    /// consistent.
     #[inline]
     pub fn append_in_order(&mut self, p: PairId, e: Event) {
         self.series[p as usize].append_in_order(e);
         self.num_interactions += 1;
+        let u = self.pairs[p as usize].0;
+        self.expand_origin_span(u, e.time, e.time);
+        self.index.record(u, e.time);
     }
 
     /// Merges a time-sorted event batch into the series of pair `p` (see
     /// [`InteractionSeries::merge_sorted`]), keeping the interaction count
-    /// consistent.
+    /// and the activity metadata consistent.
     pub fn merge_events(&mut self, p: PairId, sorted: &[Event]) {
         self.series[p as usize].merge_sorted(sorted);
         self.num_interactions += sorted.len();
+        if let (Some(first), Some(last)) = (sorted.first(), sorted.last()) {
+            let u = self.pairs[p as usize].0;
+            self.expand_origin_span(u, first.time, last.time);
+            record_series(&mut self.index, u, sorted);
+        }
     }
 
     /// Removes every interaction with `time < t` from all series; returns
@@ -176,11 +299,33 @@ impl TimeSeriesGraph {
     /// [`TimeSeriesGraph::retain_nonempty`] is called; the search layers
     /// treat empty series as contributing no matches.
     pub fn evict_before(&mut self, t: Timestamp) -> usize {
+        self.evict_before_with(t, |_, _| ())
+    }
+
+    /// [`TimeSeriesGraph::evict_before`], reporting `(pair, removed)` for
+    /// every pair that lost at least one interaction — the hook the
+    /// streaming layer uses to keep its dirty-pair accounting exact.
+    /// Active-interval metadata shrinks with the eviction: origin spans
+    /// are recomputed from the surviving series and index buckets wholly
+    /// below the floor are dropped.
+    pub fn evict_before_with(
+        &mut self,
+        t: Timestamp,
+        mut on_evicted: impl FnMut((NodeId, NodeId), usize),
+    ) -> usize {
         let mut removed = 0;
-        for s in &mut self.series {
-            removed += s.evict_before(t);
+        for (p, s) in self.series.iter_mut().enumerate() {
+            let dropped = s.evict_before(t);
+            if dropped > 0 {
+                on_evicted(self.pairs[p], dropped);
+                removed += dropped;
+            }
         }
         self.num_interactions -= removed;
+        if removed > 0 {
+            self.recompute_origin_spans();
+            self.index.evict_below(t);
+        }
         removed
     }
 
@@ -192,6 +337,20 @@ impl TimeSeriesGraph {
             return;
         }
         new.sort_by_key(|(p, _)| *p);
+        // Fold the incoming activity in first (incremental — the resident
+        // metadata is already correct, so no O(interactions) rebuild).
+        let grown = self
+            .num_nodes
+            .max(new.iter().map(|&((u, v), _)| u.max(v) as usize + 1).max().unwrap_or(0));
+        self.origin_span.resize(grown, EMPTY_SPAN);
+        for ((u, _), s) in &new {
+            if let (Some(first), Some(last)) = (s.first_time(), s.last_time()) {
+                let span = &mut self.origin_span[*u as usize];
+                span.0 = span.0.min(first);
+                span.1 = span.1.max(last);
+                record_series(&mut self.index, *u, s.events());
+            }
+        }
         let mut pairs = Vec::with_capacity(self.pairs.len() + new.len());
         let mut series = Vec::with_capacity(self.pairs.len() + new.len());
         let mut old = self.pairs.drain(..).zip(self.series.drain(..)).peekable();
@@ -267,6 +426,26 @@ impl TimeSeriesGraph {
             }
         }
         Some((lo?, hi?))
+    }
+}
+
+/// Records every event of a sorted series into the index, skipping
+/// consecutive events landing in the same bucket (the common case for a
+/// dense series, making bulk registration ~O(buckets touched)).
+fn record_series(index: &mut ActiveOriginIndex, u: NodeId, sorted: &[Event]) {
+    // The skip key includes the bucket *width*: `record` may coarsen the
+    // index mid-batch, and a bucket id computed under the old width must
+    // never suppress a record under the new one (ids can collide across
+    // widths — skipping then would silently drop index entries).
+    let mut last: Option<(i64, i64)> = None;
+    for e in sorted {
+        let w = index.bucket_width();
+        if last == Some((w, e.time.div_euclid(w))) {
+            continue;
+        }
+        index.record(u, e.time);
+        let w = index.bucket_width(); // re-read: record may have coarsened
+        last = Some((w, e.time.div_euclid(w)));
     }
 }
 
@@ -398,6 +577,105 @@ mod tests {
             assert_eq!(g.pair_id(u, v), Some(p));
         }
         assert_eq!(g.time_span(), Some((13, 23)));
+    }
+
+    #[test]
+    fn origin_spans_track_all_mutation_paths() {
+        let mut g = fig5();
+        // Construction: node 3's out-edges (3,2) and (3,0) span [1, 11].
+        assert_eq!(g.origin_active_span(3), Some((1, 11)));
+        assert_eq!(g.origin_active_span(0), Some((13, 15)));
+        assert!(g.origin_active_in(3, TimeWindow::new(0, 5)));
+        assert!(!g.origin_active_in(3, TimeWindow::new(12, 100)));
+        // In-order append extends the span.
+        let p = g.pair_id(3, 0).unwrap();
+        g.append_in_order(p, Event::new(40, 1.0));
+        assert_eq!(g.origin_active_span(3), Some((1, 40)));
+        // Merge extends on both ends.
+        g.merge_events(p, &[Event::new(0, 1.0), Event::new(50, 1.0)]);
+        assert_eq!(g.origin_active_span(3), Some((0, 50)));
+        // Eviction shrinks spans back to the surviving events.
+        g.evict_before(13);
+        assert_eq!(g.origin_active_span(3), Some((40, 50)));
+        assert_eq!(g.origin_active_span(2), Some((19, 21)), "(2,3) survives");
+        // A fully-evicted origin reports no span and is never returned.
+        g.evict_before(100);
+        for u in 0..4 {
+            assert_eq!(g.origin_active_span(u), None);
+        }
+        assert!(g.active_origins_in(TimeWindow::new(i64::MIN, i64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn active_origins_cover_exactly_the_windowed_activity() {
+        let g = fig5();
+        // Origins with an out-event in [10, 15]: 2 (t=10), 3 (t=11),
+        // 0 (t=13, 15).
+        assert_eq!(g.active_origins_in(TimeWindow::new(10, 15)), vec![0, 2, 3]);
+        // The returned set is always a superset of the truth and a subset
+        // of the span-overlapping origins; verify against brute force.
+        for (a, b) in [(0, 5), (10, 15), (16, 25), (22, 23), (24, 40)] {
+            let w = TimeWindow::new(a, b);
+            let got = g.active_origins_in(w);
+            for u in 0..g.num_nodes() as NodeId {
+                let truly_active =
+                    g.out_pairs(u).any(|(p, _)| g.series(p).active_in(w.start, w.end));
+                if truly_active {
+                    assert!(got.contains(&u), "window [{a},{b}] must include origin {u}");
+                }
+                if got.contains(&u) {
+                    assert!(g.origin_active_in(u, w), "window [{a},{b}] origin {u} has no span");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_batch_coarsening_never_drops_index_entries() {
+        // Regression: a merge batch large enough to coarsen the index
+        // mid-registration used to skip a later event whose new-width
+        // bucket id collided with the stale pre-coarsen id, making the
+        // indexed bounded query miss a real match. Build at width 8
+        // (span [0, 2040]), then merge a batch that pushes past the
+        // bucket cap (coarsen to width 16 fires mid-batch) and ends on a
+        // colliding bucket id.
+        let mut b = GraphBuilder::new();
+        for t in (0..=2040i64).step_by(4) {
+            b.add_interaction(0, 1, t, 1.0); // buckets 0..=255 at width 8
+        }
+        b.add_interaction(2, 3, 0, 1.0);
+        let mut g = b.build_time_series_graph();
+        let p = g.pair_id(2, 3).unwrap();
+        // New buckets 256..=512: the 513th distinct bucket (t=4096)
+        // crosses the cap and coarsens to width 16 mid-batch; the final
+        // event's new-width bucket (8200/16 = 512) collides with the
+        // stale old-width id of t=4096 (4096/8 = 512).
+        let mut batch: Vec<Event> = (256..=512i64).map(|i| Event::new(i * 8, 1.0)).collect();
+        batch.push(Event::new(8200, 1.0));
+        g.merge_events(p, &batch);
+        // Every merged event must be discoverable through the index.
+        for t in [2048, 4096, 8200] {
+            assert_eq!(
+                g.active_origins_in(TimeWindow::new(t, t)),
+                vec![2],
+                "origin 2 must be indexed at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_shrinks_the_origin_index() {
+        let mut b = GraphBuilder::new();
+        for t in 0..2000i64 {
+            b.add_interaction((t % 50) as NodeId, 50, t, 1.0);
+        }
+        let mut g = b.build_time_series_graph();
+        let before = g.active_index_buckets();
+        assert!(before > 1);
+        g.evict_before(1500);
+        assert!(g.active_index_buckets() < before, "whole buckets below the floor must drop");
+        // Surviving activity is still found; evicted-only windows are not.
+        assert_eq!(g.active_origins_in(TimeWindow::new(1500, 1999)).len(), 50);
     }
 
     #[test]

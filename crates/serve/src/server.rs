@@ -349,11 +349,13 @@ fn handle_request(request: Request, shared: &Shared, session: &mut Session) -> (
         }
         Request::Stats => {
             let s = engine.stats();
+            let p = engine.publish_report();
             let fmt_t = |t: Option<i64>| t.map_or_else(|| "-".to_string(), |t| t.to_string());
             (
                 format!(
                     "OK stats interactions={} pairs={} watermark={} floor={} appended={} \
-                     evicted={} epoch={} inflight={} sessions={} queries={}\n",
+                     evicted={} epoch={} inflight={} sessions={} queries={} last_publish_ns={} \
+                     last_publish_dirty={}\n",
                     s.interactions,
                     s.pairs,
                     fmt_t(s.watermark),
@@ -364,6 +366,8 @@ fn handle_request(request: Request, shared: &Shared, session: &mut Session) -> (
                     shared.inflight.load(Ordering::Acquire),
                     shared.sessions.load(Ordering::Relaxed),
                     shared.queries.load(Ordering::Relaxed),
+                    p.duration.as_nanos(),
+                    p.dirty_pairs,
                 ),
                 false,
             )
@@ -537,6 +541,10 @@ mod tests {
         let (r, _) = handle_line("stats", &s, &mut session);
         assert!(r.contains("interactions=1"), "{r}");
         assert!(r.contains("epoch=1"), "{r}");
+        // Publish telemetry: epoch 1 published one dirty pair, and the
+        // duration field is present (any value).
+        assert!(r.contains("last_publish_dirty=1"), "{r}");
+        assert!(r.contains("last_publish_ns="), "{r}");
         let (r, close) = handle_line("quit", &s, &mut session);
         assert_eq!(r, "OK bye\n");
         assert!(close);

@@ -4,8 +4,8 @@
 use crate::incremental::IncrementalGraph;
 use crate::window::SlidingWindow;
 use flowmotif_core::{
-    count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window, Motif,
-    MotifInstance, SearchStats, StructuralMatch,
+    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, Motif, MotifInstance,
+    SearchOptions, SearchStats, StructuralMatch,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 
@@ -22,6 +22,9 @@ pub struct QueryEngine {
     /// Interactions evicted by the window policy since the last
     /// consolidation; drives amortized auto-compaction.
     evicted_since_compact: usize,
+    /// Search tuning applied to every query (notably the active-index
+    /// A/B toggle).
+    opts: SearchOptions,
 }
 
 /// Outcome of one [`QueryEngine::query`] call.
@@ -97,6 +100,18 @@ impl QueryEngine {
         self
     }
 
+    /// Overrides the [`SearchOptions`] applied to every query — e.g.
+    /// `use_active_index: false` to A/B the origin index off.
+    pub fn search_options(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The search options applied to queries.
+    pub fn options(&self) -> SearchOptions {
+        self.opts
+    }
+
     /// Appends one interaction and applies the retention policy.
     pub fn try_append(
         &mut self,
@@ -149,21 +164,26 @@ impl QueryEngine {
     /// only meaningful against the current graph — see [`QueryResult`]
     /// for the invalidation contract.
     pub fn query(&mut self, motif: &Motif, bounds: Option<TimeWindow>) -> QueryResult {
+        let opts = self.opts;
         let g = self.graph.graph();
-        let (groups, stats) = match bounds {
-            Some(w) => enumerate_all_in_window(g, motif, w),
-            None => enumerate_all(g, motif),
+        let mut sink = CollectSink::default();
+        let stats = match bounds {
+            Some(w) => enumerate_window_with_sink(g, motif, w, opts, &mut sink),
+            None => enumerate_with_sink(g, motif, opts, &mut sink),
         };
-        QueryResult { groups, stats }
+        QueryResult { groups: sink.groups, stats }
     }
 
     /// Counts maximal instances without materialising them.
     pub fn count(&mut self, motif: &Motif, bounds: Option<TimeWindow>) -> (u64, SearchStats) {
+        let opts = self.opts;
         let g = self.graph.graph();
-        match bounds {
-            Some(w) => count_instances_in_window(g, motif, w),
-            None => count_instances(g, motif),
-        }
+        let mut sink = CountSink::default();
+        let stats = match bounds {
+            Some(w) => enumerate_window_with_sink(g, motif, w, opts, &mut sink),
+            None => enumerate_with_sink(g, motif, opts, &mut sink),
+        };
+        (sink.count, stats)
     }
 
     /// Borrows the resident time-series graph (folding buffers in first),
@@ -186,6 +206,19 @@ impl QueryEngine {
     pub fn compact(&mut self) {
         self.graph.compact();
         self.evicted_since_compact = 0;
+    }
+
+    /// Distinct node pairs whose series changed since the last
+    /// [`QueryEngine::clear_dirty`] — the dirty set a copy-on-write
+    /// snapshot publish pays for.
+    pub fn dirty_pairs(&self) -> usize {
+        self.graph.touched_pairs()
+    }
+
+    /// Resets the dirty-pair accounting (the snapshot engine calls this
+    /// as part of each publish).
+    pub fn clear_dirty(&mut self) {
+        self.graph.clear_touched();
     }
 
     /// Current engine statistics.

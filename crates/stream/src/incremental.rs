@@ -22,7 +22,7 @@
 use flowmotif_graph::{
     Event, Flow, GraphError, InteractionSeries, NodeId, PairId, TimeSeriesGraph, Timestamp,
 };
-use flowmotif_util::FxHashMap;
+use flowmotif_util::{FxHashMap, FxHashSet};
 
 /// A time-series graph that accepts out-of-order edge appends and window
 /// evictions while staying ready for two-phase motif search.
@@ -49,6 +49,11 @@ pub struct IncrementalGraph {
     appended: u64,
     /// Total interactions evicted over the graph's lifetime.
     evicted: u64,
+    /// Node pairs whose series changed (append or eviction) since the
+    /// last [`IncrementalGraph::clear_touched`] — the dirty set behind
+    /// the snapshot engine's O(dirty) publish accounting. Keyed by
+    /// `(u, v)` so it survives `PairId` remaps (compaction).
+    touched: FxHashSet<(NodeId, NodeId)>,
     allow_self_loops: bool,
 }
 
@@ -88,6 +93,7 @@ impl IncrementalGraph {
         }
         self.watermark = Some(self.watermark.map_or(time, |w| w.max(time)));
         self.appended += 1;
+        self.touched.insert((from, to));
         let e = Event::new(time, flow);
         match self.pair_ids.get(&(from, to)) {
             Some(&p) => {
@@ -152,22 +158,43 @@ impl IncrementalGraph {
     /// `PairId` until [`IncrementalGraph::compact`], which physically
     /// removes them.
     pub fn evict_before(&mut self, floor: Timestamp) -> usize {
-        let mut removed = self.graph.evict_before(floor);
-        for tail in &mut self.tails {
+        let touched = &mut self.touched;
+        let mut removed = self.graph.evict_before_with(floor, |pair, _| {
+            touched.insert(pair);
+        });
+        for (p, tail) in self.tails.iter_mut().enumerate() {
             let before = tail.len();
             tail.retain(|e| e.time >= floor);
-            removed += before - tail.len();
+            if tail.len() < before {
+                removed += before - tail.len();
+                self.touched.insert(self.graph.pair(p as PairId));
+            }
         }
         self.tail_len = self.tails.iter().map(Vec::len).sum();
-        for events in self.pending.values_mut() {
+        for (&pair, events) in self.pending.iter_mut() {
             let before = events.len();
             events.retain(|e| e.time >= floor);
-            removed += before - events.len();
+            if events.len() < before {
+                removed += before - events.len();
+                self.touched.insert(pair);
+            }
         }
         self.pending.retain(|_, v| !v.is_empty());
         self.pending_len = self.pending.values().map(Vec::len).sum();
         self.evicted += removed as u64;
         removed
+    }
+
+    /// Number of distinct node pairs touched (appended to or evicted
+    /// from) since the last [`IncrementalGraph::clear_touched`].
+    pub fn touched_pairs(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Resets the dirty-pair set (called by the snapshot engine right
+    /// after it captures a publish).
+    pub fn clear_touched(&mut self) {
+        self.touched.clear();
     }
 
     /// Fully consolidates the graph: folds all buffers in and drops pairs
@@ -343,6 +370,30 @@ mod tests {
         // The graph still behaves correctly afterwards.
         inc.append(0, 1, 30, 3.0);
         assert_same(&mut inc, &[(1, 2, 20, 2.0), (0, 1, 30, 3.0)]);
+    }
+
+    #[test]
+    fn touched_pairs_track_appends_and_evictions() {
+        let mut inc = IncrementalGraph::new();
+        assert_eq!(inc.touched_pairs(), 0);
+        inc.append(0, 1, 10, 1.0);
+        inc.append(0, 1, 11, 1.0); // same pair: still one dirty pair
+        inc.append(1, 2, 12, 1.0);
+        assert_eq!(inc.touched_pairs(), 2);
+        inc.clear_touched();
+        assert_eq!(inc.touched_pairs(), 0);
+        // Compaction does not dirty anything by itself.
+        inc.compact();
+        assert_eq!(inc.touched_pairs(), 0);
+        // Eviction dirties exactly the pairs that lose events (resident,
+        // buffered-tail and pending alike).
+        inc.append(0, 1, 5, 1.0); // straggler tail on resident (0, 1)
+        inc.append(7, 8, 6, 1.0); // pending pair below the floor
+        inc.clear_touched();
+        let removed = inc.evict_before(12);
+        assert_eq!(removed, 4, "t=10, 11 resident; t=5 tail; t=6 pending");
+        assert_eq!(inc.touched_pairs(), 2, "(0,1) and (7,8) changed; (1,2) did not");
+        assert_eq!(inc.num_interactions(), 1);
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod window;
 
 pub use engine::{EngineStats, QueryEngine, QueryResult};
 pub use incremental::IncrementalGraph;
-pub use snapshot::{Snapshot, SnapshotEngine};
+pub use snapshot::{PublishReport, Snapshot, SnapshotEngine};
 pub use window::SlidingWindow;

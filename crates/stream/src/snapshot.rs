@@ -19,22 +19,39 @@
 //! invalidates an in-progress query, it only makes newer data visible to
 //! the *next* [`SnapshotEngine::snapshot`] call.
 //!
-//! The cost model: readers pay one `RwLock` read + `Arc` clone per
-//! snapshot acquisition and then run lock-free; the writer pays an
-//! `O(resident)` graph clone per publish (skipped entirely when nothing
-//! changed since the last publish). Batching appends between publishes —
-//! see [`SnapshotEngine::publish_every`] — amortizes that clone the same
-//! way the incremental graph amortizes tail merges.
+//! # Publish cost model (copy-on-write)
+//!
+//! Per-pair series storage is `Arc`-shared
+//! ([`flowmotif_graph::InteractionSeries`] is copy-on-write), so the
+//! "clone" a publish performs is **O(pairs + nodes)** pointer/offset
+//! copies — *no* interaction data moves at publish time. The deep copies
+//! happen lazily instead: the first writer-side mutation of a pair whose
+//! series is still shared with a published snapshot detaches just that
+//! series. Summed over a publish interval the copying is therefore
+//! **O(dirty)** — proportional to the pairs actually touched since the
+//! previous publish (reported per publish by
+//! [`SnapshotEngine::publish_report`]) — never O(resident interactions).
+//!
+//! The writer lock is held only for the compaction fold and the cheap
+//! structural clone; the new [`Snapshot`] is assembled and swapped into
+//! the published slot *after* the lock is released, so concurrent
+//! appends are never stalled behind snapshot assembly. Readers pay one
+//! `RwLock` read + `Arc` clone per snapshot acquisition and then run
+//! lock-free. Publishing on a quiescent stream is a no-op. Batching
+//! appends between publishes — see [`SnapshotEngine::publish_every`] —
+//! amortizes the per-publish O(pairs) floor the same way the incremental
+//! graph amortizes tail merges.
 
 use crate::engine::{EngineStats, QueryResult};
 use crate::window::SlidingWindow;
 use crate::QueryEngine;
 use flowmotif_core::{
-    count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window, Motif,
+    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, Motif, SearchOptions,
     SearchStats,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// An immutable point-in-time view of the stream, cheap to share across
 /// threads and safe to query while ingestion continues.
@@ -48,6 +65,7 @@ pub struct Snapshot {
     graph: Arc<TimeSeriesGraph>,
     epoch: u64,
     stats: EngineStats,
+    opts: SearchOptions,
 }
 
 impl Snapshot {
@@ -72,20 +90,39 @@ impl Snapshot {
     /// when given. Unlike [`QueryEngine::query`] this takes `&self`: any
     /// number of threads may search one snapshot concurrently.
     pub fn query(&self, motif: &Motif, bounds: Option<TimeWindow>) -> QueryResult {
-        let (groups, stats) = match bounds {
-            Some(w) => enumerate_all_in_window(&self.graph, motif, w),
-            None => enumerate_all(&self.graph, motif),
+        let mut sink = CollectSink::default();
+        let stats = match bounds {
+            Some(w) => enumerate_window_with_sink(&self.graph, motif, w, self.opts, &mut sink),
+            None => enumerate_with_sink(&self.graph, motif, self.opts, &mut sink),
         };
-        QueryResult { groups, stats }
+        QueryResult { groups: sink.groups, stats }
     }
 
     /// Counts maximal instances without materialising them.
     pub fn count(&self, motif: &Motif, bounds: Option<TimeWindow>) -> (u64, SearchStats) {
-        match bounds {
-            Some(w) => count_instances_in_window(&self.graph, motif, w),
-            None => count_instances(&self.graph, motif),
-        }
+        let mut sink = CountSink::default();
+        let stats = match bounds {
+            Some(w) => enumerate_window_with_sink(&self.graph, motif, w, self.opts, &mut sink),
+            None => enumerate_with_sink(&self.graph, motif, self.opts, &mut sink),
+        };
+        (sink.count, stats)
     }
+}
+
+/// Telemetry of the most recent non-no-op publish: what it cost and how
+/// much of the graph was actually dirty. Exposed over the wire by the
+/// `stats` request of `flowmotif-serve`, so operators can watch publish
+/// cost track the dirty set instead of the resident size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Epoch the report describes (0 = no publish has happened yet).
+    pub epoch: u64,
+    /// Distinct node pairs appended to or evicted from since the
+    /// previous publish.
+    pub dirty_pairs: usize,
+    /// Wall-clock duration of the publish (compaction fold + structural
+    /// clone + snapshot assembly + swap).
+    pub duration: Duration,
 }
 
 /// State owned by the writer lock: the resident engine plus the epoch
@@ -135,6 +172,10 @@ pub struct SnapshotEngine {
     /// Auto-publish after this many appends since the last publish
     /// (0 = only on explicit [`SnapshotEngine::publish`] calls).
     publish_every: usize,
+    /// Search tuning copied into every published snapshot.
+    opts: SearchOptions,
+    /// Telemetry of the last completed publish.
+    last_publish: Mutex<PublishReport>,
 }
 
 impl Default for SnapshotEngine {
@@ -154,9 +195,11 @@ impl SnapshotEngine {
     /// is published immediately from its current contents.
     pub fn with_engine(mut engine: QueryEngine) -> Self {
         engine.compact();
+        engine.clear_dirty();
         let stats = engine.stats();
+        let opts = engine.options();
         let snapshot =
-            Arc::new(Snapshot { graph: Arc::new(engine.graph().clone()), epoch: 0, stats });
+            Arc::new(Snapshot { graph: Arc::new(engine.graph().clone()), epoch: 0, stats, opts });
         Self {
             writer: Mutex::new(WriterState {
                 engine,
@@ -165,7 +208,23 @@ impl SnapshotEngine {
             }),
             published: RwLock::new(snapshot),
             publish_every: 0,
+            opts,
+            last_publish: Mutex::new(PublishReport::default()),
         }
+    }
+
+    /// Overrides the [`SearchOptions`] used by every snapshot query
+    /// (notably `use_active_index: false` for A/B runs). Applies to the
+    /// already-published epoch-0 snapshot and to every later publish.
+    pub fn search_options(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        {
+            let mut slot = self.published.write().unwrap();
+            let mut snap = (**slot).clone();
+            snap.opts = opts;
+            *slot = Arc::new(snap);
+        }
+        self
     }
 
     /// Installs a sliding-window retention policy on the writer side
@@ -209,10 +268,15 @@ impl SnapshotEngine {
         time: Timestamp,
         flow: Flow,
     ) -> Result<Timestamp, GraphError> {
-        let mut w = self.writer.lock().unwrap();
-        w.engine.try_append(from, to, time, flow)?;
-        let watermark = w.engine.stats().watermark.unwrap_or(time);
-        self.maybe_publish(&mut w);
+        let (watermark, prepared) = {
+            let mut w = self.writer.lock().unwrap();
+            w.engine.try_append(from, to, time, flow)?;
+            let watermark = w.engine.stats().watermark.unwrap_or(time);
+            (watermark, self.maybe_prepare(&mut w))
+        };
+        if let Some(p) = prepared {
+            self.install(p);
+        }
         Ok(watermark)
     }
 
@@ -223,17 +287,22 @@ impl SnapshotEngine {
     where
         I: IntoIterator<Item = (NodeId, NodeId, Timestamp, Flow)>,
     {
-        let mut w = self.writer.lock().unwrap();
-        let mut n = 0;
-        let r: Result<(), GraphError> = (|| {
-            for (u, v, t, f) in batch {
-                w.engine.try_append(u, v, t, f)?;
-                n += 1;
-            }
-            Ok(())
-        })();
-        self.maybe_publish(&mut w);
-        r.map(|()| n)
+        let (r, prepared) = {
+            let mut w = self.writer.lock().unwrap();
+            let mut n = 0;
+            let r: Result<(), GraphError> = (|| {
+                for (u, v, t, f) in batch {
+                    w.engine.try_append(u, v, t, f)?;
+                    n += 1;
+                }
+                Ok(())
+            })();
+            (r.map(|()| n), self.maybe_prepare(&mut w))
+        };
+        if let Some(p) = prepared {
+            self.install(p);
+        }
+        r
     }
 
     /// Drops interactions older than `floor` on the writer side; the
@@ -252,9 +321,40 @@ impl SnapshotEngine {
     /// returns its epoch. When nothing was appended or evicted since the
     /// last publish this is a no-op returning the current epoch — so
     /// polling publishers are cheap on a quiescent stream.
+    ///
+    /// Only the compaction fold and the O(pairs) structural clone run
+    /// under the writer lock; snapshot assembly and the published-slot
+    /// swap happen after it is released, so ingestion never waits on
+    /// them.
+    ///
+    /// Read-your-publish guarantee: when this returns epoch `e`, the
+    /// published slot already holds epoch `>= e` — even when `e` was
+    /// claimed by a racing publish whose install had not yet landed.
     pub fn publish(&self) -> u64 {
-        let mut w = self.writer.lock().unwrap();
-        self.publish_locked(&mut w)
+        let epoch = {
+            let mut w = self.writer.lock().unwrap();
+            match self.prepare_publish(&mut w) {
+                Ok(p) => {
+                    drop(w);
+                    return self.install(p);
+                }
+                Err(current_epoch) => current_epoch,
+            }
+        };
+        // Nothing to publish, but `epoch` may have been claimed by a
+        // concurrent publish that is between its prepare and install
+        // (the window spans a handful of instructions and no user
+        // code); a caller issuing a query right after we return must
+        // see it. Wait it out.
+        while self.published_epoch() < epoch {
+            std::thread::yield_now();
+        }
+        epoch
+    }
+
+    /// Cost telemetry of the most recent publish (see [`PublishReport`]).
+    pub fn publish_report(&self) -> PublishReport {
+        *self.last_publish.lock().unwrap()
     }
 
     /// Live writer-side statistics (includes not-yet-published appends).
@@ -274,36 +374,89 @@ impl SnapshotEngine {
         self.published.read().unwrap().epoch
     }
 
-    fn maybe_publish(&self, w: &mut WriterState) {
+    fn maybe_prepare(&self, w: &mut WriterState) -> Option<PreparedPublish> {
         if self.publish_every == 0 {
-            return;
+            return None;
         }
         let (appended, _) = w.engine.stats().totals();
         if (appended - w.published_totals.0) as usize >= self.publish_every {
-            self.publish_locked(w);
+            self.prepare_publish(w).ok()
+        } else {
+            None
         }
     }
 
-    fn publish_locked(&self, w: &mut WriterState) -> u64 {
+    /// The under-the-writer-lock half of a publish: folds buffers in,
+    /// claims the next epoch and takes the O(pairs) copy-on-write
+    /// structural clone. `Err` carries the current epoch when nothing
+    /// changed since the last publish (no-op). The expensive-looking part
+    /// — none of the interaction data — was already paid incrementally by
+    /// the writer's own copy-on-write mutations.
+    fn prepare_publish(&self, w: &mut WriterState) -> Result<PreparedPublish, u64> {
         let totals = w.engine.stats().totals();
         if totals == w.published_totals {
-            return w.epoch;
+            return Err(w.epoch);
         }
+        let started = Instant::now();
         // Fold tails and drop evicted-empty pairs so the snapshot is a
-        // dense CSR, then clone it out. The clone runs under the writer
-        // lock (publishes are serialised with appends) but readers are
-        // only blocked for the final pointer swap below.
+        // dense CSR. The clone below shares every series' storage with
+        // the writer (detached lazily, pair by pair, as the writer
+        // mutates on).
         w.engine.compact();
         w.epoch += 1;
         w.published_totals = totals;
-        let snapshot = Arc::new(Snapshot {
-            graph: Arc::new(w.engine.graph().clone()),
+        let dirty_pairs = w.engine.dirty_pairs();
+        w.engine.clear_dirty();
+        Ok(PreparedPublish {
+            graph: w.engine.graph().clone(),
             epoch: w.epoch,
             stats: w.engine.stats(),
-        });
-        *self.published.write().unwrap() = snapshot;
-        w.epoch
+            dirty_pairs,
+            started,
+        })
     }
+
+    /// The outside-the-writer-lock half: wraps the prepared state into an
+    /// `Arc<Snapshot>` and swaps it into the published slot. Concurrent
+    /// publishes may install out of order; the epoch guard keeps the slot
+    /// monotone.
+    fn install(&self, p: PreparedPublish) -> u64 {
+        let snapshot = Arc::new(Snapshot {
+            graph: Arc::new(p.graph),
+            epoch: p.epoch,
+            stats: p.stats,
+            opts: self.opts,
+        });
+        {
+            let mut slot = self.published.write().unwrap();
+            if snapshot.epoch > slot.epoch {
+                *slot = snapshot;
+            }
+        }
+        let report = PublishReport {
+            epoch: p.epoch,
+            dirty_pairs: p.dirty_pairs,
+            duration: p.started.elapsed(),
+        };
+        {
+            let mut last = self.last_publish.lock().unwrap();
+            if report.epoch >= last.epoch {
+                *last = report;
+            }
+        }
+        p.epoch
+    }
+}
+
+/// Everything a publish captured under the writer lock, waiting to be
+/// wrapped and swapped in outside it.
+#[derive(Debug)]
+struct PreparedPublish {
+    graph: TimeSeriesGraph,
+    epoch: u64,
+    stats: EngineStats,
+    dirty_pairs: usize,
+    started: Instant,
 }
 
 impl EngineStats {
@@ -325,7 +478,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowmotif_core::catalog;
+    use flowmotif_core::{catalog, enumerate_all, enumerate_all_in_window};
     use flowmotif_graph::GraphBuilder;
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -438,6 +591,207 @@ mod tests {
         assert_eq!(snap.count(&motif, None).0, 1);
         // No changes since construction: publish is a no-op.
         assert_eq!(engine.publish(), 0);
+    }
+
+    #[test]
+    fn publish_shares_untouched_series_with_the_previous_snapshot() {
+        // Structural proof of the O(dirty) publish: pairs not touched
+        // between two publishes share their series storage across the two
+        // snapshots (no data was copied for them); only the dirty pair's
+        // series was detached.
+        let engine = SnapshotEngine::new();
+        engine.ingest([(0u32, 1u32, 10i64, 1.0), (1, 2, 11, 1.0), (2, 3, 12, 1.0)]).unwrap();
+        engine.publish();
+        let snap1 = engine.snapshot();
+
+        engine.append(1, 2, 20, 2.0).unwrap(); // dirty: only (1, 2)
+        engine.publish();
+        let snap2 = engine.snapshot();
+        assert_eq!(engine.publish_report().dirty_pairs, 1);
+
+        for (u, v) in [(0u32, 1u32), (2, 3)] {
+            let p1 = snap1.graph().pair_id(u, v).unwrap();
+            let p2 = snap2.graph().pair_id(u, v).unwrap();
+            assert!(
+                snap1.graph().series(p1).shares_storage_with(snap2.graph().series(p2)),
+                "untouched pair ({u}, {v}) must be structurally shared"
+            );
+        }
+        let p1 = snap1.graph().pair_id(1, 2).unwrap();
+        let p2 = snap2.graph().pair_id(1, 2).unwrap();
+        assert!(
+            !snap1.graph().series(p1).shares_storage_with(snap2.graph().series(p2)),
+            "the dirty pair must have been detached"
+        );
+        // And the old snapshot still shows the old data.
+        assert_eq!(snap1.graph().series(p1).len(), 1);
+        assert_eq!(snap2.graph().series(p2).len(), 2);
+    }
+
+    #[test]
+    fn publish_report_tracks_dirty_pairs_and_epoch() {
+        let engine = SnapshotEngine::new();
+        assert_eq!(engine.publish_report(), PublishReport::default());
+        engine.ingest(FIG2).unwrap();
+        engine.publish();
+        let r = engine.publish_report();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.dirty_pairs, 7, "FIG2 touches 7 distinct pairs");
+        // Quiescent publish is a no-op: the report is unchanged.
+        engine.publish();
+        assert_eq!(engine.publish_report(), r);
+        // Eviction dirties the pairs it drains.
+        engine.evict_before(12);
+        engine.publish();
+        let r = engine.publish_report();
+        assert_eq!(r.epoch, 2);
+        assert_eq!(r.dirty_pairs, 3, "(3,2) x2, (2,0), (3,0) lose events; 3 pairs");
+    }
+
+    #[test]
+    fn cow_publish_beats_a_deep_copy_of_the_resident_graph() {
+        // The whole point of the rework: publishing with a small dirty
+        // set must cost less than deep-copying the resident interactions
+        // (the old per-publish price). Compared on the same machine in
+        // the same process, with a wide margin expected (O(pairs) vs
+        // O(interactions)), so the assertion is robust.
+        const PAIRS: u32 = 2_000;
+        const EVENTS_PER_PAIR: i64 = 50;
+        let engine = SnapshotEngine::new();
+        engine
+            .ingest((0..PAIRS as i64 * EVENTS_PER_PAIR).map(|i| {
+                let p = (i % PAIRS as i64) as u32;
+                (p, PAIRS + 1, i, 1.0)
+            }))
+            .unwrap();
+        engine.publish();
+
+        let rounds = 20;
+        let mut t = 1_000_000i64;
+        let publish_start = Instant::now();
+        for _ in 0..rounds {
+            for p in 0..10u32 {
+                engine.append(p, PAIRS + 1, t, 1.0).unwrap();
+                t += 1;
+            }
+            engine.publish();
+            assert_eq!(engine.publish_report().dirty_pairs, 10);
+        }
+        let publish_total = publish_start.elapsed();
+
+        let snap = engine.snapshot();
+        let deep_start = Instant::now();
+        for _ in 0..rounds {
+            let copied: Vec<_> = snap
+                .graph()
+                .all_series()
+                .iter()
+                .map(|s| {
+                    flowmotif_graph::InteractionSeries::from_sorted_events(s.events().to_vec())
+                })
+                .collect();
+            assert_eq!(copied.len(), PAIRS as usize);
+            std::hint::black_box(copied);
+        }
+        let deep_total = deep_start.elapsed();
+
+        assert!(
+            publish_total < deep_total,
+            "COW publish ({publish_total:?}) must beat a deep copy ({deep_total:?})"
+        );
+    }
+
+    #[test]
+    fn writers_stay_available_during_large_publishes() {
+        // Appends race a publisher hammering a ~100k-interaction resident
+        // graph. With assembly outside the critical section and the
+        // structural clone O(pairs), no single append may stall for
+        // anything near a full deep-copy publish. The bound is generous
+        // (CI machines vary); it exists to catch an O(resident)
+        // under-lock regression, which would cost orders of magnitude
+        // more than an append.
+        let engine = Arc::new(SnapshotEngine::new());
+        engine.ingest((0..100_000i64).map(|i| ((i % 500) as u32, 501u32, i, 1.0))).unwrap();
+        engine.publish();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut published = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    engine.publish();
+                    published += 1;
+                    // Let the appender at the (unfair) writer mutex
+                    // between publishes: the test measures publish cost,
+                    // not lock barging.
+                    std::thread::yield_now();
+                }
+                published
+            })
+        };
+        let mut worst = Duration::ZERO;
+        for i in 0..2_000i64 {
+            let t0 = Instant::now();
+            engine.append((i % 500) as u32, 501, 200_000 + i, 1.0).unwrap();
+            worst = worst.max(t0.elapsed());
+        }
+        stop.store(true, Ordering::Relaxed);
+        let published = publisher.join().unwrap();
+        assert!(published > 0, "the publisher must have raced the writer");
+        assert!(
+            worst < Duration::from_millis(500),
+            "an append stalled {worst:?} behind publishing"
+        );
+    }
+
+    #[test]
+    fn publish_return_is_always_visible_to_the_caller() {
+        // Read-your-publish under contention: whenever publish() returns
+        // epoch e — including the no-op path racing another publisher's
+        // prepare/install window — the published slot must already hold
+        // an epoch >= e, so an immediate follow-up query cannot miss
+        // data the caller was just told is published.
+        let engine = Arc::new(SnapshotEngine::new().publish_every(1));
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for i in 0..500i64 {
+                        // Auto-publishing appends keep prepare/install
+                        // windows open while peers call publish().
+                        engine.append(k, 100 + k, i, 1.0).unwrap();
+                        let e = engine.publish();
+                        assert!(
+                            engine.published_epoch() >= e,
+                            "publish returned {e} but the slot lags"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn search_options_propagate_to_snapshots() {
+        let opts = SearchOptions { use_active_index: false, ..SearchOptions::default() };
+        let engine = SnapshotEngine::new().search_options(opts);
+        engine.ingest(FIG2).unwrap();
+        engine.publish();
+        let motif = catalog::by_name("M(3,3)", 10, 7.0).unwrap();
+        // Identical answers with the index off (epoch 0 and the fresh one).
+        assert_eq!(engine.snapshot().count(&motif, Some(TimeWindow::new(0, 30))).0, 1);
+        let indexed = SnapshotEngine::new();
+        indexed.ingest(FIG2).unwrap();
+        indexed.publish();
+        assert_eq!(
+            engine.snapshot().count(&motif, Some(TimeWindow::new(0, 30))),
+            indexed.snapshot().count(&motif, Some(TimeWindow::new(0, 30))),
+        );
     }
 
     #[test]
