@@ -1,0 +1,47 @@
+//! A counting wrapper around the system allocator, for the zero-allocation
+//! gate (`benches/alloc_profile.rs`).
+//!
+//! Install it in a bench binary with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: flowmotif_bench::CountingAllocator = flowmotif_bench::CountingAllocator;
+//! ```
+//!
+//! and bracket the code under test with [`allocations`] snapshots. Every
+//! `alloc`/`realloc` anywhere in the process bumps the counter (`dealloc`
+//! does not: the gate cares about allocation *traffic*, and a free-only
+//! path is already alloc-free), so measurements must run single-threaded
+//! and keep incidental work (printing, formatting) outside the bracket.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of `alloc`/`realloc` calls since start.
+pub fn allocations() -> u64 {
+    ALLOCATION_COUNT.load(Ordering::Relaxed)
+}
+
+/// The counting global allocator (delegates to [`System`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic
+// with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -15,9 +15,14 @@
 //! noise band passes, but a genuine blow-up still fails.
 //!
 //! `bless` rewrites the baseline from a current run (seeding it, or
-//! adopting intentional changes). Review the diff before committing.
+//! adopting intentional changes). The JSON-lines file is append-only, so
+//! several sweeps can accumulate before blessing: both `check` and
+//! `bless` judge each bench by its *fastest* accumulated observation —
+//! best-of-N on both sides, so one-off scheduler jitter can neither
+//! fail a check nor ratchet a baseline. Review the diff before
+//! committing.
 
-use flowmotif_bench::baseline::{compare, parse_entries, render_baseline, Verdict};
+use flowmotif_bench::baseline::{compare, dedupe_min, parse_entries, render_baseline, Verdict};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +70,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let [_, current_path, out_path] = args else {
                 return Err(usage.to_string());
             };
-            let entries = parse_entries(&read(current_path)?)?;
+            // A current file may hold several appended sweeps; bless the
+            // fastest observation per bench (symmetric with `check`, and
+            // a one-off slow sweep cannot ratchet the baseline).
+            let entries = dedupe_min(parse_entries(&read(current_path)?)?);
             if entries.is_empty() {
                 return Err(format!("{current_path}: no bench results to bless"));
             }

@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc_counter;
 pub mod args;
 pub mod baseline;
 pub mod harness;
 pub mod micro;
 pub mod table;
 
+pub use alloc_counter::{allocations, CountingAllocator};
 pub use args::CommonArgs;
 pub use harness::{time_it, ExpContext};
 pub use micro::{BenchGroup, BenchResult};

@@ -5,7 +5,7 @@ use crate::opts::{Cli, Command};
 use flowmotif_core::analytics::per_match_activity;
 use flowmotif_core::census::walk_census;
 use flowmotif_core::dp::dp_top1;
-use flowmotif_core::parallel::{par_enumerate_all, par_top_k};
+use flowmotif_core::parallel::{par_enumerate_all_with, par_top_k_with, ParOptions};
 use flowmotif_core::{catalog, Motif, SearchOptions};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::{io, GraphStats, TimeSeriesGraph, TimeWindow};
@@ -42,6 +42,16 @@ fn motif_of(cli: &Cli) -> Result<Motif, String> {
     catalog::parse_motif(&cli.motif, cli.delta, cli.phi).map_err(|e| e.to_string())
 }
 
+/// Scheduling options for the parallel search commands: `--threads` plus
+/// `--hub-degree` (0 = keep every origin whole).
+fn par_of(cli: &Cli) -> ParOptions {
+    ParOptions {
+        threads: cli.threads,
+        hub_degree: if cli.hub_degree == 0 { u32::MAX } else { cli.hub_degree },
+        ..ParOptions::default()
+    }
+}
+
 fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let g = load(path)?;
     let s = GraphStats::of(&g);
@@ -56,7 +66,7 @@ fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let g = load(path)?;
     let motif = motif_of(cli)?;
-    let (groups, stats) = par_enumerate_all(&g, &motif, cli.threads);
+    let (groups, stats) = par_enumerate_all_with(&g, &motif, SearchOptions::default(), par_of(cli));
     let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
     if cli.json {
         let shown: Vec<_> = groups
@@ -111,7 +121,7 @@ fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     // §5: top-k ranks by flow with ϕ = 0 (any --phi is still honoured as
     // a floor if explicitly set).
     let motif = motif_of(cli)?;
-    let (ranked, _) = par_top_k(&g, &motif, cli.k, cli.threads);
+    let (ranked, _) = par_top_k_with(&g, &motif, cli.k, SearchOptions::default(), par_of(cli));
     if cli.json {
         let rows: Vec<_> = ranked
             .iter()

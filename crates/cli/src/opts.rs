@@ -33,6 +33,8 @@ OPTIONS (find/topk/top1/significance):
   --phi <float>           flow constraint ϕ                                 [0]
   --k <int>               result count for topk                             [10]
   --threads <int>         worker threads (0 = all cores)                    [1]
+  --hub-degree <int>      split origins with more out-neighbours than this
+                          across workers (0 = never split)                  [128]
   --show <int>            print up to N instances                           [5]
   --replicas <int>        randomized replicas for significance             [20]
   --edges <int>           motif size for census                             [2]
@@ -86,6 +88,9 @@ pub struct Cli {
     pub k: usize,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Out-degree above which the parallel scheduler splits an origin's
+    /// work across workers (0 = never split a hub).
+    pub hub_degree: u32,
     /// How many instances to print.
     pub show: usize,
     /// Replicas for the significance test.
@@ -158,6 +163,7 @@ impl Default for Cli {
             phi: 0.0,
             k: 10,
             threads: 1,
+            hub_degree: 128,
             show: 5,
             replicas: 20,
             edges: 2,
@@ -227,6 +233,7 @@ impl Cli {
                 "--phi" => cli.phi = parse_val!("--phi"),
                 "--k" => cli.k = parse_val!("--k"),
                 "--threads" => cli.threads = parse_val!("--threads"),
+                "--hub-degree" => cli.hub_degree = parse_val!("--hub-degree"),
                 "--show" => cli.show = parse_val!("--show"),
                 "--replicas" => cli.replicas = parse_val!("--replicas"),
                 "--edges" => cli.edges = parse_val!("--edges"),
@@ -295,6 +302,16 @@ mod tests {
     fn help_returns_usage() {
         let err = parse(&["--help"]).unwrap_err();
         assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_hub_degree() {
+        assert_eq!(parse(&["find", "g.tsv"]).unwrap().hub_degree, 128);
+        let cli = parse(&["find", "g.tsv", "--threads", "8", "--hub-degree", "0"]).unwrap();
+        assert_eq!(cli.hub_degree, 0);
+        assert_eq!(cli.threads, 8);
+        assert!(parse(&["topk", "g.tsv", "--hub-degree", "-1"]).is_err());
+        assert!(parse(&["topk", "g.tsv", "--hub-degree"]).is_err());
     }
 
     #[test]

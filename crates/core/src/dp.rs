@@ -21,9 +21,10 @@
 //! The reconstructed witness instance, however, need not be maximal.
 
 use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
-use crate::matcher::for_each_structural_match;
+use crate::matcher::for_each_structural_match_bounded_scratch;
 use crate::motif::Motif;
-use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
+use crate::scratch::SearchScratch;
+use flowmotif_graph::{Flow, InteractionSeries, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 
 /// Counters for a DP run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,7 +125,10 @@ pub fn dp_table(series: &[&InteractionSeries], window: TimeWindow, stats: &mut D
 }
 
 /// Reusable buffers for the window-scan fast path of the DP module.
-#[derive(Debug, Default)]
+/// Lifetime-free (series are re-resolved through pair ids), so one
+/// `DpScratch` — usually inside a [`crate::SearchScratch`] — serves any
+/// number of matches, graphs and snapshots without reallocating.
+#[derive(Debug, Default, Clone)]
 pub struct DpScratch {
     ts: Vec<Timestamp>,
     cur: Vec<Flow>,
@@ -138,8 +142,11 @@ pub struct DpScratch {
 /// with [`dp_table`] for witness reconstruction). Returns early with `0`
 /// once the running row maximum drops to `threshold` or below — the row
 /// maxima are non-increasing in `κ`, so the window cannot beat it.
+/// `pairs` are the match's pair ids in motif-edge order (resolved
+/// through `g` on use, keeping this path free of per-match allocations).
 fn dp_window_flow(
-    series: &[&InteractionSeries],
+    g: &TimeSeriesGraph,
+    pairs: &[flowmotif_graph::PairId],
     window: TimeWindow,
     threshold: Flow,
     scratch: &mut DpScratch,
@@ -147,7 +154,8 @@ fn dp_window_flow(
 ) -> Flow {
     let DpScratch { ts, cur, next, lo, hi } = scratch;
     ts.clear();
-    for s in series {
+    for &p in pairs {
+        let s = g.series(p);
         let r = s.range_closed(window.start, window.end);
         ts.extend(s.events()[r].iter().map(|e| e.time));
     }
@@ -157,12 +165,12 @@ fn dp_window_flow(
     if tau == 0 {
         return 0.0;
     }
-    let s0 = series[0];
+    let s0 = g.series(pairs[0]);
     let a0 = s0.idx_at_or_after(window.start);
     cur.clear();
     cur.extend(ts.iter().map(|&t| s0.flow_of_range(a0..s0.idx_after(t))));
     stats.cells_computed += tau as u64;
-    for sk in series.iter().skip(1) {
+    for sk in pairs.iter().skip(1).map(|&p| g.series(p)) {
         if cur.last().copied().unwrap_or(0.0) <= threshold {
             return 0.0; // cur is non-decreasing; its last entry bounds the answer
         }
@@ -211,19 +219,19 @@ pub fn dp_best_window_in_match(
     scratch: &mut DpScratch,
     stats: &mut DpStats,
 ) -> Option<(Flow, TimeWindow)> {
-    let series: Vec<&InteractionSeries> = sm.pairs.iter().map(|&p| g.series(p)).collect();
-    if series.iter().any(|s| s.is_empty()) {
+    let pairs = sm.pairs.as_slice();
+    if pairs.iter().any(|&p| g.series(p).is_empty()) {
         return None;
     }
     // Match-level admissible bound: no instance can exceed the minimum
     // total series flow over the motif edges.
-    let match_ub = series.iter().map(|s| s.total_flow()).fold(f64::INFINITY, Flow::min);
+    let match_ub = pairs.iter().map(|&p| g.series(p).total_flow()).fold(f64::INFINITY, Flow::min);
     if match_ub <= threshold {
         return None;
     }
     let m = motif.num_edges();
-    let e1 = series[0];
-    let em = series[m - 1];
+    let e1 = g.series(pairs[0]);
+    let em = g.series(pairs[m - 1]);
     let mut best: Option<(Flow, TimeWindow)> = None;
     let mut thr = threshold;
     let mut prev_end: Option<Timestamp> = None;
@@ -237,14 +245,16 @@ pub fn dp_best_window_in_match(
         }
         prev_end = Some(w.end);
         // Window-level admissible bound.
-        let ub =
-            series.iter().map(|s| s.flow_in_closed(w.start, w.end)).fold(f64::INFINITY, Flow::min);
+        let ub = pairs
+            .iter()
+            .map(|&p| g.series(p).flow_in_closed(w.start, w.end))
+            .fold(f64::INFINITY, Flow::min);
         if ub <= thr {
             stats.windows_skipped += 1;
             continue;
         }
         stats.windows_processed += 1;
-        let f = dp_window_flow(&series, w, thr, scratch, stats);
+        let f = dp_window_flow(g, pairs, w, thr, scratch, stats);
         if f > thr {
             thr = f;
             best = Some((f, w));
@@ -310,16 +320,46 @@ pub fn dp_top1(
     g: &TimeSeriesGraph,
     motif: &Motif,
 ) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
+    let mut scratch = SearchScratch::default();
+    dp_top1_scratch(g, motif, &mut scratch)
+}
+
+/// [`dp_top1`] running out of a caller-provided [`SearchScratch`]: phase
+/// P1 walks out of `scratch.p1` and the per-window DP out of
+/// `scratch.dp`, so after warm-up a repeated top-1 query allocates only
+/// for the returned witness.
+pub fn dp_top1_scratch(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    scratch: &mut SearchScratch,
+) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
     let mut stats = DpStats::default();
-    let mut scratch = DpScratch::default();
+    let SearchScratch { p1, dp, .. } = scratch;
     let mut best: Option<(Flow, StructuralMatch, TimeWindow)> = None;
-    for_each_structural_match(g, motif.path(), &mut |sm| {
-        stats.structural_matches += 1;
-        let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
-        if let Some((f, w)) = dp_best_window_in_match(g, motif, sm, thr, &mut scratch, &mut stats) {
-            best = Some((f, sm.clone(), w));
-        }
-    });
+    for_each_structural_match_bounded_scratch(
+        g,
+        motif.path(),
+        TimeWindow::new(Timestamp::MIN, Timestamp::MAX),
+        0..g.num_nodes() as NodeId,
+        true,
+        p1,
+        &mut |sm| {
+            stats.structural_matches += 1;
+            let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
+            if let Some((f, w)) = dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats) {
+                // Recycle the previous best's buffers instead of
+                // reallocating on every improvement.
+                match &mut best {
+                    Some((bf, bsm, bw)) => {
+                        *bf = f;
+                        bsm.clone_from(sm);
+                        *bw = w;
+                    }
+                    None => best = Some((f, sm.clone(), w)),
+                }
+            }
+        },
+    );
     match best {
         None => (None, stats),
         Some((flow, sm, window)) => {

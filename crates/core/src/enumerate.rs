@@ -32,8 +32,9 @@
 //!    prepended without exceeding `δ`; the enclosing window anchored at
 //!    that element emits the enlarged instance instead.
 
-use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
+use crate::instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
 use crate::motif::Motif;
+use crate::scratch::SearchScratch;
 use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::ops::Range;
 
@@ -106,6 +107,14 @@ impl SearchStats {
 /// The sink also supplies a *floating* pruning threshold, which the top-k
 /// search (paper §5) raises as better instances accumulate; plain
 /// enumeration leaves it at `-∞`.
+///
+/// Both arguments of [`InstanceSink::accept`] are *borrowed views into
+/// enumerator scratch buffers*, valid only for the duration of the call:
+/// the enumerator mutates them in place for the next match/instance, so a
+/// sink that keeps results copies explicitly ([`StructuralMatch::clone`],
+/// [`InstanceView::to_instance`] / [`InstanceView::write_to`]) and a sink
+/// that only counts, filters or aggregates touches the heap not at all —
+/// this is what makes the steady-state P1→P2 loop allocation-free.
 pub trait InstanceSink {
     /// Prefixes (and final instances) whose aggregated flow is `<=` this
     /// value cannot contribute; `-∞` disables the extra pruning.
@@ -114,7 +123,7 @@ pub trait InstanceSink {
     }
 
     /// Called for every valid maximal instance.
-    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance);
+    fn accept(&mut self, sm: &StructuralMatch, inst: InstanceView<'_>);
 }
 
 /// Sink that only counts (the "counting instances without constructing
@@ -126,7 +135,7 @@ pub struct CountSink {
 }
 
 impl InstanceSink for CountSink {
-    fn accept(&mut self, _sm: &StructuralMatch, _inst: MotifInstance) {
+    fn accept(&mut self, _sm: &StructuralMatch, _inst: InstanceView<'_>) {
         self.count += 1;
     }
 }
@@ -144,17 +153,27 @@ impl CollectSink {
         self.groups.iter().map(|(_, v)| v.len()).sum()
     }
 
-    /// Flattens into `(match index, instance)` pairs.
+    /// Flattens into `(match index, instance)` pairs. The group's owned
+    /// match moves into its last instance's pair; only the preceding
+    /// instances of a group clone it.
     pub fn into_flat(self) -> Vec<(StructuralMatch, MotifInstance)> {
-        self.groups
-            .into_iter()
-            .flat_map(|(m, insts)| insts.into_iter().map(move |i| (m.clone(), i)))
-            .collect()
+        let mut out = Vec::with_capacity(self.groups.iter().map(|(_, v)| v.len()).sum());
+        for (m, insts) in self.groups {
+            let mut it = insts.into_iter();
+            let Some(mut prev) = it.next() else { continue };
+            for next in it {
+                out.push((m.clone(), prev));
+                prev = next;
+            }
+            out.push((m, prev));
+        }
+        out
     }
 }
 
 impl InstanceSink for CollectSink {
-    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
+    fn accept(&mut self, sm: &StructuralMatch, inst: InstanceView<'_>) {
+        let inst = inst.to_instance();
         match self.groups.last_mut() {
             Some((m, v)) if m == sm => v.push(inst),
             _ => self.groups.push((sm.clone(), vec![inst])),
@@ -166,18 +185,22 @@ impl InstanceSink for CollectSink {
 #[derive(Debug)]
 pub struct FnSink<F>(pub F);
 
-impl<F: FnMut(&StructuralMatch, MotifInstance)> InstanceSink for FnSink<F> {
-    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
+impl<F: FnMut(&StructuralMatch, InstanceView<'_>)> InstanceSink for FnSink<F> {
+    fn accept(&mut self, sm: &StructuralMatch, inst: InstanceView<'_>) {
         (self.0)(sm, inst)
     }
 }
 
-/// Reusable buffers shared across the many structural matches of one
-/// search, so the per-match hot path allocates nothing.
-#[derive(Debug, Default)]
-pub struct EnumerationScratch<'g> {
-    series: Vec<&'g InteractionSeries>,
+/// Reusable phase-P2 buffers shared across the many structural matches of
+/// one search: the prefix stack of Algorithm 1 and the flat edge-set
+/// buffer emitted instances are assembled in. Lifetime-free, so drivers
+/// (streaming engines, server sessions) can hold one across queries over
+/// different graphs; see [`crate::SearchScratch`] for the full-pipeline
+/// arena.
+#[derive(Debug, Default, Clone)]
+pub struct EnumerationScratch {
     stack: Vec<(EdgeSet, Flow)>,
+    edge_sets: Vec<EdgeSet>,
 }
 
 /// The unbounded search window: every timestamp is admissible. Searching
@@ -200,14 +223,14 @@ pub fn enumerate_in_match<S: InstanceSink>(
 
 /// [`enumerate_in_match`] with caller-provided scratch buffers; use this
 /// when iterating over many matches (see [`enumerate_with_sink`]).
-pub fn enumerate_in_match_reusing<'g, S: InstanceSink>(
-    g: &'g TimeSeriesGraph,
+pub fn enumerate_in_match_reusing<S: InstanceSink>(
+    g: &TimeSeriesGraph,
     motif: &Motif,
     sm: &StructuralMatch,
     opts: SearchOptions,
     sink: &mut S,
     stats: &mut SearchStats,
-    scratch: &mut EnumerationScratch<'g>,
+    scratch: &mut EnumerationScratch,
 ) {
     enumerate_in_match_bounded(g, motif, sm, UNBOUNDED, opts, sink, stats, scratch);
 }
@@ -221,27 +244,25 @@ pub fn enumerate_in_match_reusing<'g, S: InstanceSink>(
 /// restricted edge set (an instance extendable only by out-of-window
 /// elements is still reported). Requires `motif.delta() >= 0`.
 #[allow(clippy::too_many_arguments)] // mirrors enumerate_in_match_reusing + bounds
-pub fn enumerate_in_match_bounded<'g, S: InstanceSink>(
-    g: &'g TimeSeriesGraph,
+pub fn enumerate_in_match_bounded<S: InstanceSink>(
+    g: &TimeSeriesGraph,
     motif: &Motif,
     sm: &StructuralMatch,
     bounds: TimeWindow,
     opts: SearchOptions,
     sink: &mut S,
     stats: &mut SearchStats,
-    scratch: &mut EnumerationScratch<'g>,
+    scratch: &mut EnumerationScratch,
 ) {
-    let EnumerationScratch { series, stack } = scratch;
-    series.clear();
-    series.extend(sm.pairs.iter().map(|&p| g.series(p)));
-    if series.iter().any(|s| s.is_empty()) {
+    if sm.pairs.iter().any(|&p| g.series(p).is_empty()) {
         return;
     }
+    let EnumerationScratch { stack, edge_sets } = scratch;
     stack.clear();
     let mut e = MatchEnumerator {
+        g,
         motif,
         sm,
-        series,
         opts,
         sink,
         stats,
@@ -250,14 +271,15 @@ pub fn enumerate_in_match_bounded<'g, S: InstanceSink>(
         anchor_time: 0,
         anchor_prev: None,
         stack,
+        edge_sets,
     };
     e.run();
 }
 
 struct MatchEnumerator<'a, 'g, S: InstanceSink> {
+    g: &'g TimeSeriesGraph,
     motif: &'a Motif,
     sm: &'a StructuralMatch,
-    series: &'a [&'g InteractionSeries],
     opts: SearchOptions,
     sink: &'a mut S,
     stats: &'a mut SearchStats,
@@ -269,14 +291,23 @@ struct MatchEnumerator<'a, 'g, S: InstanceSink> {
     anchor_prev: Option<Timestamp>,
     /// Chosen `(edge-set, aggregated flow)` for motif edges `0..k`.
     stack: &'a mut Vec<(EdgeSet, Flow)>,
+    /// Flat buffer emitted instances are assembled in (borrowed by the
+    /// [`InstanceView`] handed to the sink).
+    edge_sets: &'a mut Vec<EdgeSet>,
 }
 
-impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
+impl<'g, S: InstanceSink> MatchEnumerator<'_, 'g, S> {
+    /// The interaction series instantiating motif edge `k`.
+    #[inline]
+    fn series(&self, k: usize) -> &'g InteractionSeries {
+        self.g.series(self.sm.pairs[k])
+    }
+
     fn run(&mut self) {
         let m = self.motif.num_edges();
         let delta = self.motif.delta();
-        let e1 = self.series[0];
-        let em = self.series[m - 1];
+        let e1 = self.series(0);
+        let em = self.series(m - 1);
         // Anchor only at R(e_1) elements inside the bounds; clamping every
         // window end to `bounds.end` makes the recursion see exactly the
         // in-bounds elements of every series (range starts always move
@@ -315,12 +346,12 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
     fn recurse(&mut self, k: usize, range: Range<usize>) {
         debug_assert!(!range.is_empty());
         let m = self.motif.num_edges();
-        let s = self.series[k];
+        let s = self.series(k);
         if k + 1 == m {
             self.emit_last(range);
             return;
         }
-        let next = self.series[k + 1];
+        let next = self.series(k + 1);
         let next_end = next.idx_after(self.window.end);
         let phi = self.motif.phi();
         let mut acc = 0.0;
@@ -354,11 +385,12 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
         }
     }
 
-    /// Last motif edge: takes *all* remaining elements, then assembles and
-    /// validates the instance.
+    /// Last motif edge: takes *all* remaining elements, then assembles
+    /// the instance in the reusable flat buffer and hands the sink a
+    /// borrowed view — the steady-state emission path allocates nothing.
     fn emit_last(&mut self, range: Range<usize>) {
         let m = self.motif.num_edges();
-        let s = self.series[m - 1];
+        let s = self.series(m - 1);
         let set_flow = s.flow_of_range(range.clone());
         let flow = self.stack.iter().map(|&(_, f)| f).fold(set_flow, Flow::min);
         if flow < self.motif.phi() || flow <= self.sink.prune_threshold() {
@@ -374,16 +406,21 @@ impl<S: InstanceSink> MatchEnumerator<'_, '_, S> {
                 return;
             }
         }
-        let mut edge_sets = Vec::with_capacity(m);
-        edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
-        edge_sets.push(EdgeSet {
+        self.edge_sets.clear();
+        self.edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
+        self.edge_sets.push(EdgeSet {
             pair: self.sm.pairs[m - 1],
             start: range.start as u32,
             end: range.end as u32,
         });
-        let inst = MotifInstance { edge_sets, flow, first_time: self.anchor_time, last_time };
+        let view = InstanceView {
+            edge_sets: self.edge_sets,
+            flow,
+            first_time: self.anchor_time,
+            last_time,
+        };
         self.stats.instances_emitted += 1;
-        self.sink.accept(self.sm, inst);
+        self.sink.accept(self.sm, view);
     }
 }
 
@@ -450,17 +487,48 @@ pub fn enumerate_window_with_sink<S: InstanceSink>(
     opts: SearchOptions,
     sink: &mut S,
 ) -> SearchStats {
+    let mut scratch = SearchScratch::default();
+    enumerate_window_with_sink_scratch(g, motif, bounds, opts, sink, &mut scratch)
+}
+
+/// [`enumerate_with_sink`] running out of a caller-provided
+/// [`SearchScratch`]: after the first (warm-up) call, repeated searches
+/// perform zero heap allocations beyond what the sink itself keeps.
+pub fn enumerate_with_sink_scratch<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    opts: SearchOptions,
+    sink: &mut S,
+    scratch: &mut SearchScratch,
+) -> SearchStats {
+    enumerate_window_with_sink_scratch(g, motif, UNBOUNDED, opts, sink, scratch)
+}
+
+/// [`enumerate_window_with_sink`] running out of a caller-provided
+/// [`SearchScratch`] — the allocation-free steady-state entry point the
+/// streaming engine and server sessions reuse across queries.
+pub fn enumerate_window_with_sink_scratch<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    sink: &mut S,
+    scratch: &mut SearchScratch,
+) -> SearchStats {
     let mut stats = SearchStats::default();
-    let mut scratch = EnumerationScratch::default();
-    crate::matcher::for_each_structural_match_bounded_with(
+    // Split the arena: phase P1 walks out of `p1` while each match's
+    // phase P2 runs out of `p2`.
+    let SearchScratch { p1, p2, .. } = scratch;
+    crate::matcher::for_each_structural_match_bounded_scratch(
         g,
         motif.path(),
         bounds,
         0..g.num_nodes() as flowmotif_graph::NodeId,
         opts.use_active_index,
+        p1,
         &mut |sm| {
             stats.structural_matches += 1;
-            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, &mut scratch);
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
         },
     );
     stats

@@ -6,7 +6,7 @@ use flowmotif_graph::{Event, Flow, NodeId, PairId, TimeSeriesGraph, Timestamp};
 /// A structural match `G_s` of a motif in `G_T` (paper phase P1, Fig. 6):
 /// a mapping from motif vertices and edges to graph vertices and `G_T`
 /// pairs that respects the motif structure, ignoring time and flow.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, PartialEq, Eq, Hash)]
 pub struct StructuralMatch {
     /// `nodes[w]` is the graph vertex that motif vertex `w` maps to (the
     /// bijection µ of Def. 3.2). Distinct motif vertices map to distinct
@@ -14,6 +14,21 @@ pub struct StructuralMatch {
     pub nodes: Vec<NodeId>,
     /// `pairs[i]` is the `G_T` pair instantiating motif edge `e_{i+1}`.
     pub pairs: Vec<PairId>,
+}
+
+// Hand-written so `clone_from` recycles the destination's vectors (the
+// derive's `clone_from` falls back to a fresh clone) — the top-k sink
+// and the DP driver overwrite a retained match per improvement and must
+// not re-allocate in steady state.
+impl Clone for StructuralMatch {
+    fn clone(&self) -> Self {
+        Self { nodes: self.nodes.clone(), pairs: self.pairs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.nodes.clone_from(&source.nodes);
+        self.pairs.clone_from(&source.pairs);
+    }
 }
 
 impl StructuralMatch {
@@ -126,6 +141,62 @@ impl MotifInstance {
         }
         s.push(']');
         s
+    }
+}
+
+/// A borrowed, allocation-free view of one motif instance, as handed to
+/// [`crate::InstanceSink::accept`]: the edge-sets live in a scratch buffer
+/// owned by the enumerator and are only valid for the duration of the
+/// call. Sinks that keep instances copy explicitly —
+/// [`InstanceView::to_instance`] for a fresh allocation, or
+/// [`InstanceView::write_to`] to recycle an existing
+/// [`MotifInstance`]'s buffers (zero heap traffic once its capacity is
+/// warm). Counting or filtering sinks touch the heap not at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceView<'a> {
+    /// Edge-sets in motif-edge label order (borrowed scratch).
+    pub edge_sets: &'a [EdgeSet],
+    /// Instance flow `f(G_I)` (paper Eq. 1).
+    pub flow: Flow,
+    /// Timestamp of the temporally first element.
+    pub first_time: Timestamp,
+    /// Timestamp of the temporally last element.
+    pub last_time: Timestamp,
+}
+
+impl InstanceView<'_> {
+    /// Copies the view into a freshly allocated owned instance.
+    pub fn to_instance(&self) -> MotifInstance {
+        MotifInstance {
+            edge_sets: self.edge_sets.to_vec(),
+            flow: self.flow,
+            first_time: self.first_time,
+            last_time: self.last_time,
+        }
+    }
+
+    /// Copies the view into `dst`, reusing `dst.edge_sets`' capacity —
+    /// the recycle path top-k eviction uses to stay allocation-free in
+    /// steady state.
+    pub fn write_to(&self, dst: &mut MotifInstance) {
+        dst.edge_sets.clear();
+        dst.edge_sets.extend_from_slice(self.edge_sets);
+        dst.flow = self.flow;
+        dst.first_time = self.first_time;
+        dst.last_time = self.last_time;
+    }
+}
+
+impl MotifInstance {
+    /// Borrows this instance as an [`InstanceView`] (e.g. to re-offer a
+    /// stored instance to a sink).
+    pub fn as_view(&self) -> InstanceView<'_> {
+        InstanceView {
+            edge_sets: &self.edge_sets,
+            flow: self.flow,
+            first_time: self.first_time,
+            last_time: self.last_time,
+        }
     }
 }
 

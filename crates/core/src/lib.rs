@@ -51,6 +51,7 @@ pub mod instance;
 pub mod matcher;
 pub mod motif;
 pub mod parallel;
+pub mod scratch;
 pub mod shared;
 pub mod topk;
 pub mod validate;
@@ -58,16 +59,18 @@ pub mod validate;
 pub use enumerate::{
     count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window,
     enumerate_in_match, enumerate_in_match_bounded, enumerate_in_match_reusing,
-    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, EnumerationScratch,
-    FnSink, InstanceSink, SearchOptions, SearchStats,
+    enumerate_window_with_sink, enumerate_window_with_sink_scratch, enumerate_with_sink,
+    enumerate_with_sink_scratch, CollectSink, CountSink, EnumerationScratch, FnSink, InstanceSink,
+    SearchOptions, SearchStats,
 };
 pub use error::MotifError;
-pub use instance::{EdgeSet, MotifInstance, StructuralMatch};
+pub use instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
 pub use matcher::{
     count_structural_matches, find_structural_matches, for_each_structural_match,
-    for_each_structural_match_bounded, for_each_structural_match_bounded_with,
+    for_each_structural_match_bounded, for_each_structural_match_bounded_with, MatchScratch,
 };
 pub use motif::{Motif, MotifNode, SpanningPath};
+pub use scratch::SearchScratch;
 pub use shared::{count_instances_shared, enumerate_shared_with_sink};
 
 // The search entry points are used from multi-threaded servers

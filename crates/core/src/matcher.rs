@@ -78,16 +78,69 @@ pub fn for_each_structural_match_bounded_with<F>(
 ) where
     F: FnMut(&StructuralMatch),
 {
+    let mut scratch = MatchScratch::default();
+    for_each_structural_match_bounded_scratch(
+        g,
+        path,
+        bounds,
+        origins,
+        use_index,
+        &mut scratch,
+        visit,
+    );
+}
+
+/// Reusable phase-P1 buffers: the match under construction (whose fields
+/// are mutated in place; the visitor gets a shared reference at each
+/// leaf), the injectivity bitmap, and the candidate-origin pull buffer of
+/// the indexed path. One `MatchScratch` threaded through many
+/// enumerations (see [`crate::SearchScratch`]) makes the steady-state P1
+/// loop allocation-free; the buffers re-size themselves to each motif.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    sm: StructuralMatch,
+    assigned: Vec<bool>,
+    origins: Vec<NodeId>,
+}
+
+impl MatchScratch {
+    /// Sizes the match/assignment buffers for `path` (contents reset).
+    fn prepare(&mut self, path: &SpanningPath) {
+        let n = path.num_nodes();
+        self.sm.nodes.clear();
+        self.sm.nodes.resize(n, 0);
+        self.sm.pairs.clear();
+        self.sm.pairs.reserve(path.num_edges());
+        self.assigned.clear();
+        self.assigned.resize(n, false);
+    }
+}
+
+/// [`for_each_structural_match_bounded_with`] running out of
+/// caller-provided scratch buffers — the allocation-free form every
+/// steady-state driver (sequential, parallel, streaming) goes through.
+pub fn for_each_structural_match_bounded_scratch<F>(
+    g: &TimeSeriesGraph,
+    path: &SpanningPath,
+    bounds: TimeWindow,
+    origins: std::ops::Range<NodeId>,
+    use_index: bool,
+    scratch: &mut MatchScratch,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
     let walk = path.walk();
-    let n = path.num_nodes();
-    // The match under construction doubles as the working buffers: its
-    // fields are mutated in place and a shared reference is handed to the
-    // visitor at each leaf, so the whole enumeration allocates nothing
-    // per match (callers that keep matches clone them).
-    let mut sm = StructuralMatch { nodes: vec![0; n], pairs: Vec::with_capacity(path.num_edges()) };
-    let mut assigned: Vec<bool> = vec![false; n];
+    scratch.prepare(path);
+    let MatchScratch { sm, assigned, origins: cands } = scratch;
     let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
-    let ctx = DfsCtx { g, walk, bounds: bounded.then_some(bounds), prune_spans: use_index };
+    let ctx = DfsCtx {
+        g,
+        walk,
+        bounds: bounded.then_some(bounds),
+        prune_spans: use_index,
+        first_pairs: None,
+    };
 
     let end = origins.end.min(g.num_nodes() as NodeId);
     let mut seed = |u: NodeId, sm: &mut StructuralMatch, assigned: &mut Vec<bool>| {
@@ -99,19 +152,72 @@ pub fn for_each_structural_match_bounded_with<F>(
     };
     if bounded && use_index {
         // Index-assisted P1: only origins with in-window out-activity are
-        // even considered (ascending ids keep the emission order).
-        for u in g.active_origins_in(bounds) {
-            if u >= origins.start && u < end && g.out_degree(u) > 0 {
-                seed(u, &mut sm, &mut assigned);
+        // even considered (ascending ids keep the emission order). The
+        // pull is already restricted to this call's origin range, so a
+        // parallel shard never materialises the window's full candidate
+        // list.
+        g.active_origins_in_range(bounds, origins.start..end, cands);
+        for &u in cands.iter() {
+            if g.out_degree(u) > 0 {
+                seed(u, sm, assigned);
             }
         }
     } else {
         for u in origins.start..end {
             if g.out_degree(u) > 0 {
-                seed(u, &mut sm, &mut assigned);
+                seed(u, sm, assigned);
             }
         }
     }
+}
+
+/// Streams the structural matches of one walk origin whose *first-step
+/// pair* lies in `first_pairs` (a sub-range of `origin`'s CSR out-pair
+/// slice). Disjoint first-pair ranges partition the origin's match set —
+/// this is how the parallel scheduler splits a heavy hub across workers
+/// instead of handing the whole hub to one of them. `use_index` mirrors
+/// the span pre-checks of the indexed bounded path so a hub task emits
+/// exactly what the block path would have.
+#[allow(clippy::too_many_arguments)] // mirrors the bounded_scratch surface + the pair range
+pub fn for_each_structural_match_from_origin<F>(
+    g: &TimeSeriesGraph,
+    path: &SpanningPath,
+    bounds: TimeWindow,
+    origin: NodeId,
+    first_pairs: std::ops::Range<PairId>,
+    use_index: bool,
+    scratch: &mut MatchScratch,
+    visit: &mut F,
+) where
+    F: FnMut(&StructuralMatch),
+{
+    if (origin as usize) >= g.num_nodes() || first_pairs.is_empty() {
+        return;
+    }
+    let out = g.out_pair_range(origin);
+    debug_assert!(
+        first_pairs.start >= out.start && first_pairs.end <= out.end,
+        "first_pairs {first_pairs:?} must lie inside origin {origin}'s out-slice {out:?}"
+    );
+    let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
+    if bounded && use_index && !g.origin_active_in(origin, bounds) {
+        return;
+    }
+    let walk = path.walk();
+    scratch.prepare(path);
+    let MatchScratch { sm, assigned, .. } = scratch;
+    let ctx = DfsCtx {
+        g,
+        walk,
+        bounds: bounded.then_some(bounds),
+        prune_spans: use_index,
+        first_pairs: Some((first_pairs.start, first_pairs.end)),
+    };
+    let w0 = walk[0] as usize;
+    sm.nodes[w0] = origin;
+    assigned[w0] = true;
+    dfs(&ctx, 0, sm, assigned, visit);
+    assigned[w0] = false;
 }
 
 /// Whether pair `p` carries at least one interaction inside `bounds`
@@ -133,6 +239,10 @@ struct DfsCtx<'a> {
     /// Consult the per-origin active intervals before iterating a node's
     /// out-pairs (on for the indexed path, off for the A/B baseline).
     prune_spans: bool,
+    /// When set, step 0 iterates only this `(start, end)` slice of the
+    /// origin's out-pairs — hub tasks partition an origin's matches by
+    /// first-step pair. Deeper steps are unaffected.
+    first_pairs: Option<(PairId, PairId)>,
 }
 
 fn dfs<F>(
@@ -172,7 +282,10 @@ fn dfs<F>(
                 }
             }
         }
-        let range = g.out_pair_range(src);
+        let range = match (step, ctx.first_pairs) {
+            (0, Some((s, e))) => s..e,
+            _ => g.out_pair_range(src),
+        };
         for p in range {
             if !pair_active(g, p, bounds) {
                 continue;
@@ -378,6 +491,47 @@ mod tests {
                     );
                 }
                 assert_eq!(with_index, without, "{name} window [{a}, {b}]");
+            }
+        }
+    }
+
+    #[test]
+    fn first_pair_ranges_partition_an_origins_matches() {
+        // Hub splitting: enumerating an origin pair-chunk by pair-chunk
+        // must reproduce the whole-origin enumeration exactly (same
+        // matches, same order), bounded or not, indexed or not.
+        let g = fig5();
+        for name in ["M(3,2)", "M(3,3)"] {
+            let motif = catalog::by_name(name, 10, 0.0).unwrap();
+            for use_index in [true, false] {
+                for w in [TimeWindow::new(i64::MIN, i64::MAX), TimeWindow::new(10, 23)] {
+                    for origin in 0..g.num_nodes() as NodeId {
+                        let mut whole = Vec::new();
+                        for_each_structural_match_bounded_with(
+                            &g,
+                            motif.path(),
+                            w,
+                            origin..origin + 1,
+                            use_index,
+                            &mut |m| whole.push(m.clone()),
+                        );
+                        let mut split = Vec::new();
+                        let mut scratch = MatchScratch::default();
+                        for p in g.out_pair_range(origin) {
+                            for_each_structural_match_from_origin(
+                                &g,
+                                motif.path(),
+                                w,
+                                origin,
+                                p..p + 1,
+                                use_index,
+                                &mut scratch,
+                                &mut |m| split.push(m.clone()),
+                            );
+                        }
+                        assert_eq!(split, whole, "{name} origin={origin} index={use_index}");
+                    }
+                }
             }
         }
     }

@@ -1,27 +1,72 @@
 //! Multi-threaded two-phase search.
 //!
 //! Both phases shard naturally by the *origin node* of the structural
-//! match walk: disjoint origin ranges partition the match set, so workers
-//! pull blocks of origin nodes from a shared counter and run P1+P2 for
-//! their blocks with private sinks and scratch buffers — no match
-//! materialisation, no locks on the hot path. (The paper's future work §7
-//! suggests batching structural matches; sharding them is the
-//! embarrassingly parallel version.)
+//! match walk: disjoint origin ranges partition the match set. The
+//! scheduler builds a deterministic task list at **two granularities** —
+//! blocks of origin nodes, plus *pair-level* sub-tasks for heavy hubs
+//! (an origin whose out-degree exceeds [`ParOptions::hub_degree`] is
+//! split into chunks of its out-pair slice, so no single worker ever
+//! owns a whole hub) — and workers steal tasks from a shared atomic
+//! queue until it drains. Sinks and scratch arenas are worker-private;
+//! no match materialisation, no locks on the hot path. The emitted
+//! instance set and the merged [`SearchStats`] are independent of the
+//! thread count, block size and hub splitting (every match belongs to
+//! exactly one task), which the determinism suite pins down.
+//!
+//! Bounded scans ([`par_count_instances_in_window`],
+//! [`par_enumerate_window`]) run the window-pruned phase P1: each task
+//! pulls only its own origin shard out of the active-origin index
+//! ([`flowmotif_graph::TimeSeriesGraph::active_origins_in_range`]), so
+//! parallel queries never materialise one global candidate list.
 
 use crate::enumerate::{
-    enumerate_in_match_reusing, CollectSink, CountSink, EnumerationScratch, InstanceSink,
-    SearchOptions, SearchStats,
+    enumerate_in_match_bounded, CollectSink, CountSink, InstanceSink, SearchOptions, SearchStats,
 };
 use crate::instance::{MotifInstance, StructuralMatch};
-use crate::matcher::for_each_structural_match_in_node_range;
+use crate::matcher::{
+    for_each_structural_match_bounded_scratch, for_each_structural_match_from_origin,
+};
 use crate::motif::Motif;
+use crate::scratch::SearchScratch;
 use crate::topk::{RankedInstance, TopKSink};
-use flowmotif_graph::{NodeId, TimeSeriesGraph};
-use std::sync::atomic::{AtomicU32, Ordering};
+use flowmotif_graph::{NodeId, PairId, TimeSeriesGraph, TimeWindow, Timestamp};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Origin nodes are handed to workers in blocks of this size; small
-/// enough to balance skewed hubs, large enough to amortise the atomic.
-const BLOCK: u32 = 64;
+/// The unbounded window (plain Algorithm 1 semantics).
+const UNBOUNDED: TimeWindow = TimeWindow { start: Timestamp::MIN, end: Timestamp::MAX };
+
+/// Scheduling knobs for the parallel drivers. The defaults suit skewed
+/// real-world degree distributions; the fields exist for benchmarks,
+/// A/B comparisons and the determinism suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParOptions {
+    /// Worker threads; `0` means "all available cores".
+    pub threads: usize,
+    /// Origins per block task: small enough to balance, large enough to
+    /// amortise the queue atomic.
+    pub block: u32,
+    /// Out-degree above which an origin is split into pair-level
+    /// sub-tasks instead of riding inside a block. `u32::MAX` disables
+    /// hub splitting — the legacy fixed-block scheduler, kept for the
+    /// `skewed_scan` A/B benchmark.
+    pub hub_degree: u32,
+    /// Out-pairs per hub sub-task.
+    pub hub_chunk: u32,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        Self { threads: 0, block: 64, hub_degree: 128, hub_chunk: 16 }
+    }
+}
+
+impl ParOptions {
+    /// `ParOptions` with everything default but the thread count (the
+    /// shape of the legacy `threads: usize` APIs).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
+    }
+}
 
 /// Picks a worker count: `threads = 0` means "all available cores".
 fn effective_threads(threads: usize) -> usize {
@@ -32,47 +77,124 @@ fn effective_threads(threads: usize) -> usize {
     }
 }
 
+/// One unit of schedulable work. Disjoint tasks partition the structural
+/// match set: a match belongs to the task owning its walk origin — or,
+/// for a split hub, the task owning its first-step pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Task {
+    /// Phase P1+P2 over a contiguous origin range.
+    Origins(std::ops::Range<NodeId>),
+    /// One chunk of a heavy hub: matches of `origin` whose first walk
+    /// step uses a pair in `pairs`.
+    HubPairs {
+        /// The hub origin node.
+        origin: NodeId,
+        /// Sub-range of the origin's CSR out-pair slice.
+        pairs: std::ops::Range<PairId>,
+    },
+}
+
+/// Builds the deterministic task list: origin blocks, with every hub
+/// flushed out of its block and split into pair chunks.
+fn build_tasks(g: &TimeSeriesGraph, opts: ParOptions) -> Vec<Task> {
+    let n = g.num_nodes() as u32;
+    let block = opts.block.max(1);
+    let chunk = opts.hub_chunk.max(1);
+    let mut tasks = Vec::new();
+    let mut run_start = 0u32;
+    for u in 0..n {
+        let deg = g.out_degree(u) as u64;
+        if opts.hub_degree != u32::MAX && deg > opts.hub_degree as u64 {
+            if run_start < u {
+                tasks.push(Task::Origins(run_start..u));
+            }
+            let r = g.out_pair_range(u);
+            let mut lo = r.start;
+            while lo < r.end {
+                let hi = (lo + chunk).min(r.end);
+                tasks.push(Task::HubPairs { origin: u, pairs: lo..hi });
+                lo = hi;
+            }
+            run_start = u + 1;
+        } else if u + 1 - run_start >= block {
+            tasks.push(Task::Origins(run_start..u + 1));
+            run_start = u + 1;
+        }
+    }
+    if run_start < n {
+        tasks.push(Task::Origins(run_start..n));
+    }
+    tasks
+}
+
+/// Runs one task's P1+P2 into the worker's sink/stats/scratch.
+#[allow(clippy::too_many_arguments)] // the worker loop's full private state
+fn run_task<S: InstanceSink>(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    task: &Task,
+    sink: &mut S,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) {
+    let SearchScratch { p1, p2, .. } = scratch;
+    match task {
+        Task::Origins(r) => for_each_structural_match_bounded_scratch(
+            g,
+            motif.path(),
+            bounds,
+            r.clone(),
+            opts.use_active_index,
+            p1,
+            &mut |sm| {
+                stats.structural_matches += 1;
+                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
+            },
+        ),
+        Task::HubPairs { origin, pairs } => for_each_structural_match_from_origin(
+            g,
+            motif.path(),
+            bounds,
+            *origin,
+            pairs.clone(),
+            opts.use_active_index,
+            p1,
+            &mut |sm| {
+                stats.structural_matches += 1;
+                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
+            },
+        ),
+    }
+}
+
 /// Runs the two-phase search with one sink per worker; returns the sinks
-/// and the merged stats.
+/// and the merged stats. Workers steal tasks from a shared queue (an
+/// atomic cursor over the deterministic task list), so a straggler hub
+/// chunk never serialises the scan.
 fn par_scan<S: InstanceSink + Send>(
     g: &TimeSeriesGraph,
     motif: &Motif,
+    bounds: TimeWindow,
     opts: SearchOptions,
+    par: ParOptions,
     sinks: Vec<S>,
 ) -> (Vec<S>, SearchStats) {
-    let n = g.num_nodes() as u32;
-    let next_block = AtomicU32::new(0);
+    let tasks = build_tasks(g, par);
+    let next = AtomicUsize::new(0);
     let results: Vec<(S, SearchStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = sinks
             .into_iter()
             .map(|mut sink| {
-                let next_block = &next_block;
+                let (next, tasks) = (&next, &tasks);
                 scope.spawn(move || {
                     let mut stats = SearchStats::default();
-                    let mut scratch = EnumerationScratch::default();
+                    let mut scratch = SearchScratch::default();
                     loop {
-                        let lo = next_block.fetch_add(1, Ordering::Relaxed).saturating_mul(BLOCK);
-                        if lo >= n {
-                            break;
-                        }
-                        let hi = (lo + BLOCK).min(n);
-                        for_each_structural_match_in_node_range(
-                            g,
-                            motif.path(),
-                            lo as NodeId..hi as NodeId,
-                            &mut |sm| {
-                                stats.structural_matches += 1;
-                                enumerate_in_match_reusing(
-                                    g,
-                                    motif,
-                                    sm,
-                                    opts,
-                                    &mut sink,
-                                    &mut stats,
-                                    &mut scratch,
-                                );
-                            },
-                        );
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        run_task(g, motif, bounds, opts, task, &mut sink, &mut stats, &mut scratch);
                     }
                     (sink, stats)
                 })
@@ -95,23 +217,67 @@ pub fn par_count_instances(
     motif: &Motif,
     threads: usize,
 ) -> (u64, SearchStats) {
-    let workers = effective_threads(threads);
+    par_count_instances_with(g, motif, SearchOptions::default(), ParOptions::with_threads(threads))
+}
+
+/// [`par_count_instances`] with explicit search and scheduling options.
+pub fn par_count_instances_with(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    opts: SearchOptions,
+    par: ParOptions,
+) -> (u64, SearchStats) {
+    par_count_instances_in_window(g, motif, UNBOUNDED, opts, par)
+}
+
+/// Parallel instance counting restricted to the closed window `bounds`:
+/// the bounded, index-assisted phase P1 with per-shard candidate pulls.
+pub fn par_count_instances_in_window(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    par: ParOptions,
+) -> (u64, SearchStats) {
+    let workers = effective_threads(par.threads);
     let sinks = (0..workers).map(|_| CountSink::default()).collect();
-    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    let (sinks, stats) = par_scan(g, motif, bounds, opts, par, sinks);
     (sinks.iter().map(|s| s.count).sum(), stats)
 }
 
 /// Parallel full enumeration. Groups arrive in worker order (i.e. not
 /// globally sorted); each structural match still owns one contiguous
-/// group.
+/// group per worker (a split hub's matches stay whole — chunks partition
+/// matches, never one match's instances).
 pub fn par_enumerate_all(
     g: &TimeSeriesGraph,
     motif: &Motif,
     threads: usize,
 ) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
-    let workers = effective_threads(threads);
+    par_enumerate_all_with(g, motif, SearchOptions::default(), ParOptions::with_threads(threads))
+}
+
+/// [`par_enumerate_all`] with explicit search and scheduling options.
+pub fn par_enumerate_all_with(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    opts: SearchOptions,
+    par: ParOptions,
+) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
+    par_enumerate_window(g, motif, UNBOUNDED, opts, par)
+}
+
+/// Parallel enumeration restricted to the closed window `bounds`.
+pub fn par_enumerate_window(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    bounds: TimeWindow,
+    opts: SearchOptions,
+    par: ParOptions,
+) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
+    let workers = effective_threads(par.threads);
     let sinks = (0..workers).map(|_| CollectSink::default()).collect();
-    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    let (sinks, stats) = par_scan(g, motif, bounds, opts, par, sinks);
     let mut groups = Vec::new();
     for s in sinks {
         groups.extend(s.groups);
@@ -128,9 +294,20 @@ pub fn par_top_k(
     k: usize,
     threads: usize,
 ) -> (Vec<RankedInstance>, SearchStats) {
-    let workers = effective_threads(threads);
+    par_top_k_with(g, motif, k, SearchOptions::default(), ParOptions::with_threads(threads))
+}
+
+/// [`par_top_k`] with explicit search and scheduling options.
+pub fn par_top_k_with(
+    g: &TimeSeriesGraph,
+    motif: &Motif,
+    k: usize,
+    opts: SearchOptions,
+    par: ParOptions,
+) -> (Vec<RankedInstance>, SearchStats) {
+    let workers = effective_threads(par.threads);
     let sinks = (0..workers).map(|_| TopKSink::new(k)).collect();
-    let (sinks, stats) = par_scan(g, motif, SearchOptions::default(), sinks);
+    let (sinks, stats) = par_scan(g, motif, UNBOUNDED, opts, par, sinks);
     let mut all: Vec<RankedInstance> = Vec::new();
     for s in sinks {
         all.extend(s.into_sorted());
@@ -138,6 +315,68 @@ pub fn par_top_k(
     all.sort_by(|a, b| b.instance.flow.total_cmp(&a.instance.flow));
     all.truncate(k);
     (all, stats)
+}
+
+/// A deterministic model of the scheduler, for benches and tests on
+/// machines whose core count cannot demonstrate wall-clock scaling: the
+/// cost of each task is its structural-match count, and tasks are
+/// list-scheduled greedily onto `threads` workers exactly as the shared
+/// queue hands them out (the next task goes to the earliest-available
+/// worker). The achievable parallel speedup of a schedule is
+/// `total / makespan`, so comparing makespans of two schedulers compares
+/// their skew-proofness machine-independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerModel {
+    /// Structural matches in the whole scan (the total work).
+    pub total: u64,
+    /// Number of tasks the scheduler produced.
+    pub tasks: usize,
+    /// Cost of the heaviest single task (a lower bound on the makespan).
+    pub max_task: u64,
+    /// Greedy list-scheduling makespan at the modelled thread count.
+    pub makespan: u64,
+}
+
+/// Computes the [`SchedulerModel`] of an unbounded scan under `par`.
+pub fn scheduler_makespan(g: &TimeSeriesGraph, motif: &Motif, par: ParOptions) -> SchedulerModel {
+    let workers = effective_threads(par.threads);
+    let tasks = build_tasks(g, par);
+    let mut scratch = SearchScratch::default();
+    let mut finish = vec![0u64; workers.max(1)];
+    let (mut total, mut max_task) = (0u64, 0u64);
+    for task in &tasks {
+        let mut cost = 0u64;
+        let mut count = |_: &StructuralMatch| cost += 1;
+        match task {
+            Task::Origins(r) => for_each_structural_match_bounded_scratch(
+                g,
+                motif.path(),
+                UNBOUNDED,
+                r.clone(),
+                true,
+                &mut scratch.p1,
+                &mut count,
+            ),
+            Task::HubPairs { origin, pairs } => for_each_structural_match_from_origin(
+                g,
+                motif.path(),
+                UNBOUNDED,
+                *origin,
+                pairs.clone(),
+                true,
+                &mut scratch.p1,
+                &mut count,
+            ),
+        }
+        total += cost;
+        max_task = max_task.max(cost);
+        // List scheduling: the next task goes to the worker that frees
+        // up first.
+        let i = (0..finish.len()).min_by_key(|&i| finish[i]).expect("at least one worker");
+        finish[i] += cost;
+    }
+    let makespan = finish.into_iter().max().unwrap_or(0);
+    SchedulerModel { total, tasks: tasks.len(), max_task, makespan }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! sufficient for exact maximality (see `enumerate.rs`).
 
 use crate::enumerate::{CountSink, InstanceSink, SearchStats};
-use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
+use crate::instance::{EdgeSet, InstanceView, StructuralMatch};
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 
@@ -52,6 +52,7 @@ pub fn enumerate_shared_with_sink<S: InstanceSink>(
         anchor_time: 0,
         anchor_prev: None,
         sm_buf: StructuralMatch { nodes: vec![0; n], pairs: Vec::new() },
+        edge_sets_buf: Vec::with_capacity(motif.num_edges()),
     };
     e.run();
     stats
@@ -80,8 +81,11 @@ struct SharedEnumerator<'a, 'g, S: InstanceSink> {
     window: TimeWindow,
     anchor_time: Timestamp,
     anchor_prev: Option<Timestamp>,
-    /// Reusable emission buffer.
+    /// Reusable emission buffers: the match view and the flat edge-set
+    /// buffer the [`InstanceView`] borrows — one per-instance allocation
+    /// less on every emit.
     sm_buf: StructuralMatch,
+    edge_sets_buf: Vec<EdgeSet>,
 }
 
 impl<S: InstanceSink> SharedEnumerator<'_, '_, S> {
@@ -241,16 +245,25 @@ impl<S: InstanceSink> SharedEnumerator<'_, '_, S> {
                 return;
             }
         }
-        let mut edge_sets = Vec::with_capacity(self.motif.num_edges());
-        edge_sets.extend(self.stack.iter().map(|&(es, _)| es));
-        edge_sets.push(EdgeSet { pair: p, start: range.start as u32, end: range.end as u32 });
-        let inst = MotifInstance { edge_sets, flow, first_time: self.anchor_time, last_time };
+        self.edge_sets_buf.clear();
+        self.edge_sets_buf.extend(self.stack.iter().map(|&(es, _)| es));
+        self.edge_sets_buf.push(EdgeSet {
+            pair: p,
+            start: range.start as u32,
+            end: range.end as u32,
+        });
+        let view = InstanceView {
+            edge_sets: &self.edge_sets_buf,
+            flow,
+            first_time: self.anchor_time,
+            last_time,
+        };
         self.sm_buf.nodes.clear();
         self.sm_buf.nodes.extend_from_slice(&self.assign);
         self.sm_buf.pairs.clear();
         self.sm_buf.pairs.extend_from_slice(&self.pairs);
         self.stats.instances_emitted += 1;
-        self.sink.accept(&self.sm_buf, inst);
+        self.sink.accept(&self.sm_buf, view);
     }
 }
 

@@ -7,7 +7,7 @@
 //! *floating* pruning threshold in place of `ϕ`.
 
 use crate::enumerate::{enumerate_with_sink, InstanceSink, SearchOptions, SearchStats};
-use crate::instance::{MotifInstance, StructuralMatch};
+use crate::instance::{InstanceView, MotifInstance, StructuralMatch};
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, TimeSeriesGraph};
 use std::cmp::Ordering;
@@ -51,11 +51,21 @@ impl Ord for HeapEntry {
 }
 
 /// Sink maintaining the top-k instances by flow with a floating threshold.
+///
+/// Steady-state accepts are allocation-free: a candidate is cloned only
+/// *after* it beats the current `k`-th flow, and once the heap is full
+/// the evicted entry's buffers (`StructuralMatch` vectors, edge-set
+/// vector) are recycled in place via `clone_from` instead of being freed
+/// and reallocated. [`TopKSink::reset`] parks the entries of a finished
+/// search in an internal pool so a reused sink starts its next search
+/// with warm buffers too.
 #[derive(Debug)]
 pub struct TopKSink {
     k: usize,
     heap: BinaryHeap<HeapEntry>,
     seq: u64,
+    /// Retired entries whose buffers the next accepts recycle.
+    pool: Vec<HeapEntry>,
 }
 
 impl TopKSink {
@@ -65,7 +75,9 @@ impl TopKSink {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k search needs k >= 1");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0 }
+        // At most `k` entries ever exist (heap + pool combined), so the
+        // pre-sized pool never reallocates on `reset`.
+        Self { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0, pool: Vec::with_capacity(k) }
     }
 
     /// Flow of the current `k`-th best instance (the floating threshold),
@@ -78,11 +90,34 @@ impl TopKSink {
         }
     }
 
+    /// Clears the accumulated results for a fresh search while keeping
+    /// every buffer (heap storage, entry vectors) warm in the recycle
+    /// pool — after the first search a reused sink accepts without
+    /// allocating.
+    pub fn reset(&mut self) {
+        self.seq = 0;
+        self.pool.extend(self.heap.drain());
+    }
+
     /// Finishes the search: results sorted by descending flow.
     pub fn into_sorted(self) -> Vec<RankedInstance> {
         let mut v: Vec<HeapEntry> = self.heap.into_vec();
         v.sort_by(|a, b| b.flow.total_cmp(&a.flow).then_with(|| a.seq.cmp(&b.seq)));
         v.into_iter().map(|e| e.result).collect()
+    }
+
+    /// Writes `(flow, seq, sm, inst)` into `e`, reusing its buffers.
+    fn refill(
+        e: &mut HeapEntry,
+        flow: Flow,
+        seq: u64,
+        sm: &StructuralMatch,
+        inst: InstanceView<'_>,
+    ) {
+        e.flow = flow;
+        e.seq = seq;
+        e.result.structural_match.clone_from(sm);
+        inst.write_to(&mut e.result.instance);
     }
 }
 
@@ -91,18 +126,36 @@ impl InstanceSink for TopKSink {
         self.kth_flow()
     }
 
-    fn accept(&mut self, sm: &StructuralMatch, inst: MotifInstance) {
-        // The enumerator only delivers instances strictly above the
-        // floating threshold, so acceptance is unconditional.
+    fn accept(&mut self, sm: &StructuralMatch, inst: InstanceView<'_>) {
         let flow = inst.flow;
-        self.seq += 1;
-        self.heap.push(HeapEntry {
-            flow,
-            seq: self.seq,
-            result: RankedInstance { structural_match: sm.clone(), instance: inst },
-        });
-        if self.heap.len() > self.k {
-            self.heap.pop();
+        if self.heap.len() == self.k {
+            // Clone only after the candidate beats the current k-th
+            // flow. (The enumerator already prunes at the floating
+            // threshold, so this guard only fires for direct callers.)
+            if flow <= self.kth_flow() {
+                return;
+            }
+            self.seq += 1;
+            let mut e = self.heap.pop().expect("full heap");
+            Self::refill(&mut e, flow, self.seq, sm, inst);
+            self.heap.push(e);
+        } else {
+            self.seq += 1;
+            let entry = match self.pool.pop() {
+                Some(mut e) => {
+                    Self::refill(&mut e, flow, self.seq, sm, inst);
+                    e
+                }
+                None => HeapEntry {
+                    flow,
+                    seq: self.seq,
+                    result: RankedInstance {
+                        structural_match: sm.clone(),
+                        instance: inst.to_instance(),
+                    },
+                },
+            };
+            self.heap.push(entry);
         }
     }
 }
@@ -213,5 +266,42 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn k_zero_panics() {
         TopKSink::new(0);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_reproduces_results() {
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let mut sink = TopKSink::new(2);
+        enumerate_with_sink(&g, &m, SearchOptions::default(), &mut sink);
+        assert_eq!(sink.kth_flow(), 5.0);
+        sink.reset();
+        assert_eq!(sink.kth_flow(), f64::NEG_INFINITY, "reset empties the heap");
+        enumerate_with_sink(&g, &m, SearchOptions::default(), &mut sink);
+        let flows: Vec<f64> = sink.into_sorted().iter().map(|r| r.instance.flow).collect();
+        assert_eq!(flows, vec![9.0, 5.0]);
+    }
+
+    #[test]
+    fn direct_accept_below_the_threshold_is_a_noop() {
+        use crate::instance::EdgeSet;
+        let g = chain_graph();
+        let m = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let mut sink = TopKSink::new(1);
+        enumerate_with_sink(&g, &m, SearchOptions::default(), &mut sink);
+        assert_eq!(sink.kth_flow(), 9.0);
+        // Offer a weaker instance directly: it must be ignored (no clone,
+        // no eviction) because it cannot beat the k-th flow.
+        let sets = [EdgeSet { pair: 0, start: 0, end: 1 }];
+        let weak = crate::instance::InstanceView {
+            edge_sets: &sets,
+            flow: 1.0,
+            first_time: 0,
+            last_time: 0,
+        };
+        let sm = StructuralMatch { nodes: vec![0, 1, 2], pairs: vec![0, 1] };
+        sink.accept(&sm, weak);
+        let flows: Vec<f64> = sink.into_sorted().iter().map(|r| r.instance.flow).collect();
+        assert_eq!(flows, vec![9.0]);
     }
 }

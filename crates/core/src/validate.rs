@@ -174,11 +174,13 @@ pub fn brute_force_instances(
     }
     let mut out: Vec<MotifInstance> = Vec::new();
     let e1 = series[0];
+    // splits[k] = chosen last-element time for edge k (k < m-1). One
+    // stack for the whole call: the recursion leaves it empty between
+    // anchors, so hoisting it out of the loop reuses its capacity.
+    let mut stack: Vec<(usize, Timestamp)> = Vec::new(); // (edge, split)
     for a_idx in 0..e1.len() {
         let anchor = e1.time(a_idx);
         let end = anchor.saturating_add(motif.delta());
-        // splits[k] = chosen last-element time for edge k (k < m-1).
-        let mut stack: Vec<(usize, Timestamp)> = Vec::new(); // (edge, split)
         #[allow(clippy::too_many_arguments)]
         fn rec(
             g: &TimeSeriesGraph,
@@ -391,7 +393,7 @@ mod tests {
         let mut bad = sm.clone();
         bad.nodes[1] = bad.nodes[0]; // not injective
         assert!(check_structural_match(&g, &motif, &bad).is_err());
-        let mut bad = sm.clone();
+        let mut bad = sm;
         bad.pairs.swap(0, 1); // endpoints disagree with mapping
         assert!(check_structural_match(&g, &motif, &bad).is_err());
     }

@@ -142,15 +142,35 @@ impl ActiveOriginIndex {
     /// eviction staleness); callers filter through exact per-origin
     /// spans.
     pub fn origins_overlapping(&self, a: Timestamp, b: Timestamp, out: &mut Vec<NodeId>) {
+        self.origins_overlapping_in_range(a, b, 0, NodeId::MAX, out);
+    }
+
+    /// [`ActiveOriginIndex::origins_overlapping`] restricted to origins in
+    /// `[lo, hi)` — the sharded lookup behind parallel bounded searches.
+    /// Each worker pulls only its own origin shard out of every bucket
+    /// (binary search on the sorted bucket contents), so no worker ever
+    /// materialises the full candidate list of the window.
+    pub fn origins_overlapping_in_range(
+        &self,
+        a: Timestamp,
+        b: Timestamp,
+        lo: NodeId,
+        hi: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
         out.clear();
-        if b < a {
+        if b < a || lo >= hi {
             return;
         }
         let (ba, bb) = (self.bucket_of(a), self.bucket_of(b));
         let mut runs = 0;
         for origins in self.buckets.range(ba..=bb).map(|(_, v)| v) {
-            out.extend_from_slice(origins);
-            runs += 1;
+            let s = origins.partition_point(|&u| u < lo);
+            let e = origins.partition_point(|&u| u < hi);
+            if s < e {
+                out.extend_from_slice(&origins[s..e]);
+                runs += 1;
+            }
         }
         if runs > 1 {
             out.sort_unstable();
@@ -214,6 +234,33 @@ mod tests {
         for t in 100..=120i64 {
             assert!(got.contains(&((t % 97) as NodeId)), "t={t}");
         }
+    }
+
+    #[test]
+    fn range_restricted_lookup_shards_the_full_answer() {
+        let mut idx = ActiveOriginIndex::new();
+        for t in 0..3000i64 {
+            idx.record((t % 61) as NodeId, t);
+        }
+        for (a, b) in [(0, 3000), (100, 120), (2950, 2999), (5000, 6000)] {
+            let full = collected(&idx, a, b);
+            // Disjoint shards partition the full candidate set.
+            let mut stitched = Vec::new();
+            let mut shard = Vec::new();
+            for lo in (0..70u32).step_by(13) {
+                idx.origins_overlapping_in_range(a, b, lo, (lo + 13).min(70), &mut shard);
+                assert!(shard.windows(2).all(|w| w[0] < w[1]), "shard must be sorted+deduped");
+                assert!(shard.iter().all(|&u| u >= lo && u < (lo + 13).min(70)));
+                stitched.extend_from_slice(&shard);
+            }
+            assert_eq!(stitched, full, "window [{a},{b}]");
+        }
+        // Degenerate ranges are empty.
+        let mut out = vec![99];
+        idx.origins_overlapping_in_range(0, 3000, 10, 10, &mut out);
+        assert!(out.is_empty());
+        idx.origins_overlapping_in_range(3000, 0, 0, 70, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

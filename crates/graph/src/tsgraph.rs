@@ -245,9 +245,24 @@ impl TimeSeriesGraph {
     /// instead of every node.
     pub fn active_origins_in(&self, w: TimeWindow) -> Vec<NodeId> {
         let mut out = Vec::new();
-        self.index.origins_overlapping(w.start, w.end, &mut out);
-        out.retain(|&u| self.origin_active_in(u, w));
+        self.active_origins_in_range(w, 0..NodeId::MAX, &mut out);
         out
+    }
+
+    /// [`TimeSeriesGraph::active_origins_in`] restricted to origins in
+    /// `range`, written into the caller-provided buffer (cleared first) so
+    /// steady-state queries allocate nothing. Parallel bounded searches
+    /// call this once per origin shard: every worker pulls only its own
+    /// slice of each index bucket instead of materialising (and then
+    /// filtering) one global candidate list per task.
+    pub fn active_origins_in_range(
+        &self,
+        w: TimeWindow,
+        range: std::ops::Range<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.index.origins_overlapping_in_range(w.start, w.end, range.start, range.end, out);
+        out.retain(|&u| self.origin_active_in(u, w));
     }
 
     /// Number of buckets the origin index currently holds (observability:
@@ -627,6 +642,23 @@ mod tests {
                     assert!(g.origin_active_in(u, w), "window [{a},{b}] origin {u} has no span");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sharded_active_origin_lookup_partitions_the_window_answer() {
+        let g = fig5();
+        for (a, b) in [(0, 5), (10, 15), (16, 25), (1, 23), (24, 40)] {
+            let w = TimeWindow::new(a, b);
+            let full = g.active_origins_in(w);
+            let mut stitched = Vec::new();
+            let mut shard = Vec::new();
+            for lo in 0..g.num_nodes() as NodeId {
+                g.active_origins_in_range(w, lo..lo + 1, &mut shard);
+                assert!(shard.len() <= 1);
+                stitched.extend_from_slice(&shard);
+            }
+            assert_eq!(stitched, full, "window [{a},{b}]");
         }
     }
 

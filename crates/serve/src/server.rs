@@ -2,6 +2,7 @@
 //! and per-session request handling.
 
 use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
+use flowmotif_core::SearchScratch;
 use flowmotif_stream::SnapshotEngine;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -224,12 +225,17 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, shutdown: &Atom
     }
 }
 
-/// Per-connection counters, reported by the `session` command.
+/// Per-connection counters, reported by the `session` command, plus the
+/// session's private search arena: snapshots are shared and immutable,
+/// so the reusable P1→P2 buffers live with the session — after its
+/// first query, a session's searches run allocation-free per match no
+/// matter how many snapshot epochs go by.
 #[derive(Debug, Default)]
 struct Session {
     queries: u64,
     appends: u64,
     errors: u64,
+    scratch: SearchScratch,
 }
 
 /// Serves one connection until the peer disconnects, sends `quit`, the
@@ -441,13 +447,13 @@ fn run_query(
     let epoch = snapshot.epoch();
     let motif = &spec.motif;
     if !materialise {
-        let (count, stats) = snapshot.count(motif, spec.window);
+        let (count, stats) = snapshot.count_with(motif, spec.window, &mut session.scratch);
         return (
             format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches),
             false,
         );
     }
-    let result = snapshot.query(motif, spec.window);
+    let result = snapshot.query_with(motif, spec.window, &mut session.scratch);
     let total = result.num_instances();
     let g = snapshot.graph();
     let mut reply = String::new();

@@ -4,8 +4,8 @@
 use crate::incremental::IncrementalGraph;
 use crate::window::SlidingWindow;
 use flowmotif_core::{
-    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, Motif, MotifInstance,
-    SearchOptions, SearchStats, StructuralMatch,
+    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
+    MotifInstance, SearchOptions, SearchScratch, SearchStats, StructuralMatch,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 
@@ -25,6 +25,10 @@ pub struct QueryEngine {
     /// Search tuning applied to every query (notably the active-index
     /// A/B toggle).
     opts: SearchOptions,
+    /// The search arena reused across queries: after the first query on
+    /// a session, the whole P1→P2 pipeline runs without heap
+    /// allocations per match (see `flowmotif_core::SearchScratch`).
+    scratch: SearchScratch,
 }
 
 /// Outcome of one [`QueryEngine::query`] call.
@@ -165,23 +169,27 @@ impl QueryEngine {
     /// for the invalidation contract.
     pub fn query(&mut self, motif: &Motif, bounds: Option<TimeWindow>) -> QueryResult {
         let opts = self.opts;
+        let scratch = &mut self.scratch;
         let g = self.graph.graph();
         let mut sink = CollectSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink(g, motif, w, opts, &mut sink),
-            None => enumerate_with_sink(g, motif, opts, &mut sink),
+            Some(w) => enumerate_window_with_sink_scratch(g, motif, w, opts, &mut sink, scratch),
+            None => enumerate_with_sink_scratch(g, motif, opts, &mut sink, scratch),
         };
         QueryResult { groups: sink.groups, stats }
     }
 
-    /// Counts maximal instances without materialising them.
+    /// Counts maximal instances without materialising them. Steady-state
+    /// counting over a quiescent stream is allocation-free: the search
+    /// arena is owned by the engine and reused across queries.
     pub fn count(&mut self, motif: &Motif, bounds: Option<TimeWindow>) -> (u64, SearchStats) {
         let opts = self.opts;
+        let scratch = &mut self.scratch;
         let g = self.graph.graph();
         let mut sink = CountSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink(g, motif, w, opts, &mut sink),
-            None => enumerate_with_sink(g, motif, opts, &mut sink),
+            Some(w) => enumerate_window_with_sink_scratch(g, motif, w, opts, &mut sink, scratch),
+            None => enumerate_with_sink_scratch(g, motif, opts, &mut sink, scratch),
         };
         (sink.count, stats)
     }

@@ -46,8 +46,8 @@ use crate::engine::{EngineStats, QueryResult};
 use crate::window::SlidingWindow;
 use crate::QueryEngine;
 use flowmotif_core::{
-    enumerate_window_with_sink, enumerate_with_sink, CollectSink, CountSink, Motif, SearchOptions,
-    SearchStats,
+    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
+    SearchOptions, SearchScratch, SearchStats,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::sync::{Arc, Mutex, RwLock};
@@ -90,20 +90,60 @@ impl Snapshot {
     /// when given. Unlike [`QueryEngine::query`] this takes `&self`: any
     /// number of threads may search one snapshot concurrently.
     pub fn query(&self, motif: &Motif, bounds: Option<TimeWindow>) -> QueryResult {
+        self.query_with(motif, bounds, &mut SearchScratch::default())
+    }
+
+    /// [`Snapshot::query`] running out of a caller-provided search
+    /// arena. Snapshots are immutable and queried by `&self`, so the
+    /// scratch cannot live here — each reader (e.g. a server session)
+    /// owns one and reuses it across queries and snapshot epochs,
+    /// keeping the steady-state query path free of per-match heap
+    /// allocations.
+    pub fn query_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> QueryResult {
         let mut sink = CollectSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink(&self.graph, motif, w, self.opts, &mut sink),
-            None => enumerate_with_sink(&self.graph, motif, self.opts, &mut sink),
+            Some(w) => enumerate_window_with_sink_scratch(
+                &self.graph,
+                motif,
+                w,
+                self.opts,
+                &mut sink,
+                scratch,
+            ),
+            None => enumerate_with_sink_scratch(&self.graph, motif, self.opts, &mut sink, scratch),
         };
         QueryResult { groups: sink.groups, stats }
     }
 
     /// Counts maximal instances without materialising them.
     pub fn count(&self, motif: &Motif, bounds: Option<TimeWindow>) -> (u64, SearchStats) {
+        self.count_with(motif, bounds, &mut SearchScratch::default())
+    }
+
+    /// [`Snapshot::count`] running out of a caller-provided search arena
+    /// (see [`Snapshot::query_with`]).
+    pub fn count_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> (u64, SearchStats) {
         let mut sink = CountSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink(&self.graph, motif, w, self.opts, &mut sink),
-            None => enumerate_with_sink(&self.graph, motif, self.opts, &mut sink),
+            Some(w) => enumerate_window_with_sink_scratch(
+                &self.graph,
+                motif,
+                w,
+                self.opts,
+                &mut sink,
+                scratch,
+            ),
+            None => enumerate_with_sink_scratch(&self.graph, motif, self.opts, &mut sink, scratch),
         };
         (sink.count, stats)
     }
