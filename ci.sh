@@ -58,6 +58,30 @@ stage_bench_regression() {
     check BENCH_baseline.json target/bench-current.jsonl
 }
 
+stage_out_of_core() {
+  # End-to-end out-of-core path on this machine: generate a synthetic
+  # dataset, compile it into a packed segment (forcing a multi-run
+  # external sort with a tiny sort buffer), and require the mapped
+  # `--packed` search to produce byte-identical output to the in-memory
+  # backend for both the enumeration and top-k pipelines. The memory
+  # side of the story is enforced by `benches/out_of_core.rs` in the
+  # bench-regression stage above: it runs the packed search under an
+  # allocator-enforced heap budget 4x smaller than the segment and
+  # feeds its timings through `bench_gate` like every other bench.
+  _fm="target/release/flowmotif"
+  _dir="target/out_of_core_ci"
+  rm -rf "${_dir}"
+  mkdir -p "${_dir}"
+  "${_fm}" generate --dataset bitcoin --scale 1.0 --seed 7 --out "${_dir}/edges.txt"
+  "${_fm}" pack "${_dir}/edges.txt" --out "${_dir}/seg" --run-records 1024
+  "${_fm}" find "${_dir}/edges.txt" --motif "M(3,3)" --delta 3600 --phi 5 >"${_dir}/find-mem.txt"
+  "${_fm}" find "${_dir}/seg" --packed --motif "M(3,3)" --delta 3600 --phi 5 >"${_dir}/find-packed.txt"
+  cmp "${_dir}/find-mem.txt" "${_dir}/find-packed.txt"
+  "${_fm}" topk "${_dir}/edges.txt" --motif "M(3,2)" --delta 3600 --k 5 >"${_dir}/topk-mem.txt"
+  "${_fm}" topk "${_dir}/seg" --packed --motif "M(3,2)" --delta 3600 --k 5 >"${_dir}/topk-packed.txt"
+  cmp "${_dir}/topk-mem.txt" "${_dir}/topk-packed.txt"
+}
+
 stage_docs() {
   # rustdoc must build warning-free and every doctest must pass, so the
   # documented examples cannot drift from the API.
@@ -85,6 +109,7 @@ if [ "$MODE" = "quick" ]; then
 fi
 stage all-targets stage_all_targets
 stage bench-regression stage_bench_regression
+stage out-of-core stage_out_of_core
 stage docs stage_docs
 stage fmt stage_fmt
 stage clippy stage_clippy

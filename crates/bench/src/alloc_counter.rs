@@ -1,5 +1,6 @@
 //! A counting wrapper around the system allocator, for the zero-allocation
-//! gate (`benches/alloc_profile.rs`).
+//! gate (`benches/alloc_profile.rs`) and the out-of-core heap budget
+//! (`benches/out_of_core.rs`).
 //!
 //! Install it in a bench binary with
 //!
@@ -13,35 +14,103 @@
 //! does not: the gate cares about allocation *traffic*, and a free-only
 //! path is already alloc-free), so measurements must run single-threaded
 //! and keep incidental work (printing, formatting) outside the bracket.
+//!
+//! Beyond call counting, the allocator tracks **live and peak heap
+//! bytes** ([`live_bytes`] / [`peak_bytes`]) and can *enforce* a hard
+//! cap on live bytes ([`set_heap_budget`]): once armed, any allocation
+//! that would push the live total past the cap fails (returns null, so
+//! the runtime aborts through `handle_alloc_error`). The out-of-core
+//! bench uses this to prove a mapped-segment search completes inside a
+//! heap budget several times smaller than the graph.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static BUDGET_BYTES: AtomicU64 = AtomicU64::new(u64::MAX);
 
 /// Process-wide number of `alloc`/`realloc` calls since start.
 pub fn allocations() -> u64 {
     ALLOCATION_COUNT.load(Ordering::Relaxed)
 }
 
+/// Heap bytes currently live (allocated and not yet freed).
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since start (or the last
+/// [`reset_peak`]).
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live total, so the next
+/// [`peak_bytes`] reading reflects only growth after this call.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Arms (`Some(cap)`) or disarms (`None`) the hard cap on live heap
+/// bytes. The cap is absolute: an allocation that would make
+/// [`live_bytes`] exceed it fails outright. Callers typically arm with
+/// `live_bytes() + budget` so the cap bounds *additional* growth.
+pub fn set_heap_budget(cap: Option<u64>) {
+    BUDGET_BYTES.store(cap.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+#[inline]
+fn charge(bytes: u64) -> bool {
+    let cap = BUDGET_BYTES.load(Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    if live > cap {
+        LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+        return false;
+    }
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    true
+}
+
 /// The counting global allocator (delegates to [`System`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct CountingAllocator;
 
-// SAFETY: defers entirely to `System`; the counter is a relaxed atomic
-// with no allocation of its own.
+// SAFETY: defers entirely to `System` (budget-rejected requests return
+// null, which `GlobalAlloc` permits); the counters are relaxed atomics
+// with no allocation of their own.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        if !charge(layout.size() as u64) {
+            return std::ptr::null_mut();
+        }
+        let p = System.alloc(layout);
+        if p.is_null() {
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let grow = new_size.saturating_sub(layout.size()) as u64;
+        if !charge(grow) {
+            return std::ptr::null_mut();
+        }
+        let p = System.realloc(ptr, layout, new_size);
+        if p.is_null() {
+            // Failed: the old block (layout.size()) is still live.
+            LIVE_BYTES.fetch_sub(grow, Ordering::Relaxed);
+        } else if new_size < layout.size() {
+            LIVE_BYTES.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+        }
+        p
     }
 }

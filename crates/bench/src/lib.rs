@@ -16,7 +16,9 @@ pub mod harness;
 pub mod micro;
 pub mod table;
 
-pub use alloc_counter::{allocations, CountingAllocator};
+pub use alloc_counter::{
+    allocations, live_bytes, peak_bytes, reset_peak, set_heap_budget, CountingAllocator,
+};
 pub use args::CommonArgs;
 pub use harness::{time_it, ExpContext};
 pub use micro::{BenchGroup, BenchResult};

@@ -8,7 +8,7 @@ use flowmotif_core::dp::dp_top1;
 use flowmotif_core::parallel::{par_enumerate_all_with, par_top_k_with, ParOptions};
 use flowmotif_core::{catalog, Motif, SearchOptions};
 use flowmotif_datasets::Dataset;
-use flowmotif_graph::{io, GraphStats, TimeSeriesGraph, TimeWindow};
+use flowmotif_graph::{io, GraphStats, GraphStore, SegmentStore, TimeSeriesGraph, TimeWindow};
 use flowmotif_serve::{Client, Server, ServerConfig};
 use flowmotif_significance::{assess_motif, SignificanceConfig};
 use flowmotif_stream::{QueryEngine, SlidingWindow, SnapshotEngine};
@@ -24,18 +24,25 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
         Command::Find(path) => find(path, cli, out),
         Command::TopK(path) => topk(path, cli, out),
         Command::Top1(path) => top1(path, cli, out),
+        Command::Pack(path) => pack(path, cli, out),
         Command::Significance(path) => significance(path, cli, out),
         Command::Census(path) => census(path, cli, out),
         Command::Activity(path) => activity(path, cli, out),
         Command::Generate => generate(cli, out),
         Command::Stream(path) => stream(path.as_deref(), cli, out),
-        Command::Serve => serve(cli, out),
+        Command::Serve(path) => serve(path.as_deref(), cli, out),
         Command::Client(path) => client(path.as_deref(), cli, out),
     }
 }
 
 fn load(path: &Path) -> Result<TimeSeriesGraph, String> {
     io::load_time_series_graph(path).map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+/// Opens a packed segment directory (or `graph.seg` file) produced by
+/// `flowmotif pack` for `--packed` searches.
+fn open_packed(path: &Path) -> Result<SegmentStore, String> {
+    SegmentStore::open(path).map_err(|e| format!("opening packed graph {}: {e}", path.display()))
 }
 
 fn motif_of(cli: &Cli) -> Result<Motif, String> {
@@ -64,9 +71,16 @@ fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 }
 
 fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
-    let g = load(path)?;
+    if cli.packed {
+        find_in(&open_packed(path)?, cli, out)
+    } else {
+        find_in(&load(path)?, cli, out)
+    }
+}
+
+fn find_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(), String> {
     let motif = motif_of(cli)?;
-    let (groups, stats) = par_enumerate_all_with(&g, &motif, SearchOptions::default(), par_of(cli));
+    let (groups, stats) = par_enumerate_all_with(g, &motif, SearchOptions::default(), par_of(cli));
     let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
     if cli.json {
         let shown: Vec<_> = groups
@@ -104,10 +118,10 @@ fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
             writeln!(
                 out,
                 "  nodes {:?} flow {:.3} span {}: {}",
-                sm.walk_nodes(&g),
+                sm.walk_nodes(g),
                 inst.flow,
                 inst.span(),
-                inst.display(&g)
+                inst.display(g)
             )
             .ok();
             printed += 1;
@@ -117,11 +131,18 @@ fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 }
 
 fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
-    let g = load(path)?;
+    if cli.packed {
+        topk_in(&open_packed(path)?, cli, out)
+    } else {
+        topk_in(&load(path)?, cli, out)
+    }
+}
+
+fn topk_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(), String> {
     // §5: top-k ranks by flow with ϕ = 0 (any --phi is still honoured as
     // a floor if explicitly set).
     let motif = motif_of(cli)?;
-    let (ranked, _) = par_top_k_with(&g, &motif, cli.k, SearchOptions::default(), par_of(cli));
+    let (ranked, _) = par_top_k_with(g, &motif, cli.k, SearchOptions::default(), par_of(cli));
     if cli.json {
         let rows: Vec<_> = ranked
             .iter()
@@ -137,8 +158,8 @@ fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
             "  #{} flow {:.3} nodes {:?}: {}",
             i + 1,
             r.instance.flow,
-            r.structural_match.walk_nodes(&g),
-            r.instance.display(&g)
+            r.structural_match.walk_nodes(g),
+            r.instance.display(g)
         )
         .ok();
     }
@@ -149,16 +170,23 @@ fn topk<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 }
 
 fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
-    let g = load(path)?;
+    if cli.packed {
+        top1_in(&open_packed(path)?, cli, out)
+    } else {
+        top1_in(&load(path)?, cli, out)
+    }
+}
+
+fn top1_in<G: GraphStore, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(), String> {
     let motif = motif_of(cli)?;
-    let (best, stats) = dp_top1(&g, &motif);
+    let (best, stats) = dp_top1(g, &motif);
     match best {
         Some((sm, inst)) => {
             if cli.json {
                 writeln!(
                     out,
                     "{}",
-                    json!({"flow": inst.flow, "nodes": sm.walk_nodes(&g), "instance": &inst})
+                    json!({"flow": inst.flow, "nodes": sm.walk_nodes(g), "instance": &inst})
                 )
                 .ok();
             } else {
@@ -168,7 +196,7 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
                     inst.flow,
                     stats.structural_matches,
                     stats.windows_processed,
-                    inst.display(&g)
+                    inst.display(g)
                 )
                 .ok();
             }
@@ -176,6 +204,27 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
         None => {
             writeln!(out, "no instances").ok();
         }
+    }
+    Ok(())
+}
+
+fn pack<W: Write>(input: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let dir = cli.out.as_deref().ok_or_else(|| "pack requires --out <dir>".to_string())?;
+    let stats = flowmotif_graph::pack_edge_list(input, dir, cli.run_records)
+        .map_err(|e| format!("packing {}: {e}", input.display()))?;
+    if cli.json {
+        writeln!(out, "{}", flowmotif_util::to_string_pretty(&stats)).ok();
+    } else {
+        writeln!(
+            out,
+            "packed {} interactions over {} pairs ({} nodes, {} sort runs) into {}",
+            stats.interactions,
+            stats.pairs,
+            stats.nodes,
+            stats.runs,
+            dir.display()
+        )
+        .ok();
     }
     Ok(())
 }
@@ -418,8 +467,8 @@ fn stream_query<W: Write>(
     }
 }
 
-fn serve<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
-    let server = start_server(cli)?;
+fn serve<W: Write>(path: Option<&Path>, cli: &Cli, out: &mut W) -> Result<(), String> {
+    let server = start_server_at(path, cli)?;
     writeln!(out, "flowmotif-serve listening on {}", server.local_addr()).ok();
     out.flush().ok();
     // Foreground mode: serve until the process is killed.
@@ -431,17 +480,20 @@ fn serve<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
 /// parsed flags; `serve` then blocks on it, while tests bind port 0 and
 /// drive the returned handle from in-process clients.
 pub fn start_server(cli: &Cli) -> Result<Server, String> {
+    start_server_at(None, cli)
+}
+
+/// [`start_server`], optionally over a packed segment directory: with
+/// `--packed` and a path, the server fronts an
+/// [`flowmotif_stream::EpochEngine`] (memory-mapped base + RAM delta)
+/// instead of the in-memory snapshot engine.
+pub fn start_server_at(path: Option<&Path>, cli: &Cli) -> Result<Server, String> {
     if cli.horizon < 0 {
         return Err(format!("--horizon must be non-negative, got {}", cli.horizon));
     }
     if cli.max_window < 0 {
         return Err(format!("--max-window must be non-negative, got {}", cli.max_window));
     }
-    let mut inner = QueryEngine::new().search_options(search_options_of(cli));
-    if cli.horizon > 0 {
-        inner = inner.with_window(SlidingWindow::new(cli.horizon));
-    }
-    let engine = SnapshotEngine::with_engine(inner).publish_every(cli.publish_every);
     let config = ServerConfig {
         workers: cli.pool.max(1),
         max_inflight: cli.max_inflight,
@@ -449,8 +501,30 @@ pub fn start_server(cli: &Cli) -> Result<Server, String> {
         show: cli.show,
         ..ServerConfig::default()
     };
-    Server::start(std::sync::Arc::new(engine), config, (cli.host.as_str(), cli.port))
-        .map_err(|e| format!("binding {}:{}: {e}", cli.host, cli.port))
+    let bind = |e: std::io::Error| format!("binding {}:{}: {e}", cli.host, cli.port);
+    if cli.packed {
+        let dir = path.ok_or_else(|| "serve --packed needs a <dir> argument".to_string())?;
+        if cli.horizon > 0 {
+            return Err("--horizon is not supported with --packed (segments are immutable); \
+                        bound retention by resealing instead"
+                .to_string());
+        }
+        let engine = flowmotif_stream::EpochEngine::open(dir)
+            .map_err(|e| format!("opening packed graph {}: {e}", dir.display()))?
+            .search_options(search_options_of(cli))
+            .publish_every(cli.publish_every);
+        return Server::start(std::sync::Arc::new(engine), config, (cli.host.as_str(), cli.port))
+            .map_err(bind);
+    }
+    if path.is_some() {
+        return Err("serve takes a <dir> argument only with --packed".to_string());
+    }
+    let mut inner = QueryEngine::new().search_options(search_options_of(cli));
+    if cli.horizon > 0 {
+        inner = inner.with_window(SlidingWindow::new(cli.horizon));
+    }
+    let engine = SnapshotEngine::with_engine(inner).publish_every(cli.publish_every);
+    Server::start(std::sync::Arc::new(engine), config, (cli.host.as_str(), cli.port)).map_err(bind)
 }
 
 fn client<W: Write>(path: Option<&Path>, cli: &Cli, out: &mut W) -> Result<(), String> {
@@ -558,6 +632,66 @@ mod tests {
         let body = "2 0 10 10\n0 1 13 5\n0 1 15 7\n1 2 18 20\n3 2 1 2\n3 2 3 5\n3 0 11 10\n2 3 19 5\n2 3 21 4\n1 3 23 7\n";
         std::fs::write(&path, body).unwrap();
         TempFile(path)
+    }
+
+    /// Packs the Fig. 2 edge list into a unique temp segment directory;
+    /// removed (recursively) when the guard drops.
+    struct TempDir(std::path::PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn packed_fig2() -> (TempFile, TempDir) {
+        let edges = temp_edge_list();
+        let dir = TempDir(unique_path("packed"));
+        let (out, r) = run_args(&["pack", edges.to_str(), "--out", dir.0.to_str().unwrap()]);
+        r.unwrap();
+        assert!(out.contains("packed 10 interactions"), "{out}");
+        (edges, dir)
+    }
+
+    #[test]
+    fn pack_requires_out_dir() {
+        let edges = temp_edge_list();
+        let (_, r) = run_args(&["pack", edges.to_str()]);
+        assert!(r.unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn pack_json_reports_stats() {
+        let edges = temp_edge_list();
+        let dir = TempDir(unique_path("packed_json"));
+        let (out, r) =
+            run_args(&["pack", edges.to_str(), "--out", dir.0.to_str().unwrap(), "--json"]);
+        r.unwrap();
+        assert!(out.contains("\"interactions\": 10"), "{out}");
+        assert!(out.contains("\"pairs\": 7"), "{out}");
+    }
+
+    #[test]
+    fn packed_search_matches_in_memory_output() {
+        let (edges, dir) = packed_fig2();
+        let motif = ["--motif", "M(3,3)", "--delta", "10", "--phi", "7"];
+        for cmd in ["find", "search", "topk", "top1"] {
+            let mut mem = vec![cmd, edges.to_str()];
+            mem.extend_from_slice(&motif);
+            let mut packed = vec![cmd, dir.0.to_str().unwrap(), "--packed"];
+            packed.extend_from_slice(&motif);
+            let (want, r1) = run_args(&mem);
+            let (got, r2) = run_args(&packed);
+            r1.unwrap();
+            r2.unwrap();
+            assert_eq!(want, got, "`{cmd}` diverged between backends");
+        }
+    }
+
+    #[test]
+    fn packed_search_rejects_unpacked_input() {
+        let edges = temp_edge_list();
+        let (_, r) = run_args(&["find", edges.to_str(), "--packed"]);
+        assert!(r.unwrap_err().contains("opening packed graph"));
     }
 
     #[test]
@@ -862,6 +996,58 @@ quit
             let cli = Cli::parse_from(args).unwrap();
             assert!(start_server(&cli).unwrap_err().contains("non-negative"));
         }
+    }
+
+    #[test]
+    fn serve_packed_round_trips_a_session() {
+        let (_edges, dir) = packed_fig2();
+        let cli = Cli::parse_from(
+            ["serve", dir.0.to_str().unwrap(), "--packed", "--port", "0"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let server = start_server_at(Some(&dir.0), &cli).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut buf = Vec::new();
+        let script = "\
+count M(3,3) 10 7
+stats
+add 0 1 40 5
+publish
+stats
+quit
+";
+        run_client_script(script.as_bytes(), &mut client, &mut buf).unwrap();
+        drop(client);
+        server.shutdown();
+        let out = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // The sealed segment is queryable at epoch 0 without any publish.
+        assert!(lines[0].starts_with("OK count=1"), "{out}");
+        assert!(lines[0].contains("epoch=0"), "{out}");
+        assert!(lines[1].contains("interactions=10"), "{out}");
+        assert_eq!(lines[2], "OK added watermark=40");
+        assert_eq!(lines[3], "OK published epoch=1");
+        assert!(lines[4].contains("interactions=11"), "{out}");
+        assert_eq!(lines[5], "OK bye");
+    }
+
+    #[test]
+    fn serve_packed_flag_validation() {
+        let parse = |args: &[&str]| Cli::parse_from(args.iter().map(|s| s.to_string())).unwrap();
+        // A directory argument is only meaningful with --packed.
+        let cli = parse(&["serve", "somewhere", "--port", "0"]);
+        assert!(start_server_at(Some(Path::new("somewhere")), &cli)
+            .unwrap_err()
+            .contains("--packed"));
+        // --packed needs the directory argument.
+        let cli = parse(&["serve", "--packed", "--port", "0"]);
+        assert!(start_server_at(None, &cli).unwrap_err().contains("<dir>"));
+        // Sealed segments cannot be evicted, so --horizon is rejected.
+        let (_edges, dir) = packed_fig2();
+        let cli = parse(&["serve", "--packed", "--horizon", "100", "--port", "0"]);
+        assert!(start_server_at(Some(&dir.0), &cli).unwrap_err().contains("--horizon"));
     }
 
     #[test]

@@ -13,17 +13,21 @@ USAGE:
 
 COMMANDS:
   stats <file>            dataset statistics of an edge list (from to time flow)
-  find <file>             enumerate maximal motif instances
+  find <file>             enumerate maximal motif instances (alias: search)
   topk <file>             k highest-flow instances (ϕ is ignored, per §5)
   top1 <file>             maximum-flow instance via the DP module (§5.1)
+  pack <file>             compile an edge list into a packed segment
+                          directory (out-of-core backend; see --packed)
   significance <file>     z-score vs flow-permuted replicas (§6.3)
   census <file>           instance counts of every walk shape of --edges size
   activity <file>         most active vertex groups for a motif (§5.1 ext.)
   generate                emit a synthetic dataset as an edge list
   stream [file]           resident engine: ingest edges + answer interleaved
                           queries from a script (stdin if no file is given)
-  serve                   TCP server over the resident engine (snapshot
-                          reads, multi-client; see crates/serve/PROTOCOL.md)
+  serve [<dir>]           TCP server over the resident engine (snapshot
+                          reads, multi-client; see crates/serve/PROTOCOL.md);
+                          with <dir> and --packed, serves a packed segment
+                          through the epoch engine (mmap base + RAM delta)
   client [file]           send protocol requests (file or stdin, one per
                           line) to a running server and print the replies
 
@@ -39,7 +43,15 @@ OPTIONS (find/topk/top1/significance):
   --replicas <int>        randomized replicas for significance             [20]
   --edges <int>           motif size for census                             [2]
   --seed <int>            RNG seed                                          [42]
+  --packed                treat <file> as a packed segment directory
+                          (produced by `pack`) and search it through a
+                          read-only memory map instead of loading it
+                          (find/search, topk, top1)
   --json                  machine-readable output on stdout
+
+OPTIONS (pack):
+  --out <dir>             segment output directory                          [required]
+  --run-records <int>     records per external-sort run (memory knob)       [1048576]
 
 OPTIONS (stream):
   --horizon <int>         sliding-window horizon; evict older interactions
@@ -99,6 +111,10 @@ pub struct Cli {
     pub edges: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Treat the input of find/topk/top1 as a packed segment directory.
+    pub packed: bool,
+    /// External-sort run size (records) for `pack`.
+    pub run_records: usize,
     /// Sliding-window horizon for `stream`/`serve` (0 = retain
     /// everything).
     pub horizon: i64,
@@ -138,6 +154,8 @@ pub enum Command {
     TopK(PathBuf),
     /// Top-1 via the DP module.
     Top1(PathBuf),
+    /// Pack an edge list into a segment directory.
+    Pack(PathBuf),
     /// Significance vs permuted replicas.
     Significance(PathBuf),
     /// Census of all walk shapes of a given size.
@@ -148,8 +166,10 @@ pub enum Command {
     Generate,
     /// Resident streaming engine fed by a script (file or stdin).
     Stream(Option<PathBuf>),
-    /// TCP protocol server over the resident engine.
-    Serve,
+    /// TCP protocol server over the resident engine, or — given a
+    /// packed segment directory plus `--packed` — over the out-of-core
+    /// epoch engine.
+    Serve(Option<PathBuf>),
     /// Protocol client: requests from a script (file or stdin).
     Client(Option<PathBuf>),
 }
@@ -168,6 +188,8 @@ impl Default for Cli {
             replicas: 20,
             edges: 2,
             seed: 42,
+            packed: false,
+            run_records: flowmotif_graph::segment::DEFAULT_RUN_RECORDS,
             horizon: 0,
             host: "127.0.0.1".into(),
             port: 7878,
@@ -193,27 +215,28 @@ impl Cli {
             return Err(USAGE.to_string());
         }
         let mut file: Option<PathBuf> = None;
-        if cmd_name == "stream" || cmd_name == "client" {
-            // The script file is optional: without one the command reads
-            // stdin.
+        if cmd_name == "stream" || cmd_name == "client" || cmd_name == "serve" {
+            // stream/client: optional script file (stdin without one).
+            // serve: optional packed segment directory (with --packed).
             if it.peek().is_some_and(|a| !a.starts_with("--")) {
                 file = Some(PathBuf::from(it.next().unwrap()));
             }
-        } else if cmd_name != "generate" && cmd_name != "serve" {
+        } else if cmd_name != "generate" {
             let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
             file = Some(PathBuf::from(f));
         }
         let command = match cmd_name.as_str() {
             "stats" => Command::Stats(file.unwrap()),
-            "find" => Command::Find(file.unwrap()),
+            "find" | "search" => Command::Find(file.unwrap()),
             "topk" => Command::TopK(file.unwrap()),
             "top1" => Command::Top1(file.unwrap()),
+            "pack" => Command::Pack(file.unwrap()),
             "significance" => Command::Significance(file.unwrap()),
             "census" => Command::Census(file.unwrap()),
             "activity" => Command::Activity(file.unwrap()),
             "generate" => Command::Generate,
             "stream" => Command::Stream(file),
-            "serve" => Command::Serve,
+            "serve" => Command::Serve(file),
             "client" => Command::Client(file),
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
@@ -238,6 +261,8 @@ impl Cli {
                 "--replicas" => cli.replicas = parse_val!("--replicas"),
                 "--edges" => cli.edges = parse_val!("--edges"),
                 "--seed" => cli.seed = parse_val!("--seed"),
+                "--packed" => cli.packed = true,
+                "--run-records" => cli.run_records = parse_val!("--run-records"),
                 "--horizon" => cli.horizon = parse_val!("--horizon"),
                 "--host" => cli.host = value("--host")?,
                 "--port" => cli.port = parse_val!("--port"),
@@ -286,6 +311,28 @@ mod tests {
         assert_eq!(cli.dataset, "taxi");
         assert_eq!(cli.scale, 0.5);
         assert_eq!(cli.out, Some(PathBuf::from("x.tsv")));
+    }
+
+    #[test]
+    fn parses_pack_and_packed_flag() {
+        let cli = parse(&["pack", "g.tsv", "--out", "seg", "--run-records", "64"]).unwrap();
+        assert_eq!(cli.command, Command::Pack(PathBuf::from("g.tsv")));
+        assert_eq!(cli.out, Some(PathBuf::from("seg")));
+        assert_eq!(cli.run_records, 64);
+
+        // `--packed` is a bare flag: it must not swallow the next token.
+        let cli = parse(&["topk", "seg", "--packed", "--k", "5"]).unwrap();
+        assert_eq!(cli.command, Command::TopK(PathBuf::from("seg")));
+        assert!(cli.packed);
+        assert_eq!(cli.k, 5);
+        assert!(!parse(&["find", "g.tsv"]).unwrap().packed);
+    }
+
+    #[test]
+    fn search_is_an_alias_for_find() {
+        let cli = parse(&["search", "g.tsv"]).unwrap();
+        assert_eq!(cli.command, Command::Find(PathBuf::from("g.tsv")));
+        assert!(parse(&["search"]).is_err());
     }
 
     #[test]
@@ -356,15 +403,18 @@ mod tests {
             "7200",
         ])
         .unwrap();
-        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.command, Command::Serve(None));
         assert_eq!(cli.port, 0);
         assert_eq!(cli.pool, 8);
         assert_eq!(cli.max_inflight, 16);
         assert_eq!(cli.max_window, 3600);
         assert_eq!(cli.publish_every, 256);
         assert_eq!(cli.horizon, 7200);
-        // serve takes no positional argument.
-        assert!(parse(&["serve", "stray"]).is_err());
+        // serve takes an optional positional segment directory (for --packed);
+        // whether --packed accompanies it is validated at dispatch time.
+        let cli = parse(&["serve", "segments", "--packed"]).unwrap();
+        assert_eq!(cli.command, Command::Serve(Some(PathBuf::from("segments"))));
+        assert!(cli.packed);
 
         let cli = parse(&["client", "req.txt", "--host", "10.0.0.1", "--port", "9999"]).unwrap();
         assert_eq!(cli.command, Command::Client(Some(PathBuf::from("req.txt"))));

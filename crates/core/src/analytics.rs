@@ -17,7 +17,7 @@ use crate::enumerate::{
 use crate::instance::StructuralMatch;
 use crate::matcher::for_each_structural_match;
 use crate::motif::Motif;
-use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
+use flowmotif_graph::{Flow, GraphStore, SeriesRef, TimeWindow, Timestamp};
 
 /// Activity summary of one structural match (one row of the "which
 /// vertex groups are most active" analysis).
@@ -49,7 +49,7 @@ flowmotif_util::impl_to_json!(MatchActivity {
 /// Groups all maximal instances per structural match and summarises each
 /// group, sorted by instance count (most active first). Matches without
 /// instances are omitted.
-pub fn per_match_activity(g: &TimeSeriesGraph, motif: &Motif) -> Vec<MatchActivity> {
+pub fn per_match_activity<G: GraphStore>(g: &G, motif: &Motif) -> Vec<MatchActivity> {
     let mut out: Vec<MatchActivity> = Vec::new();
     let mut stats = SearchStats::default();
     let mut scratch = EnumerationScratch::default();
@@ -107,14 +107,14 @@ flowmotif_util::impl_to_json!(WindowActivity { bucket_start, max_flow, windows }
 /// The "top-1 per sliding-window position" analysis for one structural
 /// match, aggregated into time buckets of width `bucket` for plotting.
 /// Uses the DP module per window (Algorithm 2).
-pub fn window_top1_series(
-    g: &TimeSeriesGraph,
+pub fn window_top1_series<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     bucket: Timestamp,
 ) -> Vec<WindowActivity> {
     assert!(bucket > 0, "bucket width must be positive");
-    let series: Vec<&InteractionSeries> = sm.pairs.iter().map(|&p| g.series(p)).collect();
+    let series: Vec<SeriesRef<'_>> = sm.pairs.iter().map(|&p| g.series(p)).collect();
     if series.iter().any(|s| s.is_empty()) {
         return Vec::new();
     }
@@ -141,7 +141,7 @@ pub fn window_top1_series(
 /// §5.1's per-match top-1 comparison: the best instance flow of every
 /// structural match, sorted descending (matches without instances report
 /// flow 0 and are omitted).
-pub fn per_match_top1(g: &TimeSeriesGraph, motif: &Motif) -> Vec<(StructuralMatch, Flow)> {
+pub fn per_match_top1<G: GraphStore>(g: &G, motif: &Motif) -> Vec<(StructuralMatch, Flow)> {
     let mut stats = DpStats::default();
     let mut out = Vec::new();
     for_each_structural_match(g, motif.path(), &mut |sm| {
@@ -158,7 +158,7 @@ mod tests {
     use super::*;
     use crate::catalog;
     use crate::enumerate::count_instances;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     /// Two chains: a "hot" one with three bursts and a "cold" one with a
     /// single burst.

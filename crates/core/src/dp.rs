@@ -24,7 +24,7 @@ use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
 use crate::matcher::for_each_structural_match_bounded_scratch;
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
-use flowmotif_graph::{Flow, InteractionSeries, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
+use flowmotif_graph::{Flow, GraphStore, NodeId, SeriesRef, TimeWindow, Timestamp};
 
 /// Counters for a DP run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,8 +62,10 @@ impl DpTable {
 
 /// Builds the DP table for one window of one structural match.
 ///
-/// `series` are the match's interaction series in motif-edge order.
-pub fn dp_table(series: &[&InteractionSeries], window: TimeWindow, stats: &mut DpStats) -> DpTable {
+/// `series` are borrowed views of the match's interaction series in
+/// motif-edge order ([`flowmotif_graph::InteractionSeries::as_ref`] for
+/// the in-memory backend, [`GraphStore::series`] for any backend).
+pub fn dp_table(series: &[SeriesRef<'_>], window: TimeWindow, stats: &mut DpStats) -> DpTable {
     let m = series.len();
     // Gather t_1 … t_τ: all element timestamps inside the window.
     let mut ts: Vec<Timestamp> = Vec::new();
@@ -144,8 +146,8 @@ pub struct DpScratch {
 /// maxima are non-increasing in `κ`, so the window cannot beat it.
 /// `pairs` are the match's pair ids in motif-edge order (resolved
 /// through `g` on use, keeping this path free of per-match allocations).
-fn dp_window_flow(
-    g: &TimeSeriesGraph,
+fn dp_window_flow<G: GraphStore>(
+    g: &G,
     pairs: &[flowmotif_graph::PairId],
     window: TimeWindow,
     threshold: Flow,
@@ -211,8 +213,8 @@ fn dp_window_flow(
 /// strictly beat `threshold` are skipped, mirroring the floating
 /// threshold of the top-k comparator. Returns the best flow above the
 /// threshold and its window, if any.
-pub fn dp_best_window_in_match(
-    g: &TimeSeriesGraph,
+pub fn dp_best_window_in_match<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     threshold: Flow,
@@ -267,15 +269,15 @@ pub fn dp_best_window_in_match(
 /// Algorithm 1 (anchored at `R(e_1)` elements, skipping positions that
 /// contribute no new `R(e_m)` element) and returns the best flow plus, if
 /// any instance exists, a witness instance achieving it.
-pub fn dp_top1_in_match(
-    g: &TimeSeriesGraph,
+pub fn dp_top1_in_match<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     stats: &mut DpStats,
 ) -> Option<MotifInstance> {
     let mut scratch = DpScratch::default();
     let (flow, window) = dp_best_window_in_match(g, motif, sm, 0.0, &mut scratch, stats)?;
-    let series: Vec<&InteractionSeries> = sm.pairs.iter().map(|&p| g.series(p)).collect();
+    let series: Vec<SeriesRef<'_>> = sm.pairs.iter().map(|&p| g.series(p)).collect();
     // Re-solve the winning window with parent tracking for the witness.
     let table = dp_table(&series, window, stats);
     debug_assert!((table.top_flow() - flow).abs() < 1e-9);
@@ -284,7 +286,7 @@ pub fn dp_top1_in_match(
 
 /// Backtracks the witness instance out of a DP table.
 fn reconstruct(
-    series: &[&InteractionSeries],
+    series: &[SeriesRef<'_>],
     sm: &StructuralMatch,
     window: TimeWindow,
     table: &DpTable,
@@ -316,8 +318,8 @@ fn reconstruct(
 /// Runs Algorithm 2 over every structural match: the global top-1 instance
 /// flow and a witness (paper §5.1). Returns `None` when the graph holds no
 /// instance at all.
-pub fn dp_top1(
-    g: &TimeSeriesGraph,
+pub fn dp_top1<G: GraphStore>(
+    g: &G,
     motif: &Motif,
 ) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
     let mut scratch = SearchScratch::default();
@@ -328,8 +330,8 @@ pub fn dp_top1(
 /// P1 walks out of `scratch.p1` and the per-window DP out of
 /// `scratch.dp`, so after warm-up a repeated top-1 query allocates only
 /// for the returned witness.
-pub fn dp_top1_scratch(
-    g: &TimeSeriesGraph,
+pub fn dp_top1_scratch<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     scratch: &mut SearchScratch,
 ) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
@@ -363,7 +365,7 @@ pub fn dp_top1_scratch(
     match best {
         None => (None, stats),
         Some((flow, sm, window)) => {
-            let series: Vec<&InteractionSeries> = sm.pairs.iter().map(|&p| g.series(p)).collect();
+            let series: Vec<SeriesRef<'_>> = sm.pairs.iter().map(|&p| g.series(p)).collect();
             let table = dp_table(&series, window, &mut stats);
             let inst = reconstruct(&series, &sm, window, &table, flow);
             (Some((sm, inst)), stats)
@@ -373,7 +375,7 @@ pub fn dp_top1_scratch(
 
 /// Convenience: just the maximum instance flow in the graph (`0.0` when no
 /// instance exists). This is the quantity Algorithm 2 returns.
-pub fn dp_max_flow(g: &TimeSeriesGraph, motif: &Motif) -> (Flow, DpStats) {
+pub fn dp_max_flow<G: GraphStore>(g: &G, motif: &Motif) -> (Flow, DpStats) {
     let (best, stats) = dp_top1(g, motif);
     (best.map_or(0.0, |(_, i)| i.flow), stats)
 }
@@ -382,7 +384,7 @@ pub fn dp_max_flow(g: &TimeSeriesGraph, motif: &Motif) -> (Flow, DpStats) {
 mod tests {
     use super::*;
     use crate::catalog;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     /// The Fig. 7 structural match (see `enumerate.rs` tests).
     fn fig7() -> (TimeSeriesGraph, StructuralMatch) {
@@ -413,7 +415,7 @@ mod tests {
         // Paper Table 2: the best instance of M(3,3) in window [10, 20]
         // has flow 5.
         let (g, sm) = fig7();
-        let series: Vec<_> = sm.pairs.iter().map(|&p| g.series(p)).collect();
+        let series: Vec<_> = sm.pairs.iter().map(|&p| g.series(p).as_ref()).collect();
         let mut stats = DpStats::default();
         let t = dp_table(&series, TimeWindow::new(10, 20), &mut stats);
         assert_eq!(t.timestamps, vec![10, 11, 13, 14, 15, 16, 18, 19]);

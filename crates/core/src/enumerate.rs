@@ -35,7 +35,7 @@
 use crate::instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
-use flowmotif_graph::{Flow, InteractionSeries, TimeSeriesGraph, TimeWindow, Timestamp};
+use flowmotif_graph::{Flow, GraphStore, SeriesRef, TimeWindow, Timestamp};
 use std::ops::Range;
 
 /// Tuning knobs for the enumerator. The defaults implement the paper's
@@ -208,9 +208,10 @@ pub struct EnumerationScratch {
 const UNBOUNDED: TimeWindow = TimeWindow { start: Timestamp::MIN, end: Timestamp::MAX };
 
 /// Enumerates all maximal instances of `motif` inside the single
-/// structural match `sm`, delivering them to `sink`.
-pub fn enumerate_in_match<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+/// structural match `sm`, delivering them to `sink`. Generic over the
+/// [`GraphStore`] backend like the rest of the pipeline.
+pub fn enumerate_in_match<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     opts: SearchOptions,
@@ -223,8 +224,8 @@ pub fn enumerate_in_match<S: InstanceSink>(
 
 /// [`enumerate_in_match`] with caller-provided scratch buffers; use this
 /// when iterating over many matches (see [`enumerate_with_sink`]).
-pub fn enumerate_in_match_reusing<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_in_match_reusing<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     opts: SearchOptions,
@@ -244,8 +245,8 @@ pub fn enumerate_in_match_reusing<S: InstanceSink>(
 /// restricted edge set (an instance extendable only by out-of-window
 /// elements is still reported). Requires `motif.delta() >= 0`.
 #[allow(clippy::too_many_arguments)] // mirrors enumerate_in_match_reusing + bounds
-pub fn enumerate_in_match_bounded<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_in_match_bounded<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     sm: &StructuralMatch,
     bounds: TimeWindow,
@@ -276,8 +277,8 @@ pub fn enumerate_in_match_bounded<S: InstanceSink>(
     e.run();
 }
 
-struct MatchEnumerator<'a, 'g, S: InstanceSink> {
-    g: &'g TimeSeriesGraph,
+struct MatchEnumerator<'a, 'g, G, S: InstanceSink> {
+    g: &'g G,
     motif: &'a Motif,
     sm: &'a StructuralMatch,
     opts: SearchOptions,
@@ -296,10 +297,10 @@ struct MatchEnumerator<'a, 'g, S: InstanceSink> {
     edge_sets: &'a mut Vec<EdgeSet>,
 }
 
-impl<'g, S: InstanceSink> MatchEnumerator<'_, 'g, S> {
+impl<'g, G: GraphStore, S: InstanceSink> MatchEnumerator<'_, 'g, G, S> {
     /// The interaction series instantiating motif edge `k`.
     #[inline]
-    fn series(&self, k: usize) -> &'g InteractionSeries {
+    fn series(&self, k: usize) -> SeriesRef<'g> {
         self.g.series(self.sm.pairs[k])
     }
 
@@ -425,8 +426,8 @@ impl<'g, S: InstanceSink> MatchEnumerator<'_, 'g, S> {
 }
 
 /// Runs the full two-phase search (P1 + P2), streaming instances to `sink`.
-pub fn enumerate_with_sink<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_with_sink<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     opts: SearchOptions,
     sink: &mut S,
@@ -480,8 +481,8 @@ pub fn enumerate_with_sink<S: InstanceSink>(
 /// ([`crate::matcher::for_each_structural_match_bounded`]), so its cost —
 /// and its visit count — scales with the structure active inside the
 /// window rather than with everything retained.
-pub fn enumerate_window_with_sink<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_window_with_sink<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -494,8 +495,8 @@ pub fn enumerate_window_with_sink<S: InstanceSink>(
 /// [`enumerate_with_sink`] running out of a caller-provided
 /// [`SearchScratch`]: after the first (warm-up) call, repeated searches
 /// perform zero heap allocations beyond what the sink itself keeps.
-pub fn enumerate_with_sink_scratch<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_with_sink_scratch<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     opts: SearchOptions,
     sink: &mut S,
@@ -507,8 +508,8 @@ pub fn enumerate_with_sink_scratch<S: InstanceSink>(
 /// [`enumerate_window_with_sink`] running out of a caller-provided
 /// [`SearchScratch`] — the allocation-free steady-state entry point the
 /// streaming engine and server sessions reuse across queries.
-pub fn enumerate_window_with_sink_scratch<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+pub fn enumerate_window_with_sink_scratch<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -536,8 +537,8 @@ pub fn enumerate_window_with_sink_scratch<S: InstanceSink>(
 
 /// Convenience: collects the maximal instances inside `bounds`, grouped by
 /// structural match.
-pub fn enumerate_all_in_window(
-    g: &TimeSeriesGraph,
+pub fn enumerate_all_in_window<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
 ) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
@@ -547,8 +548,8 @@ pub fn enumerate_all_in_window(
 }
 
 /// Convenience: counts the maximal instances inside `bounds`.
-pub fn count_instances_in_window(
-    g: &TimeSeriesGraph,
+pub fn count_instances_in_window<G: GraphStore>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
 ) -> (u64, SearchStats) {
@@ -558,8 +559,8 @@ pub fn count_instances_in_window(
 }
 
 /// Convenience: collects all maximal instances grouped by structural match.
-pub fn enumerate_all(
-    g: &TimeSeriesGraph,
+pub fn enumerate_all<G: GraphStore>(
+    g: &G,
     motif: &Motif,
 ) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
     let mut sink = CollectSink::default();
@@ -568,7 +569,7 @@ pub fn enumerate_all(
 }
 
 /// Convenience: counts all maximal instances.
-pub fn count_instances(g: &TimeSeriesGraph, motif: &Motif) -> (u64, SearchStats) {
+pub fn count_instances<G: GraphStore>(g: &G, motif: &Motif) -> (u64, SearchStats) {
     let mut sink = CountSink::default();
     let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
     (sink.count, stats)
@@ -579,7 +580,7 @@ mod tests {
     use super::*;
     use crate::catalog;
     use crate::instance::StructuralMatch;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     /// The structural match of paper Fig. 7: a 3-cycle 0 -> 1 -> 2 -> 0
     /// with R(e1) = {(10,5),(13,2),(15,3),(18,7)},

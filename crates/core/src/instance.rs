@@ -1,7 +1,7 @@
 //! Structural matches (phase P1 output) and flow motif instances (phase P2
 //! output) — paper Def. 3.2.
 
-use flowmotif_graph::{Event, Flow, NodeId, PairId, TimeSeriesGraph, Timestamp};
+use flowmotif_graph::{Event, Flow, GraphStore, NodeId, PairId, Timestamp};
 
 /// A structural match `G_s` of a motif in `G_T` (paper phase P1, Fig. 6):
 /// a mapping from motif vertices and edges to graph vertices and `G_T`
@@ -40,7 +40,7 @@ impl StructuralMatch {
 
     /// The graph-vertex walk of this match (source of each edge plus the
     /// final target), derived from the graph.
-    pub fn walk_nodes(&self, g: &TimeSeriesGraph) -> Vec<NodeId> {
+    pub fn walk_nodes<G: GraphStore>(&self, g: &G) -> Vec<NodeId> {
         let mut walk = Vec::with_capacity(self.pairs.len() + 1);
         for (i, &p) in self.pairs.iter().enumerate() {
             let (u, v) = g.pair(p);
@@ -83,12 +83,12 @@ impl EdgeSet {
     }
 
     /// The `(t, f)` elements of this edge-set.
-    pub fn events<'g>(&self, g: &'g TimeSeriesGraph) -> &'g [Event] {
+    pub fn events<'g, G: GraphStore>(&self, g: &'g G) -> &'g [Event] {
         &g.series(self.pair).events()[self.start as usize..self.end as usize]
     }
 
     /// Aggregated flow of the set, in O(1) via the series prefix sums.
-    pub fn flow(&self, g: &TimeSeriesGraph) -> Flow {
+    pub fn flow<G: GraphStore>(&self, g: &G) -> Flow {
         g.series(self.pair).flow_of_range(self.start as usize..self.end as usize)
     }
 }
@@ -123,7 +123,7 @@ impl MotifInstance {
 
     /// Renders the instance in the paper's notation
     /// `[e1 <- {(t,f),...}, e2 <- {...}]`.
-    pub fn display(&self, g: &TimeSeriesGraph) -> String {
+    pub fn display<G: GraphStore>(&self, g: &G) -> String {
         use std::fmt::Write;
         let mut s = String::from("[");
         for (i, es) in self.edge_sets.iter().enumerate() {
@@ -207,7 +207,7 @@ flowmotif_util::impl_to_json!(MotifInstance { edge_sets, flow, first_time, last_
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     fn tiny_graph() -> TimeSeriesGraph {
         let mut b = GraphBuilder::new();

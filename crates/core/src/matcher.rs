@@ -9,14 +9,18 @@
 
 use crate::instance::StructuralMatch;
 use crate::motif::SpanningPath;
-use flowmotif_graph::{NodeId, PairId, TimeSeriesGraph, TimeWindow};
+use flowmotif_graph::{GraphStore, NodeId, PairId, TimeWindow};
 
 /// Streams every structural match of `path` in `g` to `visit`.
 ///
 /// Matches are emitted in lexicographic order of their vertex walk, which
-/// makes runs deterministic and testable.
-pub fn for_each_structural_match<F>(g: &TimeSeriesGraph, path: &SpanningPath, visit: &mut F)
+/// makes runs deterministic and testable. Like every phase-P1 driver, the
+/// graph is any [`GraphStore`] backend — in-memory, memory-mapped segment,
+/// or segment+delta overlay — and the match stream is identical across
+/// backends holding the same graph.
+pub fn for_each_structural_match<S, F>(g: &S, path: &SpanningPath, visit: &mut F)
 where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     for_each_structural_match_in_node_range(g, path, 0..g.num_nodes() as NodeId, visit);
@@ -25,12 +29,13 @@ where
 /// Streams the structural matches whose *walk origin* lies in `origins`.
 /// Disjoint origin ranges partition the match set, which is how the
 /// parallel drivers shard phase P1+P2 without materialising matches.
-pub fn for_each_structural_match_in_node_range<F>(
-    g: &TimeSeriesGraph,
+pub fn for_each_structural_match_in_node_range<S, F>(
+    g: &S,
     path: &SpanningPath,
     origins: std::ops::Range<NodeId>,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     for_each_structural_match_bounded(g, path, TimeWindow::new(i64::MIN, i64::MAX), origins, visit);
@@ -45,19 +50,20 @@ pub fn for_each_structural_match_in_node_range<F>(
 /// scales with the structure *active* in the window, not with everything
 /// retained.
 ///
-/// Candidate walk origins come from the graph's active-time origin index
-/// ([`TimeSeriesGraph::active_origins_in`]), so origins with no in-window
-/// out-interaction are never visited at all — the per-query sweep over
-/// every node (and every pair's window probe) is gone. Use
+/// Candidate walk origins come from the store's active-time origin pull
+/// ([`GraphStore::active_origins_in_range`]), so origins with no
+/// in-window out-interaction are never visited at all — the per-query
+/// sweep over every node (and every pair's window probe) is gone. Use
 /// [`for_each_structural_match_bounded_with`] to disable the index for
 /// A/B comparisons.
-pub fn for_each_structural_match_bounded<F>(
-    g: &TimeSeriesGraph,
+pub fn for_each_structural_match_bounded<S, F>(
+    g: &S,
     path: &SpanningPath,
     bounds: TimeWindow,
     origins: std::ops::Range<NodeId>,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     for_each_structural_match_bounded_with(g, path, bounds, origins, true, visit);
@@ -68,14 +74,15 @@ pub fn for_each_structural_match_bounded<F>(
 /// probing each pair's window activity — the pre-index behaviour, kept
 /// for ablation benchmarks and equivalence tests. Both settings emit
 /// exactly the same matches in the same (lexicographic walk) order.
-pub fn for_each_structural_match_bounded_with<F>(
-    g: &TimeSeriesGraph,
+pub fn for_each_structural_match_bounded_with<S, F>(
+    g: &S,
     path: &SpanningPath,
     bounds: TimeWindow,
     origins: std::ops::Range<NodeId>,
     use_index: bool,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     let mut scratch = MatchScratch::default();
@@ -119,8 +126,8 @@ impl MatchScratch {
 /// [`for_each_structural_match_bounded_with`] running out of
 /// caller-provided scratch buffers — the allocation-free form every
 /// steady-state driver (sequential, parallel, streaming) goes through.
-pub fn for_each_structural_match_bounded_scratch<F>(
-    g: &TimeSeriesGraph,
+pub fn for_each_structural_match_bounded_scratch<S, F>(
+    g: &S,
     path: &SpanningPath,
     bounds: TimeWindow,
     origins: std::ops::Range<NodeId>,
@@ -128,6 +135,7 @@ pub fn for_each_structural_match_bounded_scratch<F>(
     scratch: &mut MatchScratch,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     let walk = path.walk();
@@ -172,32 +180,37 @@ pub fn for_each_structural_match_bounded_scratch<F>(
 }
 
 /// Streams the structural matches of one walk origin whose *first-step
-/// pair* lies in `first_pairs` (a sub-range of `origin`'s CSR out-pair
-/// slice). Disjoint first-pair ranges partition the origin's match set —
-/// this is how the parallel scheduler splits a heavy hub across workers
-/// instead of handing the whole hub to one of them. `use_index` mirrors
-/// the span pre-checks of the indexed bounded path so a hub task emits
-/// exactly what the block path would have.
+/// pair* sits at a position in `first_pairs` (a sub-range of
+/// `0..out_degree(origin)`, indexing the origin's sorted out-list).
+/// Disjoint position ranges partition the origin's match set — this is
+/// how the parallel scheduler splits a heavy hub across workers instead
+/// of handing the whole hub to one of them. Positions (not pair ids)
+/// keep the split well-defined on composite stores whose out-lists are
+/// not contiguous in id space. `use_index` mirrors the span pre-checks
+/// of the indexed bounded path so a hub task emits exactly what the
+/// block path would have.
 #[allow(clippy::too_many_arguments)] // mirrors the bounded_scratch surface + the pair range
-pub fn for_each_structural_match_from_origin<F>(
-    g: &TimeSeriesGraph,
+pub fn for_each_structural_match_from_origin<S, F>(
+    g: &S,
     path: &SpanningPath,
     bounds: TimeWindow,
     origin: NodeId,
-    first_pairs: std::ops::Range<PairId>,
+    first_pairs: std::ops::Range<u32>,
     use_index: bool,
     scratch: &mut MatchScratch,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     if (origin as usize) >= g.num_nodes() || first_pairs.is_empty() {
         return;
     }
-    let out = g.out_pair_range(origin);
     debug_assert!(
-        first_pairs.start >= out.start && first_pairs.end <= out.end,
-        "first_pairs {first_pairs:?} must lie inside origin {origin}'s out-slice {out:?}"
+        first_pairs.end <= g.out_degree(origin),
+        "first_pairs {first_pairs:?} must lie inside origin {origin}'s out-list \
+         (degree {})",
+        g.out_degree(origin)
     );
     let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
     if bounded && use_index && !g.origin_active_in(origin, bounds) {
@@ -224,7 +237,7 @@ pub fn for_each_structural_match_from_origin<F>(
 /// (`None` = unbounded, always true). A pair failing this cannot host any
 /// motif-edge set of an in-window instance.
 #[inline]
-fn pair_active(g: &TimeSeriesGraph, p: PairId, bounds: Option<TimeWindow>) -> bool {
+fn pair_active<S: GraphStore>(g: &S, p: PairId, bounds: Option<TimeWindow>) -> bool {
     match bounds {
         None => true,
         Some(w) => g.series(p).active_in(w.start, w.end),
@@ -232,26 +245,27 @@ fn pair_active(g: &TimeSeriesGraph, p: PairId, bounds: Option<TimeWindow>) -> bo
 }
 
 /// Immutable per-enumeration state shared by every DFS frame.
-struct DfsCtx<'a> {
-    g: &'a TimeSeriesGraph,
+struct DfsCtx<'a, S> {
+    g: &'a S,
     walk: &'a [u8],
     bounds: Option<TimeWindow>,
     /// Consult the per-origin active intervals before iterating a node's
     /// out-pairs (on for the indexed path, off for the A/B baseline).
     prune_spans: bool,
-    /// When set, step 0 iterates only this `(start, end)` slice of the
-    /// origin's out-pairs — hub tasks partition an origin's matches by
-    /// first-step pair. Deeper steps are unaffected.
-    first_pairs: Option<(PairId, PairId)>,
+    /// When set, step 0 iterates only this `(start, end)` position range
+    /// of the origin's out-list — hub tasks partition an origin's matches
+    /// by first-step pair. Deeper steps are unaffected.
+    first_pairs: Option<(u32, u32)>,
 }
 
-fn dfs<F>(
-    ctx: &DfsCtx<'_>,
+fn dfs<S, F>(
+    ctx: &DfsCtx<'_, S>,
     step: usize,
     sm: &mut StructuralMatch,
     assigned: &mut Vec<bool>,
     visit: &mut F,
 ) where
+    S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
     let (g, walk, bounds) = (ctx.g, ctx.walk, ctx.bounds);
@@ -282,11 +296,12 @@ fn dfs<F>(
                 }
             }
         }
-        let range = match (step, ctx.first_pairs) {
+        let positions = match (step, ctx.first_pairs) {
             (0, Some((s, e))) => s..e,
-            _ => g.out_pair_range(src),
+            _ => 0..g.out_degree(src),
         };
-        for p in range {
+        for i in positions {
+            let p = g.out_pair_at(src, i);
             if !pair_active(g, p, bounds) {
                 continue;
             }
@@ -307,14 +322,14 @@ fn dfs<F>(
 }
 
 /// Collects all structural matches (phase P1 output set `S`).
-pub fn find_structural_matches(g: &TimeSeriesGraph, path: &SpanningPath) -> Vec<StructuralMatch> {
+pub fn find_structural_matches<S: GraphStore>(g: &S, path: &SpanningPath) -> Vec<StructuralMatch> {
     let mut out = Vec::new();
     for_each_structural_match(g, path, &mut |m| out.push(m.clone()));
     out
 }
 
 /// Counts structural matches without materializing them.
-pub fn count_structural_matches(g: &TimeSeriesGraph, path: &SpanningPath) -> u64 {
+pub fn count_structural_matches<S: GraphStore>(g: &S, path: &SpanningPath) -> u64 {
     let mut n = 0u64;
     for_each_structural_match(g, path, &mut |_| n += 1);
     n
@@ -324,7 +339,7 @@ pub fn count_structural_matches(g: &TimeSeriesGraph, path: &SpanningPath) -> u64
 mod tests {
     use super::*;
     use crate::catalog;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     /// The time-series graph of paper Fig. 5(b).
     fn fig5() -> TimeSeriesGraph {
@@ -517,13 +532,13 @@ mod tests {
                         );
                         let mut split = Vec::new();
                         let mut scratch = MatchScratch::default();
-                        for p in g.out_pair_range(origin) {
+                        for i in 0..g.out_degree(origin) as u32 {
                             for_each_structural_match_from_origin(
                                 &g,
                                 motif.path(),
                                 w,
                                 origin,
-                                p..p + 1,
+                                i..i + 1,
                                 use_index,
                                 &mut scratch,
                                 &mut |m| split.push(m.clone()),

@@ -29,7 +29,7 @@ use crate::matcher::{
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use crate::topk::{RankedInstance, TopKSink};
-use flowmotif_graph::{NodeId, PairId, TimeSeriesGraph, TimeWindow, Timestamp};
+use flowmotif_graph::{GraphStore, NodeId, TimeWindow, Timestamp};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The unbounded window (plain Algorithm 1 semantics).
@@ -89,29 +89,29 @@ enum Task {
     HubPairs {
         /// The hub origin node.
         origin: NodeId,
-        /// Sub-range of the origin's CSR out-pair slice.
-        pairs: std::ops::Range<PairId>,
+        /// Positional sub-range of the origin's out-pair list
+        /// (`0..out_degree`), so the split works on any backend.
+        pairs: std::ops::Range<u32>,
     },
 }
 
 /// Builds the deterministic task list: origin blocks, with every hub
 /// flushed out of its block and split into pair chunks.
-fn build_tasks(g: &TimeSeriesGraph, opts: ParOptions) -> Vec<Task> {
+fn build_tasks<G: GraphStore>(g: &G, opts: ParOptions) -> Vec<Task> {
     let n = g.num_nodes() as u32;
     let block = opts.block.max(1);
     let chunk = opts.hub_chunk.max(1);
     let mut tasks = Vec::new();
     let mut run_start = 0u32;
     for u in 0..n {
-        let deg = g.out_degree(u) as u64;
-        if opts.hub_degree != u32::MAX && deg > opts.hub_degree as u64 {
+        let deg = g.out_degree(u);
+        if opts.hub_degree != u32::MAX && deg > opts.hub_degree {
             if run_start < u {
                 tasks.push(Task::Origins(run_start..u));
             }
-            let r = g.out_pair_range(u);
-            let mut lo = r.start;
-            while lo < r.end {
-                let hi = (lo + chunk).min(r.end);
+            let mut lo = 0u32;
+            while lo < deg {
+                let hi = (lo + chunk).min(deg);
                 tasks.push(Task::HubPairs { origin: u, pairs: lo..hi });
                 lo = hi;
             }
@@ -129,8 +129,8 @@ fn build_tasks(g: &TimeSeriesGraph, opts: ParOptions) -> Vec<Task> {
 
 /// Runs one task's P1+P2 into the worker's sink/stats/scratch.
 #[allow(clippy::too_many_arguments)] // the worker loop's full private state
-fn run_task<S: InstanceSink>(
-    g: &TimeSeriesGraph,
+fn run_task<G: GraphStore, S: InstanceSink>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -173,8 +173,8 @@ fn run_task<S: InstanceSink>(
 /// and the merged stats. Workers steal tasks from a shared queue (an
 /// atomic cursor over the deterministic task list), so a straggler hub
 /// chunk never serialises the scan.
-fn par_scan<S: InstanceSink + Send>(
-    g: &TimeSeriesGraph,
+fn par_scan<G: GraphStore + Sync, S: InstanceSink + Send>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -212,8 +212,8 @@ fn par_scan<S: InstanceSink + Send>(
 }
 
 /// Parallel instance counting. `threads = 0` uses all cores.
-pub fn par_count_instances(
-    g: &TimeSeriesGraph,
+pub fn par_count_instances<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     threads: usize,
 ) -> (u64, SearchStats) {
@@ -221,8 +221,8 @@ pub fn par_count_instances(
 }
 
 /// [`par_count_instances`] with explicit search and scheduling options.
-pub fn par_count_instances_with(
-    g: &TimeSeriesGraph,
+pub fn par_count_instances_with<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     opts: SearchOptions,
     par: ParOptions,
@@ -232,8 +232,8 @@ pub fn par_count_instances_with(
 
 /// Parallel instance counting restricted to the closed window `bounds`:
 /// the bounded, index-assisted phase P1 with per-shard candidate pulls.
-pub fn par_count_instances_in_window(
-    g: &TimeSeriesGraph,
+pub fn par_count_instances_in_window<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -249,8 +249,8 @@ pub fn par_count_instances_in_window(
 /// globally sorted); each structural match still owns one contiguous
 /// group per worker (a split hub's matches stay whole — chunks partition
 /// matches, never one match's instances).
-pub fn par_enumerate_all(
-    g: &TimeSeriesGraph,
+pub fn par_enumerate_all<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     threads: usize,
 ) -> (Vec<(StructuralMatch, Vec<MotifInstance>)>, SearchStats) {
@@ -258,8 +258,8 @@ pub fn par_enumerate_all(
 }
 
 /// [`par_enumerate_all`] with explicit search and scheduling options.
-pub fn par_enumerate_all_with(
-    g: &TimeSeriesGraph,
+pub fn par_enumerate_all_with<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     opts: SearchOptions,
     par: ParOptions,
@@ -268,8 +268,8 @@ pub fn par_enumerate_all_with(
 }
 
 /// Parallel enumeration restricted to the closed window `bounds`.
-pub fn par_enumerate_window(
-    g: &TimeSeriesGraph,
+pub fn par_enumerate_window<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     bounds: TimeWindow,
     opts: SearchOptions,
@@ -288,8 +288,8 @@ pub fn par_enumerate_window(
 /// Parallel top-k: each worker keeps a local top-k heap; heaps are merged
 /// at the end. The floating threshold is per-worker, so pruning is weaker
 /// than in the sequential version, but results are identical.
-pub fn par_top_k(
-    g: &TimeSeriesGraph,
+pub fn par_top_k<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     k: usize,
     threads: usize,
@@ -298,8 +298,8 @@ pub fn par_top_k(
 }
 
 /// [`par_top_k`] with explicit search and scheduling options.
-pub fn par_top_k_with(
-    g: &TimeSeriesGraph,
+pub fn par_top_k_with<G: GraphStore + Sync>(
+    g: &G,
     motif: &Motif,
     k: usize,
     opts: SearchOptions,
@@ -338,7 +338,7 @@ pub struct SchedulerModel {
 }
 
 /// Computes the [`SchedulerModel`] of an unbounded scan under `par`.
-pub fn scheduler_makespan(g: &TimeSeriesGraph, motif: &Motif, par: ParOptions) -> SchedulerModel {
+pub fn scheduler_makespan<G: GraphStore>(g: &G, motif: &Motif, par: ParOptions) -> SchedulerModel {
     let workers = effective_threads(par.threads);
     let tasks = build_tasks(g, par);
     let mut scratch = SearchScratch::default();
@@ -385,7 +385,7 @@ mod tests {
     use crate::catalog;
     use crate::enumerate::{count_instances, enumerate_all};
     use crate::topk::top_k;
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
     use flowmotif_util::rng::StdRng;
     use flowmotif_util::rng::{RngExt, SeedableRng};
 

@@ -9,7 +9,7 @@
 use crate::enumerate::{enumerate_with_sink, InstanceSink, SearchOptions, SearchStats};
 use crate::instance::{InstanceView, MotifInstance, StructuralMatch};
 use crate::motif::Motif;
-use flowmotif_graph::{Flow, TimeSeriesGraph};
+use flowmotif_graph::{Flow, GraphStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -164,7 +164,7 @@ impl InstanceSink for TopKSink {
 ///
 /// `motif.phi()` still applies as a hard lower bound; pass `ϕ = 0` for the
 /// paper's pure ranking semantics (§5 runs top-k with `ϕ = 0`).
-pub fn top_k(g: &TimeSeriesGraph, motif: &Motif, k: usize) -> (Vec<RankedInstance>, SearchStats) {
+pub fn top_k<G: GraphStore>(g: &G, motif: &Motif, k: usize) -> (Vec<RankedInstance>, SearchStats) {
     let mut sink = TopKSink::new(k);
     let stats = enumerate_with_sink(g, motif, SearchOptions::default(), &mut sink);
     (sink.into_sorted(), stats)
@@ -172,7 +172,7 @@ pub fn top_k(g: &TimeSeriesGraph, motif: &Motif, k: usize) -> (Vec<RankedInstanc
 
 /// Convenience for Fig. 11: the flow of the `k`-th ranked instance, or
 /// `None` if fewer than `k` instances exist.
-pub fn kth_instance_flow(g: &TimeSeriesGraph, motif: &Motif, k: usize) -> Option<Flow> {
+pub fn kth_instance_flow<G: GraphStore>(g: &G, motif: &Motif, k: usize) -> Option<Flow> {
     let (ranked, _) = top_k(g, motif, k);
     (ranked.len() >= k).then(|| ranked[k - 1].instance.flow)
 }
@@ -182,7 +182,7 @@ mod tests {
     use super::*;
     use crate::catalog;
     use crate::enumerate::{enumerate_with_sink, CollectSink};
-    use flowmotif_graph::GraphBuilder;
+    use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
 
     /// Builds a graph with several M(3,2) instances of distinct flows.
     fn chain_graph() -> TimeSeriesGraph {

@@ -178,6 +178,25 @@ impl ActiveOriginIndex {
         }
     }
 
+    /// Iterates the non-empty buckets in ascending key order as
+    /// `(bucket_key, sorted origins)` — the serialization surface used by
+    /// the out-of-core segment format.
+    pub fn buckets(&self) -> impl Iterator<Item = (i64, &[NodeId])> + '_ {
+        self.buckets.iter().map(|(&b, v)| (b, v.as_slice()))
+    }
+
+    /// Reassembles an index from its serialized parts: the bucket `width`
+    /// and `(bucket_key, sorted origins)` entries. Inverse of
+    /// [`ActiveOriginIndex::buckets`]; an index rebuilt from its own
+    /// bucket iteration compares equal to the original.
+    pub fn from_raw_parts(
+        width: i64,
+        entries: impl IntoIterator<Item = (i64, Vec<NodeId>)>,
+    ) -> Self {
+        debug_assert!(width >= 1, "bucket width must be positive, got {width}");
+        Self { width, buckets: entries.into_iter().map(|(b, v)| (b, Arc::new(v))).collect() }
+    }
+
     /// Number of non-empty buckets currently held.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
@@ -191,6 +210,53 @@ impl ActiveOriginIndex {
     /// Removes every entry (the width is kept).
     pub fn clear(&mut self) {
         self.buckets.clear();
+    }
+}
+
+/// Incremental bulk-registration helper: notes the events of one sorted
+/// series into an [`ActiveOriginIndex`] while skipping consecutive events
+/// that land in the same bucket (the common case for a dense series,
+/// making registration ~O(buckets touched) instead of O(events)).
+///
+/// The skip key includes the bucket *width*: [`ActiveOriginIndex::record`]
+/// may coarsen the index mid-batch, and a bucket id computed under the
+/// old width must never suppress a record under the new one (ids can
+/// collide across widths — skipping then would silently drop index
+/// entries).
+///
+/// Used by the in-memory bulk build ([`crate::TimeSeriesGraph`]) and by
+/// the streaming segment packer, which sees events one at a time and
+/// cannot afford to buffer a whole series; both produce identical
+/// indexes for identical event sequences.
+#[derive(Debug, Default)]
+pub struct SeriesRecorder {
+    /// `(width, bucket)` of the last recorded event, if any.
+    last: Option<(i64, i64)>,
+}
+
+impl SeriesRecorder {
+    /// A fresh recorder with no event noted yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets the last-noted bucket. Call between series; the skip is
+    /// only valid within one consecutive, time-sorted event run.
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+
+    /// Notes one event of origin `u` at time `t`. Events must arrive in
+    /// the order they appear within their series.
+    #[inline]
+    pub fn note(&mut self, index: &mut ActiveOriginIndex, u: NodeId, t: Timestamp) {
+        let w = index.bucket_width();
+        if self.last == Some((w, t.div_euclid(w))) {
+            return;
+        }
+        index.record(u, t);
+        let w = index.bucket_width(); // re-read: record may have coarsened
+        self.last = Some((w, t.div_euclid(w)));
     }
 }
 
@@ -302,6 +368,20 @@ mod tests {
         }
         assert!(idx.num_buckets() <= MAX_BUCKETS);
         assert_eq!(collected(&idx, 0, 1_000_000), vec![1]);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_reproduces_the_index() {
+        let mut idx = ActiveOriginIndex::new();
+        idx.preset_span(0, 100_000);
+        for t in (0..100_000i64).step_by(37) {
+            idx.record((t % 53) as NodeId, t);
+        }
+        let rebuilt = ActiveOriginIndex::from_raw_parts(
+            idx.bucket_width(),
+            idx.buckets().map(|(b, v)| (b, v.to_vec())),
+        );
+        assert_eq!(rebuilt, idx);
     }
 
     #[test]

@@ -26,8 +26,34 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// A packed segment file was rejected (bad magic, checksum mismatch,
+    /// truncation, out-of-bounds section, …).
+    Segment {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An error raised while reading a specific file, carrying the path.
+    InFile {
+        /// Path of the file being read.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: Box<GraphError>,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
+}
+
+impl GraphError {
+    /// Wraps this error with the path of the file being processed, so
+    /// callers juggling several inputs can tell which one failed.
+    pub fn in_file(self, path: impl Into<std::path::PathBuf>) -> GraphError {
+        GraphError::InFile { path: path.into(), source: Box::new(self) }
+    }
+
+    /// Builds a segment-format rejection error.
+    pub(crate) fn segment(message: impl Into<String>) -> GraphError {
+        GraphError::Segment { message: message.into() }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -44,6 +70,8 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::Segment { message } => write!(f, "invalid segment file: {message}"),
+            GraphError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -53,6 +81,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::InFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -79,6 +108,23 @@ mod tests {
 
         let e = GraphError::NodeIdOverflow(1 << 40);
         assert!(e.to_string().contains("u32"));
+    }
+
+    #[test]
+    fn in_file_adds_path_context_and_keeps_the_source() {
+        use std::error::Error;
+        let e = GraphError::Parse { line: 7, message: "bad field".into() }.in_file("data/x.txt");
+        let msg = e.to_string();
+        assert!(msg.contains("x.txt"), "{msg}");
+        assert!(msg.contains("line 7"), "{msg}");
+        assert!(e.source().unwrap().to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn segment_errors_describe_the_problem() {
+        let e = GraphError::segment("checksum mismatch");
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(e.to_string().contains("segment"));
     }
 
     #[test]

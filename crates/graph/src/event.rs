@@ -22,7 +22,13 @@ pub type Flow = f64;
 
 /// A flow interaction element `(t, f)` on an edge of the time-series graph
 /// (paper Table 1: "flow interaction element on an edge of `E_T`").
+///
+/// `repr(C)` pins the layout to `time` followed by `flow` (16 bytes, both
+/// fields 8-aligned): the out-of-core segment format stores event arrays
+/// verbatim and reinterprets mapped bytes as `&[Event]`, which is only
+/// sound with a defined, padding-free layout.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Event {
     /// Time at which the interaction occurred.
     pub time: Timestamp,

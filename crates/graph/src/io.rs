@@ -42,34 +42,85 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<(u32, u32, i64, f64)>,
     Ok(Some((from, to, time, flow)))
 }
 
+/// Streaming iterator over the `(from, to, time, flow)` records of an
+/// edge list: one buffered line at a time, never the whole file.
+/// Comments and blank lines are skipped; parse failures surface as
+/// [`GraphError::Parse`] with the 1-based line number.
+///
+/// This is the shared front-end of every edge-list consumer — the
+/// in-memory builders below and the out-of-core segment packer, which
+/// streams records straight into external-sort runs.
+pub struct EdgeListRecords<R: Read> {
+    reader: BufReader<R>,
+    line: String,
+    lineno: usize,
+}
+
+impl<R: Read> EdgeListRecords<R> {
+    /// Wraps a reader in a buffered record iterator.
+    pub fn new(reader: R) -> Self {
+        Self { reader: BufReader::new(reader), line: String::new(), lineno: 0 }
+    }
+
+    /// 1-based number of the last line read (0 before the first line).
+    pub fn line_number(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: Read> Iterator for EdgeListRecords<R> {
+    type Item = Result<(u32, u32, i64, f64), GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Err(e) => return Some(Err(e.into())),
+                Ok(0) => return None,
+                Ok(_) => {}
+            }
+            self.lineno += 1;
+            match parse_line(&self.line, self.lineno) {
+                Err(e) => return Some(Err(e)),
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue, // comment or blank line
+            }
+        }
+    }
+}
+
 /// Reads an edge list into a [`GraphBuilder`].
 pub fn read_edge_list<R: Read>(reader: R) -> Result<GraphBuilder, GraphError> {
     let mut builder = GraphBuilder::new();
-    let buf = BufReader::new(reader);
-    let mut line = String::new();
-    let mut reader = buf;
-    let mut lineno = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        lineno += 1;
-        if let Some((u, v, t, f)) = parse_line(&line, lineno)? {
-            builder.try_add_interaction(u, v, t, f)?;
-        }
+    for rec in EdgeListRecords::new(reader) {
+        let (u, v, t, f) = rec?;
+        builder.try_add_interaction(u, v, t, f)?;
     }
     Ok(builder)
 }
 
-/// Loads a time-series graph from an edge-list file.
-pub fn load_time_series_graph<P: AsRef<Path>>(path: P) -> Result<TimeSeriesGraph, GraphError> {
-    Ok(read_edge_list(std::fs::File::open(path)?)?.build_time_series_graph())
+/// Opens `path` and wraps any failure — including later read/parse
+/// errors surfaced through the returned closure — with the file path.
+fn open_with_context(path: &Path) -> Result<std::fs::File, GraphError> {
+    std::fs::File::open(path).map_err(|e| GraphError::Io(e).in_file(path))
 }
 
-/// Loads a raw multigraph from an edge-list file.
+/// Loads a time-series graph from an edge-list file. Errors carry the
+/// file path ([`GraphError::InFile`]) around the line-level detail.
+pub fn load_time_series_graph<P: AsRef<Path>>(path: P) -> Result<TimeSeriesGraph, GraphError> {
+    let path = path.as_ref();
+    let file = open_with_context(path)?;
+    let builder = read_edge_list(file).map_err(|e| e.in_file(path))?;
+    Ok(builder.build_time_series_graph())
+}
+
+/// Loads a raw multigraph from an edge-list file. Errors carry the file
+/// path ([`GraphError::InFile`]) around the line-level detail.
 pub fn load_multigraph<P: AsRef<Path>>(path: P) -> Result<TemporalMultigraph, GraphError> {
-    Ok(read_edge_list(std::fs::File::open(path)?)?.build_multigraph())
+    let path = path.as_ref();
+    let file = open_with_context(path)?;
+    let builder = read_edge_list(file).map_err(|e| e.in_file(path))?;
+    Ok(builder.build_multigraph())
 }
 
 /// Writes a multigraph as a whitespace-separated edge list with a header
@@ -121,6 +172,34 @@ mod tests {
     fn rejects_invalid_flow_values() {
         let err = read_edge_list("0 1 10 -3.0\n".as_bytes()).unwrap_err();
         assert!(matches!(err, GraphError::InvalidFlow { .. }));
+    }
+
+    #[test]
+    fn record_iterator_streams_and_reports_line_numbers() {
+        let input = "# header\n0 1 10 5.0\n\n1 2 11 2.5\nbad line\n";
+        let mut it = EdgeListRecords::new(input.as_bytes());
+        assert_eq!(it.next().unwrap().unwrap(), (0, 1, 10, 5.0));
+        assert_eq!(it.line_number(), 2);
+        assert_eq!(it.next().unwrap().unwrap(), (1, 2, 11, 2.5));
+        let err = it.next().unwrap().unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 5, .. }), "{err}");
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn file_loaders_attach_the_path_to_errors() {
+        let dir = std::env::temp_dir().join("flowmotif_io_ctx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.txt");
+        std::fs::write(&path, "0 1 10 5.0\n0 x 11 1.0\n").unwrap();
+        let err = load_time_series_graph(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.txt"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        let missing = dir.join("does_not_exist.txt");
+        let err = load_multigraph(&missing).unwrap_err();
+        assert!(err.to_string().contains("does_not_exist.txt"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

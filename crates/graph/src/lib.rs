@@ -37,10 +37,14 @@ pub mod builder;
 pub mod error;
 pub mod event;
 pub mod io;
+mod mmap;
 pub mod multigraph;
+pub mod overlay;
 pub mod paths;
+pub mod segment;
 pub mod series;
 pub mod stats;
+pub mod store;
 pub mod tsgraph;
 pub mod window;
 
@@ -49,7 +53,10 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use event::{Event, Flow, NodeId, PairId, Timestamp};
 pub use multigraph::{Interaction, TemporalMultigraph};
-pub use series::InteractionSeries;
+pub use overlay::OverlayStore;
+pub use segment::{pack_edge_list, write_segment, PackStats, SegmentStore, SegmentWriter};
+pub use series::{InteractionSeries, SeriesRef};
 pub use stats::GraphStats;
+pub use store::GraphStore;
 pub use tsgraph::TimeSeriesGraph;
 pub use window::TimeWindow;

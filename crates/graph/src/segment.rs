@@ -1,0 +1,1000 @@
+//! The packed on-disk graph segment: a flat, checksummed, little-endian
+//! file a [`SegmentStore`] serves through a read-only memory map.
+//!
+//! # File layout (`graph.seg`)
+//!
+//! ```text
+//! header (136 B):  magic "FLOWSEG1" | version | num_nodes | num_pairs
+//!                  | num_events | time_lo | time_hi | 8 section offsets
+//!                  | file_len | fnv64 header checksum
+//! out_start:       u32  x (N+1)   CSR offsets into targets/origins
+//! targets:         u32  x P       pair target, sorted by (origin, target)
+//! origins:         u32  x P       pair origin
+//! event_start:     u64  x (P+1)   per-pair offsets into events
+//! origin_span:     i64  x 2N      per-origin [min,max] out-edge time
+//!                                 (MAX/MIN sentinel when inactive)
+//! events:          16 B x E       (time i64, flow f64) sorted per pair
+//! prefix:          f64  x (E+P)   per-pair flow prefix sums, each pair
+//!                                 led by 0.0 (pair p starts at
+//!                                 event_start[p] + p)
+//! index:           serialized ActiveOriginIndex (width, bucket keys,
+//!                                 bucket offsets, origin entries)
+//! ```
+//!
+//! Every section offset is 8-aligned, so the store reinterprets the map
+//! as typed slices directly — opening a segment is O(header + index),
+//! not O(data). Sections mirror [`TimeSeriesGraph`]'s internals element
+//! for element (same sort, same sequential prefix accumulation, same
+//! activity index construction), which is what makes search results on
+//! the two backends bit-identical.
+//!
+//! [`SegmentWriter`] streams a segment out pair by pair while holding
+//! O(nodes + current pair) state, and [`pack_edge_list`] feeds it from
+//! an external merge sort over bounded-memory sorted runs — packing
+//! never materialises the graph.
+
+use crate::active::{ActiveOriginIndex, SeriesRecorder};
+use crate::error::GraphError;
+use crate::event::{Event, Flow, NodeId, PairId, Timestamp};
+use crate::io::EdgeListRecords;
+use crate::mmap::Mmap;
+use crate::series::SeriesRef;
+use crate::tsgraph::TimeSeriesGraph;
+use crate::window::TimeWindow;
+use crate::GraphStore;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the packed segment inside a segment directory.
+pub const SEGMENT_FILE: &str = "graph.seg";
+
+const MAGIC: [u8; 8] = *b"FLOWSEG1";
+const VERSION: u64 = 1;
+/// magic + 16 u64/i64 header words.
+const HEADER_LEN: usize = 8 + 16 * 8;
+/// Sentinel span of an origin with no out-edge interactions (matches the
+/// in-memory representation).
+const EMPTY_SPAN: (Timestamp, Timestamp) = (Timestamp::MAX, Timestamp::MIN);
+
+/// FNV-1a 64-bit, the header checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn align8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+/// Resolves a user-supplied path to the segment file: a directory means
+/// "the `graph.seg` inside it".
+pub fn segment_path(path: &Path) -> PathBuf {
+    if path.is_dir() {
+        path.join(SEGMENT_FILE)
+    } else {
+        path.to_path_buf()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Streams a segment file out pair by pair (pairs strictly ascending by
+/// `(origin, target)`, events non-decreasing by time within a pair —
+/// exactly the order [`TimeSeriesGraph`] stores). Sections go to
+/// temporary spill files next to the target and are concatenated behind
+/// the header on [`SegmentWriter::finish`]; resident state is O(index +
+/// constants), independent of the graph.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    dir: PathBuf,
+    num_nodes: usize,
+    sections: Vec<BufWriter<File>>,
+    /// Provided global time span (also the index preset, so the packed
+    /// activity index starts from the same bucket width as a bulk
+    /// rebuild).
+    span: Option<(Timestamp, Timestamp)>,
+    index: ActiveOriginIndex,
+    recorder: SeriesRecorder,
+    cur_pair: Option<(NodeId, NodeId)>,
+    cur_origin: Option<NodeId>,
+    origin_span: (Timestamp, Timestamp),
+    pairs_written: u64,
+    events_written: u64,
+    /// `out_start` entries emitted so far (index of the next node).
+    out_filled: usize,
+    /// `origin_span` entries emitted so far.
+    span_filled: usize,
+    last_time: Timestamp,
+    acc: Flow,
+}
+
+/// Section order inside the writer (and the file).
+const S_OUT_START: usize = 0;
+const S_TARGETS: usize = 1;
+const S_ORIGINS: usize = 2;
+const S_EVENT_START: usize = 3;
+const S_ORIGIN_SPAN: usize = 4;
+const S_EVENTS: usize = 5;
+const S_PREFIX: usize = 6;
+const NUM_SPILL: usize = 7;
+
+impl SegmentWriter {
+    /// Opens a writer targeting `dir/graph.seg`. `num_nodes` and the
+    /// exact global `time_span` must be known up front (one streaming
+    /// pass over the input provides both).
+    pub fn create(
+        dir: &Path,
+        num_nodes: usize,
+        span: Option<(Timestamp, Timestamp)>,
+    ) -> Result<Self, GraphError> {
+        std::fs::create_dir_all(dir)?;
+        let mut sections = Vec::with_capacity(NUM_SPILL);
+        for i in 0..NUM_SPILL {
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(Self::spill_path(dir, i))?;
+            sections.push(BufWriter::new(f));
+        }
+        let mut index = ActiveOriginIndex::new();
+        if let Some((lo, hi)) = span {
+            index.preset_span(lo, hi);
+        }
+        let mut w = Self {
+            dir: dir.to_path_buf(),
+            num_nodes,
+            sections,
+            span,
+            index,
+            recorder: SeriesRecorder::new(),
+            cur_pair: None,
+            cur_origin: None,
+            origin_span: EMPTY_SPAN,
+            pairs_written: 0,
+            events_written: 0,
+            out_filled: 0,
+            span_filled: 0,
+            last_time: Timestamp::MIN,
+            acc: 0.0,
+        };
+        // out_start[0] = 0 and event_start[0] = 0.
+        w.write(S_OUT_START, &0u32.to_le_bytes())?;
+        w.write(S_EVENT_START, &0u64.to_le_bytes())?;
+        w.out_filled = 1;
+        Ok(w)
+    }
+
+    fn spill_path(dir: &Path, i: usize) -> PathBuf {
+        dir.join(format!("{SEGMENT_FILE}.spill{i}"))
+    }
+
+    #[inline]
+    fn write(&mut self, section: usize, bytes: &[u8]) -> Result<(), GraphError> {
+        self.sections[section].write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Seals the previous pair's event range and prefix run.
+    fn end_pair(&mut self) -> Result<(), GraphError> {
+        if self.cur_pair.is_some() {
+            self.write(S_EVENT_START, &self.events_written.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Seals the previous origin's activity span.
+    fn end_origin(&mut self) -> Result<(), GraphError> {
+        if self.cur_origin.is_some() {
+            let (lo, hi) = self.origin_span;
+            self.write(S_ORIGIN_SPAN, &lo.to_le_bytes())?;
+            self.write(S_ORIGIN_SPAN, &hi.to_le_bytes())?;
+            self.span_filled += 1;
+        }
+        Ok(())
+    }
+
+    /// Emits `EMPTY_SPAN` for every origin up to (excluding) `u`.
+    fn fill_spans_to(&mut self, u: usize) -> Result<(), GraphError> {
+        while self.span_filled < u {
+            self.write(S_ORIGIN_SPAN, &EMPTY_SPAN.0.to_le_bytes())?;
+            self.write(S_ORIGIN_SPAN, &EMPTY_SPAN.1.to_le_bytes())?;
+            self.span_filled += 1;
+        }
+        Ok(())
+    }
+
+    /// Starts the next pair. Pairs must arrive strictly ascending by
+    /// `(u, v)`; `u` and `v` must be below the declared node count.
+    pub fn begin_pair(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        assert!(
+            self.cur_pair.is_none_or(|last| last < (u, v)),
+            "pairs must be strictly ascending: {:?} then {:?}",
+            self.cur_pair,
+            (u, v)
+        );
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "pair ({u}, {v}) outside the declared {} nodes",
+            self.num_nodes
+        );
+        self.end_pair()?;
+        if self.cur_origin != Some(u) {
+            self.end_origin()?;
+            self.fill_spans_to(u as usize)?;
+            self.cur_origin = Some(u);
+            self.origin_span = EMPTY_SPAN;
+            // out_start[x] for every node through u = pairs before u.
+            while self.out_filled <= u as usize {
+                let n = self.pairs_written as u32;
+                self.write(S_OUT_START, &n.to_le_bytes())?;
+                self.out_filled += 1;
+            }
+        }
+        self.write(S_TARGETS, &v.to_le_bytes())?;
+        self.write(S_ORIGINS, &u.to_le_bytes())?;
+        self.write(S_PREFIX, &0.0f64.to_le_bytes())?;
+        self.cur_pair = Some((u, v));
+        self.pairs_written += 1;
+        self.last_time = Timestamp::MIN;
+        self.acc = 0.0;
+        self.recorder.reset();
+        Ok(())
+    }
+
+    /// Appends one event to the current pair (times non-decreasing).
+    pub fn push_event(&mut self, t: Timestamp, f: Flow) -> Result<(), GraphError> {
+        let (u, _) = self.cur_pair.expect("push_event before begin_pair");
+        assert!(t >= self.last_time, "events must be sorted by time within a pair");
+        self.last_time = t;
+        let mut ev = [0u8; 16];
+        ev[..8].copy_from_slice(&t.to_le_bytes());
+        ev[8..].copy_from_slice(&f.to_le_bytes());
+        self.write(S_EVENTS, &ev)?;
+        // Same sequential accumulation as `InteractionSeries`, so the
+        // stored prefixes are bit-identical to the in-memory ones.
+        self.acc += f;
+        let acc = self.acc;
+        self.write(S_PREFIX, &acc.to_le_bytes())?;
+        self.events_written += 1;
+        self.origin_span.0 = self.origin_span.0.min(t);
+        self.origin_span.1 = self.origin_span.1.max(t);
+        self.recorder.note(&mut self.index, u, t);
+        Ok(())
+    }
+
+    /// Finalizes the segment: pads out the per-node sections, assembles
+    /// the file behind a checksummed header, removes the spill files and
+    /// returns the segment path.
+    pub fn finish(mut self) -> Result<PathBuf, GraphError> {
+        self.end_pair()?;
+        self.end_origin()?;
+        self.fill_spans_to(self.num_nodes)?;
+        while self.out_filled <= self.num_nodes {
+            let n = self.pairs_written as u32;
+            self.write(S_OUT_START, &n.to_le_bytes())?;
+            self.out_filled += 1;
+        }
+
+        // Serialize the activity index.
+        let mut index_bytes: Vec<u8> = Vec::new();
+        index_bytes.extend_from_slice(&self.index.bucket_width().to_le_bytes());
+        let buckets: Vec<(i64, &[NodeId])> = self.index.buckets().collect();
+        index_bytes.extend_from_slice(&(buckets.len() as u64).to_le_bytes());
+        for &(key, _) in &buckets {
+            index_bytes.extend_from_slice(&key.to_le_bytes());
+        }
+        let mut start = 0u64;
+        index_bytes.extend_from_slice(&start.to_le_bytes());
+        for &(_, origins) in &buckets {
+            start += origins.len() as u64;
+            index_bytes.extend_from_slice(&start.to_le_bytes());
+        }
+        for &(_, origins) in &buckets {
+            for &u in origins {
+                index_bytes.extend_from_slice(&u.to_le_bytes());
+            }
+        }
+
+        // Compute the layout and write the final file.
+        let mut spill: Vec<File> = Vec::with_capacity(NUM_SPILL);
+        for w in self.sections.drain(..) {
+            let mut f = w.into_inner().map_err(|e| GraphError::Io(e.into_error()))?;
+            f.flush()?;
+            spill.push(f);
+        }
+        let mut offsets = [0u64; 8];
+        let mut cursor = HEADER_LEN as u64;
+        for (i, f) in spill.iter().enumerate() {
+            offsets[i] = cursor;
+            cursor = align8(cursor + f.metadata()?.len());
+        }
+        offsets[7] = cursor; // index
+        let file_len = cursor + index_bytes.len() as u64;
+
+        let (time_lo, time_hi) = self.span.unwrap_or(EMPTY_SPAN);
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        for word in [
+            VERSION,
+            self.num_nodes as u64,
+            self.pairs_written,
+            self.events_written,
+            time_lo as u64,
+            time_hi as u64,
+        ] {
+            header.extend_from_slice(&word.to_le_bytes());
+        }
+        for off in offsets {
+            header.extend_from_slice(&off.to_le_bytes());
+        }
+        header.extend_from_slice(&file_len.to_le_bytes());
+        header.extend_from_slice(&fnv64(&header).to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+
+        let final_path = self.dir.join(SEGMENT_FILE);
+        let tmp_path = self.dir.join(format!("{SEGMENT_FILE}.tmp"));
+        {
+            let mut out = BufWriter::new(File::create(&tmp_path)?);
+            out.write_all(&header)?;
+            let mut written = HEADER_LEN as u64;
+            for (i, mut f) in spill.into_iter().enumerate() {
+                while written < offsets[i] {
+                    out.write_all(&[0u8])?;
+                    written += 1;
+                }
+                f.seek(std::io::SeekFrom::Start(0))?;
+                written += std::io::copy(&mut f, &mut out)?;
+            }
+            while written < offsets[7] {
+                out.write_all(&[0u8])?;
+                written += 1;
+            }
+            out.write_all(&index_bytes)?;
+            out.flush()?;
+        }
+        for i in 0..NUM_SPILL {
+            let _ = std::fs::remove_file(Self::spill_path(&self.dir, i));
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        Ok(final_path)
+    }
+}
+
+/// Packs an in-memory graph into a segment at `dir/graph.seg` (the
+/// non-streaming convenience; [`pack_edge_list`] is the out-of-core
+/// path).
+pub fn write_segment(g: &TimeSeriesGraph, dir: &Path) -> Result<PathBuf, GraphError> {
+    let mut w = SegmentWriter::create(dir, g.num_nodes(), g.time_span())?;
+    for p in 0..g.num_pairs() as PairId {
+        let (u, v) = g.pair(p);
+        w.begin_pair(u, v)?;
+        for e in g.series(p).events() {
+            w.push_event(e.time, e.flow)?;
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// External-sort packer
+// ---------------------------------------------------------------------
+
+/// One edge-list record in a sort run: the `(u, v, t, seq)` key ordering
+/// reproduces the in-memory build exactly — pairs sorted by `(u, v)`,
+/// events time-sorted with input order breaking ties (the builder's
+/// stable sort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RunRecord {
+    u: NodeId,
+    v: NodeId,
+    t: Timestamp,
+    seq: u64,
+}
+
+const RUN_RECORD_LEN: usize = 32;
+
+/// Default records per sorted run (32 B each, so ~32 MiB of sort buffer).
+pub const DEFAULT_RUN_RECORDS: usize = 1 << 20;
+
+/// Packing summary returned by [`pack_edge_list`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackStats {
+    /// Interactions packed.
+    pub interactions: u64,
+    /// Distinct `(u, v)` pairs.
+    pub pairs: u64,
+    /// Node count (max id + 1).
+    pub nodes: usize,
+    /// Sorted runs merged (1 means the input fit one sort buffer).
+    pub runs: usize,
+}
+
+flowmotif_util::impl_to_json!(PackStats { interactions, pairs, nodes, runs });
+
+/// Compiles a whitespace/comma-separated `from to time flow` edge list
+/// into a packed segment at `out_dir/graph.seg` using an external merge
+/// sort: the input is streamed into sorted runs of at most
+/// `run_records` records (32 B each) which a k-way merge then streams
+/// through a [`SegmentWriter`]. Peak memory is O(run buffer + nodes'
+/// index), never O(interactions). Validation matches
+/// [`crate::GraphBuilder`]: non-finite or non-positive flows and
+/// self-loops are rejected.
+pub fn pack_edge_list(
+    input: &Path,
+    out_dir: &Path,
+    run_records: usize,
+) -> Result<PackStats, GraphError> {
+    let run_records = run_records.max(1);
+    std::fs::create_dir_all(out_dir)?;
+
+    // Pass 1: stream the input into sorted runs, learning the node count
+    // and the global time span.
+    let file = File::open(input).map_err(|e| GraphError::from(e).in_file(input))?;
+    let mut buf: Vec<(RunRecord, Flow)> = Vec::with_capacity(run_records.min(1 << 20));
+    let mut runs: Vec<PathBuf> = Vec::new();
+    let mut num_nodes = 0usize;
+    let mut span: Option<(Timestamp, Timestamp)> = None;
+    let mut seq = 0u64;
+    let result = (|| -> Result<(), GraphError> {
+        for rec in EdgeListRecords::new(file) {
+            let (u, v, t, f) = rec?;
+            if !(f.is_finite() && f > 0.0) {
+                return Err(GraphError::InvalidFlow { flow: f, from: u as u64, to: v as u64 });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u as u64));
+            }
+            num_nodes = num_nodes.max(u.max(v) as usize + 1);
+            span = Some(span.map_or((t, t), |(lo, hi)| (lo.min(t), hi.max(t))));
+            buf.push((RunRecord { u, v, t, seq }, f));
+            seq += 1;
+            if buf.len() >= run_records {
+                flush_run(&mut buf, out_dir, &mut runs)?;
+            }
+        }
+        flush_run(&mut buf, out_dir, &mut runs)?;
+
+        // Pass 2: k-way merge the runs straight into the writer.
+        let mut writer = SegmentWriter::create(out_dir, num_nodes, span)?;
+        let mut sources = Vec::with_capacity(runs.len());
+        for path in &runs {
+            sources.push(RunReader::open(path)?);
+        }
+        // Flows ride along as raw bits (`f64` is not `Ord`); the
+        // `(record, source)` key is unique, so they never affect ordering.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(RunRecord, usize, u64)>> =
+            std::collections::BinaryHeap::with_capacity(sources.len());
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some((rec, f)) = src.next()? {
+                heap.push(std::cmp::Reverse((rec, i, f.to_bits())));
+            }
+        }
+        let mut cur: Option<(NodeId, NodeId)> = None;
+        while let Some(std::cmp::Reverse((rec, i, bits))) = heap.pop() {
+            if cur != Some((rec.u, rec.v)) {
+                writer.begin_pair(rec.u, rec.v)?;
+                cur = Some((rec.u, rec.v));
+            }
+            writer.push_event(rec.t, f64::from_bits(bits))?;
+            if let Some((next, nf)) = sources[i].next()? {
+                heap.push(std::cmp::Reverse((next, i, nf.to_bits())));
+            }
+        }
+        writer.finish()?;
+        Ok(())
+    })();
+    let run_count = runs.len();
+    for path in runs {
+        let _ = std::fs::remove_file(path);
+    }
+    result?;
+    Ok(PackStats {
+        interactions: seq,
+        pairs: SegmentStore::open(out_dir)?.num_pairs() as u64,
+        nodes: num_nodes,
+        runs: run_count,
+    })
+}
+
+/// Sorts and spills one run buffer (no-op when empty).
+fn flush_run(
+    buf: &mut Vec<(RunRecord, Flow)>,
+    dir: &Path,
+    runs: &mut Vec<PathBuf>,
+) -> Result<(), GraphError> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    // `seq` is globally unique, so the key is total and the sort can be
+    // unstable without losing determinism.
+    buf.sort_unstable_by_key(|&(rec, _)| rec);
+    let path = dir.join(format!("{SEGMENT_FILE}.run{}", runs.len()));
+    let mut w = BufWriter::new(File::create(&path)?);
+    for &(rec, f) in buf.iter() {
+        let mut bytes = [0u8; RUN_RECORD_LEN];
+        bytes[..4].copy_from_slice(&rec.u.to_le_bytes());
+        bytes[4..8].copy_from_slice(&rec.v.to_le_bytes());
+        bytes[8..16].copy_from_slice(&rec.t.to_le_bytes());
+        bytes[16..24].copy_from_slice(&rec.seq.to_le_bytes());
+        bytes[24..].copy_from_slice(&f.to_le_bytes());
+        w.write_all(&bytes)?;
+    }
+    w.flush()?;
+    runs.push(path);
+    buf.clear();
+    Ok(())
+}
+
+/// Buffered reader over one sorted run file.
+#[derive(Debug)]
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn open(path: &Path) -> Result<Self, GraphError> {
+        Ok(Self { reader: BufReader::new(File::open(path)?) })
+    }
+
+    fn next(&mut self) -> Result<Option<(RunRecord, Flow)>, GraphError> {
+        let mut bytes = [0u8; RUN_RECORD_LEN];
+        match self.reader.read_exact(&mut bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let rec = RunRecord {
+            u: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            v: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            t: i64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            seq: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+        };
+        let f = f64::from_le_bytes(bytes[24..].try_into().unwrap());
+        Ok(Some((rec, f)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------
+
+/// A read-only [`GraphStore`] over a memory-mapped segment file.
+///
+/// Opening validates the header (magic, version, checksum, declared vs
+/// actual file length, section bounds and alignment) and deserializes
+/// the small activity index; everything else is viewed in place, so
+/// resident memory stays O(index) no matter how large the graph is and
+/// the OS pages event data in and out on demand. Accessors bound-check
+/// every slice they cut, so a corrupt body found past the O(1) header
+/// validation panics rather than reading out of bounds.
+#[derive(Debug)]
+pub struct SegmentStore {
+    map: Mmap,
+    num_nodes: usize,
+    num_pairs: usize,
+    num_events: usize,
+    time_lo: Timestamp,
+    time_hi: Timestamp,
+    offsets: [usize; 8],
+    index: ActiveOriginIndex,
+}
+
+impl SegmentStore {
+    /// Opens and validates `path` (a segment file, or a directory
+    /// containing `graph.seg`).
+    pub fn open(path: &Path) -> Result<Self, GraphError> {
+        let file_path = segment_path(path);
+        Self::open_file(&file_path).map_err(|e| e.in_file(&file_path))
+    }
+
+    fn open_file(path: &Path) -> Result<Self, GraphError> {
+        let file = File::open(path)?;
+        let map = Mmap::map(&file)?;
+        let bytes = map.bytes();
+        if bytes.len() < HEADER_LEN {
+            return Err(GraphError::segment(format!(
+                "file too short for a segment header ({} < {HEADER_LEN} bytes)",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(GraphError::segment("bad magic (not a flowmotif segment)"));
+        }
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap())
+        };
+        let stored_sum = word(15);
+        if fnv64(&bytes[..HEADER_LEN - 8]) != stored_sum {
+            return Err(GraphError::segment("header checksum mismatch"));
+        }
+        if word(0) != VERSION {
+            return Err(GraphError::segment(format!("unsupported segment version {}", word(0))));
+        }
+        let file_len = word(14);
+        if file_len != bytes.len() as u64 {
+            return Err(GraphError::segment(format!(
+                "truncated or padded file: header declares {file_len} bytes, found {}",
+                bytes.len()
+            )));
+        }
+        let num_nodes = word(1) as usize;
+        let num_pairs = word(2) as usize;
+        let num_events = word(3) as usize;
+        let time_lo = word(4) as i64;
+        let time_hi = word(5) as i64;
+
+        let mut offsets = [0usize; 8];
+        let sizes: [u64; 8] = [
+            4 * (num_nodes as u64 + 1),                 // out_start
+            4 * num_pairs as u64,                       // targets
+            4 * num_pairs as u64,                       // origins
+            8 * (num_pairs as u64 + 1),                 // event_start
+            16 * num_nodes as u64,                      // origin_span
+            16 * num_events as u64,                     // events
+            8 * (num_events as u64 + num_pairs as u64), // prefix
+            0,                                          // index (rest of file)
+        ];
+        for i in 0..8 {
+            let off = word(6 + i);
+            let size = if i == 7 { file_len.saturating_sub(off) } else { sizes[i] };
+            if off % 8 != 0
+                || off < HEADER_LEN as u64
+                || off.checked_add(size).is_none_or(|end| end > file_len)
+            {
+                return Err(GraphError::segment(format!(
+                    "section {i} out of bounds (offset {off}, size {size}, file {file_len})"
+                )));
+            }
+            offsets[i] = off as usize;
+        }
+
+        let index = Self::parse_index(&bytes[offsets[7]..], num_nodes)?;
+        Ok(Self { map, num_nodes, num_pairs, num_events, time_lo, time_hi, offsets, index })
+    }
+
+    /// Deserializes the activity index section into a live
+    /// [`ActiveOriginIndex`] (the only O(index)-sized work at open).
+    fn parse_index(bytes: &[u8], num_nodes: usize) -> Result<ActiveOriginIndex, GraphError> {
+        let err = |m: &str| GraphError::segment(format!("activity index: {m}"));
+        let need = |n: usize| -> Result<(), GraphError> {
+            if bytes.len() < n {
+                return Err(err("section truncated"));
+            }
+            Ok(())
+        };
+        need(16)?;
+        let width = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+        if width < 1 {
+            return Err(err("bucket width must be positive"));
+        }
+        let nb = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let keys_off = 16;
+        let starts_off = keys_off + 8 * nb;
+        let entries_off = starts_off + 8 * (nb + 1);
+        need(entries_off)?;
+        let total_entries = (bytes.len() - entries_off) / 4;
+        let mut entries: Vec<(i64, Vec<NodeId>)> = Vec::with_capacity(nb);
+        let mut prev_start = 0u64;
+        for b in 0..nb {
+            let key = i64::from_le_bytes(
+                bytes[keys_off + 8 * b..keys_off + 8 * b + 8].try_into().unwrap(),
+            );
+            let s = u64::from_le_bytes(
+                bytes[starts_off + 8 * b..starts_off + 8 * b + 8].try_into().unwrap(),
+            );
+            let e = u64::from_le_bytes(
+                bytes[starts_off + 8 * (b + 1)..starts_off + 8 * (b + 2)].try_into().unwrap(),
+            );
+            if s != prev_start || e < s || e > total_entries as u64 {
+                return Err(err("bucket offsets are not a monotone partition"));
+            }
+            prev_start = e;
+            let mut origins = Vec::with_capacity((e - s) as usize);
+            for i in s..e {
+                let off = entries_off + 4 * i as usize;
+                let u = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                if (u as usize) >= num_nodes {
+                    return Err(err("origin entry out of node range"));
+                }
+                origins.push(u);
+            }
+            entries.push((key, origins));
+        }
+        Ok(ActiveOriginIndex::from_raw_parts(width, entries))
+    }
+
+    /// Cuts a typed slice out of a section. Bounds are re-checked here
+    /// (not just at open) so index corruption panics instead of reading
+    /// out of bounds; alignment holds because the map base and every
+    /// section offset are 8-aligned.
+    #[inline]
+    fn typed<T>(&self, section: usize, len: usize) -> &[T] {
+        let off = self.offsets[section];
+        let bytes = &self.map.bytes()[off..off + len * std::mem::size_of::<T>()];
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+        // SAFETY: the range is in bounds (checked by the slice above),
+        // 8-aligned, and T is one of the plain-old-data section types
+        // (u32/u64/i64/f64/Event) for which any bit pattern is valid.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, len) }
+    }
+
+    #[inline]
+    fn out_start(&self) -> &[u32] {
+        self.typed(S_OUT_START, self.num_nodes + 1)
+    }
+
+    #[inline]
+    fn targets(&self) -> &[u32] {
+        self.typed(S_TARGETS, self.num_pairs)
+    }
+
+    #[inline]
+    fn origins(&self) -> &[u32] {
+        self.typed(S_ORIGINS, self.num_pairs)
+    }
+
+    #[inline]
+    fn event_start(&self) -> &[u64] {
+        self.typed(S_EVENT_START, self.num_pairs + 1)
+    }
+
+    #[inline]
+    fn origin_spans(&self) -> &[i64] {
+        self.typed(S_ORIGIN_SPAN, 2 * self.num_nodes)
+    }
+}
+
+impl GraphStore for SegmentStore {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    #[inline]
+    fn num_interactions(&self) -> usize {
+        self.num_events
+    }
+
+    #[inline]
+    fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+        (self.origins()[p as usize], self.targets()[p as usize])
+    }
+
+    #[inline]
+    fn series(&self, p: PairId) -> SeriesRef<'_> {
+        let p = p as usize;
+        let es = self.event_start();
+        let (a, b) = (es[p] as usize, es[p + 1] as usize);
+        let events: &[Event] = &self.typed(S_EVENTS, self.num_events)[a..b];
+        // Pair p's prefix run is its event range shifted by the p
+        // leading zeros of earlier pairs, plus its own.
+        let prefix: &[Flow] =
+            &self.typed(S_PREFIX, self.num_events + self.num_pairs)[a + p..b + p + 1];
+        SeriesRef::from_raw(events, prefix)
+    }
+
+    #[inline]
+    fn out_degree(&self, u: NodeId) -> u32 {
+        let s = self.out_start();
+        s[u as usize + 1] - s[u as usize]
+    }
+
+    #[inline]
+    fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
+        self.out_start()[u as usize] + i
+    }
+
+    fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
+        if u as usize >= self.num_nodes {
+            return None;
+        }
+        let s = self.out_start();
+        let (a, b) = (s[u as usize] as usize, s[u as usize + 1] as usize);
+        let slice = &self.targets()[a..b];
+        slice.binary_search(&v).ok().map(|i| (a + i) as PairId)
+    }
+
+    #[inline]
+    fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)> {
+        let spans = self.origin_spans();
+        let (lo, hi) = (*spans.get(2 * u as usize)?, *spans.get(2 * u as usize + 1)?);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    fn active_origins_in_range(
+        &self,
+        w: TimeWindow,
+        range: std::ops::Range<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.index.origins_overlapping_in_range(w.start, w.end, range.start, range.end, out);
+        out.retain(|&u| self.origin_active_in(u, w));
+    }
+
+    #[inline]
+    fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        (self.num_events > 0).then_some((self.time_lo, self.time_hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("flowmotif-seg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fig5() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        for (u, v, t, f) in [
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (3, 2, 1, 2.0),
+            (3, 2, 3, 5.0),
+            (3, 0, 11, 10.0),
+            (1, 2, 18, 20.0),
+            (2, 3, 19, 5.0),
+            (2, 3, 21, 4.0),
+            (1, 3, 23, 7.0),
+        ] {
+            b.add_interaction(u, v, t, f);
+        }
+        b.build_time_series_graph()
+    }
+
+    fn assert_equivalent(s: &SegmentStore, g: &TimeSeriesGraph) {
+        assert_eq!(s.num_nodes(), g.num_nodes());
+        assert_eq!(s.num_pairs(), g.num_pairs());
+        assert_eq!(s.num_interactions(), g.num_interactions());
+        assert_eq!(GraphStore::time_span(s), g.time_span());
+        for p in 0..g.num_pairs() as PairId {
+            assert_eq!(GraphStore::pair(s, p), g.pair(p));
+            assert_eq!(GraphStore::series(s, p).events(), g.series(p).events());
+            assert_eq!(
+                GraphStore::series(s, p).total_flow().to_bits(),
+                g.series(p).total_flow().to_bits(),
+                "prefix sums must be bit-identical"
+            );
+        }
+        for u in 0..g.num_nodes() as NodeId {
+            assert_eq!(GraphStore::out_degree(s, u) as usize, g.out_degree(u));
+            let r = g.out_pair_range(u);
+            for i in 0..GraphStore::out_degree(s, u) {
+                assert_eq!(GraphStore::out_pair_at(s, u, i), r.start + i);
+            }
+            assert_eq!(GraphStore::origin_active_span(s, u), g.origin_active_span(u));
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(GraphStore::pair_id(s, u, v), g.pair_id(u, v));
+            }
+        }
+        for (a, b) in [(0, 5), (10, 15), (16, 25), (0, 30), (i64::MIN, i64::MAX)] {
+            let w = TimeWindow::new(a, b);
+            let mut got = Vec::new();
+            s.active_origins_in_range(w, 0..NodeId::MAX, &mut got);
+            assert_eq!(got, g.active_origins_in(w), "window [{a},{b}]");
+        }
+    }
+
+    #[test]
+    fn write_and_reopen_round_trips_fig5() {
+        let dir = tmp_dir("roundtrip");
+        write_segment(&fig5(), &dir).unwrap();
+        let s = SegmentStore::open(&dir).unwrap();
+        assert_equivalent(&s, &fig5());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let dir = tmp_dir("empty");
+        write_segment(&GraphBuilder::new().build_time_series_graph(), &dir).unwrap();
+        let s = SegmentStore::open(&dir).unwrap();
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.num_pairs(), 0);
+        assert_eq!(GraphStore::time_span(&s), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pack_matches_in_memory_build_across_run_sizes() {
+        let dir = tmp_dir("pack");
+        let input = dir.join("edges.txt");
+        let mut text = String::from("# comment line\n");
+        let mut b = GraphBuilder::new();
+        // Duplicate timestamps on one pair exercise the stable tie-break.
+        for (u, v, t, f) in [
+            (3u32, 1u32, 9i64, 2.5),
+            (0, 1, 5, 1.0),
+            (0, 1, 5, 2.0),
+            (1, 2, 7, 4.0),
+            (0, 1, 3, 8.0),
+            (2, 0, 5, 1.5),
+            (0, 1, 5, 0.25),
+        ] {
+            text.push_str(&format!("{u} {v} {t} {f}\n"));
+            b.add_interaction(u, v, t, f);
+        }
+        std::fs::write(&input, text).unwrap();
+        let g = b.build_time_series_graph();
+        for run_records in [1, 2, 1024] {
+            let out = dir.join(format!("seg{run_records}"));
+            let stats = pack_edge_list(&input, &out, run_records).unwrap();
+            assert_eq!(stats.interactions, 7);
+            assert_eq!(stats.nodes, 4);
+            assert_eq!(stats.runs, if run_records >= 7 { 1 } else { 7usize.div_ceil(run_records) });
+            let s = SegmentStore::open(&out).unwrap();
+            assert_equivalent(&s, &g);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pack_rejects_invalid_input() {
+        let dir = tmp_dir("pack-invalid");
+        let input = dir.join("edges.txt");
+        std::fs::write(&input, "0 1 5 -1.0\n").unwrap();
+        assert!(matches!(
+            pack_edge_list(&input, &dir.join("o1"), 64),
+            Err(GraphError::InvalidFlow { .. })
+        ));
+        std::fs::write(&input, "4 4 5 1.0\n").unwrap();
+        assert!(matches!(
+            pack_edge_list(&input, &dir.join("o2"), 64),
+            Err(GraphError::SelfLoop(4))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corruption() {
+        let dir = tmp_dir("corrupt");
+        let path = write_segment(&fig5(), &dir).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Flipped header byte -> checksum mismatch.
+        let mut bad = pristine.clone();
+        bad[9] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let err = SegmentStore::open(&path).unwrap_err().to_string();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Bad magic.
+        let mut bad = pristine.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = SegmentStore::open(&path).unwrap_err().to_string();
+        assert!(err.contains("magic"), "{err}");
+
+        // Truncation (header intact, body cut).
+        std::fs::write(&path, &pristine[..pristine.len() - 16]).unwrap();
+        let err = SegmentStore::open(&path).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Too short for a header at all.
+        std::fs::write(&path, &pristine[..40]).unwrap();
+        let err = SegmentStore::open(&path).unwrap_err().to_string();
+        assert!(err.contains("too short"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

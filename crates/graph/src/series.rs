@@ -258,6 +258,144 @@ impl InteractionSeries {
     }
 }
 
+impl InteractionSeries {
+    /// Borrows this series as a [`SeriesRef`] — the storage-independent
+    /// view the [`crate::store::GraphStore`] trait hands to the search
+    /// layers. All read queries on the view behave exactly like the
+    /// methods of the owning series.
+    #[inline]
+    pub fn as_ref(&self) -> SeriesRef<'_> {
+        SeriesRef { events: &self.events, prefix: &self.prefix }
+    }
+}
+
+/// A borrowed, `Copy` view of one interaction series: the sorted `(t, f)`
+/// elements plus their flow prefix sums, wherever they live — an
+/// in-memory [`InteractionSeries`], a memory-mapped segment, or an epoch
+/// overlay. Carries the full read-side query API of
+/// [`InteractionSeries`]; every method is a verbatim re-implementation
+/// over the borrowed slices, so both backends answer identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesRef<'a> {
+    events: &'a [Event],
+    /// `prefix[i]` = total flow of `events[..i]`; has `len + 1` entries.
+    prefix: &'a [Flow],
+}
+
+impl<'a> SeriesRef<'a> {
+    /// Assembles a view from raw parts. `prefix` must hold the flow
+    /// prefix sums of `events` (length `events.len() + 1`, starting at
+    /// `0.0`) — the segment and overlay backends guarantee this by
+    /// construction.
+    #[inline]
+    pub(crate) fn from_raw(events: &'a [Event], prefix: &'a [Flow]) -> Self {
+        debug_assert_eq!(prefix.len(), events.len() + 1);
+        Self { events, prefix }
+    }
+
+    /// Number of elements in the series.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the series is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The elements, sorted by time. The slice borrows the backing
+    /// storage (`'a`), not the view, so it outlives this `SeriesRef`.
+    #[inline]
+    pub fn events(self) -> &'a [Event] {
+        self.events
+    }
+
+    /// The `i`-th element.
+    #[inline]
+    pub fn event(self, i: usize) -> Event {
+        self.events[i]
+    }
+
+    /// Timestamp of the `i`-th element.
+    #[inline]
+    pub fn time(self, i: usize) -> Timestamp {
+        self.events[i].time
+    }
+
+    /// Index of the first element with `time >= t` (== `len` if none).
+    #[inline]
+    pub fn idx_at_or_after(self, t: Timestamp) -> usize {
+        self.events.partition_point(|e| e.time < t)
+    }
+
+    /// Index of the first element with `time > t` (== `len` if none).
+    #[inline]
+    pub fn idx_after(self, t: Timestamp) -> usize {
+        self.events.partition_point(|e| e.time <= t)
+    }
+
+    /// Index range of elements with time in the inclusive window `[a, b]`.
+    #[inline]
+    pub fn range_closed(self, a: Timestamp, b: Timestamp) -> Range<usize> {
+        self.idx_at_or_after(a)..self.idx_after(b)
+    }
+
+    /// Index range of elements with time in the half-open window `(a, b]`.
+    #[inline]
+    pub fn range_open_closed(self, a: Timestamp, b: Timestamp) -> Range<usize> {
+        self.idx_after(a)..self.idx_after(b)
+    }
+
+    /// Aggregated flow of the element index range `r` in O(1).
+    #[inline]
+    pub fn flow_of_range(self, r: Range<usize>) -> Flow {
+        debug_assert!(r.start <= r.end && r.end <= self.len());
+        self.prefix[r.end] - self.prefix[r.start]
+    }
+
+    /// Total flow of the whole series.
+    #[inline]
+    pub fn total_flow(self) -> Flow {
+        *self.prefix.last().expect("prefix always has at least one entry")
+    }
+
+    /// Aggregated flow of all elements with time in `[a, b]`.
+    #[inline]
+    pub fn flow_in_closed(self, a: Timestamp, b: Timestamp) -> Flow {
+        self.flow_of_range(self.range_closed(a, b))
+    }
+
+    /// Timestamp of the earliest element (`None` when empty).
+    #[inline]
+    pub fn first_time(self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Timestamp of the latest element (`None` when empty).
+    #[inline]
+    pub fn last_time(self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Whether the series has at least one element inside the closed
+    /// window `[a, b]` (see [`InteractionSeries::active_in`]).
+    #[inline]
+    pub fn active_in(self, a: Timestamp, b: Timestamp) -> bool {
+        let (Some(first), Some(last)) = (self.first_time(), self.last_time()) else {
+            return false;
+        };
+        if last < a || first > b {
+            return false;
+        }
+        if first >= a || last <= b {
+            return true;
+        }
+        self.idx_at_or_after(a) < self.idx_after(b)
+    }
+}
+
 impl FromIterator<(Timestamp, Flow)> for InteractionSeries {
     fn from_iter<T: IntoIterator<Item = (Timestamp, Flow)>>(iter: T) -> Self {
         Self::from_events(iter.into_iter().map(Event::from).collect())
@@ -409,6 +547,35 @@ mod tests {
         d.merge_sorted(&[Event::new(11, 2.0)]);
         assert!(!a.shares_storage_with(&d));
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn series_ref_mirrors_the_owning_series() {
+        let s = fig7_e1(); // times 10, 13, 15, 18
+        let r = s.as_ref();
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r.events(), s.events());
+        assert_eq!(r.event(2), s.event(2));
+        assert_eq!(r.time(3), s.time(3));
+        assert_eq!(r.total_flow(), s.total_flow());
+        for t in [9, 10, 13, 14, 18, 19] {
+            assert_eq!(r.idx_at_or_after(t), s.idx_at_or_after(t), "t={t}");
+            assert_eq!(r.idx_after(t), s.idx_after(t), "t={t}");
+        }
+        for (a, b) in [(10, 20), (13, 15), (16, 17), (0, 9), (19, 30), (14, 16)] {
+            assert_eq!(r.range_closed(a, b), s.range_closed(a, b));
+            assert_eq!(r.range_open_closed(a, b), s.range_open_closed(a, b));
+            assert_eq!(r.flow_in_closed(a, b), s.flow_in_closed(a, b));
+            assert_eq!(r.active_in(a, b), s.active_in(a, b), "[{a},{b}]");
+        }
+        assert_eq!(r.first_time(), s.first_time());
+        assert_eq!(r.last_time(), s.last_time());
+        assert_eq!(r.flow_of_range(1..3), s.flow_of_range(1..3));
+        let empty = InteractionSeries::default();
+        let er = empty.as_ref();
+        assert!(er.is_empty());
+        assert_eq!(er.total_flow(), 0.0);
+        assert!(!er.active_in(i64::MIN, i64::MAX));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The storage abstraction under [`TimeSeriesGraph`]: everything the
+//! two-phase search reads from a graph, as a trait.
+//!
+//! The motif algorithms (phase P1 structural matching, phase P2
+//! enumeration, the DP module, the parallel drivers) consume a graph
+//! purely through reads: CSR topology (how many out-pairs a node has and
+//! which pair sits at each position), per-pair `(time, flow)` series with
+//! flow prefix sums, and the activity metadata that prunes
+//! window-bounded searches. [`GraphStore`] captures exactly that surface,
+//! so the same search code runs unchanged against
+//!
+//! * the in-memory [`TimeSeriesGraph`] (`Vec`-backed, mutable), and
+//! * the file-backed [`crate::segment::SegmentStore`] (a read-only
+//!   memory map over a packed segment file), and
+//! * the [`crate::overlay::OverlayStore`] (a sealed segment plus a small
+//!   in-RAM delta — the streaming engine's epoch view).
+//!
+//! # Positional out-pair access
+//!
+//! The trait addresses a node's out-pairs by *position* (`out_degree` /
+//! `out_pair_at`) instead of exposing a contiguous `Range<PairId>`:
+//! composite stores (segment + delta overlay) interleave pair ids from
+//! two backings, so their out-lists are sorted by target but not
+//! contiguous in id space. Contiguous backends implement `out_pair_at`
+//! as `offset + i`; the hub-splitting parallel scheduler partitions
+//! positions, which every backend can serve.
+
+use crate::event::{NodeId, PairId, Timestamp};
+use crate::series::SeriesRef;
+use crate::tsgraph::TimeSeriesGraph;
+use crate::window::TimeWindow;
+
+/// Read-only storage interface of a time-series graph (see the module
+/// docs). All methods must be consistent with each other: `pair`,
+/// `series`, `out_degree`/`out_pair_at` and `pair_id` describe one CSR
+/// view whose pairs are sorted by `(u, v)`, and the activity methods are
+/// conservative exactly like [`TimeSeriesGraph`]'s
+/// (`active_origins_in_range` returns a superset of the truly active
+/// origins, each of which passes `origin_active_in`).
+pub trait GraphStore {
+    /// Number of vertices `|V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of connected node pairs `|E_T|`.
+    fn num_pairs(&self) -> usize;
+
+    /// Number of underlying interactions `|E|`.
+    fn num_interactions(&self) -> usize;
+
+    /// The `(u, v)` endpoints of pair `p`.
+    fn pair(&self, p: PairId) -> (NodeId, NodeId);
+
+    /// The interaction series on pair `p`, as a borrowed view.
+    fn series(&self, p: PairId) -> SeriesRef<'_>;
+
+    /// Out-degree of `u` in `G_T` (number of distinct targets).
+    fn out_degree(&self, u: NodeId) -> u32;
+
+    /// The pair at position `i` (`0 <= i < out_degree(u)`) of `u`'s
+    /// out-list, which is sorted by target id.
+    fn out_pair_at(&self, u: NodeId, i: u32) -> PairId;
+
+    /// Looks up the pair id of edge `(u, v)`.
+    fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId>;
+
+    /// The active interval `[min_time, max_time]` of `u`'s out-edge
+    /// interactions, or `None` if `u` has none.
+    fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)>;
+
+    /// Whether origin `u` *may* have an out-edge interaction inside `w`
+    /// (conservative: true iff `u`'s active interval overlaps `w`).
+    #[inline]
+    fn origin_active_in(&self, u: NodeId, w: TimeWindow) -> bool {
+        self.origin_active_span(u).is_some_and(|(lo, hi)| lo <= w.end && hi >= w.start)
+    }
+
+    /// Sorted, deduplicated candidate origins with out-edge activity
+    /// inside the closed window `w`, restricted to `range`, written into
+    /// the caller's buffer (cleared first). A superset of the origins
+    /// with an actual in-window out-event; every returned origin passes
+    /// [`GraphStore::origin_active_in`].
+    fn active_origins_in_range(
+        &self,
+        w: TimeWindow,
+        range: std::ops::Range<NodeId>,
+        out: &mut Vec<NodeId>,
+    );
+
+    /// Earliest and latest timestamp over all series, or `None` if the
+    /// graph has no interactions.
+    fn time_span(&self) -> Option<(Timestamp, Timestamp)>;
+}
+
+impl GraphStore for TimeSeriesGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        TimeSeriesGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_pairs(&self) -> usize {
+        TimeSeriesGraph::num_pairs(self)
+    }
+
+    #[inline]
+    fn num_interactions(&self) -> usize {
+        TimeSeriesGraph::num_interactions(self)
+    }
+
+    #[inline]
+    fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+        TimeSeriesGraph::pair(self, p)
+    }
+
+    #[inline]
+    fn series(&self, p: PairId) -> SeriesRef<'_> {
+        TimeSeriesGraph::series(self, p).as_ref()
+    }
+
+    #[inline]
+    fn out_degree(&self, u: NodeId) -> u32 {
+        TimeSeriesGraph::out_pair_range(self, u).len() as u32
+    }
+
+    #[inline]
+    fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
+        TimeSeriesGraph::out_pair_range(self, u).start + i
+    }
+
+    #[inline]
+    fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
+        TimeSeriesGraph::pair_id(self, u, v)
+    }
+
+    #[inline]
+    fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)> {
+        TimeSeriesGraph::origin_active_span(self, u)
+    }
+
+    #[inline]
+    fn origin_active_in(&self, u: NodeId, w: TimeWindow) -> bool {
+        TimeSeriesGraph::origin_active_in(self, u, w)
+    }
+
+    #[inline]
+    fn active_origins_in_range(
+        &self,
+        w: TimeWindow,
+        range: std::ops::Range<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        TimeSeriesGraph::active_origins_in_range(self, w, range, out);
+    }
+
+    #[inline]
+    fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        TimeSeriesGraph::time_span(self)
+    }
+}
+
+/// Forwarding impls so references and shared handles are stores too —
+/// callers holding an `Arc<TimeSeriesGraph>` (the streaming engine's
+/// snapshots) or an `Arc<SegmentStore>` pass them to the generic search
+/// drivers directly.
+macro_rules! forward_graph_store {
+    ($ty:ty) => {
+        impl<T: GraphStore + ?Sized> GraphStore for $ty {
+            #[inline]
+            fn num_nodes(&self) -> usize {
+                (**self).num_nodes()
+            }
+            #[inline]
+            fn num_pairs(&self) -> usize {
+                (**self).num_pairs()
+            }
+            #[inline]
+            fn num_interactions(&self) -> usize {
+                (**self).num_interactions()
+            }
+            #[inline]
+            fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+                (**self).pair(p)
+            }
+            #[inline]
+            fn series(&self, p: PairId) -> SeriesRef<'_> {
+                (**self).series(p)
+            }
+            #[inline]
+            fn out_degree(&self, u: NodeId) -> u32 {
+                (**self).out_degree(u)
+            }
+            #[inline]
+            fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
+                (**self).out_pair_at(u, i)
+            }
+            #[inline]
+            fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
+                (**self).pair_id(u, v)
+            }
+            #[inline]
+            fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)> {
+                (**self).origin_active_span(u)
+            }
+            #[inline]
+            fn origin_active_in(&self, u: NodeId, w: TimeWindow) -> bool {
+                (**self).origin_active_in(u, w)
+            }
+            #[inline]
+            fn active_origins_in_range(
+                &self,
+                w: TimeWindow,
+                range: std::ops::Range<NodeId>,
+                out: &mut Vec<NodeId>,
+            ) {
+                (**self).active_origins_in_range(w, range, out)
+            }
+            #[inline]
+            fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+                (**self).time_span()
+            }
+        }
+    };
+}
+
+forward_graph_store!(&T);
+forward_graph_store!(std::sync::Arc<T>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn fig5() -> TimeSeriesGraph {
+        let mut b = GraphBuilder::new();
+        for (u, v, t, f) in [
+            (0u32, 1u32, 13i64, 5.0),
+            (0, 1, 15, 7.0),
+            (2, 0, 10, 10.0),
+            (3, 2, 1, 2.0),
+            (3, 2, 3, 5.0),
+            (3, 0, 11, 10.0),
+            (1, 2, 18, 20.0),
+            (2, 3, 19, 5.0),
+            (2, 3, 21, 4.0),
+            (1, 3, 23, 7.0),
+        ] {
+            b.add_interaction(u, v, t, f);
+        }
+        b.build_time_series_graph()
+    }
+
+    /// Exercises the trait surface through a generic function, pinned
+    /// against the inherent API of the in-memory backend.
+    fn check_store<S: GraphStore>(s: &S, g: &TimeSeriesGraph) {
+        assert_eq!(s.num_nodes(), g.num_nodes());
+        assert_eq!(s.num_pairs(), g.num_pairs());
+        assert_eq!(s.num_interactions(), g.num_interactions());
+        assert_eq!(s.time_span(), g.time_span());
+        for p in 0..g.num_pairs() as PairId {
+            assert_eq!(s.pair(p), g.pair(p));
+            assert_eq!(s.series(p).events(), g.series(p).events());
+            assert_eq!(s.series(p).total_flow(), g.series(p).total_flow());
+        }
+        for u in 0..g.num_nodes() as NodeId {
+            assert_eq!(s.out_degree(u) as usize, g.out_degree(u));
+            let r = g.out_pair_range(u);
+            for i in 0..s.out_degree(u) {
+                assert_eq!(s.out_pair_at(u, i), r.start + i);
+            }
+            assert_eq!(s.origin_active_span(u), g.origin_active_span(u));
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(s.pair_id(u, v), g.pair_id(u, v));
+            }
+        }
+        for (a, b) in [(0, 5), (10, 15), (16, 25), (24, 40), (i64::MIN, i64::MAX)] {
+            let w = TimeWindow::new(a, b);
+            let mut got = Vec::new();
+            s.active_origins_in_range(w, 0..NodeId::MAX, &mut got);
+            assert_eq!(got, g.active_origins_in(w), "window [{a},{b}]");
+            for u in 0..g.num_nodes() as NodeId {
+                assert_eq!(s.origin_active_in(u, w), g.origin_active_in(u, w));
+            }
+        }
+    }
+
+    #[test]
+    fn in_memory_backend_implements_the_trait_faithfully() {
+        let g = fig5();
+        check_store(&g, &g);
+    }
+
+    #[test]
+    fn default_origin_active_in_matches_the_span() {
+        // The provided default (span overlap) agrees with the in-memory
+        // override on every window.
+        struct Shim<'a>(&'a TimeSeriesGraph);
+        impl GraphStore for Shim<'_> {
+            fn num_nodes(&self) -> usize {
+                GraphStore::num_nodes(self.0)
+            }
+            fn num_pairs(&self) -> usize {
+                GraphStore::num_pairs(self.0)
+            }
+            fn num_interactions(&self) -> usize {
+                GraphStore::num_interactions(self.0)
+            }
+            fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+                GraphStore::pair(self.0, p)
+            }
+            fn series(&self, p: PairId) -> SeriesRef<'_> {
+                GraphStore::series(self.0, p)
+            }
+            fn out_degree(&self, u: NodeId) -> u32 {
+                GraphStore::out_degree(self.0, u)
+            }
+            fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
+                GraphStore::out_pair_at(self.0, u, i)
+            }
+            fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
+                GraphStore::pair_id(self.0, u, v)
+            }
+            fn origin_active_span(&self, u: NodeId) -> Option<(Timestamp, Timestamp)> {
+                GraphStore::origin_active_span(self.0, u)
+            }
+            fn active_origins_in_range(
+                &self,
+                w: TimeWindow,
+                range: std::ops::Range<NodeId>,
+                out: &mut Vec<NodeId>,
+            ) {
+                GraphStore::active_origins_in_range(self.0, w, range, out)
+            }
+            fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+                GraphStore::time_span(self.0)
+            }
+        }
+        let g = fig5();
+        let s = Shim(&g);
+        for (a, b) in [(0, 5), (10, 15), (16, 25), (24, 40)] {
+            let w = TimeWindow::new(a, b);
+            for u in 0..g.num_nodes() as NodeId {
+                assert_eq!(s.origin_active_in(u, w), g.origin_active_in(u, w), "[{a},{b}] u={u}");
+            }
+        }
+    }
+}

@@ -444,23 +444,13 @@ impl TimeSeriesGraph {
     }
 }
 
-/// Records every event of a sorted series into the index, skipping
-/// consecutive events landing in the same bucket (the common case for a
-/// dense series, making bulk registration ~O(buckets touched)).
+/// Records every event of a sorted series into the index via a
+/// [`crate::active::SeriesRecorder`] (width-aware same-bucket skipping,
+/// ~O(buckets touched) per dense series).
 fn record_series(index: &mut ActiveOriginIndex, u: NodeId, sorted: &[Event]) {
-    // The skip key includes the bucket *width*: `record` may coarsen the
-    // index mid-batch, and a bucket id computed under the old width must
-    // never suppress a record under the new one (ids can collide across
-    // widths — skipping then would silently drop index entries).
-    let mut last: Option<(i64, i64)> = None;
+    let mut rec = crate::active::SeriesRecorder::new();
     for e in sorted {
-        let w = index.bucket_width();
-        if last == Some((w, e.time.div_euclid(w))) {
-            continue;
-        }
-        index.record(u, e.time);
-        let w = index.bucket_width(); // re-read: record may have coarsened
-        last = Some((w, e.time.div_euclid(w)));
+        rec.note(index, u, e.time);
     }
 }
 

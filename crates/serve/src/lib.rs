@@ -46,7 +46,9 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod source;
 
 pub use client::Client;
 pub use protocol::{ErrorCode, Reply, Request, MAX_LINE_BYTES};
 pub use server::{Server, ServerConfig};
+pub use source::{EngineSnapshot, MotifEngine};

@@ -2,8 +2,8 @@
 //! and per-session request handling.
 
 use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
+use crate::source::{EngineSnapshot, MotifEngine};
 use flowmotif_core::SearchScratch;
-use flowmotif_stream::SnapshotEngine;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -32,8 +32,8 @@ pub struct ServerConfig {
     /// Maximum `DATA` instance lines per `query` reply (the total count
     /// is always reported in the status line).
     ///
-    /// Snapshot freshness is configured on the [`SnapshotEngine`] itself
-    /// (`SnapshotEngine::publish_every`), not here: the engine may be
+    /// Snapshot freshness is configured on the engine itself (e.g.
+    /// `SnapshotEngine::publish_every`), not here: the engine may be
     /// shared with non-server writers that publish on their own schedule.
     pub show: usize,
 }
@@ -46,8 +46,8 @@ impl Default for ServerConfig {
 
 /// State shared by all workers.
 #[derive(Debug)]
-struct Shared {
-    engine: Arc<SnapshotEngine>,
+struct Shared<E> {
+    engine: Arc<E>,
     config: ServerConfig,
     /// Queries currently executing (gauge).
     inflight: AtomicUsize,
@@ -59,18 +59,18 @@ struct Shared {
 
 /// Decrements the in-flight gauge when an admitted query finishes.
 #[derive(Debug)]
-struct InflightGuard<'a>(&'a Shared);
+struct InflightGuard<'a, E>(&'a Shared<E>);
 
-impl Drop for InflightGuard<'_> {
+impl<E> Drop for InflightGuard<'_, E> {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
-impl Shared {
+impl<E> Shared<E> {
     /// Admission check for one query: bumps the in-flight gauge or
     /// reports how many queries are already running.
-    fn try_admit(&self) -> Result<InflightGuard<'_>, usize> {
+    fn try_admit(&self) -> Result<InflightGuard<'_, E>, usize> {
         let max = self.config.max_inflight;
         let mut current = self.inflight.load(Ordering::Acquire);
         loop {
@@ -104,10 +104,12 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 picks a free port)
     /// and starts the accept thread plus `config.workers` workers. The
-    /// `engine` is shared — the caller may keep ingesting into it
-    /// directly while the server runs.
-    pub fn start<A: ToSocketAddrs>(
-        engine: Arc<SnapshotEngine>,
+    /// `engine` — any [`MotifEngine`]: the in-memory
+    /// [`flowmotif_stream::SnapshotEngine`] or the segment-backed
+    /// [`flowmotif_stream::EpochEngine`] — is shared; the caller may
+    /// keep ingesting into it directly while the server runs.
+    pub fn start<E: MotifEngine, A: ToSocketAddrs>(
+        engine: Arc<E>,
         config: ServerConfig,
         addr: A,
     ) -> io::Result<Server> {
@@ -205,7 +207,11 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shutdown: &At
     // disconnect once the queue drains.
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, shutdown: &AtomicBool) {
+fn worker_loop<E: MotifEngine>(
+    rx: &Mutex<Receiver<TcpStream>>,
+    shared: &Shared<E>,
+    shutdown: &AtomicBool,
+) {
     loop {
         // Take the next queued connection; the lock is held only while
         // polling the channel, not while serving.
@@ -240,7 +246,7 @@ struct Session {
 
 /// Serves one connection until the peer disconnects, sends `quit`, the
 /// server shuts down, or a protocol violation forces a close.
-fn serve_connection(stream: TcpStream, shared: &Shared, shutdown: &AtomicBool) {
+fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutdown: &AtomicBool) {
     if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
         return;
     }
@@ -321,7 +327,11 @@ fn drain_oversized_line(reader: &mut BufReader<TcpStream>) {
 /// Processes one request line into a framed reply (every returned string
 /// ends with the status line + `\n`). The bool asks the caller to close
 /// the connection after writing.
-fn handle_line(line: &str, shared: &Shared, session: &mut Session) -> (String, bool) {
+fn handle_line<E: MotifEngine>(
+    line: &str,
+    shared: &Shared<E>,
+    session: &mut Session,
+) -> (String, bool) {
     match parse_request(line) {
         Ok(request) => handle_request(request, shared, session),
         Err(e) => {
@@ -331,7 +341,11 @@ fn handle_line(line: &str, shared: &Shared, session: &mut Session) -> (String, b
     }
 }
 
-fn handle_request(request: Request, shared: &Shared, session: &mut Session) -> (String, bool) {
+fn handle_request<E: MotifEngine>(
+    request: Request,
+    shared: &Shared<E>,
+    session: &mut Session,
+) -> (String, bool) {
     let engine = &shared.engine;
     match request {
         Request::Ping => ("OK pong\n".to_string(), false),
@@ -391,9 +405,9 @@ fn handle_request(request: Request, shared: &Shared, session: &mut Session) -> (
 
 /// Admission control plus the actual snapshot search, shared by `query`
 /// (instances on `DATA` lines) and `count` (status line only).
-fn run_query(
+fn run_query<E: MotifEngine>(
     spec: &QuerySpec,
-    shared: &Shared,
+    shared: &Shared<E>,
     session: &mut Session,
     materialise: bool,
 ) -> (String, bool) {
@@ -455,7 +469,6 @@ fn run_query(
     }
     let result = snapshot.query_with(motif, spec.window, &mut session.scratch);
     let total = result.num_instances();
-    let g = snapshot.graph();
     let mut reply = String::new();
     let mut shown = 0usize;
     'outer: for (sm, instances) in &result.groups {
@@ -463,13 +476,11 @@ fn run_query(
             if shown >= shared.config.show {
                 break 'outer;
             }
-            let nodes: Vec<String> = sm.walk_nodes(g).into_iter().map(|n| n.to_string()).collect();
+            let (nodes, sets) = snapshot.describe(sm, inst);
             reply.push_str(&format!(
-                "DATA nodes={} flow={} span={} sets={}\n",
-                nodes.join("-"),
+                "DATA nodes={nodes} flow={} span={} sets={sets}\n",
                 inst.flow,
                 inst.span(),
-                inst.display(g)
             ));
             shown += 1;
         }
@@ -485,9 +496,9 @@ fn run_query(
 mod tests {
     use super::*;
 
-    fn shared(config: ServerConfig) -> Shared {
+    fn shared(config: ServerConfig) -> Shared<flowmotif_stream::SnapshotEngine> {
         Shared {
-            engine: Arc::new(SnapshotEngine::new()),
+            engine: Arc::new(flowmotif_stream::SnapshotEngine::new()),
             config,
             inflight: AtomicUsize::new(0),
             sessions: AtomicU64::new(0),

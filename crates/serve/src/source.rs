@@ -1,0 +1,241 @@
+//! The engine abstraction the server talks to: anything that can
+//! absorb appends and hand out immutable, epoch-stamped query views.
+//!
+//! Two implementations exist today, and the whole server front-end
+//! (accept loop, admission control, reply formatting) is generic over
+//! them:
+//!
+//! * [`flowmotif_stream::SnapshotEngine`] — the resident in-memory
+//!   engine (epoch = copy-on-write clone of the compacted graph);
+//! * [`flowmotif_stream::EpochEngine`] — the out-of-core engine
+//!   (epoch = memory-mapped sealed segment + in-RAM delta overlay),
+//!   behind `flowmotif serve <dir> --packed`.
+
+use flowmotif_core::{Motif, MotifInstance, SearchScratch, SearchStats, StructuralMatch};
+use flowmotif_graph::{Flow, GraphError, GraphStore, NodeId, TimeWindow, Timestamp};
+use flowmotif_stream::{
+    EngineStats, EpochEngine, EpochSnapshot, PublishReport, QueryResult, Snapshot, SnapshotEngine,
+};
+use std::sync::Arc;
+
+/// An immutable query view of one epoch. Implementors are cheap to
+/// clone out of the engine and safe to search from many threads.
+pub trait EngineSnapshot: Send + Sync {
+    /// The publish sequence number of this view.
+    fn epoch(&self) -> u64;
+
+    /// Two-phase motif search, restricted to `bounds` when given,
+    /// running out of the caller's search arena.
+    fn query_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> QueryResult;
+
+    /// Counts maximal instances without materialising them.
+    fn count_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> (u64, SearchStats);
+
+    /// Renders one result for the wire: the `-`-joined walk nodes and
+    /// the per-edge interaction sets (graph access stays behind the
+    /// trait, so the reply formatter needs no graph type).
+    fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String);
+}
+
+/// A query engine the server can front: appends, epoch publishing, and
+/// snapshot handout. All methods take `&self` — the server shares the
+/// engine across its worker pool.
+pub trait MotifEngine: Send + Sync + 'static {
+    /// The epoch view this engine hands out.
+    type Snapshot: EngineSnapshot;
+
+    /// Appends one interaction; returns the stream watermark after it.
+    fn append(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+    ) -> Result<Timestamp, GraphError>;
+
+    /// Publishes buffered appends as a new epoch (no-op when clean).
+    fn publish(&self) -> u64;
+
+    /// Epoch of the currently published view.
+    fn published_epoch(&self) -> u64;
+
+    /// Drops interactions older than `floor`, where supported; engines
+    /// over immutable storage return 0.
+    fn evict_before(&self, floor: Timestamp) -> usize;
+
+    /// Consolidates storage (fold buffered tails, or reseal a segment).
+    fn compact(&self);
+
+    /// Live writer-side statistics.
+    fn stats(&self) -> EngineStats;
+
+    /// Cost telemetry of the most recent publish.
+    fn publish_report(&self) -> PublishReport;
+
+    /// The currently published epoch view.
+    fn snapshot(&self) -> Self::Snapshot;
+}
+
+fn describe_on<G: GraphStore>(
+    g: &G,
+    sm: &StructuralMatch,
+    inst: &MotifInstance,
+) -> (String, String) {
+    let nodes: Vec<String> = sm.walk_nodes(g).into_iter().map(|n| n.to_string()).collect();
+    (nodes.join("-"), inst.display(g))
+}
+
+impl EngineSnapshot for Arc<Snapshot> {
+    fn epoch(&self) -> u64 {
+        Snapshot::epoch(self)
+    }
+
+    fn query_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> QueryResult {
+        Snapshot::query_with(self, motif, bounds, scratch)
+    }
+
+    fn count_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> (u64, SearchStats) {
+        Snapshot::count_with(self, motif, bounds, scratch)
+    }
+
+    fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {
+        describe_on(self.graph(), sm, inst)
+    }
+}
+
+impl MotifEngine for SnapshotEngine {
+    type Snapshot = Arc<Snapshot>;
+
+    fn append(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+    ) -> Result<Timestamp, GraphError> {
+        SnapshotEngine::append(self, from, to, time, flow)
+    }
+
+    fn publish(&self) -> u64 {
+        SnapshotEngine::publish(self)
+    }
+
+    fn published_epoch(&self) -> u64 {
+        SnapshotEngine::published_epoch(self)
+    }
+
+    fn evict_before(&self, floor: Timestamp) -> usize {
+        SnapshotEngine::evict_before(self, floor)
+    }
+
+    fn compact(&self) {
+        SnapshotEngine::compact(self);
+    }
+
+    fn stats(&self) -> EngineStats {
+        SnapshotEngine::stats(self)
+    }
+
+    fn publish_report(&self) -> PublishReport {
+        SnapshotEngine::publish_report(self)
+    }
+
+    fn snapshot(&self) -> Arc<Snapshot> {
+        SnapshotEngine::snapshot(self)
+    }
+}
+
+impl EngineSnapshot for Arc<EpochSnapshot> {
+    fn epoch(&self) -> u64 {
+        EpochSnapshot::epoch(self)
+    }
+
+    fn query_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> QueryResult {
+        EpochSnapshot::query_with(self, motif, bounds, scratch)
+    }
+
+    fn count_with(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+    ) -> (u64, SearchStats) {
+        EpochSnapshot::count_with(self, motif, bounds, scratch)
+    }
+
+    fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {
+        describe_on(self.graph(), sm, inst)
+    }
+}
+
+impl MotifEngine for EpochEngine {
+    type Snapshot = Arc<EpochSnapshot>;
+
+    fn append(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+    ) -> Result<Timestamp, GraphError> {
+        EpochEngine::append(self, from, to, time, flow)
+    }
+
+    fn publish(&self) -> u64 {
+        EpochEngine::publish(self)
+    }
+
+    fn published_epoch(&self) -> u64 {
+        EpochEngine::published_epoch(self)
+    }
+
+    /// Sealed segments are immutable; nothing is evicted.
+    fn evict_before(&self, _floor: Timestamp) -> usize {
+        0
+    }
+
+    /// Reseals base ∪ delta into a fresh segment. A reseal failure (an
+    /// I/O error while writing the new file) leaves the current base
+    /// and delta fully intact, so it is safe to swallow here — the
+    /// engine keeps serving and the next compact retries.
+    fn compact(&self) {
+        let _ = self.reseal();
+    }
+
+    fn stats(&self) -> EngineStats {
+        EpochEngine::stats(self)
+    }
+
+    fn publish_report(&self) -> PublishReport {
+        EpochEngine::publish_report(self)
+    }
+
+    fn snapshot(&self) -> Arc<EpochSnapshot> {
+        EpochEngine::snapshot(self)
+    }
+}

@@ -42,11 +42,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod epoch;
 pub mod incremental;
 pub mod snapshot;
 pub mod window;
 
 pub use engine::{EngineStats, QueryEngine, QueryResult};
+pub use epoch::{EpochEngine, EpochSnapshot};
 pub use incremental::IncrementalGraph;
 pub use snapshot::{PublishReport, Snapshot, SnapshotEngine};
 pub use window::SlidingWindow;

@@ -79,15 +79,16 @@ pub mod prelude {
         permute_flows, time_prefix_samples, Dataset, FlowDistribution, GeneratorConfig,
     };
     pub use flowmotif_graph::{
-        Event, Flow, GraphBuilder, GraphStats, InteractionSeries, NodeId, PairId,
-        TemporalMultigraph, TimeSeriesGraph, TimeWindow, Timestamp,
+        pack_edge_list, Event, Flow, GraphBuilder, GraphStats, GraphStore, InteractionSeries,
+        NodeId, OverlayStore, PackStats, PairId, SegmentStore, TemporalMultigraph, TimeSeriesGraph,
+        TimeWindow, Timestamp,
     };
     pub use flowmotif_serve::{Client, Server, ServerConfig};
     pub use flowmotif_significance::{
         assess_motif, assess_motifs, MotifSignificance, SignificanceConfig,
     };
     pub use flowmotif_stream::{
-        EngineStats, IncrementalGraph, QueryEngine, QueryResult, SlidingWindow, Snapshot,
-        SnapshotEngine,
+        EngineStats, EpochEngine, EpochSnapshot, IncrementalGraph, QueryEngine, QueryResult,
+        SlidingWindow, Snapshot, SnapshotEngine,
     };
 }
