@@ -2,7 +2,7 @@
 # The offline CI gate, in named stages with per-stage wall-clock timing.
 #
 #   ./ci.sh         full gate: build, test, all-targets, bench-regression,
-#                   docs, fmt, clippy
+#                   out-of-core, metrics, docs, fmt, clippy
 #   ./ci.sh quick   build + tests only (the tier-1 inner loop)
 #
 # Everything runs with no network and no registry. The bench-regression
@@ -82,6 +82,42 @@ stage_out_of_core() {
   cmp "${_dir}/topk-mem.txt" "${_dir}/topk-packed.txt"
 }
 
+stage_metrics() {
+  # End-to-end observability path: serve on a private port, drive a few
+  # requests through the client, fetch the exposition text with the
+  # `metrics` subcommand, and assert both the Prometheus framing and the
+  # key per-tier series (serve counters + histogram, engine gauges,
+  # process-wide stream and storage series) came back over the wire.
+  _fm="target/release/flowmotif"
+  _dir="target/metrics_ci"
+  _port=$(( 20000 + ($$ % 20000) ))
+  rm -rf "${_dir}"
+  mkdir -p "${_dir}"
+  "${_fm}" serve --port "${_port}" --slow-query-ms 1000 >"${_dir}/serve.log" 2>&1 &
+  _pid=$!
+  _i=0
+  until printf 'ping\nquit\n' | "${_fm}" client --port "${_port}" >/dev/null 2>&1; do
+    _i=$((_i + 1))
+    if [ "${_i}" -ge 50 ]; then
+      kill "${_pid}" 2>/dev/null || true
+      echo "metrics: server never came up on port ${_port}"
+      return 1
+    fi
+    sleep 0.1
+  done
+  printf 'add 0 1 10 5\nadd 1 2 12 4\npublish\ncount M(3,2) 10 0\nquery M(3,2) 10 0\nquit\n' \
+    | "${_fm}" client --port "${_port}" >"${_dir}/client.log"
+  "${_fm}" metrics --port "${_port}" >"${_dir}/metrics.txt"
+  kill "${_pid}" 2>/dev/null || true
+  grep -q '^# TYPE flowmotif_serve_requests_total counter$' "${_dir}/metrics.txt"
+  grep -q '^flowmotif_serve_requests_total{verb="query"} 1$' "${_dir}/metrics.txt"
+  grep -q '^# TYPE flowmotif_serve_request_duration_seconds histogram$' "${_dir}/metrics.txt"
+  grep -q '^flowmotif_serve_request_duration_seconds_count{verb="count"} 1$' "${_dir}/metrics.txt"
+  grep -q '^flowmotif_engine_epoch 1$' "${_dir}/metrics.txt"
+  grep -q '^flowmotif_stream_publishes_total ' "${_dir}/metrics.txt"
+  grep -q '^flowmotif_storage_segment_mapped_bytes ' "${_dir}/metrics.txt"
+}
+
 stage_docs() {
   # rustdoc must build warning-free and every doctest must pass, so the
   # documented examples cannot drift from the API.
@@ -110,6 +146,7 @@ fi
 stage all-targets stage_all_targets
 stage bench-regression stage_bench_regression
 stage out-of-core stage_out_of_core
+stage metrics stage_metrics
 stage docs stage_docs
 stage fmt stage_fmt
 stage clippy stage_clippy

@@ -17,7 +17,8 @@ use flowmotif_bench::{allocations, micro, BenchGroup, CountingAllocator, ExpCont
 use flowmotif_core::enumerate::{CountSink, SearchOptions};
 use flowmotif_core::topk::TopKSink;
 use flowmotif_core::{
-    count_instances, enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, SearchScratch,
+    count_instances, enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, AtomicTrace,
+    SearchScratch,
 };
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::TimeWindow;
@@ -84,6 +85,23 @@ fn main() {
         gate(&mut group, "enumerate/windowed_indexed", move || {
             let mut sink = CountSink::default();
             enumerate_window_with_sink_scratch(g, motif, window, opts, &mut sink, &mut scratch);
+            sink.count
+        });
+    }
+    {
+        // Stage tracing records into a pre-leaked `AtomicTrace` — pure
+        // atomics, so even the *traced* search path must stay off the
+        // heap (the untraced path is already covered by the gates
+        // above, which run with `SearchOptions::default()`, i.e. the
+        // instrumented code with the sink compiled out to `None`).
+        let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+        let traced = SearchOptions { trace: Some(trace), ..opts };
+        let mut scratch = SearchScratch::default();
+        let (g, motif) = (&g, &motif);
+        gate(&mut group, "enumerate/windowed_traced", move || {
+            trace.reset();
+            let mut sink = CountSink::default();
+            enumerate_window_with_sink_scratch(g, motif, window, traced, &mut sink, &mut scratch);
             sink.count
         });
     }

@@ -4,9 +4,9 @@
 use crate::opts::{Cli, Command};
 use flowmotif_core::analytics::per_match_activity;
 use flowmotif_core::census::walk_census;
-use flowmotif_core::dp::dp_top1;
+use flowmotif_core::dp::dp_top1_with;
 use flowmotif_core::parallel::{par_enumerate_all_with, par_top_k_with, ParOptions};
-use flowmotif_core::{catalog, Motif, SearchOptions};
+use flowmotif_core::{catalog, AtomicTrace, Motif, SearchOptions, SearchScratch, TraceStage};
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::{io, GraphStats, GraphStore, SegmentStore, TimeSeriesGraph, TimeWindow};
 use flowmotif_serve::{Client, Server, ServerConfig};
@@ -32,6 +32,7 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
         Command::Stream(path) => stream(path.as_deref(), cli, out),
         Command::Serve(path) => serve(path.as_deref(), cli, out),
         Command::Client(path) => client(path.as_deref(), cli, out),
+        Command::Metrics => metrics(cli, out),
     }
 }
 
@@ -59,6 +60,51 @@ fn par_of(cli: &Cli) -> ParOptions {
     }
 }
 
+/// A trace arena for `--profile`, leaked once per invocation (the search
+/// hook needs `&'static`, and the CLI is a short-lived process).
+fn profile_trace(cli: &Cli) -> Option<&'static AtomicTrace> {
+    cli.profile.then(|| &*Box::leak(Box::new(AtomicTrace::new())))
+}
+
+/// Search options for find/topk/top1, with the `--profile` trace
+/// attached when requested.
+fn traced_options(trace: Option<&'static AtomicTrace>) -> SearchOptions {
+    SearchOptions { trace: trace.map(|t| t as _), ..SearchOptions::default() }
+}
+
+/// Prints the per-stage breakdown collected by a `--profile` run: stage
+/// wall-clock time and work count, then per-worker task/busy figures
+/// when the search ran on more than one worker.
+fn write_profile<W: Write>(
+    out: &mut W,
+    trace: Option<&'static AtomicTrace>,
+    started: Option<std::time::Instant>,
+) {
+    let (Some(trace), Some(started)) = (trace, started) else { return };
+    let total = started.elapsed();
+    writeln!(out, "profile: total {:.3} ms", total.as_secs_f64() * 1e3).ok();
+    writeln!(out, "  {:<5} {:>12} {:>12}", "stage", "time_ms", "count").ok();
+    for stage in [TraceStage::P1, TraceStage::P2, TraceStage::Dp] {
+        let (ns, n) = (trace.nanos(stage), trace.count(stage));
+        if ns == 0 && n == 0 {
+            continue; // stage never ran (e.g. no DP outside top1)
+        }
+        writeln!(out, "  {:<5} {:>12.3} {:>12}", stage.label(), ns as f64 / 1e6, n).ok();
+    }
+    let workers = trace.workers();
+    if workers > 1 {
+        for wi in 0..workers {
+            writeln!(
+                out,
+                "  worker {wi}: tasks={} busy_ms={:.3}",
+                trace.worker_tasks(wi),
+                trace.worker_nanos(wi) as f64 / 1e6
+            )
+            .ok();
+        }
+    }
+}
+
 fn stats<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
     let g = load(path)?;
     let s = GraphStats::of(&g);
@@ -80,7 +126,9 @@ fn find<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 
 fn find_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(), String> {
     let motif = motif_of(cli)?;
-    let (groups, stats) = par_enumerate_all_with(g, &motif, SearchOptions::default(), par_of(cli));
+    let trace = profile_trace(cli);
+    let started = trace.map(|_| std::time::Instant::now());
+    let (groups, stats) = par_enumerate_all_with(g, &motif, traced_options(trace), par_of(cli));
     let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
     if cli.json {
         let shown: Vec<_> = groups
@@ -127,6 +175,7 @@ fn find_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Res
             printed += 1;
         }
     }
+    write_profile(out, trace, started);
     Ok(())
 }
 
@@ -142,7 +191,9 @@ fn topk_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Res
     // §5: top-k ranks by flow with ϕ = 0 (any --phi is still honoured as
     // a floor if explicitly set).
     let motif = motif_of(cli)?;
-    let (ranked, _) = par_top_k_with(g, &motif, cli.k, SearchOptions::default(), par_of(cli));
+    let trace = profile_trace(cli);
+    let started = trace.map(|_| std::time::Instant::now());
+    let (ranked, _) = par_top_k_with(g, &motif, cli.k, traced_options(trace), par_of(cli));
     if cli.json {
         let rows: Vec<_> = ranked
             .iter()
@@ -166,6 +217,7 @@ fn topk_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Res
     if ranked.is_empty() {
         writeln!(out, "  (no instances)").ok();
     }
+    write_profile(out, trace, started);
     Ok(())
 }
 
@@ -179,7 +231,10 @@ fn top1<W: Write>(path: &Path, cli: &Cli, out: &mut W) -> Result<(), String> {
 
 fn top1_in<G: GraphStore, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(), String> {
     let motif = motif_of(cli)?;
-    let (best, stats) = dp_top1(g, &motif);
+    let trace = profile_trace(cli);
+    let started = trace.map(|_| std::time::Instant::now());
+    let (best, stats) =
+        dp_top1_with(g, &motif, traced_options(trace), &mut SearchScratch::default());
     match best {
         Some((sm, inst)) => {
             if cli.json {
@@ -205,6 +260,7 @@ fn top1_in<G: GraphStore, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(),
             writeln!(out, "no instances").ok();
         }
     }
+    write_profile(out, trace, started);
     Ok(())
 }
 
@@ -499,6 +555,7 @@ pub fn start_server_at(path: Option<&Path>, cli: &Cli) -> Result<Server, String>
         max_inflight: cli.max_inflight,
         max_window: (cli.max_window > 0).then_some(cli.max_window),
         show: cli.show,
+        slow_query_ms: cli.slow_query_ms,
         ..ServerConfig::default()
     };
     let bind = |e: std::io::Error| format!("binding {}:{}: {e}", cli.host, cli.port);
@@ -564,6 +621,22 @@ pub fn run_client_script<R: BufRead, W: Write>(
         if reply.status == "OK bye" {
             break;
         }
+    }
+    Ok(())
+}
+
+/// Fetches a running server's metric families over the `metrics` verb
+/// and prints the Prometheus text to stdout (ready to pipe into a
+/// node-exporter textfile or straight at a human).
+fn metrics<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
+    let mut client = Client::connect((cli.host.as_str(), cli.port))
+        .map_err(|e| format!("connecting to {}:{}: {e}", cli.host, cli.port))?;
+    let reply = client.send("metrics").map_err(|e| format!("fetching metrics: {e}"))?;
+    if !reply.is_ok() {
+        return Err(format!("server refused metrics: {}", reply.status));
+    }
+    for line in &reply.data {
+        writeln!(out, "{line}").ok();
     }
     Ok(())
 }
@@ -917,6 +990,61 @@ stats
         r.unwrap();
         assert_eq!(with_index, without);
         assert!(with_index.contains("1 maximal instances"), "{with_index}");
+    }
+
+    #[test]
+    fn profile_flag_prints_stage_breakdown() {
+        let f = temp_edge_list();
+        let (out, r) = run_args(&["find", f.to_str(), "--profile", "--threads", "2"]);
+        r.unwrap();
+        assert!(out.contains("profile: total"), "{out}");
+        assert!(out.contains("p1"), "{out}");
+        assert!(out.contains("p2"), "{out}");
+        let (out, r) = run_args(&["topk", f.to_str(), "--profile"]);
+        r.unwrap();
+        assert!(out.contains("profile: total"), "{out}");
+        // top1 runs the DP, so its profile shows the dp stage.
+        let (out, r) = run_args(&["top1", f.to_str(), "--profile"]);
+        r.unwrap();
+        assert!(out.contains("profile: total"), "{out}");
+        assert!(out.contains("dp"), "{out}");
+        // Without the flag, results are table-free and byte-identical to
+        // an untraced run.
+        let (with_flag, _) = run_args(&["find", f.to_str(), "--profile"]);
+        let (without, _) = run_args(&["find", f.to_str()]);
+        assert!(!without.contains("profile:"), "{without}");
+        assert_eq!(with_flag.split("profile:").next().unwrap(), without);
+    }
+
+    #[test]
+    fn metrics_subcommand_fetches_prometheus_text() {
+        let serve_cli =
+            Cli::parse_from(["serve", "--port", "0"].iter().map(|s| s.to_string())).unwrap();
+        let server = start_server(&serve_cli).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let script = "add 0 1 10 5\npublish\ncount M(3,2) 10 0\n";
+        run_client_script(script.as_bytes(), &mut client, &mut Vec::new()).unwrap();
+        let (out, r) = run_args(&["metrics", "--port", &server.local_addr().port().to_string()]);
+        r.unwrap();
+        assert!(out.contains("# TYPE flowmotif_serve_requests_total counter"), "{out}");
+        assert!(out.contains("flowmotif_serve_requests_total{verb=\"count\"} 1"), "{out}");
+        assert!(out.contains("flowmotif_engine_epoch 1"), "{out}");
+        drop(client);
+        server.shutdown();
+        // Against a dead server the subcommand reports the connect error.
+        let (_, r) = run_args(&["metrics", "--port", "1"]);
+        assert!(r.unwrap_err().contains("connecting"), "dead server must fail");
+    }
+
+    #[test]
+    fn serve_slow_query_flag_keeps_replies_clean() {
+        let out = serve_round_trip(
+            &["--slow-query-ms", "0", "--publish-every", "0"],
+            "add 0 1 10 5\nadd 1 2 12 4\npublish\ncount M(3,2) 10 0\nquit\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[3], "OK count=1 matches=1 epoch=1", "{out}");
+        assert_eq!(lines[4], "OK bye");
     }
 
     #[test]

@@ -30,6 +30,8 @@ COMMANDS:
                           through the epoch engine (mmap base + RAM delta)
   client [file]           send protocol requests (file or stdin, one per
                           line) to a running server and print the replies
+  metrics                 fetch a running server's metrics (Prometheus
+                          text) and print them to stdout
 
 OPTIONS (find/topk/top1/significance):
   --motif <spec>          catalog name like M(3,3) or a walk like 0-1-2-0   [M(3,2)]
@@ -47,6 +49,9 @@ OPTIONS (find/topk/top1/significance):
                           (produced by `pack`) and search it through a
                           read-only memory map instead of loading it
                           (find/search, topk, top1)
+  --profile               print a per-stage breakdown (P1 match scan,
+                          P2 enumeration, DP solve, per-worker load)
+                          after the results (find/search, topk, top1)
   --json                  machine-readable output on stdout
 
 OPTIONS (pack):
@@ -77,6 +82,9 @@ OPTIONS (serve/client):
   --show <int>            DATA lines per query reply                      [5]
   --no-index              disable the active-time origin index for
                           window-bounded snapshot queries (A/B)
+  --slow-query-ms <int>   serve: log queries at least this slow to stderr
+                          with their P1/P2/DP stage times (0 logs every
+                          query; omit to disable tracing entirely)
 
 OPTIONS (generate):
   --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
@@ -133,6 +141,11 @@ pub struct Cli {
     /// Consult the active-time origin index for window-bounded queries
     /// in `stream`/`serve` (`--no-index` turns it off for A/B runs).
     pub use_index: bool,
+    /// Print a per-stage profile after find/topk/top1 results.
+    pub profile: bool,
+    /// `serve`: log queries at least this slow (ms) to stderr with their
+    /// stage breakdown; `None` disables per-query tracing.
+    pub slow_query_ms: Option<u64>,
     /// JSON output.
     pub json: bool,
     /// Dataset for `generate`.
@@ -172,6 +185,8 @@ pub enum Command {
     Serve(Option<PathBuf>),
     /// Protocol client: requests from a script (file or stdin).
     Client(Option<PathBuf>),
+    /// Fetch and print a running server's Prometheus-text metrics.
+    Metrics,
 }
 
 impl Default for Cli {
@@ -198,6 +213,8 @@ impl Default for Cli {
             max_window: 0,
             publish_every: 1024,
             use_index: true,
+            profile: false,
+            slow_query_ms: None,
             json: false,
             dataset: "bitcoin".into(),
             scale: 1.0,
@@ -221,7 +238,7 @@ impl Cli {
             if it.peek().is_some_and(|a| !a.starts_with("--")) {
                 file = Some(PathBuf::from(it.next().unwrap()));
             }
-        } else if cmd_name != "generate" {
+        } else if cmd_name != "generate" && cmd_name != "metrics" {
             let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
             file = Some(PathBuf::from(f));
         }
@@ -238,6 +255,7 @@ impl Cli {
             "stream" => Command::Stream(file),
             "serve" => Command::Serve(file),
             "client" => Command::Client(file),
+            "metrics" => Command::Metrics,
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
         let mut cli = Cli { command, ..Cli::default() };
@@ -271,6 +289,8 @@ impl Cli {
                 "--max-window" => cli.max_window = parse_val!("--max-window"),
                 "--publish-every" => cli.publish_every = parse_val!("--publish-every"),
                 "--no-index" => cli.use_index = false,
+                "--profile" => cli.profile = true,
+                "--slow-query-ms" => cli.slow_query_ms = Some(parse_val!("--slow-query-ms")),
                 "--json" => cli.json = true,
                 "--dataset" => cli.dataset = value("--dataset")?,
                 "--scale" => cli.scale = parse_val!("--scale"),
@@ -437,6 +457,35 @@ mod tests {
         assert!(!cli.use_index);
         // Bare flag: the next token is not swallowed as a value.
         assert!(parse(&["stream", "--no-index", "stray"]).is_err());
+    }
+
+    #[test]
+    fn parses_profile_and_slow_query_flags() {
+        assert!(!parse(&["find", "g.tsv"]).unwrap().profile);
+        let cli = parse(&["find", "g.tsv", "--profile", "--threads", "4"]).unwrap();
+        assert!(cli.profile);
+        assert_eq!(cli.threads, 4);
+        // Bare flag: the next token is not swallowed as a value.
+        assert!(parse(&["find", "g.tsv", "--profile", "stray"]).is_err());
+
+        assert_eq!(parse(&["serve"]).unwrap().slow_query_ms, None);
+        let cli = parse(&["serve", "--slow-query-ms", "250"]).unwrap();
+        assert_eq!(cli.slow_query_ms, Some(250));
+        let cli = parse(&["serve", "--slow-query-ms", "0"]).unwrap();
+        assert_eq!(cli.slow_query_ms, Some(0));
+        assert!(parse(&["serve", "--slow-query-ms"]).is_err());
+        assert!(parse(&["serve", "--slow-query-ms", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_subcommand() {
+        let cli = parse(&["metrics", "--host", "10.0.0.1", "--port", "9999"]).unwrap();
+        assert_eq!(cli.command, Command::Metrics);
+        assert_eq!(cli.host, "10.0.0.1");
+        assert_eq!(cli.port, 9999);
+        // No positional file; defaults point at the default server.
+        let cli = parse(&["metrics"]).unwrap();
+        assert_eq!(cli.port, 7878);
     }
 
     #[test]

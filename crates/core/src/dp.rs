@@ -20,10 +20,12 @@
 //! flow, so the maximum over all instances is attained at a maximal one.
 //! The reconstructed witness instance, however, need not be maximal.
 
+use crate::enumerate::SearchOptions;
 use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
 use crate::matcher::for_each_structural_match_bounded_scratch;
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
+use crate::trace::TraceStage;
 use flowmotif_graph::{Flow, GraphStore, NodeId, SeriesRef, TimeWindow, Timestamp};
 
 /// Counters for a DP run.
@@ -335,20 +337,43 @@ pub fn dp_top1_scratch<G: GraphStore>(
     motif: &Motif,
     scratch: &mut SearchScratch,
 ) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
+    dp_top1_with(g, motif, SearchOptions::default(), scratch)
+}
+
+/// [`dp_top1_scratch`] honouring [`SearchOptions`]: the phase P1 walk
+/// follows `use_active_index`, and when a [`crate::trace::TraceSink`] is
+/// attached the run reports P1 time (walk minus DP), DP time and the
+/// windows-solved count to it. `None` trace costs one branch per match.
+pub fn dp_top1_with<G: GraphStore>(
+    g: &G,
+    motif: &Motif,
+    opts: SearchOptions,
+    scratch: &mut SearchScratch,
+) -> (Option<(StructuralMatch, MotifInstance)>, DpStats) {
     let mut stats = DpStats::default();
     let SearchScratch { p1, dp, .. } = scratch;
+    let start = opts.trace.map(|_| std::time::Instant::now());
+    let mut dp_nanos = 0u64;
     let mut best: Option<(Flow, StructuralMatch, TimeWindow)> = None;
     for_each_structural_match_bounded_scratch(
         g,
         motif.path(),
         TimeWindow::new(Timestamp::MIN, Timestamp::MAX),
         0..g.num_nodes() as NodeId,
-        true,
+        opts.use_active_index,
         p1,
         &mut |sm| {
             stats.structural_matches += 1;
             let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
-            if let Some((f, w)) = dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats) {
+            let found = if opts.trace.is_some() {
+                let t0 = std::time::Instant::now();
+                let r = dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats);
+                dp_nanos += t0.elapsed().as_nanos() as u64;
+                r
+            } else {
+                dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats)
+            };
+            if let Some((f, w)) = found {
                 // Recycle the previous best's buffers instead of
                 // reallocating on every improvement.
                 match &mut best {
@@ -362,6 +387,11 @@ pub fn dp_top1_scratch<G: GraphStore>(
             }
         },
     );
+    if let (Some(trace), Some(start)) = (opts.trace, start) {
+        let total = start.elapsed().as_nanos() as u64;
+        trace.record(TraceStage::P1, total.saturating_sub(dp_nanos), stats.structural_matches);
+        trace.record(TraceStage::Dp, dp_nanos, stats.windows_processed);
+    }
     match best {
         None => (None, stats),
         Some((flow, sm, window)) => {
@@ -479,6 +509,23 @@ mod tests {
         let motif = catalog::parse_motif("0-1", 5, 0.0).unwrap();
         let (flow, _) = dp_max_flow(&g, &motif);
         assert_eq!(flow, 5.0);
+    }
+
+    #[test]
+    fn dp_trace_records_windows_and_matches() {
+        use crate::trace::{AtomicTrace, TraceStage};
+        let (g, _) = fig7();
+        let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+        let opts = SearchOptions { trace: Some(trace), ..SearchOptions::default() };
+        let mut scratch = SearchScratch::default();
+        let (best, stats) = dp_top1_with(&g, &motif, opts, &mut scratch);
+        assert_eq!(best.unwrap().1.flow, 5.0);
+        assert_eq!(trace.count(TraceStage::P1), stats.structural_matches);
+        // The witness re-solve happens after the trace is recorded, so
+        // the DP count equals the sweep's windows_processed exactly.
+        assert_eq!(trace.count(TraceStage::Dp), stats.windows_processed);
+        assert_eq!(trace.count(TraceStage::P2), 0);
     }
 
     #[test]

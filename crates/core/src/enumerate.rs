@@ -35,12 +35,13 @@
 use crate::instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
+use crate::trace::{TraceSink, TraceStage};
 use flowmotif_graph::{Flow, GraphStore, SeriesRef, TimeWindow, Timestamp};
 use std::ops::Range;
 
 /// Tuning knobs for the enumerator. The defaults implement the paper's
 /// Algorithm 1; the toggles exist for the ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy)]
 pub struct SearchOptions {
     /// Skip window positions that contribute no new `R(e_m)` element
     /// (guard 1 above). Disabling processes every anchor; the result set
@@ -57,11 +58,51 @@ pub struct SearchOptions {
     /// order are unchanged; disabling exists for A/B comparisons (the
     /// CLI's `--no-index`). Ignored by unbounded searches.
     pub use_active_index: bool,
+    /// Optional stage-level trace hook ([`crate::trace`]). `None` (the
+    /// default) costs one branch per structural match and nothing else —
+    /// no clocks, no atomics — keeping the steady-state loop
+    /// allocation-free and bench-neutral. The `'static` bound keeps the
+    /// options `Copy` and freely shareable across worker threads; serve
+    /// and the CLI leak one [`crate::trace::AtomicTrace`] per
+    /// worker/process and reset it between queries.
+    pub trace: Option<&'static dyn TraceSink>,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { skip_redundant_windows: true, phi_prefix_pruning: true, use_active_index: true }
+        Self {
+            skip_redundant_windows: true,
+            phi_prefix_pruning: true,
+            use_active_index: true,
+            trace: None,
+        }
+    }
+}
+
+// Manual impls: `dyn TraceSink` has no `PartialEq`/`Debug`, so the trace
+// hook compares by sink identity (thin-pointer equality — two options
+// tracing into the same sink are interchangeable) and prints as a flag.
+impl PartialEq for SearchOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let thin =
+            |t: Option<&'static dyn TraceSink>| t.map(|s| s as *const dyn TraceSink as *const ());
+        self.skip_redundant_windows == other.skip_redundant_windows
+            && self.phi_prefix_pruning == other.phi_prefix_pruning
+            && self.use_active_index == other.use_active_index
+            && thin(self.trace) == thin(other.trace)
+    }
+}
+
+impl Eq for SearchOptions {}
+
+impl std::fmt::Debug for SearchOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchOptions")
+            .field("skip_redundant_windows", &self.skip_redundant_windows)
+            .field("phi_prefix_pruning", &self.phi_prefix_pruning)
+            .field("use_active_index", &self.use_active_index)
+            .field("trace", &self.trace.is_some())
+            .finish()
     }
 }
 
@@ -505,6 +546,11 @@ pub fn enumerate_with_sink_scratch<G: GraphStore, S: InstanceSink>(
     enumerate_window_with_sink_scratch(g, motif, UNBOUNDED, opts, sink, scratch)
 }
 
+/// Traced runs clock one P2 call in this many (always including the
+/// first), scaling the sample up to estimate total P2 time; per-match
+/// clock reads would cost more than the work they measure.
+const P2_SAMPLE_EVERY: u64 = 64;
+
 /// [`enumerate_window_with_sink`] running out of a caller-provided
 /// [`SearchScratch`] — the allocation-free steady-state entry point the
 /// streaming engine and server sessions reuse across queries.
@@ -520,6 +566,16 @@ pub fn enumerate_window_with_sink_scratch<G: GraphStore, S: InstanceSink>(
     // Split the arena: phase P1 walks out of `p1` while each match's
     // phase P2 runs out of `p2`.
     let SearchScratch { p1, p2, .. } = scratch;
+    // The traced path times the whole scan plus the inside of a 1-in-64
+    // *sample* of P2 calls (two clock reads per structural match would
+    // dominate short windows; the `metrics` bench gates the traced path
+    // at <5% over untraced). P2 time is the sampled total scaled up by
+    // the sampling ratio, and P1 falls out as total − P2. The untraced
+    // path is the original loop: one well-predicted branch per match,
+    // no clocks.
+    let start = opts.trace.map(|_| std::time::Instant::now());
+    let mut p2_sampled_nanos = 0u64;
+    let mut p2_sampled = 0u64;
     crate::matcher::for_each_structural_match_bounded_scratch(
         g,
         motif.path(),
@@ -529,9 +585,27 @@ pub fn enumerate_window_with_sink_scratch<G: GraphStore, S: InstanceSink>(
         p1,
         &mut |sm| {
             stats.structural_matches += 1;
-            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
+            if opts.trace.is_some() && (stats.structural_matches - 1) % P2_SAMPLE_EVERY == 0 {
+                let t0 = std::time::Instant::now();
+                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
+                p2_sampled_nanos += t0.elapsed().as_nanos() as u64;
+                p2_sampled += 1;
+            } else {
+                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
+            }
         },
     );
+    if let (Some(trace), Some(start)) = (opts.trace, start) {
+        let total = start.elapsed().as_nanos() as u64;
+        // Scale the sample to the full match count, clamped to the
+        // measured total so P1 = total − P2 can never underflow.
+        let p2_nanos = p2_sampled_nanos
+            .saturating_mul(stats.structural_matches)
+            .checked_div(p2_sampled)
+            .map_or(0, |v| v.min(total));
+        trace.record(TraceStage::P1, total - p2_nanos, stats.structural_matches);
+        trace.record(TraceStage::P2, p2_nanos, stats.instances_emitted);
+    }
     stats
 }
 

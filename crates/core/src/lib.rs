@@ -54,6 +54,7 @@ pub mod parallel;
 pub mod scratch;
 pub mod shared;
 pub mod topk;
+pub mod trace;
 pub mod validate;
 
 pub use enumerate::{
@@ -72,6 +73,7 @@ pub use matcher::{
 pub use motif::{Motif, MotifNode, SpanningPath};
 pub use scratch::SearchScratch;
 pub use shared::{count_instances_shared, enumerate_shared_with_sink};
+pub use trace::{AtomicTrace, TraceSink, TraceStage};
 
 // The search entry points are used from multi-threaded servers
 // (snapshot reads in `flowmotif-serve`): everything a query needs to

@@ -29,6 +29,7 @@ use crate::matcher::{
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use crate::topk::{RankedInstance, TopKSink};
+use crate::trace::TraceStage;
 use flowmotif_graph::{GraphStore, NodeId, TimeWindow, Timestamp};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -140,6 +141,22 @@ fn run_task<G: GraphStore, S: InstanceSink>(
     scratch: &mut SearchScratch,
 ) {
     let SearchScratch { p1, p2, .. } = scratch;
+    // Traced runs time the task total and the inside of every P2 call
+    // (P1 = total − P2), mirroring the sequential driver; stats are
+    // cumulative across a worker's tasks, so counts are deltas.
+    let start = opts.trace.map(|_| std::time::Instant::now());
+    let mut p2_nanos = 0u64;
+    let (sm0, em0) = (stats.structural_matches, stats.instances_emitted);
+    let mut visit = |sm: &StructuralMatch| {
+        stats.structural_matches += 1;
+        if opts.trace.is_some() {
+            let t0 = std::time::Instant::now();
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
+            p2_nanos += t0.elapsed().as_nanos() as u64;
+        } else {
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
+        }
+    };
     match task {
         Task::Origins(r) => for_each_structural_match_bounded_scratch(
             g,
@@ -148,10 +165,7 @@ fn run_task<G: GraphStore, S: InstanceSink>(
             r.clone(),
             opts.use_active_index,
             p1,
-            &mut |sm| {
-                stats.structural_matches += 1;
-                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
-            },
+            &mut visit,
         ),
         Task::HubPairs { origin, pairs } => for_each_structural_match_from_origin(
             g,
@@ -161,11 +175,17 @@ fn run_task<G: GraphStore, S: InstanceSink>(
             pairs.clone(),
             opts.use_active_index,
             p1,
-            &mut |sm| {
-                stats.structural_matches += 1;
-                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
-            },
+            &mut visit,
         ),
+    }
+    if let (Some(trace), Some(start)) = (opts.trace, start) {
+        let total = start.elapsed().as_nanos() as u64;
+        trace.record(
+            TraceStage::P1,
+            total.saturating_sub(p2_nanos),
+            stats.structural_matches - sm0,
+        );
+        trace.record(TraceStage::P2, p2_nanos, stats.instances_emitted - em0);
     }
 }
 
@@ -186,15 +206,47 @@ fn par_scan<G: GraphStore + Sync, S: InstanceSink + Send>(
     let results: Vec<(S, SearchStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = sinks
             .into_iter()
-            .map(|mut sink| {
+            .enumerate()
+            .map(|(wi, mut sink)| {
                 let (next, tasks) = (&next, &tasks);
                 scope.spawn(move || {
                     let mut stats = SearchStats::default();
                     let mut scratch = SearchScratch::default();
+                    // Per-worker steal count and busy time for the
+                    // scheduler trace (untraced: two dead counters).
+                    let (mut claimed, mut busy) = (0u64, 0u64);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
-                        run_task(g, motif, bounds, opts, task, &mut sink, &mut stats, &mut scratch);
+                        claimed += 1;
+                        if opts.trace.is_some() {
+                            let t0 = std::time::Instant::now();
+                            run_task(
+                                g,
+                                motif,
+                                bounds,
+                                opts,
+                                task,
+                                &mut sink,
+                                &mut stats,
+                                &mut scratch,
+                            );
+                            busy += t0.elapsed().as_nanos() as u64;
+                        } else {
+                            run_task(
+                                g,
+                                motif,
+                                bounds,
+                                opts,
+                                task,
+                                &mut sink,
+                                &mut stats,
+                                &mut scratch,
+                            );
+                        }
+                    }
+                    if let Some(trace) = opts.trace {
+                        trace.worker(wi, claimed, busy);
                     }
                     (sink, stats)
                 })
@@ -448,6 +500,23 @@ mod tests {
             let pf: Vec<_> = par.iter().map(|r| r.instance.flow).collect();
             assert_eq!(sf, pf, "k={k}");
         }
+    }
+
+    #[test]
+    fn trace_hook_records_stage_breakdown_and_steals() {
+        use crate::trace::{AtomicTrace, TraceStage};
+        let g = random_graph(80, 400, 29);
+        let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
+        let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+        let opts = SearchOptions { trace: Some(trace), ..SearchOptions::default() };
+        let (traced, stats) = par_count_instances_with(&g, &m, opts, ParOptions::with_threads(2));
+        let (plain, _) = par_count_instances(&g, &m, 2);
+        assert_eq!(traced, plain, "tracing must not change results");
+        assert_eq!(trace.count(TraceStage::P1), stats.structural_matches);
+        assert_eq!(trace.count(TraceStage::P2), stats.instances_emitted);
+        assert_eq!(trace.workers(), 2);
+        let claimed: u64 = (0..trace.workers()).map(|i| trace.worker_tasks(i)).sum();
+        assert_eq!(claimed as usize, build_tasks(&g, ParOptions::default()).len());
     }
 
     #[test]

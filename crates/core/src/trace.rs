@@ -1,0 +1,220 @@
+//! Stage-level search tracing.
+//!
+//! The paper's evaluation is a per-stage cost breakdown — phase P1
+//! (structural matching) vs phase P2 (instance enumeration) vs the DP
+//! top-1 module — and a live server wants the same breakdown per query.
+//! [`TraceSink`] is the hook: an optional `&'static dyn TraceSink` rides
+//! inside [`crate::SearchOptions`], and the drivers report elapsed nanos
+//! and work counts per [`TraceStage`] to it. The hook is *off by
+//! default* and the untraced hot path pays exactly one well-predicted
+//! branch per structural match — no clocks, no atomics — so the
+//! `alloc_profile` zero-allocation gate and the bench baselines are
+//! unaffected when tracing is disabled.
+//!
+//! [`AtomicTrace`] is the bundled lock-free implementation: per-stage
+//! relaxed counters plus fixed per-worker slots for the parallel
+//! scheduler's steal counts. One leaked (or static) `AtomicTrace` can be
+//! shared by every worker of a query and reset between queries.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A stage of the search pipeline, as broken down in the paper's
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStage {
+    /// Phase P1: structural (topology + order) matching.
+    P1,
+    /// Phase P2: per-match window sweep and instance assembly.
+    P2,
+    /// The dynamic-programming top-1 module (§5.1).
+    Dp,
+}
+
+impl TraceStage {
+    /// Dense index for table storage.
+    pub const COUNT: usize = 3;
+
+    /// This stage's dense index in `0..TraceStage::COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            TraceStage::P1 => 0,
+            TraceStage::P2 => 1,
+            TraceStage::Dp => 2,
+        }
+    }
+
+    /// Short stable label (`p1`, `p2`, `dp`) for metric names and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceStage::P1 => "p1",
+            TraceStage::P2 => "p2",
+            TraceStage::Dp => "dp",
+        }
+    }
+}
+
+/// Receives per-stage timing and work counts from the search drivers.
+///
+/// Implementations must be cheap and thread-safe: the parallel drivers
+/// call them concurrently from every worker. `count` is the stage's
+/// natural work unit — structural matches for P1, emitted instances for
+/// P2, windows solved for DP.
+pub trait TraceSink: Sync {
+    /// Records `nanos` of wall time and `count` units of work for `stage`.
+    fn record(&self, stage: TraceStage, nanos: u64, count: u64);
+
+    /// Reports one parallel worker's share: `tasks` claimed from the
+    /// shared queue (its steal count) and `nanos` spent busy. Default:
+    /// ignored, so single-stage sinks need not care.
+    fn worker(&self, _index: usize, _tasks: u64, _nanos: u64) {}
+}
+
+/// Per-worker slots tracked by [`AtomicTrace`]; workers beyond this are
+/// folded into the last slot.
+pub const MAX_TRACE_WORKERS: usize = 64;
+
+/// A lock-free [`TraceSink`]: relaxed per-stage nanosecond/count
+/// accumulators plus fixed per-worker task/busy slots. `const`-
+/// constructible, so it can live in a `static` or be leaked once per
+/// serve worker and reset per query.
+#[derive(Debug)]
+pub struct AtomicTrace {
+    stage_nanos: [AtomicU64; TraceStage::COUNT],
+    stage_count: [AtomicU64; TraceStage::COUNT],
+    worker_tasks: [AtomicU64; MAX_TRACE_WORKERS],
+    worker_nanos: [AtomicU64; MAX_TRACE_WORKERS],
+    workers: AtomicUsize,
+}
+
+impl AtomicTrace {
+    /// An all-zero trace.
+    pub const fn new() -> Self {
+        Self {
+            stage_nanos: [const { AtomicU64::new(0) }; TraceStage::COUNT],
+            stage_count: [const { AtomicU64::new(0) }; TraceStage::COUNT],
+            worker_tasks: [const { AtomicU64::new(0) }; MAX_TRACE_WORKERS],
+            worker_nanos: [const { AtomicU64::new(0) }; MAX_TRACE_WORKERS],
+            workers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total nanoseconds recorded for `stage`.
+    pub fn nanos(&self, stage: TraceStage) -> u64 {
+        self.stage_nanos[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total work units recorded for `stage`.
+    pub fn count(&self, stage: TraceStage) -> u64 {
+        self.stage_count[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct workers that reported (capped at
+    /// [`MAX_TRACE_WORKERS`]).
+    pub fn workers(&self) -> usize {
+        self.workers.load(Ordering::Relaxed).min(MAX_TRACE_WORKERS)
+    }
+
+    /// Tasks claimed by worker `i`.
+    pub fn worker_tasks(&self, i: usize) -> u64 {
+        self.worker_tasks[i.min(MAX_TRACE_WORKERS - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Busy nanoseconds of worker `i`.
+    pub fn worker_nanos(&self, i: usize) -> u64 {
+        self.worker_nanos[i.min(MAX_TRACE_WORKERS - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every accumulator (between queries; not linearizable with
+    /// concurrent recording).
+    pub fn reset(&self) {
+        for a in &self.stage_nanos {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.stage_count {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.worker_tasks {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.worker_nanos {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.workers.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for AtomicTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for AtomicTrace {
+    fn record(&self, stage: TraceStage, nanos: u64, count: u64) {
+        self.stage_nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+        self.stage_count[stage.index()].fetch_add(count, Ordering::Relaxed);
+    }
+
+    fn worker(&self, index: usize, tasks: u64, nanos: u64) {
+        let slot = index.min(MAX_TRACE_WORKERS - 1);
+        self.worker_tasks[slot].fetch_add(tasks, Ordering::Relaxed);
+        self.worker_nanos[slot].fetch_add(nanos, Ordering::Relaxed);
+        self.workers.fetch_max(index + 1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_round_trip_through_atomic_trace() {
+        let t = AtomicTrace::new();
+        t.record(TraceStage::P1, 100, 3);
+        t.record(TraceStage::P1, 50, 1);
+        t.record(TraceStage::P2, 7, 2);
+        assert_eq!(t.nanos(TraceStage::P1), 150);
+        assert_eq!(t.count(TraceStage::P1), 4);
+        assert_eq!(t.nanos(TraceStage::P2), 7);
+        assert_eq!(t.count(TraceStage::Dp), 0);
+        t.reset();
+        assert_eq!(t.nanos(TraceStage::P1), 0);
+        assert_eq!(t.count(TraceStage::P1), 0);
+    }
+
+    #[test]
+    fn worker_slots_accumulate_and_cap() {
+        let t = AtomicTrace::new();
+        t.worker(0, 5, 1000);
+        t.worker(0, 2, 500);
+        t.worker(3, 1, 10);
+        assert_eq!(t.workers(), 4);
+        assert_eq!(t.worker_tasks(0), 7);
+        assert_eq!(t.worker_nanos(0), 1500);
+        assert_eq!(t.worker_tasks(3), 1);
+        // Out-of-range workers fold into the last slot.
+        t.worker(MAX_TRACE_WORKERS + 10, 9, 9);
+        assert_eq!(t.worker_tasks(MAX_TRACE_WORKERS - 1), 9);
+        assert_eq!(t.workers(), MAX_TRACE_WORKERS);
+    }
+
+    #[test]
+    fn trace_is_shareable_across_threads() {
+        let t: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.record(TraceStage::P2, 1, 1);
+                    }
+                    t.worker(i, 1000, 0);
+                });
+            }
+        });
+        assert_eq!(t.nanos(TraceStage::P2), 4000);
+        assert_eq!(t.count(TraceStage::P2), 4000);
+        assert_eq!(t.workers(), 4);
+        let total: u64 = (0..t.workers()).map(|i| t.worker_tasks(i)).sum();
+        assert_eq!(total, 4000);
+    }
+}

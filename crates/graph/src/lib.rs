@@ -37,6 +37,7 @@ pub mod builder;
 pub mod error;
 pub mod event;
 pub mod io;
+pub mod metrics;
 mod mmap;
 pub mod multigraph;
 pub mod overlay;

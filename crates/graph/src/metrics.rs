@@ -1,0 +1,29 @@
+//! Storage-tier metrics: process-wide statics the segment backend keeps
+//! current, exported so any registry (the serve `METRICS` verb, the CLI
+//! `--profile` report) can read them as gauge/counter closures.
+//!
+//! Statics rather than per-store handles because the interesting
+//! quantity is the *process* total — a server may hold several epochs'
+//! segments mapped at once during an epoch swap, and the mapped-bytes
+//! gauge should show the sum, not the last.
+
+use flowmotif_obs::{Counter, Gauge};
+
+/// Bytes currently memory-mapped by open segment files (all live
+/// [`crate::SegmentStore`]s; rises on open, falls on drop).
+pub static SEGMENT_MAPPED_BYTES: Gauge = Gauge::new();
+
+/// Estimated heap-resident bytes of open segment stores (the
+/// deserialized activity indexes — the only O(index) state; the mapped
+/// body is pages the OS may evict at will).
+pub static SEGMENT_RESIDENT_BYTES: Gauge = Gauge::new();
+
+/// Event/flow-prefix section reads served by segment stores — one per
+/// series resolution, the accesses that touch potentially cold mapped
+/// pages. Ticked through a per-thread batch of 1024 (a locked RMW per
+/// read would fence the hottest search loop), so the total lags true
+/// reads by at most 1024 per live thread.
+pub static SEGMENT_SECTION_READS: Counter = Counter::new();
+
+/// Segment files opened and validated since process start.
+pub static SEGMENT_OPENS: Counter = Counter::new();

@@ -77,6 +77,7 @@ impl Mmap {
         if ptr as usize == usize::MAX {
             return Err(io::Error::last_os_error());
         }
+        crate::metrics::SEGMENT_MAPPED_BYTES.add(len as u64);
         Ok(Self { backing: Backing::Mapped(ptr as *const u8), len })
     }
 
@@ -87,7 +88,14 @@ impl Mmap {
         let bytes = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
         let mut f = file;
         f.read_exact(bytes)?;
+        crate::metrics::SEGMENT_MAPPED_BYTES.add(len as u64);
         Ok(Self { backing: Backing::Owned(words), len })
+    }
+
+    /// The view's length in bytes.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
     }
 
     /// The mapped bytes. The base pointer is 8-aligned (page-aligned on
@@ -106,6 +114,9 @@ impl Mmap {
 
 impl Drop for Mmap {
     fn drop(&mut self) {
+        if self.len > 0 {
+            crate::metrics::SEGMENT_MAPPED_BYTES.sub(self.len as u64);
+        }
         #[cfg(unix)]
         if let Backing::Mapped(ptr) = self.backing {
             unsafe {

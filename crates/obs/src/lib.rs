@@ -1,0 +1,671 @@
+//! Dependency-free observability primitives shared by every layer:
+//! relaxed-atomic [`Counter`]s and [`Gauge`]s, a log-bucketed lock-free
+//! latency [`Histogram`], and a [`MetricsRegistry`] that renders the
+//! whole set in the Prometheus text exposition format.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording must be cheap and lock-free.** `record()`/`inc()` are
+//!    one or two `Relaxed` `fetch_add`s — safe from any thread, inside
+//!    the zero-allocation search hot loop, and from signal-free drop
+//!    paths. No locks, no allocation, no syscalls.
+//! 2. **Const-constructible.** Every primitive has a `const fn new()`,
+//!    so layers below the registry (graph, stream) can keep process-wide
+//!    `static` metrics without lazy-init machinery.
+//! 3. **Rendering is the slow path.** The registry takes a mutex and
+//!    formats strings only when a `METRICS` request or `--profile`
+//!    report asks for it.
+//!
+//! ```
+//! use flowmotif_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let requests = registry.counter("demo_requests_total", "Requests served.");
+//! let latency = registry.histogram("demo_latency_seconds", "Request latency.");
+//! requests.inc();
+//! latency.record_ns(1_500);
+//! let text = registry.render();
+//! assert!(text.contains("# TYPE demo_requests_total counter"));
+//! assert!(text.contains("demo_requests_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter; `const`, so counters can be `static`.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (bytes resident, last-publish cost…).
+/// Stored as a `u64`; scale factors (e.g. nanoseconds → seconds) are
+/// applied at render time by the registry, not here.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge; `const`, so gauges can be `static`.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating at zero under a lost race, never
+    /// wrapping into the exabytes).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket `k` counts samples
+/// in `[2^k, 2^(k+1))`, so 64 buckets cover the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free latency histogram over power-of-two buckets.
+///
+/// `record_ns()` is two relaxed `fetch_add`s; there is no lock and no
+/// allocation, so concurrent recorders only contend on cache lines.
+/// Bucket `k` covers `[2^k, 2^(k+1))` nanoseconds (samples of 0 land in
+/// bucket 0), which keeps quantile estimates within one power-of-two
+/// boundary of the true value — plenty for latency monitoring, where the
+/// interesting signal is orders of magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded values (nanoseconds).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index of a sample: `floor(log2(max(v, 1)))`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// The exclusive upper bound of bucket `k` (`u64::MAX` for the last).
+#[inline]
+fn bucket_bound(k: usize) -> u64 {
+    if k + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (k + 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram; `const`, so histograms can be `static`.
+    pub const fn new() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Records one sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded samples (derived from the buckets, so it
+    /// is consistent with any concurrently rendered bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The count in bucket `k` (samples in `[2^k, 2^(k+1))` ns).
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k].load(Ordering::Relaxed)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`) in
+    /// nanoseconds: the upper bound of the bucket holding the rank, i.e.
+    /// within one power-of-two boundary of the true quantile. Returns 0
+    /// on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the q-quantile among `total` ordered samples.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(k).saturating_sub(1).max(1);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Adds every sample of `other` into `self`. Associative and
+    /// commutative up to relaxed-ordering races, which makes per-worker
+    /// histograms mergeable in any order.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Resets every bucket and the sum to zero. Not atomic with respect
+    /// to concurrent recorders; meant for single-owner reuse (per-query
+    /// trace sinks), not for shared registry histograms.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// How a registry entry obtains its value at render time.
+enum Source {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    /// A counter sampled through a closure (wraps `static` counters or
+    /// foreign atomics without taking ownership).
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// A gauge sampled through a closure, already in display units.
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+}
+
+struct Entry {
+    name: &'static str,
+    /// Rendered inside `{…}` after the name (e.g. `verb="query"`).
+    label: Option<(&'static str, String)>,
+    help: &'static str,
+    /// Multiplier applied to integer-valued sources at render time
+    /// (e.g. `1e-9` renders a nanosecond gauge in seconds).
+    scale: f64,
+    source: Source,
+}
+
+/// A set of named metrics, rendered in the Prometheus text exposition
+/// format (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}`
+/// histogram series). Registration takes a mutex; the returned handles
+/// are lock-free to update.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().unwrap();
+        f.debug_struct("MetricsRegistry").field("entries", &entries.len()).finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, entry: Entry) {
+        self.entries.lock().unwrap().push(entry);
+    }
+
+    /// Registers and returns a new counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_labeled(name, None, help)
+    }
+
+    /// Registers a counter carrying one label pair (`key="value"`);
+    /// entries sharing a name form one metric family.
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &str)>,
+        help: &'static str,
+    ) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(Entry {
+            name,
+            label: label.map(|(k, v)| (k, v.to_string())),
+            help,
+            scale: 1.0,
+            source: Source::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Registers and returns a new gauge. `scale` converts the stored
+    /// integer to display units (1.0 for unit-less, 1e-9 for ns → s).
+    pub fn gauge(&self, name: &'static str, help: &'static str, scale: f64) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(Entry { name, label: None, help, scale, source: Source::Gauge(Arc::clone(&g)) });
+        g
+    }
+
+    /// Registers and returns a new histogram (bucket bounds rendered in
+    /// seconds; samples are recorded in nanoseconds).
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_labeled(name, None, help)
+    }
+
+    /// Registers a histogram carrying one label pair.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &str)>,
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(Entry {
+            name,
+            label: label.map(|(k, v)| (k, v.to_string())),
+            help,
+            scale: 1.0,
+            source: Source::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Registers a counter whose value is sampled from `f` at render
+    /// time — the bridge to `static` counters owned by lower layers.
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.push(Entry {
+            name,
+            label: None,
+            help,
+            scale: 1.0,
+            source: Source::CounterFn(Box::new(f)),
+        });
+    }
+
+    /// Registers a gauge whose value is sampled from `f` at render time,
+    /// already in display units.
+    pub fn gauge_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.push(Entry {
+            name,
+            label: None,
+            help,
+            scale: 1.0,
+            source: Source::GaugeFn(Box::new(f)),
+        });
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format. `# HELP`/`# TYPE` headers are emitted once per family (in
+    /// first-registration order); labeled series follow their family.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if !seen.contains(&entry.name) {
+                seen.push(entry.name);
+                let kind = match entry.source {
+                    Source::Counter(_) | Source::CounterFn(_) => "counter",
+                    Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
+                    Source::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+                out.push_str(&format!("# TYPE {} {kind}\n", entry.name));
+            }
+            let labels = |extra: Option<String>| -> String {
+                let mut parts = Vec::new();
+                if let Some((k, v)) = &entry.label {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if let Some(e) = extra {
+                    parts.push(e);
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
+            match &entry.source {
+                Source::Counter(c) => {
+                    out.push_str(&format!("{}{} {}\n", entry.name, labels(None), c.get()));
+                }
+                Source::CounterFn(f) => {
+                    out.push_str(&format!("{}{} {}\n", entry.name, labels(None), f()));
+                }
+                Source::Gauge(g) => {
+                    let v = g.get();
+                    if entry.scale == 1.0 {
+                        out.push_str(&format!("{}{} {v}\n", entry.name, labels(None)));
+                    } else {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            entry.name,
+                            labels(None),
+                            v as f64 * entry.scale
+                        ));
+                    }
+                }
+                Source::GaugeFn(f) => {
+                    out.push_str(&format!("{}{} {}\n", entry.name, labels(None), f()));
+                }
+                Source::Histogram(h) => {
+                    // Cumulative buckets: only boundaries where the count
+                    // changes are emitted (any subset plus `+Inf` is
+                    // valid Prometheus), which keeps idle histograms to a
+                    // single line.
+                    let mut cumulative = 0u64;
+                    for k in 0..HISTOGRAM_BUCKETS {
+                        let n = h.bucket(k);
+                        if n > 0 && k + 1 < HISTOGRAM_BUCKETS {
+                            cumulative += n;
+                            let le = bucket_bound(k) as f64 * 1e-9;
+                            out.push_str(&format!(
+                                "{}_bucket{} {cumulative}\n",
+                                entry.name,
+                                labels(Some(format!("le=\"{le}\"")))
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        entry.name,
+                        labels(Some("le=\"+Inf\"".to_string())),
+                        h.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        entry.name,
+                        labels(None),
+                        h.sum_ns() as f64 * 1e-9
+                    ));
+                    out.push_str(&format!("{}_count{} {}\n", entry.name, labels(None), h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmotif_util::{RngExt, SeedableRng, StdRng};
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        static C: Counter = Counter::new();
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+
+        static G: Gauge = Gauge::new();
+        G.set(100);
+        G.add(20);
+        G.sub(50);
+        assert_eq!(G.get(), 70);
+        G.sub(1000); // saturates, never wraps
+        assert_eq!(G.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 2);
+        assert_eq!(bucket_bound(62), 1 << 63);
+        assert_eq!(bucket_bound(63), u64::MAX);
+    }
+
+    /// Satellite: seeded randomized suite — recorded samples land in the
+    /// predicted buckets and the total count matches exactly.
+    #[test]
+    fn histogram_bucket_counts_match_reference_seeded() {
+        let mut rng = StdRng::seed_from_u64(0xb0cce7);
+        let h = Histogram::new();
+        let mut reference = [0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            // Log-uniform samples: every bucket order of magnitude gets
+            // traffic, not just the mid-range.
+            let shift = rng.random_range(0..50u32);
+            let v = rng.random::<u64>() >> shift;
+            h.record_ns(v);
+            reference[bucket_of(v)] += 1;
+            sum = sum.wrapping_add(v);
+        }
+        for (k, &expected) in reference.iter().enumerate() {
+            assert_eq!(h.bucket(k), expected, "bucket {k}");
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum_ns(), sum);
+    }
+
+    /// Satellite: quantile estimates stay within one bucket boundary of
+    /// the exact order statistic.
+    #[test]
+    fn histogram_quantiles_within_one_bucket_seeded() {
+        for seed in [1u64, 7, 42, 4242] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = Histogram::new();
+            let mut samples: Vec<u64> = (0..5_000)
+                .map(|_| {
+                    let shift = rng.random_range(20..55u32);
+                    rng.random::<u64>() >> shift
+                })
+                .collect();
+            for &s in &samples {
+                h.record_ns(s);
+            }
+            samples.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+                let exact = samples[rank - 1];
+                let est = h.quantile_ns(q);
+                // The estimate is the upper bound of the exact value's
+                // bucket: never below the truth, at most one power-of-two
+                // boundary above it.
+                assert!(est >= exact, "seed {seed} q {q}: est {est} < exact {exact}");
+                assert!(
+                    est <= bucket_bound(bucket_of(exact)),
+                    "seed {seed} q {q}: est {est} beyond bucket of {exact}"
+                );
+            }
+        }
+        assert_eq!(Histogram::new().quantile_ns(0.5), 0, "empty histogram");
+    }
+
+    /// Satellite: `merge()` is associative — (a ∪ b) ∪ c and a ∪ (b ∪ c)
+    /// agree bucket for bucket, and both match recording every sample
+    /// into one histogram.
+    #[test]
+    fn histogram_merge_is_associative_seeded() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                (0..1_000).map(|_| rng.random::<u64>() >> rng.random_range(0..50u32)).collect()
+            })
+            .collect();
+        let hist_of = |samples: &[Vec<u64>]| {
+            let h = Histogram::new();
+            for part in samples {
+                for &s in part {
+                    h.record_ns(s);
+                }
+            }
+            h
+        };
+        let [a, b, c] = [hist_of(&parts[0..1]), hist_of(&parts[1..2]), hist_of(&parts[2..3])];
+        // left: (a ∪ b) ∪ c
+        let left = Histogram::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        // right: a ∪ (b ∪ c)
+        let bc = Histogram::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let right = Histogram::new();
+        right.merge(&a);
+        right.merge(&bc);
+        let direct = hist_of(&parts);
+        for k in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(left.bucket(k), right.bucket(k), "bucket {k}");
+            assert_eq!(left.bucket(k), direct.bucket(k), "bucket {k}");
+        }
+        assert_eq!(left.sum_ns(), right.sum_ns());
+        assert_eq!(left.sum_ns(), direct.sum_ns());
+        assert_eq!(left.count(), 3_000);
+    }
+
+    #[test]
+    fn histogram_reset_clears_everything() {
+        let h = Histogram::new();
+        h.record_ns(5);
+        h.record_ns(5_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let r = MetricsRegistry::new();
+        let c = r.counter_labeled("req_total", Some(("verb", "query")), "Requests.");
+        let c2 = r.counter_labeled("req_total", Some(("verb", "count")), "Requests.");
+        let g = r.gauge("publish_seconds", "Last publish cost.", 1e-9);
+        let h = r.histogram("latency_seconds", "Latency.");
+        r.counter_fn("reads_total", "Reads.", || 7);
+        r.gauge_fn("age_seconds", "Age.", || 2.5);
+        c.add(3);
+        c2.inc();
+        g.set(1_500_000_000);
+        h.record_ns(1_000);
+        h.record_ns(3_000);
+
+        let text = r.render();
+        // One family header for the two labeled counters.
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+        assert!(text.contains("req_total{verb=\"query\"} 3"), "{text}");
+        assert!(text.contains("req_total{verb=\"count\"} 1"), "{text}");
+        assert!(text.contains("# TYPE publish_seconds gauge"), "{text}");
+        assert!(text.contains("publish_seconds 1.5"), "{text}");
+        assert!(text.contains("# TYPE latency_seconds histogram"), "{text}");
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("latency_seconds_count 2"), "{text}");
+        assert!(text.contains("reads_total 7"), "{text}");
+        assert!(text.contains("age_seconds 2.5"), "{text}");
+        // Cumulative bucket counts are non-decreasing in `le` order.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn render_matches_exposition_line_grammar() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_labeled("lat_seconds", Some(("verb", "query")), "L.");
+        h.record_ns(999);
+        let c = r.counter("n_total", "N.");
+        c.inc();
+        for line in r.render().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            // `name{labels} value` or `name value`
+            let (series, value) = line.rsplit_once(' ').expect("space-separated value");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+                "bad metric name in {line:?}"
+            );
+        }
+    }
+}

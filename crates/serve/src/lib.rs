@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod source;

@@ -108,6 +108,9 @@ pub enum Request {
     Compact,
     /// `stats` — server-wide statistics.
     Stats,
+    /// `metrics` — every registered metric in the Prometheus text
+    /// exposition format, one `DATA` line per text line.
+    Metrics,
     /// `session` — statistics of this connection.
     Session,
     /// `quit` — close the connection after an `OK bye`.
@@ -148,6 +151,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         }
         "compact" => exact(0).map(|()| Request::Compact),
         "stats" => exact(0).map(|()| Request::Stats),
+        "metrics" => exact(0).map(|()| Request::Metrics),
         "session" => exact(0).map(|()| Request::Session),
         "quit" => exact(0).map(|()| Request::Quit),
         other => Err(RequestError::proto(format!("unknown command `{other}`"))),
@@ -270,6 +274,7 @@ mod tests {
         assert!(matches!(parse_request("evict 42").unwrap(), Request::Evict(42)));
         assert!(matches!(parse_request("compact").unwrap(), Request::Compact));
         assert!(matches!(parse_request("stats").unwrap(), Request::Stats));
+        assert!(matches!(parse_request("metrics").unwrap(), Request::Metrics));
         assert!(matches!(parse_request("session").unwrap(), Request::Session));
         assert!(matches!(parse_request("quit").unwrap(), Request::Quit));
     }
@@ -287,6 +292,7 @@ mod tests {
             ("query M(3,2) 10 0 5", "takes 3 or 5 fields"),
             ("evict", "takes 1 fields"),
             ("ping pong", "takes 0 fields"),
+            ("metrics now", "takes 0 fields"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::Proto, "{line}");

@@ -1,16 +1,17 @@
 //! The TCP server: accept loop, bounded worker pool, admission control
 //! and per-session request handling.
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
 use crate::source::{EngineSnapshot, MotifEngine};
-use flowmotif_core::SearchScratch;
+use flowmotif_core::{AtomicTrace, SearchScratch, TraceSink, TraceStage};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -36,11 +37,23 @@ pub struct ServerConfig {
     /// `SnapshotEngine::publish_every`), not here: the engine may be
     /// shared with non-server writers that publish on their own schedule.
     pub show: usize,
+    /// When set, every `query`/`count` runs with per-stage tracing, and
+    /// any query taking at least this many milliseconds is logged to
+    /// stderr with its P1/P2/DP breakdown (0 logs every query). `None`
+    /// keeps queries on the zero-overhead untraced path.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, backlog: 16, max_inflight: 0, max_window: None, show: 5 }
+        Self {
+            workers: 4,
+            backlog: 16,
+            max_inflight: 0,
+            max_window: None,
+            show: 5,
+            slow_query_ms: None,
+        }
     }
 }
 
@@ -49,12 +62,15 @@ impl Default for ServerConfig {
 struct Shared<E> {
     engine: Arc<E>,
     config: ServerConfig,
-    /// Queries currently executing (gauge).
-    inflight: AtomicUsize,
+    /// Queries currently executing (gauge). `Arc`'d so the metrics
+    /// registry can sample it from a render-time closure.
+    inflight: Arc<AtomicUsize>,
     /// Connections served over the server's lifetime.
-    sessions: AtomicU64,
+    sessions: Arc<AtomicU64>,
     /// Queries answered over the server's lifetime (admitted ones).
-    queries: AtomicU64,
+    queries: Arc<AtomicU64>,
+    /// This server's metric registry and request-path handles.
+    metrics: ServerMetrics,
 }
 
 /// Decrements the in-flight gauge when an admitted query finishes.
@@ -64,6 +80,62 @@ struct InflightGuard<'a, E>(&'a Shared<E>);
 impl<E> Drop for InflightGuard<'_, E> {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<E: MotifEngine> Shared<E> {
+    /// Builds the shared state and registers the engine-backed gauges
+    /// (epoch, resident interactions/pairs) plus the server's own
+    /// in-flight/session/query series into the metrics registry.
+    fn new(engine: Arc<E>, config: ServerConfig) -> Self {
+        let metrics = ServerMetrics::new();
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let sessions = Arc::new(AtomicU64::new(0));
+        let queries = Arc::new(AtomicU64::new(0));
+        let r = metrics.registry();
+        {
+            let e = Arc::clone(&engine);
+            r.gauge_fn("flowmotif_engine_epoch", "Currently published epoch", move || {
+                e.published_epoch() as f64
+            });
+        }
+        {
+            let e = Arc::clone(&engine);
+            r.gauge_fn(
+                "flowmotif_engine_interactions",
+                "Interactions currently held by the engine (resident + buffered)",
+                move || e.stats().interactions as f64,
+            );
+        }
+        {
+            let e = Arc::clone(&engine);
+            r.gauge_fn(
+                "flowmotif_engine_pairs",
+                "Connected pairs currently indexed by the engine",
+                move || e.stats().pairs as f64,
+            );
+        }
+        {
+            let i = Arc::clone(&inflight);
+            r.gauge_fn(
+                "flowmotif_serve_inflight_queries",
+                "Queries executing right now across all sessions",
+                move || i.load(Ordering::Acquire) as f64,
+            );
+        }
+        {
+            let s = Arc::clone(&sessions);
+            r.counter_fn("flowmotif_serve_sessions_total", "Connections served", move || {
+                s.load(Ordering::Relaxed)
+            });
+        }
+        {
+            let q = Arc::clone(&queries);
+            r.counter_fn("flowmotif_serve_queries_total", "Admitted queries answered", move || {
+                q.load(Ordering::Relaxed)
+            });
+        }
+        Self { engine, config, inflight, sessions, queries, metrics }
     }
 }
 
@@ -120,13 +192,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let backlog = config.backlog;
-        let shared = Arc::new(Shared {
-            engine,
-            config,
-            inflight: AtomicUsize::new(0),
-            sessions: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-        });
+        let shared = Arc::new(Shared::new(engine, config));
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
         let rx = Arc::new(Mutex::new(rx));
@@ -336,8 +402,26 @@ fn handle_line<E: MotifEngine>(
         Ok(request) => handle_request(request, shared, session),
         Err(e) => {
             session.errors += 1;
+            shared.metrics.inc_verb("error");
             (format!("{}\n", e.status_line()), false)
         }
+    }
+}
+
+/// The metrics label of a request (a `VERBS` member in `metrics.rs`).
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Add { .. } => "add",
+        Request::Query(_) => "query",
+        Request::Count(_) => "count",
+        Request::Publish => "publish",
+        Request::Evict(_) => "evict",
+        Request::Compact => "compact",
+        Request::Stats => "stats",
+        Request::Session => "session",
+        Request::Metrics => "metrics",
+        Request::Quit => "quit",
     }
 }
 
@@ -347,7 +431,16 @@ fn handle_request<E: MotifEngine>(
     session: &mut Session,
 ) -> (String, bool) {
     let engine = &shared.engine;
-    match request {
+    let verb = verb_of(&request);
+    shared.metrics.inc_verb(verb);
+    // Engine-touching verbs get a latency sample; the rest answer from
+    // local state and would only measure clock overhead.
+    let timed = matches!(
+        request,
+        Request::Add { .. } | Request::Query(_) | Request::Count(_) | Request::Publish
+    );
+    let started = timed.then(Instant::now);
+    let reply = match request {
         Request::Ping => ("OK pong\n".to_string(), false),
         Request::Add { from, to, time, flow } => {
             session.appends += 1;
@@ -392,6 +485,19 @@ fn handle_request<E: MotifEngine>(
                 false,
             )
         }
+        Request::Metrics => {
+            let text = shared.metrics.render();
+            let mut reply = String::with_capacity(text.len() + 64);
+            let mut lines = 0usize;
+            for line in text.lines() {
+                reply.push_str("DATA ");
+                reply.push_str(line);
+                reply.push('\n');
+                lines += 1;
+            }
+            reply.push_str(&format!("OK metrics lines={lines}\n"));
+            (reply, false)
+        }
         Request::Session => (
             format!(
                 "OK session queries={} appends={} errors={}\n",
@@ -400,7 +506,11 @@ fn handle_request<E: MotifEngine>(
             false,
         ),
         Request::Quit => ("OK bye\n".to_string(), true),
+    };
+    if let Some(t0) = started {
+        shared.metrics.observe(verb, t0.elapsed());
     }
+    reply
 }
 
 /// Admission control plus the actual snapshot search, shared by `query`
@@ -417,6 +527,7 @@ fn run_query<E: MotifEngine>(
         match spec.window {
             None => {
                 session.errors += 1;
+                shared.metrics.admission_rejected.inc();
                 return (
                     format!(
                         "ERR {admission} unbounded query refused: supply a window of at most \
@@ -427,6 +538,7 @@ fn run_query<E: MotifEngine>(
             }
             Some(w) if w.length() > cap => {
                 session.errors += 1;
+                shared.metrics.admission_rejected.inc();
                 return (
                     format!(
                         "ERR {admission} window length {} exceeds the per-query cap {cap}\n",
@@ -443,6 +555,7 @@ fn run_query<E: MotifEngine>(
         Ok(guard) => guard,
         Err(inflight) => {
             session.errors += 1;
+            shared.metrics.busy.inc();
             return (
                 format!(
                     "BUSY {inflight} queries in flight (cap {}), retry\n",
@@ -455,19 +568,30 @@ fn run_query<E: MotifEngine>(
     session.queries += 1;
     shared.queries.fetch_add(1, Ordering::Relaxed);
 
+    // Slow-query tracing: this worker's leaked trace arena, reset per
+    // query. `None` (the default) keeps the search entirely untraced.
+    let trace = shared.config.slow_query_ms.map(|_| worker_trace());
+    let started = trace.map(|t| {
+        t.reset();
+        Instant::now()
+    });
+    let sink: Option<&'static dyn TraceSink> = trace.map(|t| t as &'static dyn TraceSink);
+
     // The query runs on an immutable snapshot: no writer lock is held, and
     // concurrent appends/publishes cannot change what this query sees.
     let snapshot = shared.engine.snapshot();
     let epoch = snapshot.epoch();
     let motif = &spec.motif;
     if !materialise {
-        let (count, stats) = snapshot.count_with(motif, spec.window, &mut session.scratch);
+        let (count, stats) = snapshot.count_with(motif, spec.window, &mut session.scratch, sink);
+        note_slow("count", spec, epoch, trace, started, shared);
         return (
             format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches),
             false,
         );
     }
-    let result = snapshot.query_with(motif, spec.window, &mut session.scratch);
+    let result = snapshot.query_with(motif, spec.window, &mut session.scratch, sink);
+    note_slow("query", spec, epoch, trace, started, shared);
     let total = result.num_instances();
     let mut reply = String::new();
     let mut shown = 0usize;
@@ -492,18 +616,56 @@ fn run_query<E: MotifEngine>(
     (reply, false)
 }
 
+/// This worker thread's trace arena, allocated once and leaked: the
+/// search hook needs a `&'static` sink, and the worker pool is fixed,
+/// so the leak is bounded by the thread count.
+fn worker_trace() -> &'static AtomicTrace {
+    thread_local! {
+        static TRACE: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+    }
+    TRACE.with(|t| *t)
+}
+
+/// Logs one finished query to stderr if it crossed the
+/// `slow_query_ms` threshold, with its per-stage breakdown.
+fn note_slow<E: MotifEngine>(
+    verb: &'static str,
+    spec: &QuerySpec,
+    epoch: u64,
+    trace: Option<&'static AtomicTrace>,
+    started: Option<Instant>,
+    shared: &Shared<E>,
+) {
+    let (Some(trace), Some(started), Some(threshold_ms)) =
+        (trace, started, shared.config.slow_query_ms)
+    else {
+        return;
+    };
+    let elapsed = started.elapsed();
+    if (elapsed.as_millis() as u64) < threshold_ms {
+        return;
+    }
+    shared.metrics.slow_queries.inc();
+    let window =
+        spec.window.map_or_else(|| "-".to_string(), |w| format!("[{},{}]", w.start, w.end));
+    eprintln!(
+        "slow-query verb={verb} window={window} epoch={epoch} total_us={} p1_us={} p2_us={} \
+         dp_us={} matches={} instances={}",
+        elapsed.as_micros(),
+        trace.nanos(TraceStage::P1) / 1_000,
+        trace.nanos(TraceStage::P2) / 1_000,
+        trace.nanos(TraceStage::Dp) / 1_000,
+        trace.count(TraceStage::P1),
+        trace.count(TraceStage::P2),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn shared(config: ServerConfig) -> Shared<flowmotif_stream::SnapshotEngine> {
-        Shared {
-            engine: Arc::new(flowmotif_stream::SnapshotEngine::new()),
-            config,
-            inflight: AtomicUsize::new(0),
-            sessions: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-        }
+        Shared::new(Arc::new(flowmotif_stream::SnapshotEngine::new()), config)
     }
 
     #[test]
@@ -565,6 +727,74 @@ mod tests {
         let (r, close) = handle_line("quit", &s, &mut session);
         assert_eq!(r, "OK bye\n");
         assert!(close);
+    }
+
+    #[test]
+    fn metrics_reply_covers_every_tier() {
+        let s = shared(ServerConfig::default());
+        let mut session = Session::default();
+        let _ = handle_line("add 0 1 10 5", &s, &mut session);
+        let _ = handle_line("publish", &s, &mut session);
+        let _ = handle_line("query M(3,2) 10 0", &s, &mut session);
+        let _ = handle_line("bogus", &s, &mut session);
+        let (r, close) = handle_line("metrics", &s, &mut session);
+        assert!(!close);
+        assert!(r.ends_with(&format!("OK metrics lines={}\n", r.lines().count() - 1)), "{r}");
+        let body: Vec<&str> = r.lines().filter_map(|l| l.strip_prefix("DATA ")).collect();
+        // Prometheus text framing: HELP/TYPE headers once per family.
+        assert!(body.contains(&"# TYPE flowmotif_serve_requests_total counter"), "{r}");
+        assert!(body.contains(&"# TYPE flowmotif_serve_request_duration_seconds histogram"));
+        // Serve tier: per-verb counters saw the requests above.
+        assert!(body.contains(&"flowmotif_serve_requests_total{verb=\"query\"} 1"), "{r}");
+        assert!(body.contains(&"flowmotif_serve_requests_total{verb=\"add\"} 1"));
+        assert!(body.contains(&"flowmotif_serve_requests_total{verb=\"error\"} 1"));
+        // The query latency histogram recorded one sample.
+        assert!(
+            body.iter().any(|l| l
+                .starts_with("flowmotif_serve_request_duration_seconds_count{verb=\"query\"} 1")),
+            "{r}"
+        );
+        // Engine gauges come from the live engine.
+        assert!(body.contains(&"flowmotif_engine_epoch 1"), "{r}");
+        assert!(body.contains(&"flowmotif_engine_interactions 1"));
+        // Stream and storage families are present (process-wide values).
+        assert!(body.iter().any(|l| l.starts_with("flowmotif_stream_publishes_total ")));
+        assert!(body.iter().any(|l| l.starts_with("flowmotif_storage_segment_mapped_bytes ")));
+    }
+
+    #[test]
+    fn rejection_counters_track_busy_and_admission() {
+        let s = shared(ServerConfig {
+            max_inflight: 1,
+            max_window: Some(100),
+            ..ServerConfig::default()
+        });
+        let mut session = Session::default();
+        let (r, _) = handle_line("count M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("ERR admission"), "{r}");
+        assert_eq!(s.metrics.admission_rejected.get(), 1);
+        let _held = s.try_admit().unwrap();
+        let (r, _) = handle_line("count M(3,2) 10 0 0 50", &s, &mut session);
+        assert!(r.starts_with("BUSY"), "{r}");
+        assert_eq!(s.metrics.busy.get(), 1);
+    }
+
+    #[test]
+    fn slow_query_threshold_zero_logs_and_counts_every_query() {
+        let s = shared(ServerConfig { slow_query_ms: Some(0), ..ServerConfig::default() });
+        let mut session = Session::default();
+        let _ = handle_line("add 0 1 10 5", &s, &mut session);
+        let _ = handle_line("publish", &s, &mut session);
+        let (r, _) = handle_line("count M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("OK count="), "{r}");
+        let (r, _) = handle_line("query M(3,2) 10 0", &s, &mut session);
+        assert!(r.contains("OK query"), "{r}");
+        assert_eq!(s.metrics.slow_queries.get(), 2);
+        // A huge threshold traces but never logs.
+        let s = shared(ServerConfig { slow_query_ms: Some(u64::MAX), ..ServerConfig::default() });
+        let (r, _) = handle_line("count M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("OK count="), "{r}");
+        assert_eq!(s.metrics.slow_queries.get(), 0);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   (epoch = memory-mapped sealed segment + in-RAM delta overlay),
 //!   behind `flowmotif serve <dir> --packed`.
 
-use flowmotif_core::{Motif, MotifInstance, SearchScratch, SearchStats, StructuralMatch};
+use flowmotif_core::{
+    Motif, MotifInstance, SearchScratch, SearchStats, StructuralMatch, TraceSink,
+};
 use flowmotif_graph::{Flow, GraphError, GraphStore, NodeId, TimeWindow, Timestamp};
 use flowmotif_stream::{
     EngineStats, EpochEngine, EpochSnapshot, PublishReport, QueryResult, Snapshot, SnapshotEngine,
@@ -25,12 +27,16 @@ pub trait EngineSnapshot: Send + Sync {
     fn epoch(&self) -> u64;
 
     /// Two-phase motif search, restricted to `bounds` when given,
-    /// running out of the caller's search arena.
+    /// running out of the caller's search arena. `trace`, when set,
+    /// receives the per-stage breakdown of this one query (the server's
+    /// slow-query log); `None` keeps the search on the zero-overhead
+    /// untraced path.
     fn query_with(
         &self,
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> QueryResult;
 
     /// Counts maximal instances without materialising them.
@@ -39,6 +45,7 @@ pub trait EngineSnapshot: Send + Sync {
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> (u64, SearchStats);
 
     /// Renders one result for the wire: the `-`-joined walk nodes and
@@ -105,8 +112,9 @@ impl EngineSnapshot for Arc<Snapshot> {
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> QueryResult {
-        Snapshot::query_with(self, motif, bounds, scratch)
+        Snapshot::query_traced(self, motif, bounds, scratch, trace)
     }
 
     fn count_with(
@@ -114,8 +122,9 @@ impl EngineSnapshot for Arc<Snapshot> {
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> (u64, SearchStats) {
-        Snapshot::count_with(self, motif, bounds, scratch)
+        Snapshot::count_traced(self, motif, bounds, scratch, trace)
     }
 
     fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {
@@ -175,8 +184,9 @@ impl EngineSnapshot for Arc<EpochSnapshot> {
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> QueryResult {
-        EpochSnapshot::query_with(self, motif, bounds, scratch)
+        EpochSnapshot::query_traced(self, motif, bounds, scratch, trace)
     }
 
     fn count_with(
@@ -184,8 +194,9 @@ impl EngineSnapshot for Arc<EpochSnapshot> {
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
     ) -> (u64, SearchStats) {
-        EpochSnapshot::count_with(self, motif, bounds, scratch)
+        EpochSnapshot::count_traced(self, motif, bounds, scratch, trace)
     }
 
     fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {

@@ -170,6 +170,90 @@ fn data_lines_are_capped_by_show_but_totals_are_exact() {
 }
 
 #[test]
+fn stats_reports_explicit_zero_publish_telemetry_before_first_publish() {
+    // A fresh engine has never published: the publish-telemetry fields
+    // must still be present, as explicit zeros, so dashboards scraping
+    // `stats` never see the keys appear out of nowhere mid-run.
+    let (server, engine) = server(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let reply = c.send("stats").unwrap();
+    assert!(reply.is_ok(), "{}", reply.status);
+    assert_eq!(reply.field("last_publish_ns"), Some("0"), "{}", reply.status);
+    assert_eq!(reply.field("last_publish_dirty"), Some("0"), "{}", reply.status);
+    assert_eq!(reply.field("epoch"), Some("0"));
+    // After the first publish the fields turn live.
+    engine.ingest([(0u32, 1u32, 10i64, 5.0)]).unwrap();
+    engine.publish();
+    let reply = c.send("stats").unwrap();
+    assert_eq!(reply.field("last_publish_dirty"), Some("1"), "{}", reply.status);
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_logging_keeps_the_wire_protocol_byte_identical() {
+    // --slow-query-ms diagnostics go to stderr only: replies must not
+    // grow extra DATA lines or status fields, even at threshold 0
+    // (log everything) and across traced query/count/error paths.
+    let (server, engine) =
+        server(ServerConfig { slow_query_ms: Some(0), ..ServerConfig::default() });
+    engine.ingest([(0u32, 1u32, 10i64, 5.0), (1, 2, 12, 4.0)]).unwrap();
+    engine.publish();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let reply = c.send("count M(3,2) 10 0").unwrap();
+    assert_eq!(reply.field("count"), Some("1"), "{}", reply.status);
+    assert!(reply.data.is_empty(), "count must stay data-free: {:?}", reply.data);
+    let reply = c.send("query M(3,2) 10 0 0 20").unwrap();
+    assert_eq!(reply.field("instances"), Some("1"), "{}", reply.status);
+    assert_eq!(reply.data.len(), 1);
+    // Rejected queries never reach the traced search and stay intact.
+    let reply = c.send("query M(9,9) 10 0").unwrap();
+    assert!(reply.status.starts_with("ERR query"), "{}", reply.status);
+    // The slow-query counter is visible over the metrics verb.
+    let reply = c.send("metrics").unwrap();
+    assert!(reply.is_ok(), "{}", reply.status);
+    assert!(
+        reply.data.iter().any(|l| l == "flowmotif_serve_slow_queries_total 2"),
+        "expected slow-query count 2 in {:?}",
+        reply.data
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_verb_round_trips_prometheus_text_over_the_wire() {
+    let (server, engine) = server(ServerConfig::default());
+    engine.ingest([(0u32, 1u32, 10i64, 5.0)]).unwrap();
+    engine.publish();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    assert!(c.send("count M(3,2) 10 0").unwrap().is_ok());
+    let reply = c.send("metrics").unwrap();
+    assert!(reply.is_ok(), "{}", reply.status);
+    assert_eq!(reply.field("lines"), Some(&*reply.data.len().to_string()));
+    // Every line is either a comment or `name[{labels}] value`.
+    for line in &reply.data {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "bad comment: {line}"
+            );
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!series.is_empty() && value.parse::<f64>().is_ok(), "bad sample: {line}");
+        }
+    }
+    // One family per tier made it over the wire.
+    for needle in [
+        "flowmotif_serve_requests_total{verb=\"count\"} 1",
+        "flowmotif_engine_epoch 1",
+        "flowmotif_stream_epoch_age_seconds",
+        "flowmotif_storage_segment_opens_total",
+    ] {
+        assert!(reply.data.iter().any(|l| l.starts_with(needle)), "missing {needle}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn busy_reply_when_inflight_cap_saturated() {
     // Cap of 0 in-flight queries is "unlimited"; use a cap of 1 and hold
     // it with a slow query from another connection? Holding a query open

@@ -32,7 +32,7 @@ use crate::engine::{EngineStats, QueryResult};
 use crate::snapshot::PublishReport;
 use flowmotif_core::{
     enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
-    SearchOptions, SearchScratch, SearchStats,
+    SearchOptions, SearchScratch, SearchStats, TraceSink,
 };
 use flowmotif_graph::{
     Event, Flow, GraphError, GraphStore, NodeId, OverlayStore, SegmentStore, SegmentWriter,
@@ -86,13 +86,25 @@ impl EpochSnapshot {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
     ) -> QueryResult {
+        self.query_traced(motif, bounds, scratch, None)
+    }
+
+    /// [`EpochSnapshot::query_with`] with a per-query [`TraceSink`]
+    /// layered over the engine's search options (see
+    /// [`crate::Snapshot::query_traced`]).
+    pub fn query_traced(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+    ) -> QueryResult {
+        let opts = SearchOptions { trace, ..self.opts };
         let g = &*self.store;
         let mut sink = CollectSink::default();
         let stats = match bounds {
-            Some(w) => {
-                enumerate_window_with_sink_scratch(g, motif, w, self.opts, &mut sink, scratch)
-            }
-            None => enumerate_with_sink_scratch(g, motif, self.opts, &mut sink, scratch),
+            Some(w) => enumerate_window_with_sink_scratch(g, motif, w, opts, &mut sink, scratch),
+            None => enumerate_with_sink_scratch(g, motif, opts, &mut sink, scratch),
         };
         QueryResult { groups: sink.groups, stats }
     }
@@ -109,13 +121,24 @@ impl EpochSnapshot {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
     ) -> (u64, SearchStats) {
+        self.count_traced(motif, bounds, scratch, None)
+    }
+
+    /// [`EpochSnapshot::count_with`] with a per-query [`TraceSink`] (see
+    /// [`crate::Snapshot::query_traced`]).
+    pub fn count_traced(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+    ) -> (u64, SearchStats) {
+        let opts = SearchOptions { trace, ..self.opts };
         let g = &*self.store;
         let mut sink = CountSink::default();
         let stats = match bounds {
-            Some(w) => {
-                enumerate_window_with_sink_scratch(g, motif, w, self.opts, &mut sink, scratch)
-            }
-            None => enumerate_with_sink_scratch(g, motif, self.opts, &mut sink, scratch),
+            Some(w) => enumerate_window_with_sink_scratch(g, motif, w, opts, &mut sink, scratch),
+            None => enumerate_with_sink_scratch(g, motif, opts, &mut sink, scratch),
         };
         (sink.count, stats)
     }
@@ -325,6 +348,7 @@ impl EpochEngine {
         });
         *self.published.write().unwrap() = snapshot;
         let report = PublishReport { epoch: w.epoch, dirty_pairs, duration: started.elapsed() };
+        crate::metrics::record_publish(report.epoch, report.dirty_pairs, report.duration);
         *self.last_publish.lock().unwrap() = report;
         w.epoch
     }
@@ -344,6 +368,7 @@ impl EpochEngine {
         if w.pending.is_empty() {
             return Ok(w.epoch); // no delta: the base is already sealed
         }
+        let started = Instant::now();
         let overlay = OverlayStore::new(Arc::clone(&w.base), self.delta_graph(&w));
         let mut writer = SegmentWriter::create(&self.dir, w.num_nodes, overlay.time_span())?;
         let mut failed: Result<(), GraphError> = Ok(());
@@ -374,6 +399,7 @@ impl EpochEngine {
             opts: self.opts,
         });
         *self.published.write().unwrap() = snapshot;
+        crate::metrics::record_reseal(started.elapsed());
         Ok(w.epoch)
     }
 

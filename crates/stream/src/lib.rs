@@ -44,6 +44,7 @@
 pub mod engine;
 pub mod epoch;
 pub mod incremental;
+pub mod metrics;
 pub mod snapshot;
 pub mod window;
 

@@ -1,0 +1,63 @@
+//! Stream-tier metrics: process-wide statics updated at every publish
+//! and reseal, readable by any registry (the serve `METRICS` verb
+//! registers them as closures).
+//!
+//! Gauges hold the *last* publish's telemetry (duration, dirty set,
+//! epoch, wall-clock stamp); counters accumulate totals. The wall-clock
+//! stamp is what lets a renderer derive **epoch age** — how stale the
+//! published snapshot is — without the engine keeping a clock thread.
+
+use flowmotif_obs::{Counter, Gauge};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Non-no-op publishes since process start (both engines).
+pub static PUBLISHES_TOTAL: Counter = Counter::new();
+
+/// Epoch number of the most recent publish.
+pub static LAST_PUBLISH_EPOCH: Gauge = Gauge::new();
+
+/// Wall-clock duration of the most recent publish, in nanoseconds
+/// (render with scale 1e-9 for seconds) — the stream's publish lag.
+pub static LAST_PUBLISH_DURATION_NS: Gauge = Gauge::new();
+
+/// Dirty pairs folded in by the most recent publish.
+pub static LAST_PUBLISH_DIRTY_PAIRS: Gauge = Gauge::new();
+
+/// Unix timestamp (ns) of the most recent publish; 0 = never.
+pub static LAST_PUBLISH_UNIX_NS: Gauge = Gauge::new();
+
+/// Segment reseals (base ∪ delta merges) since process start.
+pub static RESEALS_TOTAL: Counter = Counter::new();
+
+/// Wall-clock duration of the most recent reseal, in nanoseconds.
+pub static LAST_RESEAL_DURATION_NS: Gauge = Gauge::new();
+
+/// Nanoseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_now_ns() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+/// Stamps one completed publish into the statics.
+pub(crate) fn record_publish(epoch: u64, dirty_pairs: usize, duration: Duration) {
+    PUBLISHES_TOTAL.inc();
+    LAST_PUBLISH_EPOCH.set(epoch);
+    LAST_PUBLISH_DURATION_NS.set(duration.as_nanos() as u64);
+    LAST_PUBLISH_DIRTY_PAIRS.set(dirty_pairs as u64);
+    LAST_PUBLISH_UNIX_NS.set(unix_now_ns());
+}
+
+/// Stamps one completed reseal into the statics.
+pub(crate) fn record_reseal(duration: Duration) {
+    RESEALS_TOTAL.inc();
+    LAST_RESEAL_DURATION_NS.set(duration.as_nanos() as u64);
+}
+
+/// Seconds since the most recent publish (the published epoch's age);
+/// `0.0` when no publish has happened yet.
+pub fn epoch_age_seconds() -> f64 {
+    let last = LAST_PUBLISH_UNIX_NS.get();
+    if last == 0 {
+        return 0.0;
+    }
+    unix_now_ns().saturating_sub(last) as f64 * 1e-9
+}

@@ -47,7 +47,7 @@ use crate::window::SlidingWindow;
 use crate::QueryEngine;
 use flowmotif_core::{
     enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
-    SearchOptions, SearchScratch, SearchStats,
+    SearchOptions, SearchScratch, SearchStats, TraceSink,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::sync::{Arc, Mutex, RwLock};
@@ -105,17 +105,26 @@ impl Snapshot {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
     ) -> QueryResult {
+        self.query_traced(motif, bounds, scratch, None)
+    }
+
+    /// [`Snapshot::query_with`] with a per-query [`TraceSink`] layered
+    /// over the engine's search options — the hook behind the serve
+    /// tier's slow-query logging and per-stage profiling.
+    pub fn query_traced(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+    ) -> QueryResult {
+        let opts = SearchOptions { trace, ..self.opts };
         let mut sink = CollectSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink_scratch(
-                &self.graph,
-                motif,
-                w,
-                self.opts,
-                &mut sink,
-                scratch,
-            ),
-            None => enumerate_with_sink_scratch(&self.graph, motif, self.opts, &mut sink, scratch),
+            Some(w) => {
+                enumerate_window_with_sink_scratch(&self.graph, motif, w, opts, &mut sink, scratch)
+            }
+            None => enumerate_with_sink_scratch(&self.graph, motif, opts, &mut sink, scratch),
         };
         QueryResult { groups: sink.groups, stats }
     }
@@ -133,17 +142,25 @@ impl Snapshot {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
     ) -> (u64, SearchStats) {
+        self.count_traced(motif, bounds, scratch, None)
+    }
+
+    /// [`Snapshot::count_with`] with a per-query [`TraceSink`] (see
+    /// [`Snapshot::query_traced`]).
+    pub fn count_traced(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+    ) -> (u64, SearchStats) {
+        let opts = SearchOptions { trace, ..self.opts };
         let mut sink = CountSink::default();
         let stats = match bounds {
-            Some(w) => enumerate_window_with_sink_scratch(
-                &self.graph,
-                motif,
-                w,
-                self.opts,
-                &mut sink,
-                scratch,
-            ),
-            None => enumerate_with_sink_scratch(&self.graph, motif, self.opts, &mut sink, scratch),
+            Some(w) => {
+                enumerate_window_with_sink_scratch(&self.graph, motif, w, opts, &mut sink, scratch)
+            }
+            None => enumerate_with_sink_scratch(&self.graph, motif, opts, &mut sink, scratch),
         };
         (sink.count, stats)
     }
@@ -478,6 +495,7 @@ impl SnapshotEngine {
             dirty_pairs: p.dirty_pairs,
             duration: p.started.elapsed(),
         };
+        crate::metrics::record_publish(report.epoch, report.dirty_pairs, report.duration);
         {
             let mut last = self.last_publish.lock().unwrap();
             if report.epoch >= last.epoch {
