@@ -2,7 +2,7 @@
 # The offline CI gate, in named stages with per-stage wall-clock timing.
 #
 #   ./ci.sh         full gate: build, test, all-targets, bench-regression,
-#                   out-of-core, metrics, docs, fmt, clippy
+#                   out-of-core, metrics, subscribe, docs, fmt, clippy
 #   ./ci.sh quick   build + tests only (the tier-1 inner loop)
 #
 # Everything runs with no network and no registry. The bench-regression
@@ -118,6 +118,67 @@ stage_metrics() {
   grep -q '^flowmotif_storage_segment_mapped_bytes ' "${_dir}/metrics.txt"
 }
 
+stage_subscribe() {
+  # End-to-end standing-query path: serve on a private port, register a
+  # standing subscription over the wire, stream appends from a second
+  # client session, and require the pushed EVENT lines to agree with a
+  # batch re-query of the same motif over the final graph.
+  _fm="target/release/flowmotif"
+  _dir="target/subscribe_ci"
+  _port=$(( 21000 + ($$ % 20000) ))
+  rm -rf "${_dir}"
+  mkdir -p "${_dir}"
+  "${_fm}" serve --port "${_port}" >"${_dir}/serve.log" 2>&1 &
+  _pid=$!
+  _i=0
+  until printf 'ping\nquit\n' | "${_fm}" client --port "${_port}" >/dev/null 2>&1; do
+    _i=$((_i + 1))
+    if [ "${_i}" -ge 50 ]; then
+      kill "${_pid}" 2>/dev/null || true
+      echo "subscribe: server never came up on port ${_port}"
+      return 1
+    fi
+    sleep 0.1
+  done
+  # The subscriber exits on its own after --limit 2 events.
+  "${_fm}" subscribe --port "${_port}" --motif 'M(3,2)' --delta 10 --limit 2 \
+    >"${_dir}/events.txt" 2>&1 &
+  _sub=$!
+  _i=0
+  until "${_fm}" metrics --port "${_port}" 2>/dev/null \
+      | grep -q '^flowmotif_serve_subscriptions_active 1$'; do
+    _i=$((_i + 1))
+    if [ "${_i}" -ge 50 ]; then
+      kill "${_sub}" "${_pid}" 2>/dev/null || true
+      echo "subscribe: subscription never registered"
+      return 1
+    fi
+    sleep 0.1
+  done
+  # Two disjoint 2-hop chains: each completion is one pushed instance.
+  printf 'add 0 1 1 2\nadd 1 2 2 3\nadd 3 4 20 1\nadd 4 5 21 2\nquit\n' \
+    | "${_fm}" client --port "${_port}" >"${_dir}/client.log"
+  _i=0
+  while kill -0 "${_sub}" 2>/dev/null; do
+    _i=$((_i + 1))
+    if [ "${_i}" -ge 100 ]; then
+      kill "${_sub}" "${_pid}" 2>/dev/null || true
+      echo "subscribe: subscriber never received its 2 events"
+      return 1
+    fi
+    sleep 0.1
+  done
+  wait "${_sub}"
+  printf 'publish\nquery M(3,2) 10 0\nquit\n' \
+    | "${_fm}" client --port "${_port}" >"${_dir}/query.log"
+  kill "${_pid}" 2>/dev/null || true
+  grep -q '^EVENT id=1 match=0-1-2 flow=2 first=1 last=2 size=2$' "${_dir}/events.txt"
+  grep '^EVENT ' "${_dir}/events.txt" | sed 's/.*match=\([^ ]*\).*/\1/' | sort >"${_dir}/pushed.txt"
+  grep '^DATA nodes=' "${_dir}/query.log" | sed 's/.*nodes=\([^ ]*\).*/\1/' | sort >"${_dir}/batch.txt"
+  [ -s "${_dir}/pushed.txt" ]
+  cmp "${_dir}/pushed.txt" "${_dir}/batch.txt"
+}
+
 stage_docs() {
   # rustdoc must build warning-free and every doctest must pass, so the
   # documented examples cannot drift from the API.
@@ -147,6 +208,7 @@ stage all-targets stage_all_targets
 stage bench-regression stage_bench_regression
 stage out-of-core stage_out_of_core
 stage metrics stage_metrics
+stage subscribe stage_subscribe
 stage docs stage_docs
 stage fmt stage_fmt
 stage clippy stage_clippy

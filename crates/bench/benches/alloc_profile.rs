@@ -22,6 +22,7 @@ use flowmotif_core::{
 };
 use flowmotif_datasets::Dataset;
 use flowmotif_graph::TimeWindow;
+use flowmotif_stream::StandingQueries;
 use std::hint::black_box;
 
 #[global_allocator]
@@ -103,6 +104,25 @@ fn main() {
             let mut sink = CountSink::default();
             enumerate_window_with_sink_scratch(g, motif, window, traced, &mut sink, &mut scratch);
             sink.count
+        });
+    }
+    {
+        // Standing-query quiet path: an append that changes no standing
+        // result set must not touch the heap — the per-append hot loop
+        // behind the serve `subscribe` verb. Re-delivering the last
+        // event of a pair the graph already contains is exactly that:
+        // the anchored rescan runs, finds every instance already
+        // stored, and emits nothing.
+        let mut subs = StandingQueries::new();
+        let (g, motif) = (&g, &motif);
+        let id = subs.subscribe(g, motif.clone(), None);
+        let (u, v) = g.pair(0);
+        let t = g.series(0).last_time().expect("pair 0 has events");
+        let mut out = Vec::with_capacity(4);
+        gate(&mut group, "delta/quiet_append", move || {
+            subs.on_append(g, u, v, t, &mut out);
+            assert!(out.is_empty(), "the re-delivered event must be quiet");
+            subs.get(id).unwrap().num_instances()
         });
     }
     {

@@ -32,6 +32,7 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
         Command::Stream(path) => stream(path.as_deref(), cli, out),
         Command::Serve(path) => serve(path.as_deref(), cli, out),
         Command::Client(path) => client(path.as_deref(), cli, out),
+        Command::Subscribe => subscribe(cli, out),
         Command::Metrics => metrics(cli, out),
     }
 }
@@ -614,6 +615,11 @@ pub fn run_client_script<R: BufRead, W: Write>(
             continue;
         }
         let reply = client.send(trimmed).map_err(|e| format!("line {lineno}: {e}"))?;
+        // Push notifications that raced ahead of this reply (the session
+        // subscribed earlier and something matched in the meantime).
+        for payload in &reply.events {
+            writeln!(out, "EVENT {payload}").ok();
+        }
         for payload in &reply.data {
             writeln!(out, "DATA {payload}").ok();
         }
@@ -623,6 +629,50 @@ pub fn run_client_script<R: BufRead, W: Write>(
         }
     }
     Ok(())
+}
+
+/// Registers a standing motif query on a running server and streams its
+/// push notifications to `out`, one `EVENT` line per new maximal
+/// instance, as appends on other sessions produce them. Runs until the
+/// server closes the connection, or — with `--limit N` — until N events
+/// have been printed.
+fn subscribe<W: Write>(cli: &Cli, out: &mut W) -> Result<(), String> {
+    let window = match (cli.from_time, cli.to_time) {
+        (Some(from), Some(to)) => Some((from, to)),
+        (None, None) => None,
+        _ => return Err("--from and --to must be given together".to_string()),
+    };
+    let mut client = Client::connect((cli.host.as_str(), cli.port))
+        .map_err(|e| format!("connecting to {}:{}: {e}", cli.host, cli.port))?;
+    let mut request = format!("subscribe {} {} {}", cli.motif, cli.delta, cli.phi);
+    if let Some((from, to)) = window {
+        request.push_str(&format!(" {from} {to}"));
+    }
+    let reply = client.send(&request).map_err(|e| format!("subscribing: {e}"))?;
+    if !reply.is_ok() {
+        return Err(format!("server refused subscription: {}", reply.status));
+    }
+    writeln!(out, "{}", reply.status).ok();
+    out.flush().ok();
+    let mut seen = 0usize;
+    loop {
+        match client.recv_line() {
+            Ok(Some(line)) => {
+                writeln!(out, "{line}").ok();
+                // Each event must reach the pipe as it happens, not when
+                // the process exits — subscribers tail this output.
+                out.flush().ok();
+                if line.starts_with("EVENT ") {
+                    seen += 1;
+                    if cli.limit > 0 && seen >= cli.limit {
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(None) => return Ok(()), // server closed: done
+            Err(e) => return Err(format!("reading events: {e}")),
+        }
+    }
 }
 
 /// Fetches a running server's metric families over the `metrics` verb
@@ -1034,6 +1084,56 @@ stats
         // Against a dead server the subcommand reports the connect error.
         let (_, r) = run_args(&["metrics", "--port", "1"]);
         assert!(r.unwrap_err().contains("connecting"), "dead server must fail");
+    }
+
+    #[test]
+    fn subscribe_subcommand_streams_events_over_the_wire() {
+        let serve_cli =
+            Cli::parse_from(["serve", "--port", "0"].iter().map(|s| s.to_string())).unwrap();
+        let server = start_server(&serve_cli).unwrap();
+        let port = server.local_addr().port().to_string();
+        // The subscriber runs the real subcommand in a thread, exiting
+        // after its first event thanks to --limit.
+        let sub = std::thread::spawn({
+            move || {
+                let args = [
+                    "subscribe",
+                    "--motif",
+                    "M(3,2)",
+                    "--delta",
+                    "10",
+                    "--port",
+                    &port,
+                    "--limit",
+                    "1",
+                ];
+                let cli = Cli::parse_from(args.iter().map(|s| s.to_string())).unwrap();
+                let mut buf = Vec::new();
+                run(&cli, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+            }
+        });
+        // Wait until the subscription is registered before appending, so
+        // the chain below is guaranteed to be delta-evaluated.
+        let mut feeder = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..1000 {
+            let m = feeder.send("metrics").unwrap();
+            if m.data.iter().any(|l| l == "flowmotif_serve_subscriptions_active 1") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        feeder.send("add 0 1 1 2").unwrap();
+        feeder.send("add 1 2 2 3").unwrap();
+        let out = sub.join().unwrap().unwrap();
+        assert!(out.starts_with("OK subscribed id=1\n"), "{out}");
+        assert!(out.contains("EVENT id=1 match=0-1-2 flow=2 first=1 last=2 size=2"), "{out}");
+        drop(feeder);
+        server.shutdown();
+        // --from/--to must come as a pair.
+        let args = ["subscribe", "--from", "0"];
+        let cli = Cli::parse_from(args.iter().map(|s| s.to_string())).unwrap();
+        let r = run(&cli, &mut Vec::new());
+        assert!(r.unwrap_err().contains("--from and --to"), "half a window must fail");
     }
 
     #[test]

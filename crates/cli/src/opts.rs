@@ -30,6 +30,9 @@ COMMANDS:
                           through the epoch engine (mmap base + RAM delta)
   client [file]           send protocol requests (file or stdin, one per
                           line) to a running server and print the replies
+  subscribe               register a standing motif query on a running
+                          server and stream its EVENT notifications to
+                          stdout as they happen
   metrics                 fetch a running server's metrics (Prometheus
                           text) and print them to stdout
 
@@ -85,6 +88,12 @@ OPTIONS (serve/client):
   --slow-query-ms <int>   serve: log queries at least this slow to stderr
                           with their P1/P2/DP stage times (0 logs every
                           query; omit to disable tracing entirely)
+
+OPTIONS (subscribe; also --motif/--delta/--phi/--host/--port above):
+  --from <int>            window start of the standing query (with --to)
+  --to <int>              window end of the standing query (with --from)
+  --limit <int>           exit after printing N events (0 = run until the
+                          server closes the connection)                   [0]
 
 OPTIONS (generate):
   --dataset <name>        bitcoin | facebook | passenger                    [bitcoin]
@@ -146,6 +155,12 @@ pub struct Cli {
     /// `serve`: log queries at least this slow (ms) to stderr with their
     /// stage breakdown; `None` disables per-query tracing.
     pub slow_query_ms: Option<u64>,
+    /// `subscribe`: window start (`--from`; requires `--to`).
+    pub from_time: Option<i64>,
+    /// `subscribe`: window end (`--to`; requires `--from`).
+    pub to_time: Option<i64>,
+    /// `subscribe`: stop after this many events (0 = run forever).
+    pub limit: usize,
     /// JSON output.
     pub json: bool,
     /// Dataset for `generate`.
@@ -185,6 +200,8 @@ pub enum Command {
     Serve(Option<PathBuf>),
     /// Protocol client: requests from a script (file or stdin).
     Client(Option<PathBuf>),
+    /// Standing query: subscribe on a running server and stream events.
+    Subscribe,
     /// Fetch and print a running server's Prometheus-text metrics.
     Metrics,
 }
@@ -215,6 +232,9 @@ impl Default for Cli {
             use_index: true,
             profile: false,
             slow_query_ms: None,
+            from_time: None,
+            to_time: None,
+            limit: 0,
             json: false,
             dataset: "bitcoin".into(),
             scale: 1.0,
@@ -238,7 +258,7 @@ impl Cli {
             if it.peek().is_some_and(|a| !a.starts_with("--")) {
                 file = Some(PathBuf::from(it.next().unwrap()));
             }
-        } else if cmd_name != "generate" && cmd_name != "metrics" {
+        } else if cmd_name != "generate" && cmd_name != "metrics" && cmd_name != "subscribe" {
             let f = it.next().ok_or_else(|| format!("`{cmd_name}` needs a <file> argument"))?;
             file = Some(PathBuf::from(f));
         }
@@ -255,6 +275,7 @@ impl Cli {
             "stream" => Command::Stream(file),
             "serve" => Command::Serve(file),
             "client" => Command::Client(file),
+            "subscribe" => Command::Subscribe,
             "metrics" => Command::Metrics,
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
@@ -291,6 +312,9 @@ impl Cli {
                 "--no-index" => cli.use_index = false,
                 "--profile" => cli.profile = true,
                 "--slow-query-ms" => cli.slow_query_ms = Some(parse_val!("--slow-query-ms")),
+                "--from" => cli.from_time = Some(parse_val!("--from")),
+                "--to" => cli.to_time = Some(parse_val!("--to")),
+                "--limit" => cli.limit = parse_val!("--limit"),
                 "--json" => cli.json = true,
                 "--dataset" => cli.dataset = value("--dataset")?,
                 "--scale" => cli.scale = parse_val!("--scale"),
@@ -475,6 +499,28 @@ mod tests {
         assert_eq!(cli.slow_query_ms, Some(0));
         assert!(parse(&["serve", "--slow-query-ms"]).is_err());
         assert!(parse(&["serve", "--slow-query-ms", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_subscribe_subcommand() {
+        let cli =
+            parse(&["subscribe", "--motif", "M(3,3)", "--delta", "60", "--port", "9999"]).unwrap();
+        assert_eq!(cli.command, Command::Subscribe);
+        assert_eq!(cli.motif, "M(3,3)");
+        assert_eq!(cli.delta, 60);
+        assert_eq!(cli.port, 9999);
+        // Window bounds and the event limit are subscribe-specific.
+        let cli = parse(&["subscribe", "--from", "0", "--to", "100", "--limit", "3"]).unwrap();
+        assert_eq!(cli.from_time, Some(0));
+        assert_eq!(cli.to_time, Some(100));
+        assert_eq!(cli.limit, 3);
+        // Defaults: unbounded window, run forever.
+        let cli = parse(&["subscribe"]).unwrap();
+        assert_eq!(cli.from_time, None);
+        assert_eq!(cli.to_time, None);
+        assert_eq!(cli.limit, 0);
+        // No positional file.
+        assert!(parse(&["subscribe", "stray"]).is_err());
     }
 
     #[test]

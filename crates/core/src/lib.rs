@@ -44,6 +44,7 @@ pub mod analytics;
 pub mod catalog;
 pub mod census;
 pub mod dag;
+pub mod delta;
 pub mod dp;
 pub mod enumerate;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod topk;
 pub mod trace;
 pub mod validate;
 
+pub use delta::{DeltaContext, DeltaEdge, DeltaInstance, DeltaStats};
 pub use enumerate::{
     count_instances, count_instances_in_window, enumerate_all, enumerate_all_in_window,
     enumerate_in_match, enumerate_in_match_bounded, enumerate_in_match_reusing,

@@ -1,0 +1,130 @@
+//! Seeded smoke suite for the exploratory DAG-motif engine
+//! (`flowmotif_core::dag`): on chain-shaped DAGs its semantics coincide
+//! with the paper's path motifs, so the optimized two-phase algorithm is
+//! an exact oracle. Every assertion here runs the generalized
+//! (exponential, reference) DAG enumeration against that oracle over
+//! randomized graphs — the first step toward the ROADMAP DAG item.
+
+use flowmotif_core::dag::{dag_count, dag_enumerate, DagMotif};
+use flowmotif_core::enumerate::{count_instances, enumerate_all};
+use flowmotif_core::{catalog, MotifInstance, StructuralMatch};
+use flowmotif_graph::{GraphBuilder, TimeSeriesGraph};
+use flowmotif_util::{RngExt, SeedableRng, StdRng};
+
+/// The chain-shaped catalog motifs (simple directed paths, no revisits).
+const CHAINS: [&str; 3] = ["M(3,2)", "M(4,3)", "M(5,4)"];
+
+fn random_graph(nodes: u32, edges: usize, seed: u64) -> TimeSeriesGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for _ in 0..edges {
+        let u = rng.random_range(0..nodes);
+        let mut v = rng.random_range(0..nodes);
+        while v == u {
+            v = rng.random_range(0..nodes);
+        }
+        b.add_interaction(u, v, rng.random_range(0..60i64), rng.random_range(1..8u32) as f64);
+    }
+    b.build_time_series_graph()
+}
+
+/// Order-independent rendering of grouped instances, down to the exact
+/// edge-set brackets (`Debug` on `EdgeSet` is `pair`/`start`/`end`).
+fn canon(groups: &[(StructuralMatch, Vec<MotifInstance>)]) -> Vec<String> {
+    let mut v: Vec<String> = groups
+        .iter()
+        .flat_map(|(sm, insts)| {
+            insts.iter().map(move |i| {
+                format!(
+                    "{:?}|{:?}|{}|{}..{}",
+                    sm.pairs, i.edge_sets, i.flow, i.first_time, i.last_time
+                )
+            })
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn chain_dag_from_path_has_chain_order_structure() {
+    for name in CHAINS {
+        let motif = catalog::by_name(name, 10, 0.0).unwrap();
+        let dag = DagMotif::from_path(motif.path(), 10, 0.0).unwrap();
+        assert_eq!(dag.num_edges(), motif.num_edges());
+        assert_eq!(dag.num_nodes(), motif.num_nodes());
+        assert_eq!(dag.delta(), 10);
+        assert_eq!(dag.phi(), 0.0);
+        // A chain's only order constraints are consecutive: edge k is
+        // preceded exactly by edge k-1.
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        for k in 1..dag.num_edges() {
+            assert_eq!(dag.predecessors(k), &[k - 1], "{name} edge {k}");
+        }
+    }
+}
+
+#[test]
+fn chain_dag_counts_match_path_algorithm_across_seeds() {
+    for seed in 0..12u64 {
+        let g = random_graph(7, 40, 0xDA6_0000 + seed);
+        for name in CHAINS {
+            for (delta, phi) in [(15i64, 0.0), (30, 3.0)] {
+                let motif = catalog::by_name(name, delta, phi).unwrap();
+                let dag = DagMotif::from_path(motif.path(), delta, phi).unwrap();
+                let (want, _) = count_instances(&g, &motif);
+                assert_eq!(dag_count(&g, &dag), want, "seed {seed} {name} δ={delta} ϕ={phi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_dag_instances_match_path_algorithm_exactly() {
+    // Stronger than counts: the very same structural matches, edge-set
+    // brackets, flows and spans, across seeded random graphs.
+    for seed in 0..6u64 {
+        let g = random_graph(6, 35, 0xDA6_1000 + seed);
+        for name in CHAINS {
+            for (delta, phi) in [(20i64, 0.0), (40, 2.0)] {
+                let motif = catalog::by_name(name, delta, phi).unwrap();
+                let dag = DagMotif::from_path(motif.path(), delta, phi).unwrap();
+                let (groups, _) = enumerate_all(&g, &motif);
+                assert_eq!(
+                    canon(&dag_enumerate(&g, &dag)),
+                    canon(&groups),
+                    "seed {seed} {name} δ={delta} ϕ={phi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_dag_aggregates_multi_edges_like_the_paper() {
+    // A single 2-hop chain whose first hop has two interactions inside
+    // the window: the edge-set aggregates them (flow 2+3), exactly as
+    // the path algorithm's Fig. 4 semantics prescribe.
+    let mut b = GraphBuilder::new();
+    b.extend_interactions([(0u32, 1u32, 1i64, 2.0), (0, 1, 2, 3.0), (1, 2, 4, 4.0)]);
+    let g = b.build_time_series_graph();
+    let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+    let dag = DagMotif::from_path(motif.path(), 10, 0.0).unwrap();
+
+    let dag_groups = dag_enumerate(&g, &dag);
+    let (path_groups, _) = enumerate_all(&g, &motif);
+    assert_eq!(canon(&dag_groups), canon(&path_groups));
+    assert_eq!(dag_count(&g, &dag), 1);
+    let inst = &dag_groups[0].1[0];
+    assert_eq!(inst.flow, 4.0, "min(2+3, 4)");
+    assert_eq!(inst.first_time, 1);
+    assert_eq!(inst.last_time, 4);
+
+    // ϕ above the weakest aggregated edge kills the instance in both
+    // engines alike.
+    let strict = catalog::by_name("M(3,2)", 10, 4.5).unwrap();
+    let strict_dag = DagMotif::from_path(strict.path(), 10, 4.5).unwrap();
+    let (want, _) = count_instances(&g, &strict);
+    assert_eq!(dag_count(&g, &strict_dag), want);
+    assert_eq!(want, 0);
+}

@@ -2,8 +2,9 @@
 //! line, read one framed reply.
 
 use crate::protocol::{read_reply, Reply};
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One protocol connection. Requests are strictly sequential
 /// (send → reply); open several clients for concurrency.
@@ -42,5 +43,28 @@ impl Client {
         self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()?;
         read_reply(&mut self.reader)
+    }
+
+    /// Sets (or clears) the read timeout governing [`Client::recv_line`]
+    /// and [`Client::send`]. A timed-out read returns an error of kind
+    /// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`].
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Reads one raw line off the connection — the subscriber side of
+    /// `subscribe`: after the `OK subscribed` reply, the server pushes
+    /// unsolicited `EVENT <payload>` lines, which [`Client::send`] would
+    /// only surface attached to the *next* reply. Returns the line
+    /// without its trailing newline, or `None` on a clean server close.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
     }
 }

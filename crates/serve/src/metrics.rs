@@ -15,14 +15,26 @@ use std::time::Duration;
 
 /// Every protocol verb, in the order the `flowmotif_serve_requests_total`
 /// family is registered (one labeled series per verb).
-const VERBS: [&str; 12] = [
-    "ping", "add", "query", "count", "publish", "evict", "compact", "stats", "session", "metrics",
-    "quit", "error",
+const VERBS: [&str; 14] = [
+    "ping",
+    "add",
+    "query",
+    "count",
+    "subscribe",
+    "unsubscribe",
+    "publish",
+    "evict",
+    "compact",
+    "stats",
+    "session",
+    "metrics",
+    "quit",
+    "error",
 ];
 
 /// Verbs whose wall-clock latency is worth a histogram: the ones that
 /// touch the engine.
-const TIMED_VERBS: [&str; 4] = ["query", "count", "add", "publish"];
+const TIMED_VERBS: [&str; 5] = ["query", "count", "add", "publish", "subscribe"];
 
 /// Handles into the server's registry, indexed by verb where labeled.
 #[derive(Debug)]
@@ -39,6 +51,11 @@ pub(crate) struct ServerMetrics {
     pub admission_rejected: Arc<Counter>,
     /// Queries that crossed the `--slow-query-ms` threshold.
     pub slow_queries: Arc<Counter>,
+    /// Push `EVENT` lines written to subscriber connections.
+    pub events_pushed: Arc<Counter>,
+    /// Push `EVENT` lines dropped because a subscriber's notify queue
+    /// was full (backpressure).
+    pub events_dropped: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -80,6 +97,14 @@ impl ServerMetrics {
         let slow_queries = registry.counter(
             "flowmotif_serve_slow_queries_total",
             "Queries that crossed the --slow-query-ms threshold",
+        );
+        let events_pushed = registry.counter(
+            "flowmotif_serve_events_pushed_total",
+            "Push EVENT lines delivered to subscriber connections",
+        );
+        let events_dropped = registry.counter(
+            "flowmotif_serve_events_dropped_total",
+            "Push EVENT lines dropped on a full subscriber queue (backpressure)",
         );
 
         use flowmotif_stream::metrics as stream;
@@ -136,7 +161,16 @@ impl ServerMetrics {
             || storage::SEGMENT_OPENS.get(),
         );
 
-        Self { registry, requests, latency, busy, admission_rejected, slow_queries }
+        Self {
+            registry,
+            requests,
+            latency,
+            busy,
+            admission_rejected,
+            slow_queries,
+            events_pushed,
+            events_dropped,
+        }
     }
 
     /// The underlying registry, for engine-specific `gauge_fn`s.

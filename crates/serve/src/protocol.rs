@@ -113,6 +113,13 @@ pub enum Request {
     Metrics,
     /// `session` — statistics of this connection.
     Session,
+    /// `subscribe <motif> <delta> <phi> [<from> <to>]` — register a
+    /// standing query; matching instances arriving later are pushed as
+    /// `EVENT` lines between reply frames.
+    Subscribe(QuerySpec),
+    /// `unsubscribe <id>` — remove a standing query owned by this
+    /// session.
+    Unsubscribe(u64),
     /// `quit` — close the connection after an `OK bye`.
     Quit,
 }
@@ -142,8 +149,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 flow: field(args, 3, command)?,
             })
         }
-        "query" => parse_query_spec(args).map(Request::Query),
-        "count" => parse_query_spec(args).map(Request::Count),
+        "query" => parse_query_spec(command, args).map(Request::Query),
+        "count" => parse_query_spec(command, args).map(Request::Count),
+        "subscribe" => parse_query_spec(command, args).map(Request::Subscribe),
+        "unsubscribe" => {
+            exact(1)?;
+            Ok(Request::Unsubscribe(field(args, 0, command)?))
+        }
         "publish" => exact(0).map(|()| Request::Publish),
         "evict" => {
             exact(1)?;
@@ -167,21 +179,22 @@ where
 }
 
 /// Parses `<motif> <delta> <phi> [<from> <to>]` — the same grammar as the
-/// `flowmotif stream` script's `query` operation.
-fn parse_query_spec(args: &[&str]) -> Result<QuerySpec, RequestError> {
+/// `flowmotif stream` script's `query` operation; shared by `query`,
+/// `count` and `subscribe`.
+fn parse_query_spec(command: &str, args: &[&str]) -> Result<QuerySpec, RequestError> {
     if args.len() != 3 && args.len() != 5 {
         return Err(RequestError::proto(format!(
-            "`query <motif> <delta> <phi> [<from> <to>]` takes 3 or 5 fields, got {}",
+            "`{command} <motif> <delta> <phi> [<from> <to>]` takes 3 or 5 fields, got {}",
             args.len()
         )));
     }
-    let delta: Timestamp = field(args, 1, "query")?;
-    let phi: Flow = field(args, 2, "query")?;
+    let delta: Timestamp = field(args, 1, command)?;
+    let phi: Flow = field(args, 2, command)?;
     let motif = catalog::parse_motif(args[0], delta, phi)
         .map_err(|e| RequestError::query(e.to_string()))?;
     let window = if args.len() == 5 {
-        let from: Timestamp = field(args, 3, "query")?;
-        let to: Timestamp = field(args, 4, "query")?;
+        let from: Timestamp = field(args, 3, command)?;
+        let to: Timestamp = field(args, 4, command)?;
         if to < from {
             return Err(RequestError::query(format!(
                 "window [{from}, {to}] ends before it starts"
@@ -194,12 +207,17 @@ fn parse_query_spec(args: &[&str]) -> Result<QuerySpec, RequestError> {
     Ok(QuerySpec { motif, window })
 }
 
-/// One framed reply: the `DATA` payload lines (prefix stripped) and the
+/// One framed reply: the `DATA` payload lines (prefix stripped), any
+/// push `EVENT` lines that arrived ahead of or inside the frame, and the
 /// final status line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// Payload lines, in order, without their `DATA ` prefix.
     pub data: Vec<String>,
+    /// Standing-query notifications collected while reading this frame,
+    /// without their `EVENT ` prefix (empty unless the connection has
+    /// active subscriptions).
+    pub events: Vec<String>,
     /// The status line (`OK …`, `ERR …` or `BUSY …`).
     pub status: String,
 }
@@ -230,9 +248,13 @@ impl Reply {
 }
 
 /// Reads one framed reply: `DATA` lines until the `OK`/`ERR`/`BUSY`
-/// status line. Fails with `UnexpectedEof` if the peer closes mid-reply.
+/// status line. Push `EVENT` lines (delivered between frames on
+/// subscribed connections) are collected into [`Reply::events`] rather
+/// than consumed as data. Fails with `UnexpectedEof` if the peer closes
+/// mid-reply.
 pub fn read_reply<R: BufRead>(reader: &mut R) -> io::Result<Reply> {
     let mut data = Vec::new();
+    let mut events = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -244,8 +266,10 @@ pub fn read_reply<R: BufRead>(reader: &mut R) -> io::Result<Reply> {
         let line = line.trim_end_matches(['\r', '\n']);
         if let Some(payload) = line.strip_prefix("DATA ") {
             data.push(payload.to_string());
+        } else if let Some(payload) = line.strip_prefix("EVENT ") {
+            events.push(payload.to_string());
         } else {
-            return Ok(Reply { data, status: line.to_string() });
+            return Ok(Reply { data, events, status: line.to_string() });
         }
     }
 }
@@ -270,6 +294,11 @@ mod tests {
             panic!("not a count")
         };
         assert_eq!(q.window, Some(TimeWindow::new(5, 25)));
+        let Request::Subscribe(q) = parse_request("subscribe M(3,3) 10 7 0 30").unwrap() else {
+            panic!("not a subscribe")
+        };
+        assert_eq!(q.window, Some(TimeWindow::new(0, 30)));
+        assert!(matches!(parse_request("unsubscribe 3").unwrap(), Request::Unsubscribe(3)));
         assert!(matches!(parse_request("publish").unwrap(), Request::Publish));
         assert!(matches!(parse_request("evict 42").unwrap(), Request::Evict(42)));
         assert!(matches!(parse_request("compact").unwrap(), Request::Compact));
@@ -290,6 +319,9 @@ mod tests {
             ("add 0 one 10 2.5", "field `one`"),
             ("query M(3,2)", "takes 3 or 5 fields"),
             ("query M(3,2) 10 0 5", "takes 3 or 5 fields"),
+            ("subscribe M(3,2)", "takes 3 or 5 fields"),
+            ("unsubscribe", "takes 1 fields"),
+            ("unsubscribe one", "field `one`"),
             ("evict", "takes 1 fields"),
             ("ping pong", "takes 0 fields"),
             ("metrics now", "takes 0 fields"),
@@ -325,5 +357,21 @@ mod tests {
 
         let eof = read_reply(&mut "DATA never finished\n".as_bytes());
         assert_eq!(eof.unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn event_lines_are_collected_not_consumed_as_data() {
+        let wire = "EVENT id=1 match=0-1-2 flow=3 first=2 last=3 size=2\n\
+                    DATA payload\nEVENT id=2 match=1-2-3 flow=4 first=5 last=6 size=2\nOK added watermark=3\n";
+        let reply = read_reply(&mut wire.as_bytes()).unwrap();
+        assert!(reply.is_ok());
+        assert_eq!(reply.data, vec!["payload"]);
+        assert_eq!(
+            reply.events,
+            vec![
+                "id=1 match=0-1-2 flow=3 first=2 last=3 size=2",
+                "id=2 match=1-2-3 flow=4 first=5 last=6 size=2"
+            ]
+        );
     }
 }

@@ -5,6 +5,9 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
 use crate::source::{EngineSnapshot, MotifEngine};
 use flowmotif_core::{AtomicTrace, SearchScratch, TraceSink, TraceStage};
+use flowmotif_graph::{Flow, GraphError, NodeId, Timestamp};
+use flowmotif_stream::{StandingEvent, StandingQueries};
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -12,6 +15,13 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Push notifications a subscriber connection has not yet drained.
+/// Bounded: once a slow or stalled reader falls this far behind,
+/// further events are dropped (counted in
+/// `flowmotif_serve_events_dropped_total`) instead of pinning
+/// unbounded server memory.
+const NOTIFY_QUEUE_CAP: usize = 1024;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -57,6 +67,70 @@ impl Default for ServerConfig {
     }
 }
 
+/// Rendered `EVENT` payloads awaiting delivery to one subscriber
+/// connection. The producer is whichever session's `add`/`evict`
+/// triggered the delta; the consumer is the subscriber's own worker,
+/// which drains between requests and while idle-polling its socket.
+#[derive(Debug, Default)]
+struct NotifyQueue {
+    lines: Mutex<VecDeque<String>>,
+    /// Events dropped on overflow since the subscription was created
+    /// (also summed process-wide in the metrics registry).
+    dropped: AtomicU64,
+}
+
+impl NotifyQueue {
+    /// Enqueues one payload; reports whether it was accepted or dropped
+    /// on a full queue.
+    fn push(&self, payload: String) -> bool {
+        let mut q = self.lines.lock().unwrap();
+        if q.len() >= NOTIFY_QUEUE_CAP {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            q.push_back(payload);
+            true
+        }
+    }
+
+    /// Appends every pending payload to `out` as framed `EVENT` lines;
+    /// returns how many were drained.
+    fn drain_into(&self, out: &mut String) -> usize {
+        let mut q = self.lines.lock().unwrap();
+        let n = q.len();
+        for payload in q.drain(..) {
+            out.push_str("EVENT ");
+            out.push_str(&payload);
+            out.push('\n');
+        }
+        n
+    }
+}
+
+/// One subscription's delivery route: which session owns it and where
+/// its events go.
+#[derive(Debug)]
+struct Route {
+    /// Subscription id (assigned by [`StandingQueries`], never reused).
+    id: u64,
+    /// Owning session; only it may unsubscribe, and disconnect cleanup
+    /// removes all of its routes.
+    session_id: u64,
+    /// Duplicate-subscribe key: motif walk, δ, ϕ and window.
+    key: String,
+    queue: Arc<NotifyQueue>,
+}
+
+/// The server's standing queries plus their delivery routes, mutated
+/// together under one lock: `subscribe`/`unsubscribe` and every
+/// `add`/`evict` that evaluates deltas serialize here, so each event
+/// is routed exactly once and routes never dangle.
+#[derive(Debug, Default)]
+struct StandingState {
+    subs: StandingQueries,
+    routes: Vec<Route>,
+}
+
 /// State shared by all workers.
 #[derive(Debug)]
 struct Shared<E> {
@@ -69,6 +143,10 @@ struct Shared<E> {
     sessions: Arc<AtomicU64>,
     /// Queries answered over the server's lifetime (admitted ones).
     queries: Arc<AtomicU64>,
+    /// Standing queries and their notification routes.
+    standing: Arc<Mutex<StandingState>>,
+    /// Session id allocator (ids are per-server and never reused).
+    next_session: AtomicU64,
     /// This server's metric registry and request-path handles.
     metrics: ServerMetrics,
 }
@@ -92,6 +170,7 @@ impl<E: MotifEngine> Shared<E> {
         let inflight = Arc::new(AtomicUsize::new(0));
         let sessions = Arc::new(AtomicU64::new(0));
         let queries = Arc::new(AtomicU64::new(0));
+        let standing = Arc::new(Mutex::new(StandingState::default()));
         let r = metrics.registry();
         {
             let e = Arc::clone(&engine);
@@ -135,7 +214,24 @@ impl<E: MotifEngine> Shared<E> {
                 q.load(Ordering::Relaxed)
             });
         }
-        Self { engine, config, inflight, sessions, queries, metrics }
+        {
+            let st = Arc::clone(&standing);
+            r.gauge_fn(
+                "flowmotif_serve_subscriptions_active",
+                "Standing queries currently registered",
+                move || st.lock().unwrap().subs.len() as f64,
+            );
+        }
+        Self {
+            engine,
+            config,
+            inflight,
+            sessions,
+            queries,
+            standing,
+            next_session: AtomicU64::new(0),
+            metrics,
+        }
     }
 }
 
@@ -304,15 +400,47 @@ fn worker_loop<E: MotifEngine>(
 /// matter how many snapshot epochs go by.
 #[derive(Debug, Default)]
 struct Session {
+    /// Per-server unique id; ties this session to its [`Route`]s.
+    id: u64,
     queries: u64,
     appends: u64,
     errors: u64,
     scratch: SearchScratch,
+    /// This connection's pending push notifications. Shared with every
+    /// route the session subscribes; drained between requests and while
+    /// idle-polling the socket.
+    queue: Arc<NotifyQueue>,
 }
 
 /// Serves one connection until the peer disconnects, sends `quit`, the
-/// server shuts down, or a protocol violation forces a close.
+/// server shuts down, or a protocol violation forces a close; then
+/// removes any standing subscriptions the session still holds.
 fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutdown: &AtomicBool) {
+    let mut session = Session {
+        id: shared.next_session.fetch_add(1, Ordering::Relaxed) + 1,
+        ..Session::default()
+    };
+    session_loop(stream, shared, shutdown, &mut session);
+    // Disconnect cleanup: a gone subscriber must stop costing delta
+    // evaluation, and its queue must become unreachable.
+    let mut st = shared.standing.lock().unwrap();
+    let StandingState { subs, routes } = &mut *st;
+    routes.retain(|r| {
+        if r.session_id == session.id {
+            subs.unsubscribe(r.id);
+            false
+        } else {
+            true
+        }
+    });
+}
+
+fn session_loop<E: MotifEngine>(
+    stream: TcpStream,
+    shared: &Shared<E>,
+    shutdown: &AtomicBool,
+    session: &mut Session,
+) {
     if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
         return;
     }
@@ -322,15 +450,15 @@ fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutd
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
-    let mut session = Session::default();
     let mut line = String::new();
+    let mut events = String::new();
     loop {
         line.clear();
         // Accumulate one line, tolerating read timeouts (used to poll the
-        // shutdown flag without dropping partially received requests).
-        // Reads are budgeted so `line` can never grow past the protocol
-        // cap, no matter how fast a hostile client streams newline-free
-        // bytes.
+        // shutdown flag — and drain push notifications — without dropping
+        // partially received requests). Reads are budgeted so `line` can
+        // never grow past the protocol cap, no matter how fast a hostile
+        // client streams newline-free bytes.
         let complete = loop {
             let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
             match Read::take(&mut reader, budget).read_line(&mut line) {
@@ -344,6 +472,13 @@ fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutd
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
                     if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Idle poll tick: deliver events produced by other
+                    // sessions' appends. Only whole pending lines are
+                    // buffered here, never a partial frame, so a push
+                    // can never split a reply.
+                    if flush_events(&mut writer, &mut events, session, shared).is_err() {
                         return;
                     }
                 }
@@ -361,11 +496,32 @@ fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutd
             let _ = writer.write_all(b"ERR proto line exceeds 65536 bytes\n");
             return;
         }
-        let (reply, close) = handle_line(line.trim_end_matches(['\r', '\n']), shared, &mut session);
+        let (reply, close) = handle_line(line.trim_end_matches(['\r', '\n']), shared, session);
         if writer.write_all(reply.as_bytes()).is_err() || close {
             return;
         }
+        // Prompt delivery of events this request just produced (e.g. a
+        // session that both appends and subscribes).
+        if flush_events(&mut writer, &mut events, session, shared).is_err() {
+            return;
+        }
     }
+}
+
+/// Writes every pending push notification of `session` as `EVENT` lines.
+fn flush_events<E>(
+    writer: &mut TcpStream,
+    buf: &mut String,
+    session: &Session,
+    shared: &Shared<E>,
+) -> io::Result<()> {
+    buf.clear();
+    let n = session.queue.drain_into(buf);
+    if n > 0 {
+        writer.write_all(buf.as_bytes())?;
+        shared.metrics.events_pushed.add(n as u64);
+    }
+    Ok(())
 }
 
 /// Discards the tail of a line that exceeded [`MAX_LINE_BYTES`], up to a
@@ -415,6 +571,8 @@ fn verb_of(request: &Request) -> &'static str {
         Request::Add { .. } => "add",
         Request::Query(_) => "query",
         Request::Count(_) => "count",
+        Request::Subscribe(_) => "subscribe",
+        Request::Unsubscribe(_) => "unsubscribe",
         Request::Publish => "publish",
         Request::Evict(_) => "evict",
         Request::Compact => "compact",
@@ -437,14 +595,18 @@ fn handle_request<E: MotifEngine>(
     // local state and would only measure clock overhead.
     let timed = matches!(
         request,
-        Request::Add { .. } | Request::Query(_) | Request::Count(_) | Request::Publish
+        Request::Add { .. }
+            | Request::Query(_)
+            | Request::Count(_)
+            | Request::Publish
+            | Request::Subscribe(_)
     );
     let started = timed.then(Instant::now);
     let reply = match request {
         Request::Ping => ("OK pong\n".to_string(), false),
         Request::Add { from, to, time, flow } => {
             session.appends += 1;
-            match engine.append(from, to, time, flow) {
+            match append_with_standing(shared, from, to, time, flow) {
                 Ok(watermark) => (format!("OK added watermark={watermark}\n"), false),
                 Err(e) => {
                     session.errors += 1;
@@ -454,8 +616,12 @@ fn handle_request<E: MotifEngine>(
         }
         Request::Query(spec) => run_query(&spec, shared, session, true),
         Request::Count(spec) => run_query(&spec, shared, session, false),
+        Request::Subscribe(spec) => subscribe(spec, shared, session),
+        Request::Unsubscribe(id) => unsubscribe(id, shared, session),
         Request::Publish => (format!("OK published epoch={}\n", engine.publish()), false),
-        Request::Evict(floor) => (format!("OK evicted={}\n", engine.evict_before(floor)), false),
+        Request::Evict(floor) => {
+            (format!("OK evicted={}\n", evict_with_standing(shared, floor)), false)
+        }
         Request::Compact => {
             engine.compact();
             ("OK compacted\n".to_string(), false)
@@ -513,6 +679,144 @@ fn handle_request<E: MotifEngine>(
     reply
 }
 
+/// Per-query window cap: a non-transient admission error, applied to
+/// `query`/`count` and `subscribe` alike (a standing query is a query
+/// re-evaluated forever — admitting an over-wide one would be worse
+/// than admitting it once). Returns the rejection reply, if any.
+fn window_rejection<E>(
+    spec: &QuerySpec,
+    shared: &Shared<E>,
+    session: &mut Session,
+) -> Option<String> {
+    let cap = shared.config.max_window?;
+    let admission = ErrorCode::Admission.token();
+    match spec.window {
+        None => {
+            session.errors += 1;
+            shared.metrics.admission_rejected.inc();
+            Some(format!(
+                "ERR {admission} unbounded query refused: supply a window of at most {cap} \
+                 time units\n"
+            ))
+        }
+        Some(w) if w.length() > cap => {
+            session.errors += 1;
+            shared.metrics.admission_rejected.inc();
+            Some(format!(
+                "ERR {admission} window length {} exceeds the per-query cap {cap}\n",
+                w.length()
+            ))
+        }
+        Some(_) => None,
+    }
+}
+
+/// Routes each delta event to its subscription's notify queue (drops,
+/// with a counter, when the subscriber has fallen [`NOTIFY_QUEUE_CAP`]
+/// events behind).
+fn dispatch_events(events: &[StandingEvent], routes: &[Route], metrics: &ServerMetrics) {
+    for ev in events {
+        if let Some(route) = routes.iter().find(|r| r.id == ev.subscription) {
+            if !route.queue.push(ev.to_string()) {
+                metrics.events_dropped.inc();
+            }
+        }
+    }
+}
+
+/// Appends one interaction, delta-evaluating the standing queries when
+/// any are registered. The standing lock is held across the append so
+/// concurrent `subscribe`s cannot miss or double-see an event.
+fn append_with_standing<E: MotifEngine>(
+    shared: &Shared<E>,
+    from: NodeId,
+    to: NodeId,
+    time: Timestamp,
+    flow: Flow,
+) -> Result<Timestamp, GraphError> {
+    let mut st = shared.standing.lock().unwrap();
+    if st.subs.is_empty() {
+        // Quiet path: no subscribers, no delta work.
+        return shared.engine.append(from, to, time, flow);
+    }
+    let StandingState { subs, routes } = &mut *st;
+    let mut events = Vec::new();
+    let watermark = shared.engine.append_standing(from, to, time, flow, subs, &mut events)?;
+    dispatch_events(&events, routes, &shared.metrics);
+    Ok(watermark)
+}
+
+/// Evicts below `floor`, delta-evaluating the standing queries when any
+/// are registered (evicting old events can make a smaller instance
+/// maximal).
+fn evict_with_standing<E: MotifEngine>(shared: &Shared<E>, floor: Timestamp) -> usize {
+    let mut st = shared.standing.lock().unwrap();
+    if st.subs.is_empty() {
+        return shared.engine.evict_before(floor);
+    }
+    let StandingState { subs, routes } = &mut *st;
+    let mut events = Vec::new();
+    let evicted = shared.engine.evict_standing(floor, subs, &mut events);
+    dispatch_events(&events, routes, &shared.metrics);
+    evicted
+}
+
+/// Registers a standing query for this session: admission-checked like
+/// a one-shot query, rejected as a duplicate if the session already
+/// subscribed the same motif and window, then seeded silently against
+/// the engine's current graph.
+fn subscribe<E: MotifEngine>(
+    spec: QuerySpec,
+    shared: &Shared<E>,
+    session: &mut Session,
+) -> (String, bool) {
+    if let Some(reject) = window_rejection(&spec, shared, session) {
+        return (reject, false);
+    }
+    let key = format!(
+        "{}|{}|{}|{:?}",
+        spec.motif.path(),
+        spec.motif.delta(),
+        spec.motif.phi(),
+        spec.window
+    );
+    let mut st = shared.standing.lock().unwrap();
+    if st.routes.iter().any(|r| r.session_id == session.id && r.key == key) {
+        session.errors += 1;
+        return (
+            format!(
+                "ERR {} already subscribed to this motif and window on this session\n",
+                ErrorCode::Query.token()
+            ),
+            false,
+        );
+    }
+    let StandingState { subs, routes } = &mut *st;
+    let id = shared.engine.subscribe_standing(subs, spec.motif, spec.window);
+    routes.push(Route { id, session_id: session.id, key, queue: Arc::clone(&session.queue) });
+    (format!("OK subscribed id={id}\n"), false)
+}
+
+/// Removes a standing query; only the owning session may do so.
+fn unsubscribe<E>(id: u64, shared: &Shared<E>, session: &mut Session) -> (String, bool) {
+    let mut st = shared.standing.lock().unwrap();
+    let owned = st.routes.iter().position(|r| r.id == id && r.session_id == session.id);
+    match owned {
+        Some(pos) => {
+            st.routes.remove(pos);
+            st.subs.unsubscribe(id);
+            (format!("OK unsubscribed id={id}\n"), false)
+        }
+        None => {
+            session.errors += 1;
+            (
+                format!("ERR {} no subscription {id} on this session\n", ErrorCode::Query.token()),
+                false,
+            )
+        }
+    }
+}
+
 /// Admission control plus the actual snapshot search, shared by `query`
 /// (instances on `DATA` lines) and `count` (status line only).
 fn run_query<E: MotifEngine>(
@@ -521,34 +825,8 @@ fn run_query<E: MotifEngine>(
     session: &mut Session,
     materialise: bool,
 ) -> (String, bool) {
-    // Per-query window cap: a non-transient admission error.
-    if let Some(cap) = shared.config.max_window {
-        let admission = ErrorCode::Admission.token();
-        match spec.window {
-            None => {
-                session.errors += 1;
-                shared.metrics.admission_rejected.inc();
-                return (
-                    format!(
-                        "ERR {admission} unbounded query refused: supply a window of at most \
-                         {cap} time units\n"
-                    ),
-                    false,
-                );
-            }
-            Some(w) if w.length() > cap => {
-                session.errors += 1;
-                shared.metrics.admission_rejected.inc();
-                return (
-                    format!(
-                        "ERR {admission} window length {} exceeds the per-query cap {cap}\n",
-                        w.length()
-                    ),
-                    false,
-                );
-            }
-            Some(_) => {}
-        }
+    if let Some(reject) = window_rejection(spec, shared, session) {
+        return (reject, false);
     }
     // In-flight cap: a transient, retryable rejection.
     let _guard = match shared.try_admit() {
@@ -795,6 +1073,72 @@ mod tests {
         let (r, _) = handle_line("count M(3,2) 10 0", &s, &mut session);
         assert!(r.starts_with("OK count="), "{r}");
         assert_eq!(s.metrics.slow_queries.get(), 0);
+    }
+
+    #[test]
+    fn subscribe_append_pushes_events_and_unsubscribe_stops_them() {
+        let s = shared(ServerConfig::default());
+        let mut session = Session::default();
+        let (r, _) = handle_line("subscribe M(3,2) 10 0", &s, &mut session);
+        assert_eq!(r, "OK subscribed id=1\n");
+        // The same motif and window twice on one session is a mistake.
+        let (r, _) = handle_line("subscribe M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("ERR query already subscribed"), "{r}");
+        // A different window is a distinct subscription.
+        let (r, _) = handle_line("subscribe M(3,2) 10 0 0 100", &s, &mut session);
+        assert_eq!(r, "OK subscribed id=2\n");
+        assert!(s.metrics.render().contains("flowmotif_serve_subscriptions_active 2"));
+
+        // Completing a 0->1->2 chain notifies both subscriptions.
+        let (r, _) = handle_line("add 0 1 1 2", &s, &mut session);
+        assert_eq!(r, "OK added watermark=1\n");
+        let _ = handle_line("add 1 2 2 3", &s, &mut session);
+        let mut buf = String::new();
+        assert_eq!(session.queue.drain_into(&mut buf), 2);
+        assert!(buf.contains("EVENT id=1 match=0-1-2 flow=2 first=1 last=2 size=2\n"), "{buf}");
+        assert!(buf.contains("EVENT id=2 match=0-1-2 flow=2 first=1 last=2 size=2\n"), "{buf}");
+
+        let (r, _) = handle_line("unsubscribe 1", &s, &mut session);
+        assert_eq!(r, "OK unsubscribed id=1\n");
+        let (r, _) = handle_line("unsubscribe 1", &s, &mut session);
+        assert!(r.starts_with("ERR query no subscription 1"), "{r}");
+        // Unknown ids and other sessions' ids read the same way.
+        let (r, _) = handle_line("unsubscribe 99", &s, &mut session);
+        assert!(r.starts_with("ERR query no subscription 99"), "{r}");
+
+        // Only the surviving subscription sees the next instance.
+        let _ = handle_line("add 2 3 3 4", &s, &mut session);
+        buf.clear();
+        assert_eq!(session.queue.drain_into(&mut buf), 1);
+        assert_eq!(buf, "EVENT id=2 match=1-2-3 flow=3 first=2 last=3 size=2\n");
+        assert!(s.metrics.render().contains("flowmotif_serve_subscriptions_active 1"));
+    }
+
+    #[test]
+    fn subscribe_respects_window_admission() {
+        let s = shared(ServerConfig { max_window: Some(100), ..ServerConfig::default() });
+        let mut session = Session::default();
+        let (r, _) = handle_line("subscribe M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("ERR admission unbounded"), "{r}");
+        let (r, _) = handle_line("subscribe M(3,2) 10 0 0 101", &s, &mut session);
+        assert!(r.starts_with("ERR admission window length 101"), "{r}");
+        assert_eq!(s.metrics.admission_rejected.get(), 2);
+        let (r, _) = handle_line("subscribe M(3,2) 10 0 0 100", &s, &mut session);
+        assert_eq!(r, "OK subscribed id=1\n");
+    }
+
+    #[test]
+    fn notify_queue_drops_past_capacity_with_counter() {
+        let q = NotifyQueue::default();
+        for i in 0..NOTIFY_QUEUE_CAP {
+            assert!(q.push(format!("ev{i}")));
+        }
+        assert!(!q.push("overflow".to_string()));
+        assert_eq!(q.dropped.load(Ordering::Relaxed), 1);
+        let mut buf = String::new();
+        assert_eq!(q.drain_into(&mut buf), NOTIFY_QUEUE_CAP);
+        assert!(buf.starts_with("EVENT ev0\n"), "oldest survives, newest is shed");
+        assert!(q.push("after drain".to_string()));
     }
 
     #[test]

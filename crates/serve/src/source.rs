@@ -17,6 +17,7 @@ use flowmotif_core::{
 use flowmotif_graph::{Flow, GraphError, GraphStore, NodeId, TimeWindow, Timestamp};
 use flowmotif_stream::{
     EngineStats, EpochEngine, EpochSnapshot, PublishReport, QueryResult, Snapshot, SnapshotEngine,
+    StandingEvent, StandingQueries,
 };
 use std::sync::Arc;
 
@@ -91,6 +92,42 @@ pub trait MotifEngine: Send + Sync + 'static {
 
     /// The currently published epoch view.
     fn snapshot(&self) -> Self::Snapshot;
+
+    /// Registers a standing query in `subs`, seeding it against the
+    /// engine's *current* writer-side graph (not the published epoch —
+    /// the subscription must see exactly the events later appends will
+    /// delta against). Returns the subscription id.
+    fn subscribe_standing(
+        &self,
+        subs: &mut StandingQueries,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64;
+
+    /// Appends one interaction and delta-evaluates every standing query
+    /// in `subs` against the post-append graph, pushing one
+    /// [`StandingEvent`] per instance entering a result set. Returns
+    /// the stream watermark, like [`MotifEngine::append`].
+    fn append_standing(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> Result<Timestamp, GraphError>;
+
+    /// Evicts interactions older than `floor` and delta-evaluates the
+    /// standing queries against the post-eviction graph (instances can
+    /// *become* maximal when older events leave their window). Engines
+    /// over immutable storage return 0 without evaluating.
+    fn evict_standing(
+        &self,
+        floor: Timestamp,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> usize;
 }
 
 fn describe_on<G: GraphStore>(
@@ -172,6 +209,36 @@ impl MotifEngine for SnapshotEngine {
     fn snapshot(&self) -> Arc<Snapshot> {
         SnapshotEngine::snapshot(self)
     }
+
+    fn subscribe_standing(
+        &self,
+        subs: &mut StandingQueries,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64 {
+        SnapshotEngine::subscribe_standing(self, subs, motif, bounds)
+    }
+
+    fn append_standing(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> Result<Timestamp, GraphError> {
+        SnapshotEngine::append_standing(self, from, to, time, flow, subs, out)
+    }
+
+    fn evict_standing(
+        &self,
+        floor: Timestamp,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> usize {
+        SnapshotEngine::evict_standing(self, floor, subs, out)
+    }
 }
 
 impl EngineSnapshot for Arc<EpochSnapshot> {
@@ -248,5 +315,37 @@ impl MotifEngine for EpochEngine {
 
     fn snapshot(&self) -> Arc<EpochSnapshot> {
         EpochEngine::snapshot(self)
+    }
+
+    fn subscribe_standing(
+        &self,
+        subs: &mut StandingQueries,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64 {
+        EpochEngine::subscribe_standing(self, subs, motif, bounds)
+    }
+
+    fn append_standing(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> Result<Timestamp, GraphError> {
+        EpochEngine::append_standing(self, from, to, time, flow, subs, out)
+    }
+
+    /// Sealed segments are immutable; nothing is evicted and no
+    /// standing query can change.
+    fn evict_standing(
+        &self,
+        _floor: Timestamp,
+        _subs: &mut StandingQueries,
+        _out: &mut Vec<StandingEvent>,
+    ) -> usize {
+        0
     }
 }

@@ -253,6 +253,194 @@ fn metrics_verb_round_trips_prometheus_text_over_the_wire() {
     server.shutdown();
 }
 
+/// `key=value` field of an `EVENT` payload or `DATA` line.
+fn field_of(line: &str, key: &str) -> String {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= in {line}"))
+        .to_string()
+}
+
+#[test]
+fn subscribe_arity_unknown_motif_and_duplicates() {
+    let (server, _) = server(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for (line, needle) in [
+        ("subscribe", "takes 3 or 5 fields"),
+        ("subscribe M(3,2) 10", "takes 3 or 5 fields"),
+        ("subscribe M(3,2) 10 0 5", "takes 3 or 5 fields"),
+        ("unsubscribe", "takes 1 fields"),
+        ("unsubscribe one", "field `one`"),
+    ] {
+        let reply = c.send(line).unwrap();
+        assert!(reply.status.starts_with("ERR proto"), "{line}: {}", reply.status);
+        assert!(reply.status.contains(needle), "{line}: {}", reply.status);
+    }
+    // An unknown motif is a query error, like for one-shot queries.
+    let reply = c.send("subscribe M(9,9) 10 0").unwrap();
+    assert!(reply.status.starts_with("ERR query"), "{}", reply.status);
+    // The same motif and window twice on one session is refused...
+    assert_eq!(c.send("subscribe M(3,2) 10 0").unwrap().status, "OK subscribed id=1");
+    let reply = c.send("subscribe M(3,2) 10 0").unwrap();
+    assert!(reply.status.starts_with("ERR query already subscribed"), "{}", reply.status);
+    // ...but a different window, or another session, is distinct.
+    assert_eq!(c.send("subscribe M(3,2) 10 0 0 100").unwrap().status, "OK subscribed id=2");
+    let mut c2 = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(c2.send("subscribe M(3,2) 10 0").unwrap().status, "OK subscribed id=3");
+    server.shutdown();
+}
+
+#[test]
+fn unsubscribe_twice_and_foreign_ids_are_query_errors() {
+    let (server, _) = server(ServerConfig::default());
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(a.send("subscribe M(3,2) 10 0").unwrap().status, "OK subscribed id=1");
+    // Another session cannot remove a subscription it does not own.
+    let reply = b.send("unsubscribe 1").unwrap();
+    assert!(reply.status.starts_with("ERR query no subscription 1"), "{}", reply.status);
+    assert_eq!(a.send("unsubscribe 1").unwrap().status, "OK unsubscribed id=1");
+    // Unsubscribing twice reads exactly like never having subscribed.
+    let reply = a.send("unsubscribe 1").unwrap();
+    assert!(reply.status.starts_with("ERR query no subscription 1"), "{}", reply.status);
+    server.shutdown();
+}
+
+#[test]
+fn subscriber_events_match_a_batch_requery() {
+    let (server, _) = server(ServerConfig { show: 16, ..ServerConfig::default() });
+    let mut sub = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(sub.send("subscribe M(3,2) 10 0").unwrap().status, "OK subscribed id=1");
+    // Stream two disjoint 2-hop chains over the wire from another
+    // session; each completion is one maximal instance entering the
+    // standing result, hence one push notification.
+    let mut feeder = Client::connect(server.local_addr()).unwrap();
+    for (u, v, t, f) in [(0u32, 1u32, 1i64, 2.0), (1, 2, 2, 3.0), (3, 4, 20, 1.0), (4, 5, 21, 2.0)]
+    {
+        assert!(feeder.send(&format!("add {u} {v} {t} {f}")).unwrap().is_ok());
+    }
+    sub.set_read_timeout(Some(Duration::from_millis(1500))).unwrap();
+    let mut events = Vec::new();
+    while events.len() < 2 {
+        match sub.recv_line() {
+            Ok(Some(line)) if line.starts_with("EVENT ") => events.push(line),
+            Ok(Some(line)) => panic!("unexpected non-event line {line:?}"),
+            Ok(None) | Err(_) => break,
+        }
+    }
+    events.sort();
+    assert_eq!(
+        events,
+        [
+            "EVENT id=1 match=0-1-2 flow=2 first=1 last=2 size=2",
+            "EVENT id=1 match=3-4-5 flow=1 first=20 last=21 size=2",
+        ],
+        "push notifications diverged"
+    );
+    // The accumulated events are exactly what a batch re-query returns.
+    assert!(feeder.send("publish").unwrap().is_ok());
+    let reply = feeder.send("query M(3,2) 10 0").unwrap();
+    assert_eq!(reply.field("instances"), Some("2"), "{}", reply.status);
+    let mut batch: Vec<(String, String)> =
+        reply.data.iter().map(|d| (field_of(d, "nodes"), field_of(d, "flow"))).collect();
+    batch.sort();
+    let mut pushed: Vec<(String, String)> =
+        events.iter().map(|e| (field_of(e, "match"), field_of(e, "flow"))).collect();
+    pushed.sort();
+    assert_eq!(batch, pushed, "delta events ≠ batch re-query");
+    server.shutdown();
+}
+
+#[test]
+fn subscriber_disconnect_races_notifications_safely() {
+    let (server, _) = server(ServerConfig { workers: 3, ..ServerConfig::default() });
+    // A subscriber registers and vanishes without unsubscribing.
+    {
+        let mut sub = Client::connect(server.local_addr()).unwrap();
+        assert!(sub.send("subscribe M(3,2) 100 0").unwrap().is_ok());
+        // Dropped here, mid-stream: appends below race the cleanup.
+    }
+    let mut feeder = Client::connect(server.local_addr()).unwrap();
+    for i in 0..50u32 {
+        let reply = feeder.send(&format!("add {} {} {i} 1", i % 5, (i + 1) % 5)).unwrap();
+        assert!(reply.is_ok(), "{}", reply.status);
+    }
+    // The dangling subscription is reaped once the worker notices the
+    // disconnect; until then events are routed into a queue nobody
+    // reads, which must stay bounded and harmless.
+    let mut reaped = false;
+    for _ in 0..100 {
+        let m = feeder.send("metrics").unwrap();
+        if m.data.iter().any(|l| l == "flowmotif_serve_subscriptions_active 0") {
+            reaped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(reaped, "subscription must be removed after its session disconnects");
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_admission_and_busy_interplay() {
+    let (server, _) =
+        server(ServerConfig { max_window: Some(50), max_inflight: 1, ..ServerConfig::default() });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // The per-query window cap governs standing queries too: they are
+    // re-evaluated forever, so an over-wide one costs strictly more
+    // than its one-shot counterpart.
+    let reply = c.send("subscribe M(3,2) 10 0").unwrap();
+    assert!(reply.status.starts_with("ERR admission unbounded"), "{}", reply.status);
+    let reply = c.send("subscribe M(3,2) 10 0 0 51").unwrap();
+    assert!(reply.status.starts_with("ERR admission window length 51"), "{}", reply.status);
+    assert_eq!(c.send("subscribe M(3,2) 10 0 0 50").unwrap().status, "OK subscribed id=1");
+    // The in-flight query cap does not throttle subscribe (it holds no
+    // query slot), and admitted queries still work alongside it.
+    let reply = c.send("count M(3,2) 10 0 0 50").unwrap();
+    assert!(reply.is_ok(), "{}", reply.status);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_expose_subscription_series() {
+    let (server, _) = server(ServerConfig::default());
+    let mut sub = Client::connect(server.local_addr()).unwrap();
+    assert!(sub.send("subscribe M(3,2) 10 0").unwrap().is_ok());
+    let mut feeder = Client::connect(server.local_addr()).unwrap();
+    assert!(feeder.send("add 0 1 1 2").unwrap().is_ok());
+    assert!(feeder.send("add 1 2 2 3").unwrap().is_ok());
+    // The completed chain is one event; it counts as pushed once the
+    // subscriber's worker writes it out (within one 50ms poll tick).
+    let mut all_present = false;
+    for _ in 0..100 {
+        let m = feeder.send("metrics").unwrap();
+        let has = |needle: &str| m.data.iter().any(|l| l == needle);
+        if has("flowmotif_serve_subscriptions_active 1")
+            && has("flowmotif_serve_events_pushed_total 1")
+            && has("flowmotif_serve_events_dropped_total 0")
+            && has("flowmotif_serve_requests_total{verb=\"subscribe\"} 1")
+        {
+            all_present = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(all_present, "subscription series missing from metrics");
+    // Subscribe is a timed verb: its latency histogram recorded the
+    // registration (which runs a full seeding query).
+    let m = feeder.send("metrics").unwrap();
+    assert!(
+        m.data.iter().any(|l| l
+            .starts_with("flowmotif_serve_request_duration_seconds_count{verb=\"subscribe\"} 1")),
+        "missing subscribe latency sample"
+    );
+    // The unsubscribe verb is counted as well.
+    assert_eq!(sub.send("unsubscribe 1").unwrap().status, "OK unsubscribed id=1");
+    let m = feeder.send("metrics").unwrap();
+    assert!(m.data.iter().any(|l| l == "flowmotif_serve_requests_total{verb=\"unsubscribe\"} 1"));
+    server.shutdown();
+}
+
 #[test]
 fn busy_reply_when_inflight_cap_saturated() {
     // Cap of 0 in-flight queries is "unlimited"; use a cap of 1 and hold

@@ -134,6 +134,28 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// [`QueryEngine::try_append`] that additionally records into
+    /// `drained` every `(u, v)` pair the sliding-window policy evicted
+    /// events from as a side effect of this append — the hook standing
+    /// queries use to rescan affected matches.
+    pub fn try_append_collect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        drained: &mut Vec<(NodeId, NodeId)>,
+    ) -> Result<(), GraphError> {
+        self.graph.try_append(from, to, time, flow)?;
+        if let (Some(policy), Some(watermark)) = (&mut self.window, self.graph.watermark()) {
+            if let Some(floor) = policy.advance(watermark) {
+                let dropped = self.graph.evict_before_collect(floor, drained);
+                self.note_evicted(dropped);
+            }
+        }
+        Ok(())
+    }
+
     /// Emptied pairs linger in the CSR index after eviction and would
     /// slowly poison phase P1; consolidate once the evicted volume rivals
     /// the resident volume, which keeps the compaction cost amortized
@@ -205,6 +227,18 @@ impl QueryEngine {
     /// the same amortized auto-compaction.
     pub fn evict_before(&mut self, floor: Timestamp) -> usize {
         let dropped = self.graph.evict_before(floor);
+        self.note_evicted(dropped);
+        dropped
+    }
+
+    /// [`QueryEngine::evict_before`] that additionally records the
+    /// drained `(u, v)` pairs (see [`QueryEngine::try_append_collect`]).
+    pub fn evict_before_collect(
+        &mut self,
+        floor: Timestamp,
+        drained: &mut Vec<(NodeId, NodeId)>,
+    ) -> usize {
+        let dropped = self.graph.evict_before_collect(floor, drained);
         self.note_evicted(dropped);
         dropped
     }

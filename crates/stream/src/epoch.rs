@@ -30,6 +30,7 @@
 
 use crate::engine::{EngineStats, QueryResult};
 use crate::snapshot::PublishReport;
+use crate::standing::{StandingEvent, StandingQueries};
 use flowmotif_core::{
     enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
     SearchOptions, SearchScratch, SearchStats, TraceSink,
@@ -173,6 +174,36 @@ struct EpochWriter {
 }
 
 impl EpochWriter {
+    /// Validates and buffers one interaction into the delta accumulator.
+    fn push_edge(&mut self, u: NodeId, v: NodeId, t: Timestamp, f: Flow) -> Result<(), GraphError> {
+        if !(f.is_finite() && f > 0.0) {
+            return Err(GraphError::InvalidFlow { flow: f, from: u as u64, to: v as u64 });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u as u64));
+        }
+        {
+            let EpochWriter { base, pending, .. } = self;
+            // First touch: seed with the pair's base events so the
+            // overlay can serve the pair from the delta alone.
+            let entry = pending.entry((u, v)).or_insert_with(|| {
+                let events = if (u as usize) < base.num_nodes() {
+                    base.pair_id(u, v).map(|p| base.series(p).events().to_vec()).unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                PendingSeries { from_base: events.len(), events }
+            });
+            entry.events.push(Event::new(t, f));
+        }
+        self.dirty.insert((u, v));
+        self.delta_events += 1;
+        self.appended += 1;
+        self.num_nodes = self.num_nodes.max(u.max(v) as usize + 1);
+        self.watermark = Some(self.watermark.map_or(t, |wm| wm.max(t)));
+        Ok(())
+    }
+
     fn stats(&self) -> EngineStats {
         let new_pairs = self.pending.values().filter(|p| p.from_base == 0).count();
         EngineStats {
@@ -282,33 +313,7 @@ impl EpochEngine {
         let mut n = 0usize;
         let r: Result<(), GraphError> = (|| {
             for (u, v, t, f) in batch {
-                if !(f.is_finite() && f > 0.0) {
-                    return Err(GraphError::InvalidFlow { flow: f, from: u as u64, to: v as u64 });
-                }
-                if u == v {
-                    return Err(GraphError::SelfLoop(u as u64));
-                }
-                {
-                    let EpochWriter { base, pending, .. } = &mut *w;
-                    // First touch: seed with the pair's base events so the
-                    // overlay can serve the pair from the delta alone.
-                    let entry = pending.entry((u, v)).or_insert_with(|| {
-                        let events = if (u as usize) < base.num_nodes() {
-                            base.pair_id(u, v)
-                                .map(|p| base.series(p).events().to_vec())
-                                .unwrap_or_default()
-                        } else {
-                            Vec::new()
-                        };
-                        PendingSeries { from_base: events.len(), events }
-                    });
-                    entry.events.push(Event::new(t, f));
-                }
-                w.dirty.insert((u, v));
-                w.delta_events += 1;
-                w.appended += 1;
-                w.num_nodes = w.num_nodes.max(u.max(v) as usize + 1);
-                w.watermark = Some(w.watermark.map_or(t, |wm| wm.max(t)));
+                w.push_edge(u, v, t, f)?;
                 n += 1;
             }
             Ok(())
@@ -319,6 +324,54 @@ impl EpochEngine {
             self.publish_locked(&mut w);
         }
         r.map(|()| n)
+    }
+
+    /// Registers a standing query in `subs`, seeded from the *writer*
+    /// state (base ∪ current delta), so subsequent
+    /// [`EpochEngine::append_standing`] deltas line up exactly with the
+    /// stream. Returns the subscription id.
+    pub fn subscribe_standing(
+        &self,
+        subs: &mut StandingQueries,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64 {
+        let w = self.writer.lock().unwrap();
+        let overlay = OverlayStore::new(Arc::clone(&w.base), self.delta_graph(&w));
+        subs.subscribe(&overlay, motif, bounds)
+    }
+
+    /// [`EpochEngine::append`] that additionally delta-evaluates the
+    /// standing queries in `subs` against a transient base ∪ delta
+    /// overlay built under the writer lock, pushing every instance
+    /// entering a standing result set onto `out`.
+    ///
+    /// Sealed segments never evict, and a [`EpochEngine::reseal`] merges
+    /// data-identically (base ∪ delta before ≡ new base after), so
+    /// appends are the only change standing queries ever see here. Note
+    /// the transient overlay costs O(delta) per call; reseal
+    /// periodically to keep the delta small.
+    pub fn append_standing(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> Result<Timestamp, GraphError> {
+        let mut w = self.writer.lock().unwrap();
+        w.push_edge(from, to, time, flow)?;
+        if !subs.is_empty() {
+            let overlay = OverlayStore::new(Arc::clone(&w.base), self.delta_graph(&w));
+            subs.on_append(&overlay, from, to, time, out);
+        }
+        let due = self.publish_every > 0
+            && (w.appended - w.published_appended) as usize >= self.publish_every;
+        if due {
+            self.publish_locked(&mut w);
+        }
+        Ok(w.watermark.unwrap_or(time))
     }
 
     /// Publishes the current base+delta as a new epoch and returns its

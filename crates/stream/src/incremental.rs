@@ -158,16 +158,43 @@ impl IncrementalGraph {
     /// `PairId` until [`IncrementalGraph::compact`], which physically
     /// removes them.
     pub fn evict_before(&mut self, floor: Timestamp) -> usize {
+        self.evict_before_inner(floor, |_| {})
+    }
+
+    /// [`IncrementalGraph::evict_before`] that additionally records every
+    /// `(u, v)` pair that lost at least one event into `drained`
+    /// (deduplicated, sorted) — the hook standing queries use to rescan
+    /// exactly the affected matches.
+    pub fn evict_before_collect(
+        &mut self,
+        floor: Timestamp,
+        drained: &mut Vec<(NodeId, NodeId)>,
+    ) -> usize {
+        let start = drained.len();
+        let removed = self.evict_before_inner(floor, |pair| drained.push(pair));
+        drained[start..].sort_unstable();
+        drained.dedup();
+        removed
+    }
+
+    fn evict_before_inner(
+        &mut self,
+        floor: Timestamp,
+        mut on_drained: impl FnMut((NodeId, NodeId)),
+    ) -> usize {
         let touched = &mut self.touched;
         let mut removed = self.graph.evict_before_with(floor, |pair, _| {
             touched.insert(pair);
+            on_drained(pair);
         });
         for (p, tail) in self.tails.iter_mut().enumerate() {
             let before = tail.len();
             tail.retain(|e| e.time >= floor);
             if tail.len() < before {
                 removed += before - tail.len();
-                self.touched.insert(self.graph.pair(p as PairId));
+                let pair = self.graph.pair(p as PairId);
+                self.touched.insert(pair);
+                on_drained(pair);
             }
         }
         self.tail_len = self.tails.iter().map(Vec::len).sum();
@@ -177,6 +204,7 @@ impl IncrementalGraph {
             if events.len() < before {
                 removed += before - events.len();
                 self.touched.insert(pair);
+                on_drained(pair);
             }
         }
         self.pending.retain(|_, v| !v.is_empty());

@@ -46,10 +46,12 @@ pub mod epoch;
 pub mod incremental;
 pub mod metrics;
 pub mod snapshot;
+pub mod standing;
 pub mod window;
 
 pub use engine::{EngineStats, QueryEngine, QueryResult};
 pub use epoch::{EpochEngine, EpochSnapshot};
 pub use incremental::IncrementalGraph;
 pub use snapshot::{PublishReport, Snapshot, SnapshotEngine};
+pub use standing::{StandingEvent, StandingQueries, StandingQuery};
 pub use window::SlidingWindow;

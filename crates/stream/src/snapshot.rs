@@ -43,6 +43,7 @@
 //! graph amortizes tail merges.
 
 use crate::engine::{EngineStats, QueryResult};
+use crate::standing::{StandingEvent, StandingQueries};
 use crate::window::SlidingWindow;
 use crate::QueryEngine;
 use flowmotif_core::{
@@ -367,6 +368,80 @@ impl SnapshotEngine {
     /// publish. Returns how many were dropped.
     pub fn evict_before(&self, floor: Timestamp) -> usize {
         self.writer.lock().unwrap().engine.evict_before(floor)
+    }
+
+    /// Registers a standing query in `subs`, seeded from the *writer*
+    /// state (not the published snapshot), so subsequent
+    /// [`SnapshotEngine::append_standing`] deltas line up exactly with
+    /// the stream — no append can fall between the seed and the first
+    /// delta. Returns the subscription id.
+    pub fn subscribe_standing(
+        &self,
+        subs: &mut StandingQueries,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64 {
+        let mut w = self.writer.lock().unwrap();
+        let g = w.engine.graph();
+        subs.subscribe(g, motif, bounds)
+    }
+
+    /// [`SnapshotEngine::append`] that additionally delta-evaluates the
+    /// standing queries in `subs` under the same writer lock: every
+    /// instance entering a standing result set — through the new edge
+    /// itself or through the sliding-window eviction it triggered — is
+    /// pushed onto `out`. With `subs` empty this costs one extra branch
+    /// over a plain append.
+    pub fn append_standing(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        flow: Flow,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> Result<Timestamp, GraphError> {
+        let (watermark, prepared) = {
+            let mut w = self.writer.lock().unwrap();
+            if subs.is_empty() {
+                w.engine.try_append(from, to, time, flow)?;
+            } else {
+                let mut drained = Vec::new();
+                w.engine.try_append_collect(from, to, time, flow, &mut drained)?;
+                let g = w.engine.graph();
+                subs.on_append(g, from, to, time, out);
+                subs.on_evicted(g, &drained, out);
+            }
+            let watermark = w.engine.stats().watermark.unwrap_or(time);
+            (watermark, self.maybe_prepare(&mut w))
+        };
+        if let Some(p) = prepared {
+            self.install(p);
+        }
+        Ok(watermark)
+    }
+
+    /// [`SnapshotEngine::evict_before`] that additionally delta-evaluates
+    /// the standing queries in `subs` against the post-eviction writer
+    /// graph (instances can *become* maximal when their superset loses
+    /// events). Returns how many interactions were dropped.
+    pub fn evict_standing(
+        &self,
+        floor: Timestamp,
+        subs: &mut StandingQueries,
+        out: &mut Vec<StandingEvent>,
+    ) -> usize {
+        let mut w = self.writer.lock().unwrap();
+        if subs.is_empty() {
+            return w.engine.evict_before(floor);
+        }
+        let mut drained = Vec::new();
+        let dropped = w.engine.evict_before_collect(floor, &mut drained);
+        if !drained.is_empty() {
+            let g = w.engine.graph();
+            subs.on_evicted(g, &drained, out);
+        }
+        dropped
     }
 
     /// Consolidates the writer-side graph (see [`QueryEngine::compact`]).

@@ -1,0 +1,312 @@
+//! Standing motif queries: per-append delta evaluation feeding a push
+//! notification stream.
+//!
+//! A [`StandingQueries`] set holds any number of registered motif
+//! subscriptions, each backed by a [`flowmotif_core::DeltaContext`] that
+//! mirrors what a full re-query would return. After every appended
+//! interaction (and after every eviction batch) the owning engine calls
+//! [`StandingQueries::on_append`] / [`StandingQueries::on_evicted`] with
+//! the *current* graph; each subscription refreshes exactly the
+//! structural matches the change can have affected and reports every
+//! instance entering its result set as a [`StandingEvent`].
+//!
+//! The set owns one shared [`SearchScratch`] arena, so the steady state —
+//! an append that changes no subscription's result — runs without heap
+//! allocations (the property the `alloc_profile` bench gates).
+
+use flowmotif_core::{
+    DeltaContext, DeltaInstance, DeltaStats, Motif, SearchOptions, SearchScratch, SearchStats,
+};
+use flowmotif_graph::{Flow, GraphStore, NodeId, TimeWindow, Timestamp};
+
+/// One pushed notification: an instance that just entered the standing
+/// result set of subscription `subscription`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingEvent {
+    /// The subscription that produced the event.
+    pub subscription: u64,
+    /// The structural match's vertex walk, rendered `a-b-c-…`.
+    pub nodes: String,
+    /// Instance flow `f(G_I)`.
+    pub flow: Flow,
+    /// Timestamp of the instance's temporally first element.
+    pub first_time: Timestamp,
+    /// Timestamp of the instance's temporally last element.
+    pub last_time: Timestamp,
+    /// Total interactions aggregated across the instance's edge-sets.
+    pub interactions: u32,
+}
+
+impl StandingEvent {
+    fn new(subscription: u64, key: &[NodeId], di: &DeltaInstance) -> Self {
+        let mut nodes = String::with_capacity(key.len() * 3);
+        for (i, n) in key.iter().enumerate() {
+            if i > 0 {
+                nodes.push('-');
+            }
+            nodes.push_str(&n.to_string());
+        }
+        Self {
+            subscription,
+            nodes,
+            flow: di.flow,
+            first_time: di.first_time,
+            last_time: di.last_time,
+            interactions: di.edges.iter().map(|e| e.count).sum(),
+        }
+    }
+}
+
+impl std::fmt::Display for StandingEvent {
+    /// The wire payload of an `EVENT` push line (without the prefix).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "id={} match={} flow={} first={} last={} size={}",
+            self.subscription,
+            self.nodes,
+            self.flow,
+            self.first_time,
+            self.last_time,
+            self.interactions
+        )
+    }
+}
+
+/// One registered subscription: the motif, optional window bounds, and
+/// the delta-maintained result set.
+#[derive(Debug)]
+pub struct StandingQuery {
+    id: u64,
+    motif: Motif,
+    bounds: Option<TimeWindow>,
+    ctx: DeltaContext,
+    stats: SearchStats,
+    delta: DeltaStats,
+}
+
+impl StandingQuery {
+    /// The subscription id assigned at registration.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The subscribed motif.
+    pub fn motif(&self) -> &Motif {
+        &self.motif
+    }
+
+    /// The subscription's window bounds (`None` = everything retained).
+    pub fn bounds(&self) -> Option<TimeWindow> {
+        self.bounds
+    }
+
+    /// Instances currently in the standing result set.
+    pub fn num_instances(&self) -> usize {
+        self.ctx.num_instances()
+    }
+
+    /// Visits every instance in the standing result set, with the walk
+    /// nodes of the structural match it belongs to.
+    pub fn for_each_instance(&self, f: impl FnMut(&[NodeId], &DeltaInstance)) {
+        self.ctx.for_each_instance(f);
+    }
+
+    /// Accumulated delta-evaluation counters since registration.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta
+    }
+
+    /// Accumulated search counters (P2 sweeps) since registration.
+    pub fn search_stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+/// The set of standing queries an engine evaluates on every mutation.
+#[derive(Debug, Default)]
+pub struct StandingQueries {
+    queries: Vec<StandingQuery>,
+    scratch: SearchScratch,
+    opts: SearchOptions,
+    next_id: u64,
+}
+
+impl StandingQueries {
+    /// An empty set using default [`SearchOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set evaluating with `opts` (e.g. the engine's A/B index
+    /// toggle) — keep it consistent with the options the engine's own
+    /// queries use so delta ≡ re-query holds bit-for-bit.
+    pub fn with_options(opts: SearchOptions) -> Self {
+        Self { opts, ..Self::default() }
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no subscription is registered (engines skip delta
+    /// evaluation entirely then).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates the registered subscriptions.
+    pub fn iter(&self) -> impl Iterator<Item = &StandingQuery> {
+        self.queries.iter()
+    }
+
+    /// The subscription with id `id`, if registered.
+    pub fn get(&self, id: u64) -> Option<&StandingQuery> {
+        self.queries.iter().find(|q| q.id == id)
+    }
+
+    /// Registers a standing query, seeding its result set with a full
+    /// re-query of `g` (no events are emitted for pre-existing
+    /// instances: subscribers see changes from *now on*). Returns the
+    /// assigned subscription id.
+    pub fn subscribe<G: GraphStore>(
+        &mut self,
+        g: &G,
+        motif: Motif,
+        bounds: Option<TimeWindow>,
+    ) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut q = StandingQuery {
+            id,
+            motif,
+            bounds,
+            ctx: DeltaContext::new(),
+            stats: SearchStats::default(),
+            delta: DeltaStats::default(),
+        };
+        q.ctx.seed(g, &q.motif, q.bounds, self.opts, &mut self.scratch, &mut q.stats);
+        self.queries.push(q);
+        id
+    }
+
+    /// Removes subscription `id`; returns whether it was registered.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        let before = self.queries.len();
+        self.queries.retain(|q| q.id != id);
+        self.queries.len() < before
+    }
+
+    /// Delta-evaluates every subscription against `g` — which must
+    /// already contain the appended `(from, to, time)` interaction —
+    /// pushing one [`StandingEvent`] per instance entering a result set.
+    pub fn on_append<G: GraphStore>(
+        &mut self,
+        g: &G,
+        from: NodeId,
+        to: NodeId,
+        time: Timestamp,
+        out: &mut Vec<StandingEvent>,
+    ) {
+        let Self { queries, scratch, opts, .. } = self;
+        for q in queries.iter_mut() {
+            let id = q.id;
+            let ds = q.ctx.on_append(
+                g,
+                &q.motif,
+                q.bounds,
+                *opts,
+                from,
+                to,
+                time,
+                scratch,
+                &mut q.stats,
+                |key, di| out.push(StandingEvent::new(id, key, di)),
+            );
+            q.delta.merge(&ds);
+        }
+    }
+
+    /// Delta-evaluates every subscription after events were evicted from
+    /// the `drained` pairs (post-eviction graph `g`), pushing instances
+    /// that *became* maximal through the eviction.
+    pub fn on_evicted<G: GraphStore>(
+        &mut self,
+        g: &G,
+        drained: &[(NodeId, NodeId)],
+        out: &mut Vec<StandingEvent>,
+    ) {
+        if drained.is_empty() {
+            return;
+        }
+        let Self { queries, scratch, opts, .. } = self;
+        for q in queries.iter_mut() {
+            let id = q.id;
+            let ds = q.ctx.on_pairs_evicted(
+                g,
+                &q.motif,
+                q.bounds,
+                *opts,
+                drained,
+                scratch,
+                &mut q.stats,
+                |key, di| out.push(StandingEvent::new(id, key, di)),
+            );
+            q.delta.merge(&ds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmotif_core::catalog;
+    use flowmotif_graph::GraphBuilder;
+
+    #[test]
+    fn subscribe_seeds_silently_then_appends_emit() {
+        let mut subs = StandingQueries::new();
+        let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 2.0), (1, 2, 2, 3.0)]);
+        let g = b.build_time_series_graph();
+        let id = subs.subscribe(&g, motif, None);
+        assert_eq!(id, 1);
+        assert_eq!(subs.get(id).unwrap().num_instances(), 1, "seeded, not emitted");
+
+        let mut b = GraphBuilder::new();
+        b.extend_interactions([(0u32, 1u32, 1i64, 2.0), (1, 2, 2, 3.0), (2, 3, 3, 4.0)]);
+        let g = b.build_time_series_graph();
+        let mut out = Vec::new();
+        subs.on_append(&g, 2, 3, 3, &mut out);
+        assert_eq!(out.len(), 1, "the new 1->2->3 chain instance");
+        assert_eq!(out[0].subscription, id);
+        assert_eq!(out[0].nodes, "1-2-3");
+        assert_eq!(out[0].to_string(), "id=1 match=1-2-3 flow=3 first=2 last=3 size=2");
+        assert_eq!(subs.get(id).unwrap().num_instances(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_evaluation() {
+        let mut subs = StandingQueries::new();
+        let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let g = GraphBuilder::new().build_time_series_graph();
+        let id = subs.subscribe(&g, motif, None);
+        assert!(subs.unsubscribe(id));
+        assert!(!subs.unsubscribe(id), "second unsubscribe is a no-op");
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut subs = StandingQueries::new();
+        let motif = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+        let g = GraphBuilder::new().build_time_series_graph();
+        let a = subs.subscribe(&g, motif.clone(), None);
+        subs.unsubscribe(a);
+        let b = subs.subscribe(&g, motif, None);
+        assert!(b > a);
+    }
+}
