@@ -2,7 +2,7 @@
 # The offline CI gate, in named stages with per-stage wall-clock timing.
 #
 #   ./ci.sh         full gate: build, test, all-targets, bench-regression,
-#                   out-of-core, metrics, subscribe, docs, fmt, clippy
+#                   wco, out-of-core, metrics, subscribe, docs, fmt, clippy
 #   ./ci.sh quick   build + tests only (the tier-1 inner loop)
 #
 # Everything runs with no network and no registry. The bench-regression
@@ -56,6 +56,18 @@ stage_bench_regression() {
     cargo bench --offline -p flowmotif-bench --benches -- --quick
   cargo run --release --offline -p flowmotif-bench --bin bench_gate -- \
     check BENCH_baseline.json target/bench-current.jsonl
+}
+
+stage_wco() {
+  # Worst-case-optimal P1 gate: `benches/wco.rs` builds a hub-skewed
+  # pinwheel graph and asserts in-process that cardinality-ordered
+  # extension (propose from the smallest candidate list, gallop the
+  # rest) beats fixed-order extension by >= 3x wall-clock, and that
+  # both orders enumerate the bit-identical structural match stream.
+  # The quick sweep above already runs it; this stage re-runs it with
+  # the full measurement budgets so the margin assertion judges stable
+  # medians, not 10ms samples.
+  cargo bench --offline -p flowmotif-bench --bench wco
 }
 
 stage_out_of_core() {
@@ -206,6 +218,7 @@ if [ "$MODE" = "quick" ]; then
 fi
 stage all-targets stage_all_targets
 stage bench-regression stage_bench_regression
+stage wco stage_wco
 stage out-of-core stage_out_of_core
 stage metrics stage_metrics
 stage subscribe stage_subscribe

@@ -26,12 +26,9 @@ fn main() {
     let base = SearchOptions::default();
     let variants = [
         ("full", base),
-        ("no_window_skip", SearchOptions { skip_redundant_windows: false, ..base }),
-        ("no_phi_prune", SearchOptions { phi_prefix_pruning: false, ..base }),
-        (
-            "neither",
-            SearchOptions { skip_redundant_windows: false, phi_prefix_pruning: false, ..base },
-        ),
+        ("no_window_skip", base.with_skip_redundant_windows(false)),
+        ("no_phi_prune", base.with_phi_prefix_pruning(false)),
+        ("neither", base.with_skip_redundant_windows(false).with_phi_prefix_pruning(false)),
     ];
     micro::header();
     for (name, opts) in variants {

@@ -96,7 +96,7 @@ fn main() {
         // above, which run with `SearchOptions::default()`, i.e. the
         // instrumented code with the sink compiled out to `None`).
         let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
-        let traced = SearchOptions { trace: Some(trace), ..opts };
+        let traced = opts.with_trace(Some(trace));
         let mut scratch = SearchScratch::default();
         let (g, motif) = (&g, &motif);
         gate(&mut group, "enumerate/windowed_traced", move || {

@@ -75,7 +75,7 @@ fn main() {
         let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
         let mut scratch = SearchScratch::default();
         let (g, motif) = (&g, &motif);
-        let opts = SearchOptions { trace: Some(trace), ..SearchOptions::default() };
+        let opts = SearchOptions::default().with_trace(Some(trace));
         group.bench("search/traced", move || {
             trace.reset();
             let mut sink = CountSink::default();

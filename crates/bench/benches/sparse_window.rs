@@ -44,7 +44,7 @@ fn main() {
         // Slide the window deterministically so no single cache-hot spot
         // is measured.
         for (label, use_index) in [("indexed", true), ("unindexed", false)] {
-            let opts = SearchOptions { use_active_index: use_index, ..SearchOptions::default() };
+            let opts = SearchOptions::default().with_use_active_index(use_index);
             let mut at = 0i64;
             let span = origins as i64 * SLICE;
             group.bench(format!("bounded_query_{label}_pairs{origins}"), || {

@@ -42,9 +42,15 @@ fn load(path: &Path) -> Result<TimeSeriesGraph, String> {
 }
 
 /// Opens a packed segment directory (or `graph.seg` file) produced by
-/// `flowmotif pack` for `--packed` searches.
+/// `flowmotif pack` for `--packed` searches. Touches every mapped page
+/// once before the search: phase P1 hops the adjacency sections in
+/// graph order, and sequential faulting beats faulting on demand on a
+/// cold map (see the `out_of_core` bench).
 fn open_packed(path: &Path) -> Result<SegmentStore, String> {
-    SegmentStore::open(path).map_err(|e| format!("opening packed graph {}: {e}", path.display()))
+    let store = SegmentStore::open(path)
+        .map_err(|e| format!("opening packed graph {}: {e}", path.display()))?;
+    store.prefetch();
+    Ok(store)
 }
 
 fn motif_of(cli: &Cli) -> Result<Motif, String> {
@@ -67,10 +73,13 @@ fn profile_trace(cli: &Cli) -> Option<&'static AtomicTrace> {
     cli.profile.then(|| &*Box::leak(Box::new(AtomicTrace::new())))
 }
 
-/// Search options for find/topk/top1, with the `--profile` trace
-/// attached when requested.
-fn traced_options(trace: Option<&'static AtomicTrace>) -> SearchOptions {
-    SearchOptions { trace: trace.map(|t| t as _), ..SearchOptions::default() }
+/// Search options for find/topk/top1: the `--extension-order` choice,
+/// with the `--profile` trace attached when requested.
+fn traced_options(cli: &Cli, trace: Option<&'static AtomicTrace>) -> SearchOptions {
+    SearchOptions::builder()
+        .trace(trace.map(|t| t as _))
+        .extension_order(cli.extension_order)
+        .build()
 }
 
 /// Prints the per-stage breakdown collected by a `--profile` run: stage
@@ -129,7 +138,8 @@ fn find_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Res
     let motif = motif_of(cli)?;
     let trace = profile_trace(cli);
     let started = trace.map(|_| std::time::Instant::now());
-    let (groups, stats) = par_enumerate_all_with(g, &motif, traced_options(trace), par_of(cli));
+    let (groups, stats) =
+        par_enumerate_all_with(g, &motif, traced_options(cli, trace), par_of(cli));
     let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
     if cli.json {
         let shown: Vec<_> = groups
@@ -194,7 +204,7 @@ fn topk_in<G: GraphStore + Sync, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Res
     let motif = motif_of(cli)?;
     let trace = profile_trace(cli);
     let started = trace.map(|_| std::time::Instant::now());
-    let (ranked, _) = par_top_k_with(g, &motif, cli.k, traced_options(trace), par_of(cli));
+    let (ranked, _) = par_top_k_with(g, &motif, cli.k, traced_options(cli, trace), par_of(cli));
     if cli.json {
         let rows: Vec<_> = ranked
             .iter()
@@ -235,7 +245,7 @@ fn top1_in<G: GraphStore, W: Write>(g: &G, cli: &Cli, out: &mut W) -> Result<(),
     let trace = profile_trace(cli);
     let started = trace.map(|_| std::time::Instant::now());
     let (best, stats) =
-        dp_top1_with(g, &motif, traced_options(trace), &mut SearchScratch::default());
+        dp_top1_with(g, &motif, traced_options(cli, trace), &mut SearchScratch::default());
     match best {
         Some((sm, inst)) => {
             if cli.json {
@@ -433,9 +443,13 @@ pub fn run_stream_script<R: BufRead, W: Write>(
 }
 
 /// Search options derived from the CLI flags (`--no-index` is the A/B
-/// switch over the active-time origin index).
+/// switch over the active-time origin index, `--extension-order fixed`
+/// the one over the worst-case-optimal P1 order).
 fn search_options_of(cli: &Cli) -> SearchOptions {
-    SearchOptions { use_active_index: cli.use_index, ..SearchOptions::default() }
+    SearchOptions::builder()
+        .use_active_index(cli.use_index)
+        .extension_order(cli.extension_order)
+        .build()
 }
 
 fn parse_field<T: std::str::FromStr>(fields: &[&str], i: usize, what: &str) -> Result<T, String>

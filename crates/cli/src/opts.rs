@@ -2,6 +2,7 @@
 //! surface is small and keeping the dependency tree lean matters for a
 //! library-first project).
 
+use flowmotif_core::ExtensionOrder;
 use std::path::PathBuf;
 
 /// Usage text shown by `--help` and on parse errors.
@@ -55,6 +56,10 @@ OPTIONS (find/topk/top1/significance):
   --profile               print a per-stage breakdown (P1 match scan,
                           P2 enumeration, DP solve, per-worker load)
                           after the results (find/search, topk, top1)
+  --extension-order <ord> how P1 picks the motif edge extending each
+                          prefix: cardinality (worst-case-optimal) or
+                          fixed (the paper's walk order, for A/B runs);
+                          also honoured by serve                 [cardinality]
   --json                  machine-readable output on stdout
 
 OPTIONS (pack):
@@ -152,6 +157,9 @@ pub struct Cli {
     pub use_index: bool,
     /// Print a per-stage profile after find/topk/top1 results.
     pub profile: bool,
+    /// P1 extension order for find/topk/top1/serve
+    /// (`--extension-order fixed` is the A/B baseline).
+    pub extension_order: ExtensionOrder,
     /// `serve`: log queries at least this slow (ms) to stderr with their
     /// stage breakdown; `None` disables per-query tracing.
     pub slow_query_ms: Option<u64>,
@@ -231,6 +239,7 @@ impl Default for Cli {
             publish_every: 1024,
             use_index: true,
             profile: false,
+            extension_order: ExtensionOrder::Cardinality,
             slow_query_ms: None,
             from_time: None,
             to_time: None,
@@ -311,6 +320,9 @@ impl Cli {
                 "--publish-every" => cli.publish_every = parse_val!("--publish-every"),
                 "--no-index" => cli.use_index = false,
                 "--profile" => cli.profile = true,
+                "--extension-order" => {
+                    cli.extension_order = parse_val!("--extension-order");
+                }
                 "--slow-query-ms" => cli.slow_query_ms = Some(parse_val!("--slow-query-ms")),
                 "--from" => cli.from_time = Some(parse_val!("--from")),
                 "--to" => cli.to_time = Some(parse_val!("--to")),
@@ -499,6 +511,18 @@ mod tests {
         assert_eq!(cli.slow_query_ms, Some(0));
         assert!(parse(&["serve", "--slow-query-ms"]).is_err());
         assert!(parse(&["serve", "--slow-query-ms", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_extension_order() {
+        assert_eq!(parse(&["find", "g.tsv"]).unwrap().extension_order, ExtensionOrder::Cardinality);
+        let cli = parse(&["find", "g.tsv", "--extension-order", "fixed"]).unwrap();
+        assert_eq!(cli.extension_order, ExtensionOrder::Fixed);
+        let cli = parse(&["serve", "--extension-order", "cardinality"]).unwrap();
+        assert_eq!(cli.extension_order, ExtensionOrder::Cardinality);
+        let err = parse(&["find", "g.tsv", "--extension-order", "random"]).unwrap_err();
+        assert!(err.contains("bad --extension-order"), "{err}");
+        assert!(parse(&["find", "g.tsv", "--extension-order"]).is_err());
     }
 
     #[test]

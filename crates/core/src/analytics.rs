@@ -15,7 +15,7 @@ use crate::enumerate::{
     enumerate_in_match_reusing, CollectSink, EnumerationScratch, SearchOptions, SearchStats,
 };
 use crate::instance::StructuralMatch;
-use crate::matcher::for_each_structural_match;
+use crate::matcher::P1Driver;
 use crate::motif::Motif;
 use flowmotif_graph::{Flow, GraphStore, SeriesRef, TimeWindow, Timestamp};
 
@@ -53,7 +53,7 @@ pub fn per_match_activity<G: GraphStore>(g: &G, motif: &Motif) -> Vec<MatchActiv
     let mut out: Vec<MatchActivity> = Vec::new();
     let mut stats = SearchStats::default();
     let mut scratch = EnumerationScratch::default();
-    for_each_structural_match(g, motif.path(), &mut |sm| {
+    P1Driver::new(motif.path()).for_each(g, &mut |sm| {
         let mut sink = CollectSink::default();
         enumerate_in_match_reusing(
             g,
@@ -144,7 +144,7 @@ pub fn window_top1_series<G: GraphStore>(
 pub fn per_match_top1<G: GraphStore>(g: &G, motif: &Motif) -> Vec<(StructuralMatch, Flow)> {
     let mut stats = DpStats::default();
     let mut out = Vec::new();
-    for_each_structural_match(g, motif.path(), &mut |sm| {
+    P1Driver::new(motif.path()).for_each(g, &mut |sm| {
         if let Some(inst) = crate::dp::dp_top1_in_match(g, motif, sm, &mut stats) {
             out.push((sm.clone(), inst.flow));
         }

@@ -13,10 +13,10 @@
 //! its instance set verbatim. Hence the affected matches after appending
 //! to pair `(u, v)` are exactly the `W`-active structural matches that
 //! *use* `(u, v)` — found by anchoring phase P1 at the new pair
-//! ([`crate::matcher::for_each_structural_match_from_origin`] for
-//! matches whose first motif edge is the new pair) plus a `W`-bounded
-//! sweep ([`crate::matcher::for_each_structural_match_bounded_scratch`])
-//! filtered to matches containing the pair at a later position. Appends
+//! ([`crate::matcher::P1Driver::from_origin`] for matches whose first
+//! motif edge is the new pair) plus a `W`-bounded sweep (a bounded
+//! [`crate::matcher::P1Driver`] run) filtered to matches containing the
+//! pair at a later position. Appends
 //! can also *retire* instances (a grown edge-set subsumes a previously
 //! maximal one), but only inside affected matches, for the same reason.
 //!
@@ -47,9 +47,7 @@ use crate::enumerate::{
     SearchStats,
 };
 use crate::instance::{InstanceView, StructuralMatch};
-use crate::matcher::{
-    for_each_structural_match_bounded_scratch, for_each_structural_match_from_origin,
-};
+use crate::matcher::P1Driver;
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use flowmotif_graph::{Flow, GraphStore, NodeId, TimeWindow, Timestamp};
@@ -321,35 +319,28 @@ impl DeltaContext {
         // out-list — no sweep at all.
         let pos = (0..g.out_degree(from)).find(|&i| g.out_pair_at(from, i) == target);
         if let Some(pos) = pos {
-            for_each_structural_match_from_origin(
-                g,
-                motif.path(),
-                anchor,
-                from,
-                pos..pos + 1,
-                opts.use_active_index,
-                p1,
-                &mut |sm| {
+            P1Driver::new(motif.path())
+                .bounds(anchor)
+                .from_origin(from, pos..pos + 1)
+                .use_index(opts.use_active_index)
+                .extension_order(opts.extension_order)
+                .run(g, p1, &mut |sm| {
                     ds.matches_scanned += 1;
                     refresh_match(
                         g, motif, walk, sm, p2_bounds, opts, matches, key_buf, p2, stats, &mut ds,
                         &mut emit,
                     );
-                },
-            );
+                });
         }
         // General path: matches using the new pair at a later position.
         // Every pair of such a match is active inside the anchor window
         // (the instance using the new event fits in it), so the bounded
         // indexed sweep visits all of them.
-        for_each_structural_match_bounded_scratch(
-            g,
-            motif.path(),
-            anchor,
-            0..g.num_nodes() as NodeId,
-            opts.use_active_index,
-            p1,
-            &mut |sm| {
+        P1Driver::new(motif.path())
+            .bounds(anchor)
+            .use_index(opts.use_active_index)
+            .extension_order(opts.extension_order)
+            .run(g, p1, &mut |sm| {
                 if sm.pairs[0] == target || !sm.pairs.contains(&target) {
                     return; // handled by the fast path / unaffected
                 }
@@ -358,8 +349,7 @@ impl DeltaContext {
                     g, motif, walk, sm, p2_bounds, opts, matches, key_buf, p2, stats, &mut ds,
                     &mut emit,
                 );
-            },
-        );
+            });
         ds
     }
 

@@ -22,11 +22,10 @@
 
 use crate::enumerate::SearchOptions;
 use crate::instance::{EdgeSet, MotifInstance, StructuralMatch};
-use crate::matcher::for_each_structural_match_bounded_scratch;
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use crate::trace::TraceStage;
-use flowmotif_graph::{Flow, GraphStore, NodeId, SeriesRef, TimeWindow, Timestamp};
+use flowmotif_graph::{Flow, GraphStore, SeriesRef, TimeWindow, Timestamp};
 
 /// Counters for a DP run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -355,38 +354,35 @@ pub fn dp_top1_with<G: GraphStore>(
     let start = opts.trace.map(|_| std::time::Instant::now());
     let mut dp_nanos = 0u64;
     let mut best: Option<(Flow, StructuralMatch, TimeWindow)> = None;
-    for_each_structural_match_bounded_scratch(
-        g,
-        motif.path(),
-        TimeWindow::new(Timestamp::MIN, Timestamp::MAX),
-        0..g.num_nodes() as NodeId,
-        opts.use_active_index,
-        p1,
-        &mut |sm| {
-            stats.structural_matches += 1;
-            let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
-            let found = if opts.trace.is_some() {
-                let t0 = std::time::Instant::now();
-                let r = dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats);
-                dp_nanos += t0.elapsed().as_nanos() as u64;
-                r
-            } else {
-                dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats)
-            };
-            if let Some((f, w)) = found {
-                // Recycle the previous best's buffers instead of
-                // reallocating on every improvement.
-                match &mut best {
-                    Some((bf, bsm, bw)) => {
-                        *bf = f;
-                        bsm.clone_from(sm);
-                        *bw = w;
-                    }
-                    None => best = Some((f, sm.clone(), w)),
+    // The DP module does its own P1-vs-DP trace accounting below, so
+    // the driver runs untraced.
+    let driver = crate::matcher::P1Driver::new(motif.path())
+        .use_index(opts.use_active_index)
+        .extension_order(opts.extension_order);
+    driver.run(g, p1, &mut |sm| {
+        stats.structural_matches += 1;
+        let thr = best.as_ref().map_or(0.0, |&(f, _, _)| f);
+        let found = if opts.trace.is_some() {
+            let t0 = std::time::Instant::now();
+            let r = dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats);
+            dp_nanos += t0.elapsed().as_nanos() as u64;
+            r
+        } else {
+            dp_best_window_in_match(g, motif, sm, thr, dp, &mut stats)
+        };
+        if let Some((f, w)) = found {
+            // Recycle the previous best's buffers instead of
+            // reallocating on every improvement.
+            match &mut best {
+                Some((bf, bsm, bw)) => {
+                    *bf = f;
+                    bsm.clone_from(sm);
+                    *bw = w;
                 }
+                None => best = Some((f, sm.clone(), w)),
             }
-        },
-    );
+        }
+    });
     if let (Some(trace), Some(start)) = (opts.trace, start) {
         let total = start.elapsed().as_nanos() as u64;
         trace.record(TraceStage::P1, total.saturating_sub(dp_nanos), stats.structural_matches);
@@ -517,7 +513,7 @@ mod tests {
         let (g, _) = fig7();
         let motif = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
         let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
-        let opts = SearchOptions { trace: Some(trace), ..SearchOptions::default() };
+        let opts = SearchOptions::default().with_trace(Some(trace));
         let mut scratch = SearchScratch::default();
         let (best, stats) = dp_top1_with(&g, &motif, opts, &mut scratch);
         assert_eq!(best.unwrap().1.flow, 5.0);

@@ -33,6 +33,7 @@
 //!    that element emits the enlarged instance instead.
 
 use crate::instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
+use crate::matcher::{ExtensionOrder, P1Driver};
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use crate::trace::{TraceSink, TraceStage};
@@ -41,7 +42,13 @@ use std::ops::Range;
 
 /// Tuning knobs for the enumerator. The defaults implement the paper's
 /// Algorithm 1; the toggles exist for the ablation experiments.
+///
+/// The struct is `#[non_exhaustive]`: downstream crates construct it via
+/// [`SearchOptions::default`] or [`SearchOptions::builder`] and derive
+/// variants with the `with_*` combinators, so new knobs can land without
+/// breaking them.
 #[derive(Clone, Copy)]
+#[non_exhaustive]
 pub struct SearchOptions {
     /// Skip window positions that contribute no new `R(e_m)` element
     /// (guard 1 above). Disabling processes every anchor; the result set
@@ -66,6 +73,56 @@ pub struct SearchOptions {
     /// and the CLI leak one [`crate::trace::AtomicTrace`] per
     /// worker/process and reset it between queries.
     pub trace: Option<&'static dyn TraceSink>,
+    /// How phase P1 picks the motif edge extending each DFS prefix
+    /// ([`crate::matcher::ExtensionOrder`]). The default,
+    /// `Cardinality`, is the worst-case-optimal order; `Fixed` is the
+    /// paper's walk order, kept for A/B runs. The result set, emission
+    /// order and [`SearchStats`] are identical either way.
+    pub extension_order: ExtensionOrder,
+}
+
+impl SearchOptions {
+    /// A builder starting from the defaults.
+    pub fn builder() -> SearchOptionsBuilder {
+        SearchOptionsBuilder::default()
+    }
+
+    /// This options value with the trace hook replaced. Out-of-crate
+    /// callers use this instead of a functional-update literal, which
+    /// `#[non_exhaustive]` forbids there.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<&'static dyn TraceSink>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// This options value with the P1 extension order replaced.
+    #[must_use]
+    pub fn with_extension_order(mut self, order: ExtensionOrder) -> Self {
+        self.extension_order = order;
+        self
+    }
+
+    /// This options value with guard-1 window skipping replaced.
+    #[must_use]
+    pub fn with_skip_redundant_windows(mut self, v: bool) -> Self {
+        self.skip_redundant_windows = v;
+        self
+    }
+
+    /// This options value with `ϕ` prefix pruning replaced.
+    #[must_use]
+    pub fn with_phi_prefix_pruning(mut self, v: bool) -> Self {
+        self.phi_prefix_pruning = v;
+        self
+    }
+
+    /// This options value with the active-index toggle replaced.
+    #[must_use]
+    pub fn with_use_active_index(mut self, v: bool) -> Self {
+        self.use_active_index = v;
+        self
+    }
 }
 
 impl Default for SearchOptions {
@@ -75,7 +132,64 @@ impl Default for SearchOptions {
             phi_prefix_pruning: true,
             use_active_index: true,
             trace: None,
+            extension_order: ExtensionOrder::default(),
         }
+    }
+}
+
+/// Builder for [`SearchOptions`] — the construction path that stays
+/// source-compatible as knobs are added.
+///
+/// ```
+/// use flowmotif_core::{ExtensionOrder, SearchOptions};
+///
+/// let opts = SearchOptions::builder()
+///     .phi_prefix_pruning(false)
+///     .extension_order(ExtensionOrder::Fixed)
+///     .build();
+/// assert_eq!(opts, SearchOptions::default()
+///     .with_extension_order(ExtensionOrder::Fixed)
+///     .with_phi_prefix_pruning(false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchOptionsBuilder {
+    opts: SearchOptions,
+}
+
+impl SearchOptionsBuilder {
+    /// Sets [`SearchOptions::skip_redundant_windows`].
+    pub fn skip_redundant_windows(mut self, v: bool) -> Self {
+        self.opts.skip_redundant_windows = v;
+        self
+    }
+
+    /// Sets [`SearchOptions::phi_prefix_pruning`].
+    pub fn phi_prefix_pruning(mut self, v: bool) -> Self {
+        self.opts.phi_prefix_pruning = v;
+        self
+    }
+
+    /// Sets [`SearchOptions::use_active_index`].
+    pub fn use_active_index(mut self, v: bool) -> Self {
+        self.opts.use_active_index = v;
+        self
+    }
+
+    /// Sets [`SearchOptions::trace`].
+    pub fn trace(mut self, trace: Option<&'static dyn TraceSink>) -> Self {
+        self.opts.trace = trace;
+        self
+    }
+
+    /// Sets [`SearchOptions::extension_order`].
+    pub fn extension_order(mut self, order: ExtensionOrder) -> Self {
+        self.opts.extension_order = order;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SearchOptions {
+        self.opts
     }
 }
 
@@ -90,6 +204,7 @@ impl PartialEq for SearchOptions {
             && self.phi_prefix_pruning == other.phi_prefix_pruning
             && self.use_active_index == other.use_active_index
             && thin(self.trace) == thin(other.trace)
+            && self.extension_order == other.extension_order
     }
 }
 
@@ -102,6 +217,7 @@ impl std::fmt::Debug for SearchOptions {
             .field("phi_prefix_pruning", &self.phi_prefix_pruning)
             .field("use_active_index", &self.use_active_index)
             .field("trace", &self.trace.is_some())
+            .field("extension_order", &self.extension_order)
             .finish()
     }
 }
@@ -519,7 +635,7 @@ pub fn enumerate_with_sink<G: GraphStore, S: InstanceSink>(
 /// [`enumerate_in_match_bounded`]); only `SearchStats::structural_matches`
 /// may differ from such a rebuild, because phase P1 runs on the resident
 /// graph with window pruning
-/// ([`crate::matcher::for_each_structural_match_bounded`]), so its cost —
+/// (a bounded [`crate::matcher::P1Driver`] run), so its cost —
 /// and its visit count — scales with the structure active inside the
 /// window rather than with everything retained.
 pub fn enumerate_window_with_sink<G: GraphStore, S: InstanceSink>(
@@ -576,25 +692,23 @@ pub fn enumerate_window_with_sink_scratch<G: GraphStore, S: InstanceSink>(
     let start = opts.trace.map(|_| std::time::Instant::now());
     let mut p2_sampled_nanos = 0u64;
     let mut p2_sampled = 0u64;
-    crate::matcher::for_each_structural_match_bounded_scratch(
-        g,
-        motif.path(),
-        bounds,
-        0..g.num_nodes() as flowmotif_graph::NodeId,
-        opts.use_active_index,
-        p1,
-        &mut |sm| {
-            stats.structural_matches += 1;
-            if opts.trace.is_some() && (stats.structural_matches - 1) % P2_SAMPLE_EVERY == 0 {
-                let t0 = std::time::Instant::now();
-                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
-                p2_sampled_nanos += t0.elapsed().as_nanos() as u64;
-                p2_sampled += 1;
-            } else {
-                enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
-            }
-        },
-    );
+    // P1 trace accounting happens here (total − sampled P2), so the
+    // driver runs untraced.
+    let driver = P1Driver::new(motif.path())
+        .bounds(bounds)
+        .use_index(opts.use_active_index)
+        .extension_order(opts.extension_order);
+    driver.run(g, p1, &mut |sm| {
+        stats.structural_matches += 1;
+        if opts.trace.is_some() && (stats.structural_matches - 1) % P2_SAMPLE_EVERY == 0 {
+            let t0 = std::time::Instant::now();
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
+            p2_sampled_nanos += t0.elapsed().as_nanos() as u64;
+            p2_sampled += 1;
+        } else {
+            enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, &mut stats, p2);
+        }
+    });
     if let (Some(trace), Some(start)) = (opts.trace, start) {
         let total = start.elapsed().as_nanos() as u64;
         // Scale the sample to the full match count, clamped to the
@@ -756,11 +870,10 @@ mod tests {
         let mut expected = None;
         for skip in [true, false] {
             for prune in [true, false] {
-                let opts = SearchOptions {
-                    skip_redundant_windows: skip,
-                    phi_prefix_pruning: prune,
-                    ..SearchOptions::default()
-                };
+                let opts = SearchOptions::builder()
+                    .skip_redundant_windows(skip)
+                    .phi_prefix_pruning(prune)
+                    .build();
                 let mut sink = CollectSink::default();
                 let mut stats = SearchStats::default();
                 enumerate_in_match(&g, &motif, &sm, opts, &mut sink, &mut stats);

@@ -1,0 +1,161 @@
+//! Galloping (exponential probe + binary search) primitives over
+//! ascending `u32` sequences — the intersection kernel of the
+//! worst-case-optimal P1 extension
+//! ([`crate::matcher::ExtensionOrder::Cardinality`]).
+//!
+//! A seek costs O(log d) in the distance `d` it advances, so checking a
+//! small proposer list against a huge sorted neighbor slice costs
+//! O(small · log large) instead of the linear merge's O(large) — the
+//! asymmetry worst-case-optimal joins rely on. The accessor-based form
+//! ([`gallop_seek_by`]) exists because [`flowmotif_graph::GraphStore`]
+//! adjacency is positional (`out_target_at`/`in_source_at`), not sliced.
+
+/// First index `i` in `from..len` with `at(i) >= v`, where `at` is
+/// ascending on `0..len`. Returns `len` when every element is smaller
+/// and `from` when `from` is already past the end.
+#[inline]
+pub fn gallop_seek_by(at: impl Fn(u32) -> u32, len: u32, from: u32, v: u32) -> u32 {
+    if from >= len {
+        return len;
+    }
+    if at(from) >= v {
+        return from;
+    }
+    // Gallop: double the probe offset until it lands at-or-past `v` (or
+    // the end), keeping the invariant at(lo - 1) < v.
+    let mut step = 1u64;
+    let mut lo = from as u64 + 1;
+    let mut hi;
+    loop {
+        hi = from as u64 + step;
+        if hi >= len as u64 {
+            hi = len as u64;
+            break;
+        }
+        if at(hi as u32) >= v {
+            break;
+        }
+        lo = hi + 1;
+        step *= 2;
+    }
+    // Binary search of the bracketed range [lo, hi): first `i` with
+    // at(i) >= v; `hi` itself is known to qualify (or is the end).
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if at(mid as u32) < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// [`gallop_seek_by`] over a slice.
+#[inline]
+pub fn gallop_seek(xs: &[u32], from: usize, v: u32) -> usize {
+    gallop_seek_by(|i| xs[i as usize], xs.len() as u32, from as u32, v) as usize
+}
+
+/// Set-intersects two ascending slices (duplicates collapse — each common
+/// value appears once) by galloping both cursors toward each other. The
+/// behavioural contract is equality with [`merge_intersect_into`]; the
+/// randomized suite in `tests/prop_wco_equivalence.rs` pins it.
+pub fn gallop_intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let v = a[i];
+        j = gallop_seek(b, j, v);
+        if j == b.len() {
+            break;
+        }
+        if b[j] == v {
+            out.push(v);
+            while j < b.len() && b[j] == v {
+                j += 1;
+            }
+            while i < a.len() && a[i] == v {
+                i += 1;
+            }
+        } else {
+            i = gallop_seek(a, i, b[j]);
+        }
+    }
+}
+
+/// The linear-merge reference intersection (same set semantics as
+/// [`gallop_intersect_into`]): O(|a| + |b|), no galloping.
+pub fn merge_intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let v = a[i];
+                out.push(v);
+                while i < a.len() && a[i] == v {
+                    i += 1;
+                }
+                while j < b.len() && b[j] == v {
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seek_finds_the_first_at_or_after_position() {
+        let xs = [2u32, 4, 4, 7, 9, 12];
+        assert_eq!(gallop_seek(&xs, 0, 0), 0);
+        assert_eq!(gallop_seek(&xs, 0, 2), 0);
+        assert_eq!(gallop_seek(&xs, 0, 3), 1);
+        assert_eq!(gallop_seek(&xs, 0, 4), 1);
+        assert_eq!(gallop_seek(&xs, 2, 4), 2, "starts at `from`, never before");
+        assert_eq!(gallop_seek(&xs, 0, 8), 4);
+        assert_eq!(gallop_seek(&xs, 0, 13), 6, "past-the-end when all smaller");
+        assert_eq!(gallop_seek(&xs, 6, 1), 6, "`from` at the end stays put");
+        assert_eq!(gallop_seek(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn seek_agrees_with_partition_point_everywhere() {
+        let xs: Vec<u32> = (0..200).map(|i| i * 3 % 97).collect::<Vec<_>>();
+        let mut xs = xs;
+        xs.sort_unstable();
+        for from in [0, 1, 7, 63, 199, 200] {
+            for v in 0..100 {
+                let want = from + xs[from..].partition_point(|&x| x < v);
+                assert_eq!(gallop_seek(&xs, from, v), want, "from={from} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersections_agree_on_fixed_adversarial_shapes() {
+        let dense: Vec<u32> = (0..1000).collect();
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[5], &[]),
+            (&[], &[5]),
+            (&[5], &[5]),
+            (&[1, 2, 3], &[4, 5, 6]),
+            (&[0, 500, 1500], &dense),
+            (&[7, 7, 7, 7], &[7]),
+            (&[1, 1, 2, 2, 3], &[2, 2, 3, 3, 4]),
+        ];
+        for &(a, b) in cases {
+            let (mut g, mut m) = (Vec::new(), Vec::new());
+            gallop_intersect_into(a, b, &mut g);
+            merge_intersect_into(a, b, &mut m);
+            assert_eq!(g, m, "a={a:?} b={b:?}");
+        }
+    }
+}

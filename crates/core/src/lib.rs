@@ -48,6 +48,7 @@ pub mod delta;
 pub mod dp;
 pub mod enumerate;
 pub mod error;
+pub mod gallop;
 pub mod instance;
 pub mod matcher;
 pub mod motif;
@@ -64,13 +65,17 @@ pub use enumerate::{
     enumerate_in_match, enumerate_in_match_bounded, enumerate_in_match_reusing,
     enumerate_window_with_sink, enumerate_window_with_sink_scratch, enumerate_with_sink,
     enumerate_with_sink_scratch, CollectSink, CountSink, EnumerationScratch, FnSink, InstanceSink,
-    SearchOptions, SearchStats,
+    SearchOptions, SearchOptionsBuilder, SearchStats,
 };
 pub use error::MotifError;
 pub use instance::{EdgeSet, InstanceView, MotifInstance, StructuralMatch};
 pub use matcher::{
-    count_structural_matches, find_structural_matches, for_each_structural_match,
-    for_each_structural_match_bounded, for_each_structural_match_bounded_with, MatchScratch,
+    count_structural_matches, find_structural_matches, ExtensionOrder, MatchScratch, P1Driver,
+};
+#[allow(deprecated)] // re-exported for downstream users still on the shims
+pub use matcher::{
+    for_each_structural_match, for_each_structural_match_bounded,
+    for_each_structural_match_bounded_with,
 };
 pub use motif::{Motif, MotifNode, SpanningPath};
 pub use scratch::SearchScratch;

@@ -6,29 +6,436 @@
 //! to the walk origin, then extend edge by edge, re-using the mapped vertex
 //! when the motif walk revisits a label (cycles) and enforcing injectivity
 //! between distinct motif vertices (the bijection µ of Def. 3.2).
+//!
+//! # The match driver
+//!
+//! [`P1Driver`] is the single entry point: a builder selecting the origin
+//! set (all origins, a node range, or one origin's first-pair positions),
+//! the window bound, the activity-index toggle, an optional trace sink
+//! and the [`ExtensionOrder`]. The six `for_each_structural_match*`
+//! free functions that predate it remain as thin deprecated shims.
+//!
+//! # Worst-case-optimal extension
+//!
+//! Under [`ExtensionOrder::Fixed`], each DFS step extends along its walk
+//! edge: candidates are the out-neighbors of the already-bound source,
+//! and every other motif edge incident to the fresh vertex is only
+//! checked when the walk revisits it. A hub of degree `d` therefore
+//! fans out `d` candidates even when a later edge would admit two —
+//! quadratic blow-up on skewed graphs.
+//!
+//! [`ExtensionOrder::Cardinality`] (the default) applies the
+//! worst-case-optimal join discipline per fresh vertex instead:
+//!
+//! ```text
+//!   count    every motif edge between the fresh vertex and a bound one
+//!            is a candidate list — the bound endpoint's out-targets
+//!            (forward edge) or in-sources (reverse edge), both
+//!            ascending node-id columns;
+//!   propose  the smallest list streams its candidates;
+//!   intersect each candidate must appear in every other list, checked
+//!            by galloping binary search ([`crate::gallop`]) with
+//!            monotone cursors.
+//! ```
+//!
+//! Candidates survive exactly when every incident edge exists, which is
+//! what the fixed walk would eventually have checked — both orders emit
+//! the *same matches in the same lexicographic order*; only the work to
+//! find them changes. Intersections touch the stores' id-only SoA
+//! columns (`out_target_at`/`in_source_at`), never the event payloads.
 
+use crate::gallop::gallop_seek_by;
 use crate::instance::StructuralMatch;
 use crate::motif::SpanningPath;
+use crate::trace::{TraceSink, TraceStage};
 use flowmotif_graph::{GraphStore, NodeId, PairId, TimeWindow};
 
-/// Streams every structural match of `path` in `g` to `visit`.
+/// Strategy for choosing which motif edge extends each P1 prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExtensionOrder {
+    /// Extend along the walk edge of each step (the paper's order);
+    /// other edges incident to the fresh vertex are checked at their
+    /// later walk revisits.
+    Fixed,
+    /// Worst-case-optimal: all motif edges between the fresh vertex and
+    /// bound vertices constrain the step; the smallest candidate list
+    /// proposes and the rest intersect by galloping binary search.
+    /// Identical match stream to `Fixed`, never asymptotically slower,
+    /// near-linear where `Fixed` is quadratic (hub-heavy graphs).
+    #[default]
+    Cardinality,
+}
+
+impl ExtensionOrder {
+    /// Stable lowercase name (`fixed` / `cardinality`), the CLI and
+    /// serve-protocol token.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtensionOrder::Fixed => "fixed",
+            ExtensionOrder::Cardinality => "cardinality",
+        }
+    }
+}
+
+impl std::str::FromStr for ExtensionOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fixed" => Ok(ExtensionOrder::Fixed),
+            "cardinality" => Ok(ExtensionOrder::Cardinality),
+            other => Err(format!("unknown extension order '{other}' (fixed|cardinality)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ExtensionOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One motif edge constraining a fresh-vertex bind: the graph vertex of
+/// `anchor` (a walk label bound before the step) supplies the candidate
+/// list — its out-targets when the edge runs `anchor -> fresh`
+/// (`forward`), its in-sources when it runs `fresh -> anchor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Constraint {
+    anchor: u8,
+    forward: bool,
+}
+
+/// Reusable phase-P1 buffers: the match under construction (whose fields
+/// are mutated in place; the visitor gets a shared reference at each
+/// leaf), the injectivity bitmap, the candidate-origin pull buffer of
+/// the indexed path, and the per-step constraint table + gallop cursors
+/// of the worst-case-optimal extension. One `MatchScratch` threaded
+/// through many enumerations (see [`crate::SearchScratch`]) makes the
+/// steady-state P1 loop allocation-free; the buffers re-size themselves
+/// to each motif.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    sm: StructuralMatch,
+    assigned: Vec<bool>,
+    origins: Vec<NodeId>,
+    /// Flattened constraint table: step `s` owns
+    /// `cons[cons_start[s]..cons_start[s + 1]]`, primary walk-edge
+    /// constraint first. Steps that revisit a bound label own an empty
+    /// range. Rebuilt (without allocating, once warm) per enumeration.
+    cons: Vec<Constraint>,
+    cons_start: Vec<u32>,
+    /// Per-constraint gallop cursors, index-aligned with `cons`; each
+    /// DFS frame resets and owns its step's sub-range.
+    cursors: Vec<u32>,
+}
+
+impl MatchScratch {
+    /// Sizes the match/assignment buffers for `path` (contents reset)
+    /// and derives the constraint table from the walk: for the step
+    /// binding fresh label `f = walk[s + 1]`, every walk edge with one
+    /// endpoint `f` and the other already bound by step `s` contributes
+    /// one (deduplicated) [`Constraint`]. O(walk²), walks are tiny.
+    fn prepare(&mut self, path: &SpanningPath) {
+        let n = path.num_nodes();
+        self.sm.nodes.clear();
+        self.sm.nodes.resize(n, 0);
+        self.sm.pairs.clear();
+        self.sm.pairs.reserve(path.num_edges());
+        self.assigned.clear();
+        self.assigned.resize(n, false);
+
+        let walk = path.walk();
+        self.cons.clear();
+        self.cons_start.clear();
+        for s in 0..walk.len() - 1 {
+            let start = self.cons.len();
+            self.cons_start.push(start as u32);
+            let fresh = walk[s + 1];
+            if walk[..=s].contains(&fresh) {
+                continue; // revisit step: no fresh vertex to constrain
+            }
+            self.cons.push(Constraint { anchor: walk[s], forward: true });
+            for j in s + 1..walk.len() - 1 {
+                let (a, b) = (walk[j], walk[j + 1]);
+                let c = if b == fresh && walk[..=s].contains(&a) {
+                    Constraint { anchor: a, forward: true }
+                } else if a == fresh && walk[..=s].contains(&b) {
+                    Constraint { anchor: b, forward: false }
+                } else {
+                    continue;
+                };
+                if !self.cons[start..].contains(&c) {
+                    self.cons.push(c);
+                }
+            }
+        }
+        self.cons_start.push(self.cons.len() as u32);
+        self.cursors.clear();
+        self.cursors.resize(self.cons.len(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Which origins a [`P1Driver`] seeds the walk from.
+#[derive(Debug, Clone)]
+enum OriginSet {
+    /// All origins in a node-id range (the whole graph by default);
+    /// disjoint ranges partition the match set.
+    Range(std::ops::Range<NodeId>),
+    /// One origin, restricted to first-step pairs at these *positions*
+    /// of its sorted out-list; disjoint position ranges partition the
+    /// origin's matches (hub splitting).
+    FirstPairs(NodeId, std::ops::Range<u32>),
+}
+
+/// The phase-P1 match driver: one builder for every way the codebase
+/// runs structural matching.
 ///
-/// Matches are emitted in lexicographic order of their vertex walk, which
-/// makes runs deterministic and testable. Like every phase-P1 driver, the
-/// graph is any [`GraphStore`] backend — in-memory, memory-mapped segment,
-/// or segment+delta overlay — and the match stream is identical across
-/// backends holding the same graph.
+/// Defaults: all origins, unbounded window, activity index on,
+/// [`ExtensionOrder::Cardinality`], no trace. Matches stream to the
+/// visitor in lexicographic order of their vertex walk — deterministic,
+/// identical across [`GraphStore`] backends holding the same graph, and
+/// identical across extension orders.
+///
+/// ```
+/// use flowmotif_core::{catalog, P1Driver};
+/// use flowmotif_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.extend_interactions([(0u32, 1u32, 1i64, 1.0), (1, 2, 2, 1.0)]);
+/// let g = b.build_time_series_graph();
+/// let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
+/// assert_eq!(P1Driver::new(m32.path()).count(&g), 1);
+/// ```
+#[derive(Clone)]
+pub struct P1Driver<'a> {
+    path: &'a SpanningPath,
+    bounds: TimeWindow,
+    origins: OriginSet,
+    use_index: bool,
+    order: ExtensionOrder,
+    trace: Option<&'static dyn TraceSink>,
+}
+
+impl std::fmt::Debug for P1Driver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P1Driver")
+            .field("bounds", &self.bounds)
+            .field("origins", &self.origins)
+            .field("use_index", &self.use_index)
+            .field("order", &self.order)
+            .field("trace", &self.trace.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> P1Driver<'a> {
+    /// A driver over every origin, unbounded, indexed,
+    /// cardinality-ordered, untraced.
+    pub fn new(path: &'a SpanningPath) -> Self {
+        Self {
+            path,
+            bounds: TimeWindow::new(i64::MIN, i64::MAX),
+            origins: OriginSet::Range(0..NodeId::MAX),
+            use_index: true,
+            order: ExtensionOrder::default(),
+            trace: None,
+        }
+    }
+
+    /// Restricts matches to those that can host an instance inside the
+    /// closed window `bounds`: walks through pairs carrying no in-window
+    /// interaction are pruned mid-DFS. Cost then scales with the
+    /// structure *active* in the window, not with everything retained.
+    pub fn bounds(mut self, bounds: TimeWindow) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Seeds only walk origins in this node-id range. Disjoint ranges
+    /// partition the match set — how the parallel drivers shard P1+P2
+    /// without materialising matches.
+    pub fn origins(mut self, range: std::ops::Range<NodeId>) -> Self {
+        self.origins = OriginSet::Range(range);
+        self
+    }
+
+    /// Seeds one origin, restricted to first-step pairs at positions
+    /// `first_pairs` of its sorted out-list (a sub-range of
+    /// `0..out_degree(origin)`). Disjoint position ranges partition the
+    /// origin's match set — how the parallel scheduler splits a heavy
+    /// hub across workers. Positions (not pair ids) keep the split
+    /// well-defined on composite stores whose out-lists are not
+    /// contiguous in id space.
+    pub fn from_origin(mut self, origin: NodeId, first_pairs: std::ops::Range<u32>) -> Self {
+        self.origins = OriginSet::FirstPairs(origin, first_pairs);
+        self
+    }
+
+    /// Pull candidate origins of a bounded run from the store's
+    /// active-time index (`true`, the default) instead of sweeping every
+    /// origin and probing each pair. Same matches, same order, either
+    /// way; `false` exists for ablation A/Bs. Ignored when unbounded.
+    pub fn use_index(mut self, use_index: bool) -> Self {
+        self.use_index = use_index;
+        self
+    }
+
+    /// Selects the [`ExtensionOrder`]. The match stream is identical for
+    /// both; `Fixed` exists for A/B runs against the paper's order.
+    pub fn extension_order(mut self, order: ExtensionOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Records the run into a stage-level [`TraceSink`] (elapsed nanos
+    /// and match count under [`TraceStage::P1`]). `None` — the default —
+    /// costs nothing.
+    pub fn trace(mut self, trace: Option<&'static dyn TraceSink>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Streams every selected structural match to `visit` out of
+    /// caller-provided scratch — the allocation-free form every
+    /// steady-state caller (sequential, parallel, streaming) uses.
+    pub fn run<S, F>(&self, g: &S, scratch: &mut MatchScratch, visit: &mut F)
+    where
+        S: GraphStore,
+        F: FnMut(&StructuralMatch),
+    {
+        match self.trace {
+            None => self.run_untraced(g, scratch, visit),
+            Some(trace) => {
+                let t0 = std::time::Instant::now();
+                let mut n = 0u64;
+                self.run_untraced(g, scratch, &mut |sm| {
+                    n += 1;
+                    visit(sm);
+                });
+                trace.record(TraceStage::P1, t0.elapsed().as_nanos() as u64, n);
+            }
+        }
+    }
+
+    /// [`P1Driver::run`] with driver-owned scratch (allocates once).
+    pub fn for_each<S, F>(&self, g: &S, visit: &mut F)
+    where
+        S: GraphStore,
+        F: FnMut(&StructuralMatch),
+    {
+        self.run(g, &mut MatchScratch::default(), visit);
+    }
+
+    /// Collects the selected matches (phase P1 output set `S`).
+    pub fn collect<S: GraphStore>(&self, g: &S) -> Vec<StructuralMatch> {
+        let mut out = Vec::new();
+        self.for_each(g, &mut |m| out.push(m.clone()));
+        out
+    }
+
+    /// Counts the selected matches without materializing them.
+    pub fn count<S: GraphStore>(&self, g: &S) -> u64 {
+        let mut n = 0u64;
+        self.for_each(g, &mut |_| n += 1);
+        n
+    }
+
+    fn run_untraced<S, F>(&self, g: &S, scratch: &mut MatchScratch, visit: &mut F)
+    where
+        S: GraphStore,
+        F: FnMut(&StructuralMatch),
+    {
+        let walk = self.path.walk();
+        scratch.prepare(self.path);
+        let MatchScratch { sm, assigned, origins: cands, cons, cons_start, cursors } = scratch;
+        let bounds = self.bounds;
+        let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
+        let mut ctx = DfsCtx {
+            g,
+            walk,
+            bounds: bounded.then_some(bounds),
+            prune_spans: self.use_index,
+            first_pairs: None,
+            order: self.order,
+            cons,
+            cons_start,
+        };
+
+        let mut seed = |ctx: &DfsCtx<'_, S>,
+                        u: NodeId,
+                        sm: &mut StructuralMatch,
+                        assigned: &mut Vec<bool>,
+                        cursors: &mut [u32]| {
+            let w0 = walk[0] as usize;
+            sm.nodes[w0] = u;
+            assigned[w0] = true;
+            dfs(ctx, 0, sm, assigned, cursors, visit);
+            assigned[w0] = false;
+        };
+        match &self.origins {
+            OriginSet::FirstPairs(origin, first_pairs) => {
+                let origin = *origin;
+                if (origin as usize) >= g.num_nodes() || first_pairs.is_empty() {
+                    return;
+                }
+                debug_assert!(
+                    first_pairs.end <= g.out_degree(origin),
+                    "first_pairs {first_pairs:?} must lie inside origin {origin}'s out-list \
+                     (degree {})",
+                    g.out_degree(origin)
+                );
+                if bounded && self.use_index && !g.origin_active_in(origin, bounds) {
+                    return;
+                }
+                ctx.first_pairs = Some((first_pairs.start, first_pairs.end));
+                seed(&ctx, origin, sm, assigned, cursors);
+            }
+            OriginSet::Range(origins) => {
+                let end = origins.end.min(g.num_nodes() as NodeId);
+                if bounded && self.use_index {
+                    // Index-assisted P1: only origins with in-window
+                    // out-activity are even considered (ascending ids keep
+                    // the emission order). The pull is already restricted
+                    // to this call's origin range, so a parallel shard
+                    // never materialises the window's full candidate list.
+                    g.active_origins_in_range(bounds, origins.start..end, cands);
+                    for &u in cands.iter() {
+                        if g.out_degree(u) > 0 {
+                            seed(&ctx, u, sm, assigned, cursors);
+                        }
+                    }
+                } else {
+                    for u in origins.start..end {
+                        if g.out_degree(u) > 0 {
+                            seed(&ctx, u, sm, assigned, cursors);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated free-function shims (pre-P1Driver surface)
+// ---------------------------------------------------------------------
+
+/// Streams every structural match of `path` in `g` to `visit`.
+#[deprecated(note = "use `P1Driver::new(path).for_each(g, visit)`")]
 pub fn for_each_structural_match<S, F>(g: &S, path: &SpanningPath, visit: &mut F)
 where
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    for_each_structural_match_in_node_range(g, path, 0..g.num_nodes() as NodeId, visit);
+    P1Driver::new(path).for_each(g, visit);
 }
 
 /// Streams the structural matches whose *walk origin* lies in `origins`.
-/// Disjoint origin ranges partition the match set, which is how the
-/// parallel drivers shard phase P1+P2 without materialising matches.
+#[deprecated(note = "use `P1Driver::new(path).origins(origins)`")]
 pub fn for_each_structural_match_in_node_range<S, F>(
     g: &S,
     path: &SpanningPath,
@@ -38,24 +445,12 @@ pub fn for_each_structural_match_in_node_range<S, F>(
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    for_each_structural_match_bounded(g, path, TimeWindow::new(i64::MIN, i64::MAX), origins, visit);
+    P1Driver::new(path).origins(origins).for_each(g, visit);
 }
 
 /// Streams the structural matches that can host an instance inside the
-/// closed time window `bounds`: walks through pairs carrying no
-/// interaction in the window are pruned mid-DFS, because every motif edge
-/// of an in-window instance needs at least one in-window element. With
-/// unbounded `bounds` this is plain phase P1. The pruning makes
-/// window-restricted queries on a large resident graph cheap — cost
-/// scales with the structure *active* in the window, not with everything
-/// retained.
-///
-/// Candidate walk origins come from the store's active-time origin pull
-/// ([`GraphStore::active_origins_in_range`]), so origins with no
-/// in-window out-interaction are never visited at all — the per-query
-/// sweep over every node (and every pair's window probe) is gone. Use
-/// [`for_each_structural_match_bounded_with`] to disable the index for
-/// A/B comparisons.
+/// closed time window `bounds`.
+#[deprecated(note = "use `P1Driver::new(path).bounds(bounds).origins(origins)`")]
 pub fn for_each_structural_match_bounded<S, F>(
     g: &S,
     path: &SpanningPath,
@@ -66,14 +461,12 @@ pub fn for_each_structural_match_bounded<S, F>(
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    for_each_structural_match_bounded_with(g, path, bounds, origins, true, visit);
+    P1Driver::new(path).bounds(bounds).origins(origins).for_each(g, visit);
 }
 
 /// [`for_each_structural_match_bounded`] with an explicit `use_index`
-/// switch: `false` falls back to sweeping every origin in `origins` and
-/// probing each pair's window activity — the pre-index behaviour, kept
-/// for ablation benchmarks and equivalence tests. Both settings emit
-/// exactly the same matches in the same (lexicographic walk) order.
+/// switch.
+#[deprecated(note = "use `P1Driver` with `.use_index(..)`")]
 pub fn for_each_structural_match_bounded_with<S, F>(
     g: &S,
     path: &SpanningPath,
@@ -85,47 +478,12 @@ pub fn for_each_structural_match_bounded_with<S, F>(
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    let mut scratch = MatchScratch::default();
-    for_each_structural_match_bounded_scratch(
-        g,
-        path,
-        bounds,
-        origins,
-        use_index,
-        &mut scratch,
-        visit,
-    );
-}
-
-/// Reusable phase-P1 buffers: the match under construction (whose fields
-/// are mutated in place; the visitor gets a shared reference at each
-/// leaf), the injectivity bitmap, and the candidate-origin pull buffer of
-/// the indexed path. One `MatchScratch` threaded through many
-/// enumerations (see [`crate::SearchScratch`]) makes the steady-state P1
-/// loop allocation-free; the buffers re-size themselves to each motif.
-#[derive(Debug, Clone, Default)]
-pub struct MatchScratch {
-    sm: StructuralMatch,
-    assigned: Vec<bool>,
-    origins: Vec<NodeId>,
-}
-
-impl MatchScratch {
-    /// Sizes the match/assignment buffers for `path` (contents reset).
-    fn prepare(&mut self, path: &SpanningPath) {
-        let n = path.num_nodes();
-        self.sm.nodes.clear();
-        self.sm.nodes.resize(n, 0);
-        self.sm.pairs.clear();
-        self.sm.pairs.reserve(path.num_edges());
-        self.assigned.clear();
-        self.assigned.resize(n, false);
-    }
+    P1Driver::new(path).bounds(bounds).origins(origins).use_index(use_index).for_each(g, visit);
 }
 
 /// [`for_each_structural_match_bounded_with`] running out of
-/// caller-provided scratch buffers — the allocation-free form every
-/// steady-state driver (sequential, parallel, streaming) goes through.
+/// caller-provided scratch buffers.
+#[deprecated(note = "use `P1Driver` with `.run(g, scratch, visit)`")]
 pub fn for_each_structural_match_bounded_scratch<S, F>(
     g: &S,
     path: &SpanningPath,
@@ -138,57 +496,12 @@ pub fn for_each_structural_match_bounded_scratch<S, F>(
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    let walk = path.walk();
-    scratch.prepare(path);
-    let MatchScratch { sm, assigned, origins: cands } = scratch;
-    let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
-    let ctx = DfsCtx {
-        g,
-        walk,
-        bounds: bounded.then_some(bounds),
-        prune_spans: use_index,
-        first_pairs: None,
-    };
-
-    let end = origins.end.min(g.num_nodes() as NodeId);
-    let mut seed = |u: NodeId, sm: &mut StructuralMatch, assigned: &mut Vec<bool>| {
-        let w0 = walk[0] as usize;
-        sm.nodes[w0] = u;
-        assigned[w0] = true;
-        dfs(&ctx, 0, sm, assigned, visit);
-        assigned[w0] = false;
-    };
-    if bounded && use_index {
-        // Index-assisted P1: only origins with in-window out-activity are
-        // even considered (ascending ids keep the emission order). The
-        // pull is already restricted to this call's origin range, so a
-        // parallel shard never materialises the window's full candidate
-        // list.
-        g.active_origins_in_range(bounds, origins.start..end, cands);
-        for &u in cands.iter() {
-            if g.out_degree(u) > 0 {
-                seed(u, sm, assigned);
-            }
-        }
-    } else {
-        for u in origins.start..end {
-            if g.out_degree(u) > 0 {
-                seed(u, sm, assigned);
-            }
-        }
-    }
+    P1Driver::new(path).bounds(bounds).origins(origins).use_index(use_index).run(g, scratch, visit);
 }
 
 /// Streams the structural matches of one walk origin whose *first-step
-/// pair* sits at a position in `first_pairs` (a sub-range of
-/// `0..out_degree(origin)`, indexing the origin's sorted out-list).
-/// Disjoint position ranges partition the origin's match set — this is
-/// how the parallel scheduler splits a heavy hub across workers instead
-/// of handing the whole hub to one of them. Positions (not pair ids)
-/// keep the split well-defined on composite stores whose out-lists are
-/// not contiguous in id space. `use_index` mirrors the span pre-checks
-/// of the indexed bounded path so a hub task emits exactly what the
-/// block path would have.
+/// pair* sits at a position in `first_pairs`.
+#[deprecated(note = "use `P1Driver` with `.from_origin(origin, first_pairs)`")]
 #[allow(clippy::too_many_arguments)] // mirrors the bounded_scratch surface + the pair range
 pub fn for_each_structural_match_from_origin<S, F>(
     g: &S,
@@ -203,35 +516,16 @@ pub fn for_each_structural_match_from_origin<S, F>(
     S: GraphStore,
     F: FnMut(&StructuralMatch),
 {
-    if (origin as usize) >= g.num_nodes() || first_pairs.is_empty() {
-        return;
-    }
-    debug_assert!(
-        first_pairs.end <= g.out_degree(origin),
-        "first_pairs {first_pairs:?} must lie inside origin {origin}'s out-list \
-         (degree {})",
-        g.out_degree(origin)
-    );
-    let bounded = bounds.start > i64::MIN || bounds.end < i64::MAX;
-    if bounded && use_index && !g.origin_active_in(origin, bounds) {
-        return;
-    }
-    let walk = path.walk();
-    scratch.prepare(path);
-    let MatchScratch { sm, assigned, .. } = scratch;
-    let ctx = DfsCtx {
-        g,
-        walk,
-        bounds: bounded.then_some(bounds),
-        prune_spans: use_index,
-        first_pairs: Some((first_pairs.start, first_pairs.end)),
-    };
-    let w0 = walk[0] as usize;
-    sm.nodes[w0] = origin;
-    assigned[w0] = true;
-    dfs(&ctx, 0, sm, assigned, visit);
-    assigned[w0] = false;
+    P1Driver::new(path)
+        .bounds(bounds)
+        .from_origin(origin, first_pairs)
+        .use_index(use_index)
+        .run(g, scratch, visit);
 }
+
+// ---------------------------------------------------------------------
+// DFS
+// ---------------------------------------------------------------------
 
 /// Whether pair `p` carries at least one interaction inside `bounds`
 /// (`None` = unbounded, always true). A pair failing this cannot host any
@@ -256,6 +550,31 @@ struct DfsCtx<'a, S> {
     /// of the origin's out-list — hub tasks partition an origin's matches
     /// by first-step pair. Deeper steps are unaffected.
     first_pairs: Option<(u32, u32)>,
+    order: ExtensionOrder,
+    /// The scratch-owned constraint table (see [`MatchScratch`]).
+    cons: &'a [Constraint],
+    cons_start: &'a [u32],
+}
+
+/// Length of a constraint's candidate list at runtime.
+#[inline]
+fn clist_len<S: GraphStore>(g: &S, anchor_node: NodeId, forward: bool) -> u32 {
+    if forward {
+        g.out_degree(anchor_node)
+    } else {
+        g.in_degree(anchor_node)
+    }
+}
+
+/// Candidate at position `i` of a constraint's list — an id-only SoA
+/// column read on every backend, ascending in `i`.
+#[inline]
+fn clist_at<S: GraphStore>(g: &S, anchor_node: NodeId, forward: bool, i: u32) -> NodeId {
+    if forward {
+        g.out_target_at(anchor_node, i)
+    } else {
+        g.in_source_at(anchor_node, i)
+    }
 }
 
 fn dfs<S, F>(
@@ -263,6 +582,7 @@ fn dfs<S, F>(
     step: usize,
     sm: &mut StructuralMatch,
     assigned: &mut Vec<bool>,
+    cursors: &mut [u32],
     visit: &mut F,
 ) where
     S: GraphStore,
@@ -283,7 +603,7 @@ fn dfs<S, F>(
                 return;
             }
             sm.pairs.push(p);
-            dfs(ctx, step + 1, sm, assigned, visit);
+            dfs(ctx, step + 1, sm, assigned, cursors, visit);
             sm.pairs.pop();
         }
     } else {
@@ -296,16 +616,21 @@ fn dfs<S, F>(
                 }
             }
         }
-        let positions = match (step, ctx.first_pairs) {
-            (0, Some((s, e))) => s..e,
-            _ => 0..g.out_degree(src),
+        let first_pairs = match (step, ctx.first_pairs) {
+            (0, Some((s, e))) => Some(s..e),
+            _ => None,
         };
-        for i in positions {
+        let cons = ctx.cons_start[step] as usize..ctx.cons_start[step + 1] as usize;
+        if ctx.order == ExtensionOrder::Cardinality && cons.len() > 1 {
+            wco_extend(ctx, step, cons, first_pairs, sm, assigned, cursors, visit);
+            return;
+        }
+        for i in first_pairs.unwrap_or(0..g.out_degree(src)) {
             let p = g.out_pair_at(src, i);
             if !pair_active(g, p, bounds) {
                 continue;
             }
-            let v = g.pair(p).1;
+            let v = g.out_target_at(src, i);
             // Injectivity: distinct motif vertices need distinct graph
             // vertices.
             if sm.nodes.iter().zip(assigned.iter()).any(|(&a, &set)| set && a == v) {
@@ -314,25 +639,99 @@ fn dfs<S, F>(
             sm.nodes[tgt_label] = v;
             assigned[tgt_label] = true;
             sm.pairs.push(p);
-            dfs(ctx, step + 1, sm, assigned, visit);
+            dfs(ctx, step + 1, sm, assigned, cursors, visit);
             sm.pairs.pop();
             assigned[tgt_label] = false;
         }
     }
 }
 
+/// The count/propose/intersect bind of one fresh vertex (see the module
+/// docs). `cons` indexes this step's constraint sub-table; constraint 0
+/// is always the primary walk edge, whose matched position also yields
+/// the walk pair id without a `pair_id` lookup.
+#[allow(clippy::too_many_arguments)] // one DFS frame's worth of state
+fn wco_extend<S, F>(
+    ctx: &DfsCtx<'_, S>,
+    step: usize,
+    cons: std::ops::Range<usize>,
+    first_pairs: Option<std::ops::Range<u32>>,
+    sm: &mut StructuralMatch,
+    assigned: &mut Vec<bool>,
+    cursors: &mut [u32],
+    visit: &mut F,
+) where
+    S: GraphStore,
+    F: FnMut(&StructuralMatch),
+{
+    let g = ctx.g;
+    let src = sm.nodes[ctx.walk[step] as usize];
+    let tgt_label = ctx.walk[step + 1] as usize;
+    let cset = &ctx.cons[cons.clone()];
+
+    // Count + propose: the smallest candidate list streams (ties keep
+    // the lowest constraint index — deterministic). A pinned first-pair
+    // range forces the primary walk edge to propose: position ranges
+    // partition *its* list, so re-proposing would break hub splitting.
+    let prop = match first_pairs {
+        Some(_) => 0,
+        None => (0..cset.len())
+            .min_by_key(|&k| clist_len(g, sm.nodes[cset[k].anchor as usize], cset[k].forward))
+            .unwrap(),
+    };
+    let (pn, pf) = (sm.nodes[cset[prop].anchor as usize], cset[prop].forward);
+    let positions = first_pairs.unwrap_or(0..clist_len(g, pn, pf));
+
+    // This frame owns its step's cursor sub-range; candidates ascend, so
+    // every gallop resumes where the last one stopped.
+    for cur in &mut cursors[cons.clone()] {
+        *cur = 0;
+    }
+    'cands: for i in positions {
+        let v = clist_at(g, pn, pf, i);
+        // Intersect: v must appear in every other list. Probes touch
+        // only id columns; a miss costs O(log distance-advanced).
+        let mut prim_idx = i; // position of v in the primary list
+        for k in 0..cset.len() {
+            if k == prop {
+                continue;
+            }
+            let (n, f) = (sm.nodes[cset[k].anchor as usize], cset[k].forward);
+            let len = clist_len(g, n, f);
+            let cur = &mut cursors[cons.start + k];
+            let pos = gallop_seek_by(|x| clist_at(g, n, f, x), len, *cur, v);
+            *cur = pos;
+            if pos >= len || clist_at(g, n, f, pos) != v {
+                continue 'cands;
+            }
+            if k == 0 {
+                prim_idx = pos;
+            }
+        }
+        let p = g.out_pair_at(src, prim_idx);
+        if !pair_active(g, p, ctx.bounds) {
+            continue;
+        }
+        if sm.nodes.iter().zip(assigned.iter()).any(|(&a, &set)| set && a == v) {
+            continue;
+        }
+        sm.nodes[tgt_label] = v;
+        assigned[tgt_label] = true;
+        sm.pairs.push(p);
+        dfs(ctx, step + 1, sm, assigned, cursors, visit);
+        sm.pairs.pop();
+        assigned[tgt_label] = false;
+    }
+}
+
 /// Collects all structural matches (phase P1 output set `S`).
 pub fn find_structural_matches<S: GraphStore>(g: &S, path: &SpanningPath) -> Vec<StructuralMatch> {
-    let mut out = Vec::new();
-    for_each_structural_match(g, path, &mut |m| out.push(m.clone()));
-    out
+    P1Driver::new(path).collect(g)
 }
 
 /// Counts structural matches without materializing them.
 pub fn count_structural_matches<S: GraphStore>(g: &S, path: &SpanningPath) -> u64 {
-    let mut n = 0u64;
-    for_each_structural_match(g, path, &mut |_| n += 1);
-    n
+    P1Driver::new(path).count(g)
 }
 
 #[cfg(test)]
@@ -437,52 +836,47 @@ mod tests {
     }
 
     #[test]
+    fn extension_orders_emit_identical_match_streams() {
+        // Same matches, same lexicographic order — WCO only changes the
+        // work to find them. Cycles (M(3,3), M(5,5)A, 0-1-0) exercise
+        // multi-constraint steps; paths fall back to single-constraint.
+        let g = fig5();
+        for name in ["M(3,2)", "M(3,3)", "M(4,4)B", "M(4,4)C", "M(5,5)A"] {
+            let motif = catalog::by_name(name, 10, 0.0).unwrap();
+            for w in [TimeWindow::new(i64::MIN, i64::MAX), TimeWindow::new(10, 23)] {
+                let run = |order: ExtensionOrder| {
+                    P1Driver::new(motif.path()).bounds(w).extension_order(order).collect(&g)
+                };
+                assert_eq!(
+                    run(ExtensionOrder::Fixed),
+                    run(ExtensionOrder::Cardinality),
+                    "{name} {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bounded_matching_prunes_inactive_pairs() {
         let g = fig5();
         let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
         // Unbounded bounds reproduce plain P1 exactly.
-        let mut all = Vec::new();
-        for_each_structural_match_bounded(
-            &g,
-            m33.path(),
-            TimeWindow::new(i64::MIN, i64::MAX),
-            0..g.num_nodes() as NodeId,
-            &mut |m| all.push(m.clone()),
-        );
+        let all = P1Driver::new(m33.path()).collect(&g);
         assert_eq!(all, find_structural_matches(&g, m33.path()));
         // Only the 10..23 window is active for the (2,0)/(0,1)/(1,2)
         // triangle; restricting to [0, 9] leaves no active triangle edge
         // sets at all.
-        let mut count = 0;
-        for_each_structural_match_bounded(
-            &g,
-            m33.path(),
-            TimeWindow::new(0, 9),
-            0..g.num_nodes() as NodeId,
-            &mut |_| count += 1,
-        );
+        let count = P1Driver::new(m33.path()).bounds(TimeWindow::new(0, 9)).count(&g);
         assert_eq!(count, 0, "every triangle needs an edge active before t=10");
         // [10, 23] keeps both directed triangles (3 rotations each).
-        let mut count = 0;
-        for_each_structural_match_bounded(
-            &g,
-            m33.path(),
-            TimeWindow::new(10, 23),
-            0..g.num_nodes() as NodeId,
-            &mut |_| count += 1,
-        );
-        assert_eq!(count, 6);
+        assert_eq!(P1Driver::new(m33.path()).bounds(TimeWindow::new(10, 23)).count(&g), 6);
         // A window touching only the (3,2) pair prunes down to walks over
         // active pairs: M(3,2) paths need both hops active in [1, 3].
         let m32 = catalog::by_name("M(3,2)", 10, 0.0).unwrap();
         let mut walks = Vec::new();
-        for_each_structural_match_bounded(
-            &g,
-            m32.path(),
-            TimeWindow::new(1, 3),
-            0..g.num_nodes() as NodeId,
-            &mut |m| walks.push(m.walk_nodes(&g)),
-        );
+        P1Driver::new(m32.path())
+            .bounds(TimeWindow::new(1, 3))
+            .for_each(&g, &mut |m| walks.push(m.walk_nodes(&g)));
         assert!(walks.is_empty(), "only one pair is active: no 2-hop walk, got {walks:?}");
     }
 
@@ -492,20 +886,11 @@ mod tests {
         for name in ["M(3,2)", "M(3,3)"] {
             let motif = catalog::by_name(name, 10, 0.0).unwrap();
             for (a, b) in [(0, 9), (10, 15), (10, 23), (1, 3), (16, 30), (i64::MIN, i64::MAX)] {
-                let mut with_index = Vec::new();
-                let mut without = Vec::new();
                 let w = TimeWindow { start: a, end: b };
-                for (use_index, out) in [(true, &mut with_index), (false, &mut without)] {
-                    for_each_structural_match_bounded_with(
-                        &g,
-                        motif.path(),
-                        w,
-                        0..g.num_nodes() as NodeId,
-                        use_index,
-                        &mut |m| out.push(m.clone()),
-                    );
-                }
-                assert_eq!(with_index, without, "{name} window [{a}, {b}]");
+                let run = |use_index: bool| {
+                    P1Driver::new(motif.path()).bounds(w).use_index(use_index).collect(&g)
+                };
+                assert_eq!(run(true), run(false), "{name} window [{a}, {b}]");
             }
         }
     }
@@ -514,41 +899,49 @@ mod tests {
     fn first_pair_ranges_partition_an_origins_matches() {
         // Hub splitting: enumerating an origin pair-chunk by pair-chunk
         // must reproduce the whole-origin enumeration exactly (same
-        // matches, same order), bounded or not, indexed or not.
+        // matches, same order), bounded or not, indexed or not, in both
+        // extension orders.
         let g = fig5();
         for name in ["M(3,2)", "M(3,3)"] {
             let motif = catalog::by_name(name, 10, 0.0).unwrap();
             for use_index in [true, false] {
-                for w in [TimeWindow::new(i64::MIN, i64::MAX), TimeWindow::new(10, 23)] {
-                    for origin in 0..g.num_nodes() as NodeId {
-                        let mut whole = Vec::new();
-                        for_each_structural_match_bounded_with(
-                            &g,
-                            motif.path(),
-                            w,
-                            origin..origin + 1,
-                            use_index,
-                            &mut |m| whole.push(m.clone()),
-                        );
-                        let mut split = Vec::new();
-                        let mut scratch = MatchScratch::default();
-                        for i in 0..g.out_degree(origin) as u32 {
-                            for_each_structural_match_from_origin(
-                                &g,
-                                motif.path(),
-                                w,
-                                origin,
-                                i..i + 1,
-                                use_index,
-                                &mut scratch,
-                                &mut |m| split.push(m.clone()),
+                for order in [ExtensionOrder::Fixed, ExtensionOrder::Cardinality] {
+                    for w in [TimeWindow::new(i64::MIN, i64::MAX), TimeWindow::new(10, 23)] {
+                        let base = P1Driver::new(motif.path())
+                            .bounds(w)
+                            .use_index(use_index)
+                            .extension_order(order);
+                        for origin in 0..g.num_nodes() as NodeId {
+                            let whole = base.clone().origins(origin..origin + 1).collect(&g);
+                            let mut split = Vec::new();
+                            let mut scratch = MatchScratch::default();
+                            for i in 0..g.out_degree(origin) as u32 {
+                                base.clone().from_origin(origin, i..i + 1).run(
+                                    &g,
+                                    &mut scratch,
+                                    &mut |m| split.push(m.clone()),
+                                );
+                            }
+                            assert_eq!(
+                                split, whole,
+                                "{name} origin={origin} index={use_index} order={order}"
                             );
                         }
-                        assert_eq!(split, whole, "{name} origin={origin} index={use_index}");
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn driver_trace_records_p1_counts() {
+        use crate::trace::AtomicTrace;
+        let g = fig5();
+        let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+        let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
+        let n = P1Driver::new(m33.path()).trace(Some(trace)).count(&g);
+        assert_eq!(n, 6);
+        assert_eq!(trace.count(TraceStage::P1), 6);
     }
 
     #[test]
@@ -570,5 +963,66 @@ mod tests {
         assert_eq!(count_structural_matches(&g, m55a.path()), 5);
         let m54 = catalog::by_name("M(5,4)", 10, 0.0).unwrap();
         assert_eq!(count_structural_matches(&g, m54.path()), 5);
+    }
+
+    /// The deprecated pre-`P1Driver` shims must keep compiling (under
+    /// `-D warnings`, via this allow) and keep emitting exactly what the
+    /// driver emits, until they are removed.
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        #[test]
+        fn every_shim_matches_its_driver_equivalent() {
+            let g = fig5();
+            let m33 = catalog::by_name("M(3,3)", 10, 0.0).unwrap();
+            let path = m33.path();
+            let n = g.num_nodes() as NodeId;
+            let w = TimeWindow::new(10, 23);
+            let want = P1Driver::new(path).collect(&g);
+            let mut got = Vec::new();
+            for_each_structural_match(&g, path, &mut |m| got.push(m.clone()));
+            assert_eq!(got, want);
+            got.clear();
+            for_each_structural_match_in_node_range(&g, path, 0..n, &mut |m| got.push(m.clone()));
+            assert_eq!(got, want);
+
+            let want_w = P1Driver::new(path).bounds(w).collect(&g);
+            got.clear();
+            for_each_structural_match_bounded(&g, path, w, 0..n, &mut |m| got.push(m.clone()));
+            assert_eq!(got, want_w);
+            got.clear();
+            for_each_structural_match_bounded_with(&g, path, w, 0..n, false, &mut |m| {
+                got.push(m.clone());
+            });
+            assert_eq!(got, want_w);
+            let mut scratch = MatchScratch::default();
+            got.clear();
+            for_each_structural_match_bounded_scratch(
+                &g,
+                path,
+                w,
+                0..n,
+                true,
+                &mut scratch,
+                &mut |m| got.push(m.clone()),
+            );
+            assert_eq!(got, want_w);
+
+            let deg = g.out_degree(2) as u32;
+            let want_o = P1Driver::new(path).bounds(w).from_origin(2, 0..deg).collect(&g);
+            got.clear();
+            for_each_structural_match_from_origin(
+                &g,
+                path,
+                w,
+                2,
+                0..deg,
+                true,
+                &mut scratch,
+                &mut |m| got.push(m.clone()),
+            );
+            assert_eq!(got, want_o);
+        }
     }
 }

@@ -23,9 +23,7 @@ use crate::enumerate::{
     enumerate_in_match_bounded, CollectSink, CountSink, InstanceSink, SearchOptions, SearchStats,
 };
 use crate::instance::{MotifInstance, StructuralMatch};
-use crate::matcher::{
-    for_each_structural_match_bounded_scratch, for_each_structural_match_from_origin,
-};
+use crate::matcher::P1Driver;
 use crate::motif::Motif;
 use crate::scratch::SearchScratch;
 use crate::topk::{RankedInstance, TopKSink};
@@ -157,27 +155,15 @@ fn run_task<G: GraphStore, S: InstanceSink>(
             enumerate_in_match_bounded(g, motif, sm, bounds, opts, sink, stats, p2);
         }
     };
-    match task {
-        Task::Origins(r) => for_each_structural_match_bounded_scratch(
-            g,
-            motif.path(),
-            bounds,
-            r.clone(),
-            opts.use_active_index,
-            p1,
-            &mut visit,
-        ),
-        Task::HubPairs { origin, pairs } => for_each_structural_match_from_origin(
-            g,
-            motif.path(),
-            bounds,
-            *origin,
-            pairs.clone(),
-            opts.use_active_index,
-            p1,
-            &mut visit,
-        ),
-    }
+    let driver = P1Driver::new(motif.path())
+        .bounds(bounds)
+        .use_index(opts.use_active_index)
+        .extension_order(opts.extension_order);
+    let driver = match task {
+        Task::Origins(r) => driver.origins(r.clone()),
+        Task::HubPairs { origin, pairs } => driver.from_origin(*origin, pairs.clone()),
+    };
+    driver.run(g, p1, &mut visit);
     if let (Some(trace), Some(start)) = (opts.trace, start) {
         let total = start.elapsed().as_nanos() as u64;
         trace.record(
@@ -399,27 +385,13 @@ pub fn scheduler_makespan<G: GraphStore>(g: &G, motif: &Motif, par: ParOptions) 
     for task in &tasks {
         let mut cost = 0u64;
         let mut count = |_: &StructuralMatch| cost += 1;
-        match task {
-            Task::Origins(r) => for_each_structural_match_bounded_scratch(
-                g,
-                motif.path(),
-                UNBOUNDED,
-                r.clone(),
-                true,
-                &mut scratch.p1,
-                &mut count,
-            ),
-            Task::HubPairs { origin, pairs } => for_each_structural_match_from_origin(
-                g,
-                motif.path(),
-                UNBOUNDED,
-                *origin,
-                pairs.clone(),
-                true,
-                &mut scratch.p1,
-                &mut count,
-            ),
-        }
+        let driver = match task {
+            Task::Origins(r) => P1Driver::new(motif.path()).origins(r.clone()),
+            Task::HubPairs { origin, pairs } => {
+                P1Driver::new(motif.path()).from_origin(*origin, pairs.clone())
+            }
+        };
+        driver.run(g, &mut scratch.p1, &mut count);
         total += cost;
         max_task = max_task.max(cost);
         // List scheduling: the next task goes to the worker that frees
@@ -508,7 +480,7 @@ mod tests {
         let g = random_graph(80, 400, 29);
         let m = catalog::by_name("M(3,2)", 60, 0.0).unwrap();
         let trace: &'static AtomicTrace = Box::leak(Box::new(AtomicTrace::new()));
-        let opts = SearchOptions { trace: Some(trace), ..SearchOptions::default() };
+        let opts = SearchOptions::default().with_trace(Some(trace));
         let (traced, stats) = par_count_instances_with(&g, &m, opts, ParOptions::with_threads(2));
         let (plain, _) = par_count_instances(&g, &m, 2);
         assert_eq!(traced, plain, "tracing must not change results");
@@ -530,14 +502,14 @@ mod tests {
 
     #[test]
     fn node_range_partition_covers_all_matches() {
-        use crate::matcher::{count_structural_matches, for_each_structural_match_in_node_range};
+        use crate::matcher::count_structural_matches;
         let g = random_graph(100, 400, 23);
         let path = catalog::by_name("M(3,2)", 1, 0.0).unwrap();
         let total = count_structural_matches(&g, path.path());
         let mut split = 0u64;
         for lo in (0..100u32).step_by(17) {
             let hi = (lo + 17).min(100);
-            for_each_structural_match_in_node_range(&g, path.path(), lo..hi, &mut |_| split += 1);
+            P1Driver::new(path.path()).origins(lo..hi).for_each(&g, &mut |_| split += 1);
         }
         assert_eq!(split, total);
     }

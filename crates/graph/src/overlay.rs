@@ -30,9 +30,10 @@
 //!   the delta CSR's `(u, v)` order, so these composite ids are sorted
 //!   by `(u, v)` too and `pair_id` can binary-search them.
 //!
-//! Out-lists interleave ids from both ranges sorted by target; origins
-//! that gained no new pair keep the base's positional list, so building
-//! an overlay is O(delta), never O(base).
+//! Out-lists interleave ids from both ranges sorted by target (in-lists
+//! likewise, sorted by source); origins and targets that gained no new
+//! pair keep the base's positional lists, so building an overlay is
+//! O(delta), never O(base).
 
 use crate::event::{NodeId, PairId, Timestamp};
 use crate::segment::SegmentStore;
@@ -59,6 +60,9 @@ pub struct OverlayStore {
     /// Merged out-lists (composite ids, sorted by target) for exactly
     /// the origins that gained at least one new pair.
     merged_out: FxHashMap<NodeId, Vec<PairId>>,
+    /// Merged in-lists (composite ids, sorted by source) for exactly
+    /// the targets that gained at least one new pair.
+    merged_in: FxHashMap<NodeId, Vec<PairId>>,
     num_nodes: usize,
     num_interactions: usize,
 }
@@ -118,9 +122,48 @@ impl OverlayStore {
             });
             merged_out.insert(u, pairs);
         }
+        // Same construction for the transposed view: only targets that
+        // gained a new pair need a merged in-list (overridden pairs keep
+        // their base topology), so this too is O(delta), never O(base).
+        let mut touched_targets: Vec<NodeId> =
+            new_pairs.iter().map(|&dp| GraphStore::pair(&delta, dp).1).collect();
+        touched_targets.sort_unstable();
+        touched_targets.dedup();
+        let base_in_degree =
+            |v: NodeId| if (v as usize) < base.num_nodes() { base.in_degree(v) } else { 0 };
+        let mut merged_in = FxHashMap::default();
+        for &v in &touched_targets {
+            let mut pairs: Vec<PairId> =
+                (0..base_in_degree(v)).map(|i| base.in_pair_at(v, i)).collect();
+            for (i, &dp) in new_pairs.iter().enumerate() {
+                if GraphStore::pair(&delta, dp).1 == v {
+                    pairs.push(b + i as PairId);
+                }
+            }
+            // A (u, v) pair lives in exactly one id range, so sources
+            // within one in-list are distinct and the key is total.
+            let (bs, ds) = (&base, &delta);
+            pairs.sort_unstable_by_key(|&p| {
+                if p < b {
+                    bs.pair(p).0
+                } else {
+                    GraphStore::pair(ds, new_pairs[(p - b) as usize]).0
+                }
+            });
+            merged_in.insert(v, pairs);
+        }
         let num_nodes = base.num_nodes().max(delta.num_nodes());
         let num_interactions = base.num_interactions() + delta_only_events;
-        Self { base, delta, overridden, new_pairs, merged_out, num_nodes, num_interactions }
+        Self {
+            base,
+            delta,
+            overridden,
+            new_pairs,
+            merged_out,
+            merged_in,
+            num_nodes,
+            num_interactions,
+        }
     }
 
     /// The sealed base segment.
@@ -223,6 +266,35 @@ impl GraphStore for OverlayStore {
         match self.merged_out.get(&u) {
             Some(pairs) => pairs[i as usize],
             None => self.base.out_pair_at(u, i),
+        }
+    }
+
+    fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+        match self.merged_out.get(&u) {
+            Some(pairs) => self.pair(pairs[i as usize]).1,
+            None => self.base.out_target_at(u, i),
+        }
+    }
+
+    fn in_degree(&self, v: NodeId) -> u32 {
+        match self.merged_in.get(&v) {
+            Some(pairs) => pairs.len() as u32,
+            None if self.in_base(v) => self.base.in_degree(v),
+            None => 0,
+        }
+    }
+
+    fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+        match self.merged_in.get(&v) {
+            Some(pairs) => pairs[i as usize],
+            None => self.base.in_pair_at(v, i),
+        }
+    }
+
+    fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+        match self.merged_in.get(&v) {
+            Some(pairs) => self.pair(pairs[i as usize]).0,
+            None => self.base.in_source_at(v, i),
         }
     }
 
@@ -354,10 +426,25 @@ mod tests {
             for i in 0..deg {
                 let (op, wp) = (ov.out_pair_at(u, i), GraphStore::out_pair_at(&want, u, i));
                 assert_eq!(ov.pair(op), GraphStore::pair(&want, wp), "pair {i} of {u}");
+                assert_eq!(
+                    ov.out_target_at(u, i),
+                    GraphStore::out_target_at(&want, u, i),
+                    "target {i} of {u}"
+                );
                 let (os, ws) = (ov.series(op), GraphStore::series(&want, wp));
                 assert_eq!(os.events(), ws.events(), "series of {:?}", ov.pair(op));
                 let (u2, v2) = ov.pair(op);
                 assert_eq!(ov.pair_id(u2, v2), Some(op));
+            }
+            assert_eq!(ov.in_degree(u), GraphStore::in_degree(&want, u), "in-degree of {u}");
+            for i in 0..ov.in_degree(u) {
+                let (op, wp) = (ov.in_pair_at(u, i), GraphStore::in_pair_at(&want, u, i));
+                assert_eq!(ov.pair(op), GraphStore::pair(&want, wp), "in-pair {i} of {u}");
+                assert_eq!(
+                    ov.in_source_at(u, i),
+                    GraphStore::in_source_at(&want, u, i),
+                    "in-source {i} of {u}"
+                );
             }
         }
         assert_eq!(ov.pair_id(0, 3), None);

@@ -4,9 +4,10 @@
 //! # File layout (`graph.seg`)
 //!
 //! ```text
-//! header (136 B):  magic "FLOWSEG1" | version | num_nodes | num_pairs
-//!                  | num_events | time_lo | time_hi | 8 section offsets
-//!                  | file_len | fnv64 header checksum
+//! header (168 B):  magic "FLOWSEG1" | version | num_nodes | num_pairs
+//!                  | num_events | time_lo | time_hi | 11 section offsets
+//!                  | fnv64 in-section checksum | file_len
+//!                  | fnv64 header checksum
 //! out_start:       u32  x (N+1)   CSR offsets into targets/origins
 //! targets:         u32  x P       pair target, sorted by (origin, target)
 //! origins:         u32  x P       pair origin
@@ -17,9 +18,19 @@
 //! prefix:          f64  x (E+P)   per-pair flow prefix sums, each pair
 //!                                 led by 0.0 (pair p starts at
 //!                                 event_start[p] + p)
+//! in_start:        u32  x (N+1)   transposed CSR offsets (v2)
+//! in_pairs:        u32  x P       pair ids grouped by target, each
+//!                                 group sorted by source (v2)
+//! in_sources:      u32  x P       source of each in-pair (SoA id
+//!                                 column, v2)
 //! index:           serialized ActiveOriginIndex (width, bucket keys,
 //!                                 bucket offsets, origin entries)
 //! ```
+//!
+//! The three v2 in-adjacency sections carry their own chained fnv64
+//! checksum in the header (verified at open, O(nodes + pairs)) — they
+//! are *derived* from the forward sections, so silent divergence would
+//! make the worst-case-optimal P1 driver drop matches rather than crash.
 //!
 //! Every section offset is 8-aligned, so the store reinterprets the map
 //! as typed slices directly — opening a segment is O(header + index),
@@ -50,21 +61,33 @@ use std::path::{Path, PathBuf};
 pub const SEGMENT_FILE: &str = "graph.seg";
 
 const MAGIC: [u8; 8] = *b"FLOWSEG1";
-const VERSION: u64 = 1;
-/// magic + 16 u64/i64 header words.
-const HEADER_LEN: usize = 8 + 16 * 8;
+/// Format version 2 adds the transposed (in-edge) adjacency sections
+/// `in_start`/`in_pairs`/`in_sources` plus their own checksum header
+/// word — the worst-case-optimal P1 extension proposes from in-lists,
+/// so the reverse adjacency must be servable straight off the map.
+/// Version-1 files are rejected; re-run `flowmotif pack` to upgrade.
+const VERSION: u64 = 2;
+/// magic + 20 u64/i64 header words (see the layout above).
+const HEADER_LEN: usize = 8 + 20 * 8;
 /// Sentinel span of an origin with no out-edge interactions (matches the
 /// in-memory representation).
 const EMPTY_SPAN: (Timestamp, Timestamp) = (Timestamp::MAX, Timestamp::MIN);
 
-/// FNV-1a 64-bit, the header checksum.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit continuation: folds `bytes` into a running state, so
+/// multi-section checksums chain without concatenating buffers.
+fn fnv64_acc(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64-bit, the header checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_acc(FNV_SEED, bytes)
 }
 
 #[inline]
@@ -91,7 +114,9 @@ pub fn segment_path(path: &Path) -> PathBuf {
 /// exactly the order [`TimeSeriesGraph`] stores). Sections go to
 /// temporary spill files next to the target and are concatenated behind
 /// the header on [`SegmentWriter::finish`]; resident state is O(index +
-/// constants), independent of the graph.
+/// pairs + constants) — the transposed adjacency keeps one 12-byte
+/// `(target, source, pair)` triple per pair until `finish` sorts and
+/// spills it, still far below O(interactions).
 #[derive(Debug)]
 pub struct SegmentWriter {
     dir: PathBuf,
@@ -112,6 +137,9 @@ pub struct SegmentWriter {
     out_filled: usize,
     /// `origin_span` entries emitted so far.
     span_filled: usize,
+    /// `(target, source, pair)` triples, transposed into the in-edge
+    /// sections on `finish`.
+    transpose: Vec<(NodeId, NodeId, PairId)>,
     last_time: Timestamp,
     acc: Flow,
 }
@@ -124,7 +152,14 @@ const S_EVENT_START: usize = 3;
 const S_ORIGIN_SPAN: usize = 4;
 const S_EVENTS: usize = 5;
 const S_PREFIX: usize = 6;
-const NUM_SPILL: usize = 7;
+const S_IN_START: usize = 7;
+const S_IN_PAIRS: usize = 8;
+const S_IN_SOURCES: usize = 9;
+const NUM_SPILL: usize = 10;
+/// Section slot of the serialized activity index (after every spill).
+const S_INDEX: usize = NUM_SPILL;
+/// Sections in the file: the spill sections plus the trailing index.
+const NUM_SECTIONS: usize = NUM_SPILL + 1;
 
 impl SegmentWriter {
     /// Opens a writer targeting `dir/graph.seg`. `num_nodes` and the
@@ -164,6 +199,7 @@ impl SegmentWriter {
             events_written: 0,
             out_filled: 0,
             span_filled: 0,
+            transpose: Vec::new(),
             last_time: Timestamp::MIN,
             acc: 0.0,
         };
@@ -243,6 +279,7 @@ impl SegmentWriter {
         self.write(S_TARGETS, &v.to_le_bytes())?;
         self.write(S_ORIGINS, &u.to_le_bytes())?;
         self.write(S_PREFIX, &0.0f64.to_le_bytes())?;
+        self.transpose.push((v, u, self.pairs_written as PairId));
         self.cur_pair = Some((u, v));
         self.pairs_written += 1;
         self.last_time = Timestamp::MIN;
@@ -285,6 +322,39 @@ impl SegmentWriter {
             self.out_filled += 1;
         }
 
+        // Transposed (in-edge) adjacency: group pairs by target. Within
+        // a target, ascending pair id *is* ascending source order (pairs
+        // were written sorted by `(origin, target)`), so sorting by
+        // `(target, pair)` yields in-lists sorted by source — the order
+        // the galloping intersection in P1 requires. The chained fnv64
+        // over the exact section bytes goes into its own header word.
+        let transpose = std::mem::take(&mut self.transpose);
+        let mut in_start = vec![0u32; self.num_nodes + 1];
+        for &(v, _, _) in &transpose {
+            in_start[v as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            in_start[i + 1] += in_start[i];
+        }
+        let mut grouped = transpose;
+        grouped.sort_unstable_by_key(|&(v, _, p)| (v, p));
+        let mut in_checksum = FNV_SEED;
+        for &s in &in_start {
+            let b = s.to_le_bytes();
+            in_checksum = fnv64_acc(in_checksum, &b);
+            self.write(S_IN_START, &b)?;
+        }
+        for &(_, _, p) in &grouped {
+            let b = p.to_le_bytes();
+            in_checksum = fnv64_acc(in_checksum, &b);
+            self.write(S_IN_PAIRS, &b)?;
+        }
+        for &(_, u, _) in &grouped {
+            let b = u.to_le_bytes();
+            in_checksum = fnv64_acc(in_checksum, &b);
+            self.write(S_IN_SOURCES, &b)?;
+        }
+
         // Serialize the activity index.
         let mut index_bytes: Vec<u8> = Vec::new();
         index_bytes.extend_from_slice(&self.index.bucket_width().to_le_bytes());
@@ -312,13 +382,13 @@ impl SegmentWriter {
             f.flush()?;
             spill.push(f);
         }
-        let mut offsets = [0u64; 8];
+        let mut offsets = [0u64; NUM_SECTIONS];
         let mut cursor = HEADER_LEN as u64;
         for (i, f) in spill.iter().enumerate() {
             offsets[i] = cursor;
             cursor = align8(cursor + f.metadata()?.len());
         }
-        offsets[7] = cursor; // index
+        offsets[S_INDEX] = cursor;
         let file_len = cursor + index_bytes.len() as u64;
 
         let (time_lo, time_hi) = self.span.unwrap_or(EMPTY_SPAN);
@@ -337,6 +407,7 @@ impl SegmentWriter {
         for off in offsets {
             header.extend_from_slice(&off.to_le_bytes());
         }
+        header.extend_from_slice(&in_checksum.to_le_bytes());
         header.extend_from_slice(&file_len.to_le_bytes());
         header.extend_from_slice(&fnv64(&header).to_le_bytes());
         debug_assert_eq!(header.len(), HEADER_LEN);
@@ -355,7 +426,7 @@ impl SegmentWriter {
                 f.seek(std::io::SeekFrom::Start(0))?;
                 written += std::io::copy(&mut f, &mut out)?;
             }
-            while written < offsets[7] {
+            while written < offsets[S_INDEX] {
                 out.write_all(&[0u8])?;
                 written += 1;
             }
@@ -585,7 +656,7 @@ pub struct SegmentStore {
     num_events: usize,
     time_lo: Timestamp,
     time_hi: Timestamp,
-    offsets: [usize; 8],
+    offsets: [usize; NUM_SECTIONS],
     index: ActiveOriginIndex,
     /// Heap-resident estimate (the deserialized index), mirrored into
     /// [`crate::metrics::SEGMENT_RESIDENT_BYTES`] for this store's
@@ -617,14 +688,14 @@ impl SegmentStore {
         let word = |i: usize| -> u64 {
             u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap())
         };
-        let stored_sum = word(15);
+        let stored_sum = word(19);
         if fnv64(&bytes[..HEADER_LEN - 8]) != stored_sum {
             return Err(GraphError::segment("header checksum mismatch"));
         }
         if word(0) != VERSION {
             return Err(GraphError::segment(format!("unsupported segment version {}", word(0))));
         }
-        let file_len = word(14);
+        let file_len = word(18);
         if file_len != bytes.len() as u64 {
             return Err(GraphError::segment(format!(
                 "truncated or padded file: header declares {file_len} bytes, found {}",
@@ -637,8 +708,8 @@ impl SegmentStore {
         let time_lo = word(4) as i64;
         let time_hi = word(5) as i64;
 
-        let mut offsets = [0usize; 8];
-        let sizes: [u64; 8] = [
+        let mut offsets = [0usize; NUM_SECTIONS];
+        let sizes: [u64; NUM_SECTIONS] = [
             4 * (num_nodes as u64 + 1),                 // out_start
             4 * num_pairs as u64,                       // targets
             4 * num_pairs as u64,                       // origins
@@ -646,11 +717,14 @@ impl SegmentStore {
             16 * num_nodes as u64,                      // origin_span
             16 * num_events as u64,                     // events
             8 * (num_events as u64 + num_pairs as u64), // prefix
+            4 * (num_nodes as u64 + 1),                 // in_start
+            4 * num_pairs as u64,                       // in_pairs
+            4 * num_pairs as u64,                       // in_sources
             0,                                          // index (rest of file)
         ];
-        for i in 0..8 {
+        for i in 0..NUM_SECTIONS {
             let off = word(6 + i);
-            let size = if i == 7 { file_len.saturating_sub(off) } else { sizes[i] };
+            let size = if i == S_INDEX { file_len.saturating_sub(off) } else { sizes[i] };
             if off % 8 != 0
                 || off < HEADER_LEN as u64
                 || off.checked_add(size).is_none_or(|end| end > file_len)
@@ -662,7 +736,20 @@ impl SegmentStore {
             offsets[i] = off as usize;
         }
 
-        let index = Self::parse_index(&bytes[offsets[7]..], num_nodes)?;
+        // The in-adjacency is *derived* data: a divergence from the
+        // forward sections would silently drop matches in the WCO P1
+        // driver instead of crashing, so it gets its own verification
+        // (chained fnv64 over the exact typed byte ranges, excluding the
+        // alignment padding between sections).
+        let mut in_sum = FNV_SEED;
+        for (i, &size) in sizes.iter().enumerate().take(S_IN_SOURCES + 1).skip(S_IN_START) {
+            in_sum = fnv64_acc(in_sum, &bytes[offsets[i]..offsets[i] + size as usize]);
+        }
+        if in_sum != word(17) {
+            return Err(GraphError::segment("in-adjacency checksum mismatch"));
+        }
+
+        let index = Self::parse_index(&bytes[offsets[S_INDEX]..], num_nodes)?;
         // Resident ≈ the deserialized index (per-bucket key + Vec header
         // + 4 B entries) plus the store struct itself; the mapped body is
         // counted separately as evictable bytes.
@@ -800,6 +887,40 @@ impl SegmentStore {
         self.typed(S_ORIGIN_SPAN, 2 * self.num_nodes)
     }
 
+    #[inline]
+    fn in_start(&self) -> &[u32] {
+        self.typed(S_IN_START, self.num_nodes + 1)
+    }
+
+    #[inline]
+    fn in_pairs(&self) -> &[u32] {
+        self.typed(S_IN_PAIRS, self.num_pairs)
+    }
+
+    #[inline]
+    fn in_sources(&self) -> &[u32] {
+        self.typed(S_IN_SOURCES, self.num_pairs)
+    }
+
+    /// Sequentially touches one byte per page of the mapped segment so a
+    /// cold file is faulted in by the kernel's readahead (large, ordered
+    /// requests) instead of P1's random-access pattern (one 4 KiB fault
+    /// per miss). Returns the number of bytes spanned. The XOR
+    /// accumulator is fed to [`std::hint::black_box`] so the loop cannot
+    /// be optimised away.
+    pub fn prefetch(&self) -> u64 {
+        const PAGE: usize = 4096;
+        let bytes = self.map.bytes();
+        let mut acc = 0u8;
+        let mut off = 0;
+        while off < bytes.len() {
+            acc ^= bytes[off];
+            off += PAGE;
+        }
+        std::hint::black_box(acc);
+        bytes.len() as u64
+    }
+
     /// Bytes of this store's memory-mapped segment file.
     pub fn mapped_bytes(&self) -> u64 {
         self.map.len() as u64
@@ -867,6 +988,27 @@ impl GraphStore for SegmentStore {
     #[inline]
     fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
         self.out_start()[u as usize] + i
+    }
+
+    #[inline]
+    fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+        self.targets()[(self.out_start()[u as usize] + i) as usize]
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> u32 {
+        let s = self.in_start();
+        s[v as usize + 1] - s[v as usize]
+    }
+
+    #[inline]
+    fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+        self.in_pairs()[(self.in_start()[v as usize] + i) as usize]
+    }
+
+    #[inline]
+    fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+        self.in_sources()[(self.in_start()[v as usize] + i) as usize]
     }
 
     fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
@@ -952,6 +1094,12 @@ mod tests {
             let r = g.out_pair_range(u);
             for i in 0..GraphStore::out_degree(s, u) {
                 assert_eq!(GraphStore::out_pair_at(s, u, i), r.start + i);
+                assert_eq!(GraphStore::out_target_at(s, u, i), g.out_target_at(u, i));
+            }
+            assert_eq!(GraphStore::in_degree(s, u), g.in_degree(u));
+            for i in 0..GraphStore::in_degree(s, u) {
+                assert_eq!(GraphStore::in_pair_at(s, u, i), g.in_pair_at(u, i));
+                assert_eq!(GraphStore::in_source_at(s, u, i), g.in_source_at(u, i));
             }
             assert_eq!(GraphStore::origin_active_span(s, u), g.origin_active_span(u));
             for v in 0..g.num_nodes() as NodeId {
@@ -972,6 +1120,7 @@ mod tests {
         write_segment(&fig5(), &dir).unwrap();
         let s = SegmentStore::open(&dir).unwrap();
         assert_equivalent(&s, &fig5());
+        assert_eq!(s.prefetch(), s.mapped_bytes());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1080,6 +1229,16 @@ mod tests {
         std::fs::write(&path, &bad).unwrap();
         let err = SegmentStore::open(&path).unwrap_err().to_string();
         assert!(err.contains("magic"), "{err}");
+
+        // Flipped byte inside the (header-checksum-exempt) in-pairs
+        // section -> the dedicated in-adjacency checksum catches it.
+        let mut bad = pristine.clone();
+        let in_pairs_off =
+            u64::from_le_bytes(bad[8 + (6 + S_IN_PAIRS) * 8..][..8].try_into().unwrap()) as usize;
+        bad[in_pairs_off] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let err = SegmentStore::open(&path).unwrap_err().to_string();
+        assert!(err.contains("in-adjacency"), "{err}");
 
         // Truncation (header intact, body cut).
         std::fs::write(&path, &pristine[..pristine.len() - 16]).unwrap();

@@ -60,6 +60,32 @@ pub trait GraphStore {
     /// out-list, which is sorted by target id.
     fn out_pair_at(&self, u: NodeId, i: u32) -> PairId;
 
+    /// The target node at position `i` of `u`'s out-list. Equivalent to
+    /// `pair(out_pair_at(u, i)).1`; backends with a structure-of-arrays
+    /// id column override it so the worst-case-optimal intersection
+    /// touches only node ids (no `(u, v)` tuple loads).
+    #[inline]
+    fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+        self.pair(self.out_pair_at(u, i)).1
+    }
+
+    /// In-degree of `v` in `G_T` (number of distinct sources).
+    fn in_degree(&self, v: NodeId) -> u32;
+
+    /// The pair at position `i` (`0 <= i < in_degree(v)`) of `v`'s
+    /// in-list, which is sorted by source id. Positional for the same
+    /// reason as [`GraphStore::out_pair_at`]: composite stores interleave
+    /// pair ids from two backings.
+    fn in_pair_at(&self, v: NodeId, i: u32) -> PairId;
+
+    /// The source node at position `i` of `v`'s in-list. Equivalent to
+    /// `pair(in_pair_at(v, i)).0`; backends override it with their SoA
+    /// id column (see [`GraphStore::out_target_at`]).
+    #[inline]
+    fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+        self.pair(self.in_pair_at(v, i)).0
+    }
+
     /// Looks up the pair id of edge `(u, v)`.
     fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId>;
 
@@ -128,6 +154,26 @@ impl GraphStore for TimeSeriesGraph {
     }
 
     #[inline]
+    fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+        TimeSeriesGraph::out_target_at(self, u, i)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> u32 {
+        TimeSeriesGraph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+        TimeSeriesGraph::in_pair_at(self, v, i)
+    }
+
+    #[inline]
+    fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+        TimeSeriesGraph::in_source_at(self, v, i)
+    }
+
+    #[inline]
     fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
         TimeSeriesGraph::pair_id(self, u, v)
     }
@@ -192,6 +238,22 @@ macro_rules! forward_graph_store {
             #[inline]
             fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
                 (**self).out_pair_at(u, i)
+            }
+            #[inline]
+            fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+                (**self).out_target_at(u, i)
+            }
+            #[inline]
+            fn in_degree(&self, v: NodeId) -> u32 {
+                (**self).in_degree(v)
+            }
+            #[inline]
+            fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+                (**self).in_pair_at(v, i)
+            }
+            #[inline]
+            fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+                (**self).in_source_at(v, i)
             }
             #[inline]
             fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
@@ -272,6 +334,30 @@ mod tests {
                 assert_eq!(s.pair_id(u, v), g.pair_id(u, v));
             }
         }
+        // The in-adjacency is the exact transpose of the out-adjacency:
+        // every pair appears in its target's in-list exactly once, the
+        // list is sorted by source, and the SoA id columns agree with
+        // the `(u, v)` tuples.
+        let mut in_pairs = 0usize;
+        for v in 0..g.num_nodes() as NodeId {
+            let deg = s.in_degree(v);
+            let mut prev_src = None;
+            for i in 0..deg {
+                let p = s.in_pair_at(v, i);
+                let (src, tgt) = s.pair(p);
+                assert_eq!(tgt, v, "pair {p} in the in-list of {v}");
+                assert_eq!(s.in_source_at(v, i), src);
+                assert!(prev_src < Some(src), "in-list of {v} sorted by source");
+                prev_src = Some(src);
+                in_pairs += 1;
+            }
+        }
+        assert_eq!(in_pairs, s.num_pairs(), "every pair appears in one in-list");
+        for u in 0..g.num_nodes() as NodeId {
+            for i in 0..s.out_degree(u) {
+                assert_eq!(s.out_target_at(u, i), s.pair(s.out_pair_at(u, i)).1);
+            }
+        }
         for (a, b) in [(0, 5), (10, 15), (16, 25), (24, 40), (i64::MIN, i64::MAX)] {
             let w = TimeWindow::new(a, b);
             let mut got = Vec::new();
@@ -315,6 +401,12 @@ mod tests {
             }
             fn out_pair_at(&self, u: NodeId, i: u32) -> PairId {
                 GraphStore::out_pair_at(self.0, u, i)
+            }
+            fn in_degree(&self, v: NodeId) -> u32 {
+                GraphStore::in_degree(self.0, v)
+            }
+            fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+                GraphStore::in_pair_at(self.0, v, i)
             }
             fn pair_id(&self, u: NodeId, v: NodeId) -> Option<PairId> {
                 GraphStore::pair_id(self.0, u, v)

@@ -34,6 +34,20 @@ pub struct TimeSeriesGraph {
     /// CSR offsets: out-pairs of node `u` are `pairs[out_start[u] as usize ..
     /// out_start[u + 1] as usize]`. Length `num_nodes + 1`.
     out_start: Vec<u32>,
+    /// SoA id column: `out_targets[p] = pairs[p].1`. The worst-case-
+    /// optimal P1 intersection walks only this column (and the in-side
+    /// twins below), never the `(u, v)` tuple array.
+    out_targets: Vec<NodeId>,
+    /// Transposed CSR offsets: in-pair *positions* of node `v` are
+    /// `in_pairs[in_start[v] as usize .. in_start[v + 1] as usize]`.
+    /// Length `num_nodes + 1`.
+    in_start: Vec<u32>,
+    /// Pair ids grouped by target, each group sorted by source (filling
+    /// in ascending pair id gives this for free, since pairs are sorted
+    /// by `(u, v)`). Length `num_pairs`.
+    in_pairs: Vec<PairId>,
+    /// SoA id column parallel to `in_pairs`: the source of each in-pair.
+    in_sources: Vec<NodeId>,
     /// `origin_span[u]` = active interval of `u`'s out-edges
     /// ([`EMPTY_SPAN`] when none). Length `num_nodes`.
     origin_span: Vec<(Timestamp, Timestamp)>,
@@ -70,9 +84,14 @@ impl TimeSeriesGraph {
             pairs,
             series,
             out_start,
+            out_targets: Vec::new(),
+            in_start: Vec::new(),
+            in_pairs: Vec::new(),
+            in_sources: Vec::new(),
             origin_span: Vec::new(),
             index: ActiveOriginIndex::new(),
         };
+        g.rebuild_adjacency_columns();
         g.rebuild_activity();
         g
     }
@@ -173,9 +192,14 @@ impl TimeSeriesGraph {
             pairs,
             series,
             out_start,
+            out_targets: Vec::new(),
+            in_start: Vec::new(),
+            in_pairs: Vec::new(),
+            in_sources: Vec::new(),
             origin_span: Vec::new(),
             index: ActiveOriginIndex::new(),
         };
+        g.rebuild_adjacency_columns();
         g.rebuild_activity();
         g
     }
@@ -280,6 +304,59 @@ impl TimeSeriesGraph {
             out_start[i + 1] += out_start[i];
         }
         out_start
+    }
+
+    /// Rebuilds the SoA id columns and the transposed (in-edge) CSR from
+    /// `pairs`; O(nodes + pairs). Runs at every point that recomputes
+    /// `out_start` — topology-stable mutations (appends, merges,
+    /// evictions that keep empty pairs) never touch it.
+    fn rebuild_adjacency_columns(&mut self) {
+        self.out_targets.clear();
+        self.out_targets.extend(self.pairs.iter().map(|&(_, v)| v));
+        self.in_start = vec![0u32; self.num_nodes + 1];
+        for &(_, v) in &self.pairs {
+            self.in_start[v as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            self.in_start[i + 1] += self.in_start[i];
+        }
+        // Filling slots in ascending pair id keeps each in-list sorted by
+        // source: for a fixed target, pair ids ascend with the source.
+        let mut cursor = self.in_start.clone();
+        self.in_pairs = vec![0; self.pairs.len()];
+        self.in_sources = vec![0; self.pairs.len()];
+        for (p, &(u, v)) in self.pairs.iter().enumerate() {
+            let slot = cursor[v as usize] as usize;
+            cursor[v as usize] += 1;
+            self.in_pairs[slot] = p as PairId;
+            self.in_sources[slot] = u;
+        }
+    }
+
+    /// Target node at position `i` of `u`'s out-list (the SoA id column
+    /// twin of [`TimeSeriesGraph::out_pairs`]).
+    #[inline]
+    pub fn out_target_at(&self, u: NodeId, i: u32) -> NodeId {
+        self.out_targets[(self.out_start[u as usize] + i) as usize]
+    }
+
+    /// In-degree of `v` in `G_T` (number of distinct sources).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> u32 {
+        self.in_start[v as usize + 1] - self.in_start[v as usize]
+    }
+
+    /// The pair at position `i` (`0 <= i < in_degree(v)`) of `v`'s
+    /// in-list, which is sorted by source id.
+    #[inline]
+    pub fn in_pair_at(&self, v: NodeId, i: u32) -> PairId {
+        self.in_pairs[(self.in_start[v as usize] + i) as usize]
+    }
+
+    /// Source node at position `i` of `v`'s in-list.
+    #[inline]
+    pub fn in_source_at(&self, v: NodeId, i: u32) -> NodeId {
+        self.in_sources[(self.in_start[v as usize] + i) as usize]
     }
 
     /// Appends an in-order event to the series of pair `p` in O(1)
@@ -407,6 +484,7 @@ impl TimeSeriesGraph {
         self.out_start = Self::csr_offsets(self.num_nodes, &pairs);
         self.pairs = pairs;
         self.series = series;
+        self.rebuild_adjacency_columns();
     }
 
     /// Drops pairs whose series are empty (left behind by
@@ -426,6 +504,7 @@ impl TimeSeriesGraph {
         self.pairs = kept_pairs;
         self.series = kept_series;
         self.out_start = Self::csr_offsets(self.num_nodes, &self.pairs);
+        self.rebuild_adjacency_columns();
         before - self.pairs.len()
     }
 
@@ -718,5 +797,57 @@ mod tests {
         // Inserting nothing is a no-op.
         g.insert_series(Vec::new());
         assert_eq!(g.num_pairs(), 9);
+    }
+
+    /// Brute-force transpose check: every pair sits in its target's
+    /// in-list, sorted by source, with SoA columns matching the tuples.
+    fn check_in_adjacency(g: &TimeSeriesGraph) {
+        let mut seen = 0usize;
+        for v in 0..g.num_nodes() as NodeId {
+            let mut prev = None;
+            for i in 0..g.in_degree(v) {
+                let p = g.in_pair_at(v, i);
+                let (src, tgt) = g.pair(p);
+                assert_eq!(tgt, v);
+                assert_eq!(g.in_source_at(v, i), src);
+                assert!(prev < Some(src), "in-list of {v} must ascend by source");
+                prev = Some(src);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, g.num_pairs());
+        for u in 0..g.num_nodes() as NodeId {
+            for i in 0..g.out_degree(u) as u32 {
+                assert_eq!(g.out_target_at(u, i), g.pair(g.out_pair_range(u).start + i).1);
+            }
+        }
+    }
+
+    #[test]
+    fn in_adjacency_is_the_exact_transpose_through_every_rebuild() {
+        let mut g = fig5();
+        check_in_adjacency(&g);
+        // insert_series rebuilds the CSR (and the transpose with it).
+        let s = InteractionSeries::from_events(vec![Event::new(30, 2.0)]);
+        g.insert_series(vec![((1, 0), s), ((5, 2), InteractionSeries::default())]);
+        check_in_adjacency(&g);
+        // Eviction + retain_nonempty compacts pair ids; the transpose
+        // must follow.
+        g.evict_before(13);
+        g.retain_nonempty();
+        check_in_adjacency(&g);
+        // from_pair_series path.
+        let g2 = TimeSeriesGraph::from_pair_series(
+            0,
+            vec![
+                ((2u32, 0u32), InteractionSeries::from_events(vec![Event::new(1, 1.0)])),
+                ((1, 0), InteractionSeries::from_events(vec![Event::new(2, 1.0)])),
+                ((0, 2), InteractionSeries::from_events(vec![Event::new(3, 1.0)])),
+            ],
+        );
+        check_in_adjacency(&g2);
+        assert_eq!(g2.in_degree(0), 2);
+        assert_eq!(g2.in_source_at(0, 0), 1);
+        assert_eq!(g2.in_source_at(0, 1), 2);
     }
 }

@@ -6,7 +6,7 @@
 //! client reads lines until it sees a status prefix (status-last
 //! framing; see `PROTOCOL.md` for the normative grammar).
 
-use flowmotif_core::{catalog, Motif};
+use flowmotif_core::{catalog, ExtensionOrder, Motif};
 use flowmotif_graph::{Flow, NodeId, TimeWindow, Timestamp};
 use std::io::{self, BufRead};
 
@@ -77,6 +77,10 @@ pub struct QuerySpec {
     pub motif: Motif,
     /// Closed time window restricting the search, if given.
     pub window: Option<TimeWindow>,
+    /// Per-query P1 extension-order override (a trailing
+    /// `order=fixed|cardinality` option token); `None` keeps the
+    /// server's default.
+    pub order: Option<ExtensionOrder>,
 }
 
 /// One parsed request line.
@@ -178,13 +182,24 @@ where
     raw.parse().map_err(|e| RequestError::proto(format!("`{command}` field `{raw}`: {e}")))
 }
 
-/// Parses `<motif> <delta> <phi> [<from> <to>]` — the same grammar as the
-/// `flowmotif stream` script's `query` operation; shared by `query`,
-/// `count` and `subscribe`.
+/// Parses `<motif> <delta> <phi> [<from> <to>] [order=fixed|cardinality]`
+/// — the same grammar as the `flowmotif stream` script's `query`
+/// operation plus the trailing option token; shared by `query`, `count`
+/// and `subscribe`.
 fn parse_query_spec(command: &str, args: &[&str]) -> Result<QuerySpec, RequestError> {
+    let (args, order) = match args.last().and_then(|a| a.strip_prefix("order=")) {
+        Some(raw) => {
+            let order = raw
+                .parse::<ExtensionOrder>()
+                .map_err(|e| RequestError::proto(format!("`{command}` option `order`: {e}")))?;
+            (&args[..args.len() - 1], Some(order))
+        }
+        None => (args, None),
+    };
     if args.len() != 3 && args.len() != 5 {
         return Err(RequestError::proto(format!(
-            "`{command} <motif> <delta> <phi> [<from> <to>]` takes 3 or 5 fields, got {}",
+            "`{command} <motif> <delta> <phi> [<from> <to>] [order=<o>]` \
+             takes 3 or 5 fields, got {}",
             args.len()
         )));
     }
@@ -204,7 +219,7 @@ fn parse_query_spec(command: &str, args: &[&str]) -> Result<QuerySpec, RequestEr
     } else {
         None
     };
-    Ok(QuerySpec { motif, window })
+    Ok(QuerySpec { motif, window, order })
 }
 
 /// One framed reply: the `DATA` payload lines (prefix stripped), any
@@ -306,6 +321,39 @@ mod tests {
         assert!(matches!(parse_request("metrics").unwrap(), Request::Metrics));
         assert!(matches!(parse_request("session").unwrap(), Request::Session));
         assert!(matches!(parse_request("quit").unwrap(), Request::Quit));
+    }
+
+    #[test]
+    fn parses_order_option() {
+        // Trailing `order=` token on every query-spec command, with or
+        // without a window.
+        let Request::Query(q) = parse_request("query M(3,2) 10 0 order=fixed").unwrap() else {
+            panic!("not a query")
+        };
+        assert_eq!(q.order, Some(ExtensionOrder::Fixed));
+        assert!(q.window.is_none());
+        let Request::Count(q) = parse_request("count M(3,2) 10 0 5 25 order=cardinality").unwrap()
+        else {
+            panic!("not a count")
+        };
+        assert_eq!(q.order, Some(ExtensionOrder::Cardinality));
+        assert_eq!(q.window, Some(TimeWindow::new(5, 25)));
+        let Request::Subscribe(q) = parse_request("subscribe M(3,3) 10 7 order=fixed").unwrap()
+        else {
+            panic!("not a subscribe")
+        };
+        assert_eq!(q.order, Some(ExtensionOrder::Fixed));
+        // Absent token: no override.
+        let Request::Query(q) = parse_request("query M(3,2) 10 0").unwrap() else {
+            panic!("not a query")
+        };
+        assert_eq!(q.order, None);
+        // Bad values and misplaced tokens are protocol errors.
+        let err = parse_request("query M(3,2) 10 0 order=random").unwrap_err();
+        assert_eq!(err.code, ErrorCode::Proto);
+        assert!(err.message.contains("unknown extension order"), "{}", err.message);
+        let err = parse_request("query M(3,2) 10 0 order=fixed 5 25").unwrap_err();
+        assert_eq!(err.code, ErrorCode::Proto, "order token must come last");
     }
 
     #[test]

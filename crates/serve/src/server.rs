@@ -861,14 +861,15 @@ fn run_query<E: MotifEngine>(
     let epoch = snapshot.epoch();
     let motif = &spec.motif;
     if !materialise {
-        let (count, stats) = snapshot.count_with(motif, spec.window, &mut session.scratch, sink);
+        let (count, stats) =
+            snapshot.count_with(motif, spec.window, &mut session.scratch, sink, spec.order);
         note_slow("count", spec, epoch, trace, started, shared);
         return (
             format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches),
             false,
         );
     }
-    let result = snapshot.query_with(motif, spec.window, &mut session.scratch, sink);
+    let result = snapshot.query_with(motif, spec.window, &mut session.scratch, sink, spec.order);
     note_slow("query", spec, epoch, trace, started, shared);
     let total = result.num_instances();
     let mut reply = String::new();

@@ -12,7 +12,7 @@
 //!   behind `flowmotif serve <dir> --packed`.
 
 use flowmotif_core::{
-    Motif, MotifInstance, SearchScratch, SearchStats, StructuralMatch, TraceSink,
+    ExtensionOrder, Motif, MotifInstance, SearchScratch, SearchStats, StructuralMatch, TraceSink,
 };
 use flowmotif_graph::{Flow, GraphError, GraphStore, NodeId, TimeWindow, Timestamp};
 use flowmotif_stream::{
@@ -31,13 +31,16 @@ pub trait EngineSnapshot: Send + Sync {
     /// running out of the caller's search arena. `trace`, when set,
     /// receives the per-stage breakdown of this one query (the server's
     /// slow-query log); `None` keeps the search on the zero-overhead
-    /// untraced path.
+    /// untraced path. `order`, when set, overrides the engine's P1
+    /// extension order for this one query (the protocol's `order=`
+    /// option).
     fn query_with(
         &self,
         motif: &Motif,
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> QueryResult;
 
     /// Counts maximal instances without materialising them.
@@ -47,6 +50,7 @@ pub trait EngineSnapshot: Send + Sync {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> (u64, SearchStats);
 
     /// Renders one result for the wire: the `-`-joined walk nodes and
@@ -150,8 +154,9 @@ impl EngineSnapshot for Arc<Snapshot> {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> QueryResult {
-        Snapshot::query_traced(self, motif, bounds, scratch, trace)
+        Snapshot::query_ordered(self, motif, bounds, scratch, trace, order)
     }
 
     fn count_with(
@@ -160,8 +165,9 @@ impl EngineSnapshot for Arc<Snapshot> {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> (u64, SearchStats) {
-        Snapshot::count_traced(self, motif, bounds, scratch, trace)
+        Snapshot::count_ordered(self, motif, bounds, scratch, trace, order)
     }
 
     fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {
@@ -252,8 +258,9 @@ impl EngineSnapshot for Arc<EpochSnapshot> {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> QueryResult {
-        EpochSnapshot::query_traced(self, motif, bounds, scratch, trace)
+        EpochSnapshot::query_ordered(self, motif, bounds, scratch, trace, order)
     }
 
     fn count_with(
@@ -262,8 +269,9 @@ impl EngineSnapshot for Arc<EpochSnapshot> {
         bounds: Option<TimeWindow>,
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
     ) -> (u64, SearchStats) {
-        EpochSnapshot::count_traced(self, motif, bounds, scratch, trace)
+        EpochSnapshot::count_ordered(self, motif, bounds, scratch, trace, order)
     }
 
     fn describe(&self, sm: &StructuralMatch, inst: &MotifInstance) -> (String, String) {

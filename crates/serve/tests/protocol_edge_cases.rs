@@ -73,6 +73,39 @@ fn oversized_query_window_is_refused_by_admission_control() {
 }
 
 #[test]
+fn per_query_extension_order_override_round_trips() {
+    let (server, engine) = server(ServerConfig::default());
+    // A triangle plus a spare chain: cyclic M(3,3) engages the WCO
+    // path, so both orders genuinely diverge in exploration here.
+    engine
+        .ingest([(0u32, 1u32, 10i64, 5.0), (1, 2, 12, 4.0), (2, 0, 14, 3.0), (3, 4, 10, 2.0)])
+        .unwrap();
+    engine.publish();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // Both orders (and the server default) must agree verb by verb.
+    let want = c.send("query M(3,3) 10 0").unwrap();
+    assert!(want.is_ok(), "{}", want.status);
+    for order in ["fixed", "cardinality"] {
+        let reply = c.send(&format!("query M(3,3) 10 0 order={order}")).unwrap();
+        assert_eq!((reply.status, reply.data), (want.status.clone(), want.data.clone()));
+        let reply = c.send(&format!("count M(3,3) 10 0 order={order}")).unwrap();
+        assert_eq!(reply.field("count"), Some("1"), "{}", reply.status);
+        // Windowed form: the option stays the trailing token.
+        let reply = c.send(&format!("count M(3,3) 10 0 0 20 order={order}")).unwrap();
+        assert_eq!(reply.field("count"), Some("1"), "{}", reply.status);
+    }
+
+    // Bad value and misplaced token are protocol errors.
+    let reply = c.send("count M(3,3) 10 0 order=random").unwrap();
+    assert!(reply.status.starts_with("ERR proto"), "{}", reply.status);
+    assert!(reply.status.contains("unknown extension order"), "{}", reply.status);
+    let reply = c.send("query M(3,3) 10 order=fixed 0 20").unwrap();
+    assert!(reply.status.starts_with("ERR proto"), "{}", reply.status);
+    server.shutdown();
+}
+
+#[test]
 fn oversized_request_line_closes_the_connection() {
     let (server, _) = server(ServerConfig::default());
     let mut c = Client::connect(server.local_addr()).unwrap();

@@ -32,8 +32,8 @@ use crate::engine::{EngineStats, QueryResult};
 use crate::snapshot::PublishReport;
 use crate::standing::{StandingEvent, StandingQueries};
 use flowmotif_core::{
-    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
-    SearchOptions, SearchScratch, SearchStats, TraceSink,
+    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink,
+    ExtensionOrder, Motif, SearchOptions, SearchScratch, SearchStats, TraceSink,
 };
 use flowmotif_graph::{
     Event, Flow, GraphError, GraphStore, NodeId, OverlayStore, SegmentStore, SegmentWriter,
@@ -100,7 +100,23 @@ impl EpochSnapshot {
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
     ) -> QueryResult {
-        let opts = SearchOptions { trace, ..self.opts };
+        self.query_ordered(motif, bounds, scratch, trace, None)
+    }
+
+    /// [`EpochSnapshot::query_traced`] with a per-query P1
+    /// [`ExtensionOrder`] override (see [`crate::Snapshot::query_ordered`]).
+    pub fn query_ordered(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
+    ) -> QueryResult {
+        let mut opts = self.opts.with_trace(trace);
+        if let Some(o) = order {
+            opts = opts.with_extension_order(o);
+        }
         let g = &*self.store;
         let mut sink = CollectSink::default();
         let stats = match bounds {
@@ -134,7 +150,23 @@ impl EpochSnapshot {
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
     ) -> (u64, SearchStats) {
-        let opts = SearchOptions { trace, ..self.opts };
+        self.count_ordered(motif, bounds, scratch, trace, None)
+    }
+
+    /// [`EpochSnapshot::count_traced`] with a per-query P1
+    /// [`ExtensionOrder`] override (see [`crate::Snapshot::query_ordered`]).
+    pub fn count_ordered(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
+    ) -> (u64, SearchStats) {
+        let mut opts = self.opts.with_trace(trace);
+        if let Some(o) = order {
+            opts = opts.with_extension_order(o);
+        }
         let g = &*self.store;
         let mut sink = CountSink::default();
         let stats = match bounds {

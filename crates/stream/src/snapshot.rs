@@ -47,8 +47,8 @@ use crate::standing::{StandingEvent, StandingQueries};
 use crate::window::SlidingWindow;
 use crate::QueryEngine;
 use flowmotif_core::{
-    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink, Motif,
-    SearchOptions, SearchScratch, SearchStats, TraceSink,
+    enumerate_window_with_sink_scratch, enumerate_with_sink_scratch, CollectSink, CountSink,
+    ExtensionOrder, Motif, SearchOptions, SearchScratch, SearchStats, TraceSink,
 };
 use flowmotif_graph::{Flow, GraphError, NodeId, TimeSeriesGraph, TimeWindow, Timestamp};
 use std::sync::{Arc, Mutex, RwLock};
@@ -119,7 +119,24 @@ impl Snapshot {
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
     ) -> QueryResult {
-        let opts = SearchOptions { trace, ..self.opts };
+        self.query_ordered(motif, bounds, scratch, trace, None)
+    }
+
+    /// [`Snapshot::query_traced`] with a per-query P1
+    /// [`ExtensionOrder`] override (`None` keeps the engine default) —
+    /// the hook behind the serve protocol's `order=` query option.
+    pub fn query_ordered(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
+    ) -> QueryResult {
+        let mut opts = self.opts.with_trace(trace);
+        if let Some(o) = order {
+            opts = opts.with_extension_order(o);
+        }
         let mut sink = CollectSink::default();
         let stats = match bounds {
             Some(w) => {
@@ -155,7 +172,23 @@ impl Snapshot {
         scratch: &mut SearchScratch,
         trace: Option<&'static dyn TraceSink>,
     ) -> (u64, SearchStats) {
-        let opts = SearchOptions { trace, ..self.opts };
+        self.count_ordered(motif, bounds, scratch, trace, None)
+    }
+
+    /// [`Snapshot::count_traced`] with a per-query P1
+    /// [`ExtensionOrder`] override (see [`Snapshot::query_ordered`]).
+    pub fn count_ordered(
+        &self,
+        motif: &Motif,
+        bounds: Option<TimeWindow>,
+        scratch: &mut SearchScratch,
+        trace: Option<&'static dyn TraceSink>,
+        order: Option<ExtensionOrder>,
+    ) -> (u64, SearchStats) {
+        let mut opts = self.opts.with_trace(trace);
+        if let Some(o) = order {
+            opts = opts.with_extension_order(o);
+        }
         let mut sink = CountSink::default();
         let stats = match bounds {
             Some(w) => {
@@ -911,7 +944,7 @@ mod tests {
 
     #[test]
     fn search_options_propagate_to_snapshots() {
-        let opts = SearchOptions { use_active_index: false, ..SearchOptions::default() };
+        let opts = SearchOptions::default().with_use_active_index(false);
         let engine = SnapshotEngine::new().search_options(opts);
         engine.ingest(FIG2).unwrap();
         engine.publish();

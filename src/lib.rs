@@ -73,7 +73,8 @@ pub mod prelude {
         enumerate_all, enumerate_all_in_window, find_structural_matches,
         parallel::{par_count_instances, par_enumerate_all, par_top_k},
         topk::{kth_instance_flow, top_k},
-        EdgeSet, Motif, MotifInstance, SearchOptions, SearchStats, SpanningPath, StructuralMatch,
+        EdgeSet, ExtensionOrder, Motif, MotifInstance, P1Driver, SearchOptions, SearchStats,
+        SpanningPath, StructuralMatch,
     };
     pub use flowmotif_datasets::{
         permute_flows, time_prefix_samples, Dataset, FlowDistribution, GeneratorConfig,

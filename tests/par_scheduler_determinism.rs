@@ -90,7 +90,7 @@ fn bounded_scan_is_identical_across_schedules_indexed_and_unindexed() {
     for (a, b) in [(0i64, 120i64), (100, 250), (390, 400)] {
         let w = TimeWindow::new(a, b);
         for use_index in [true, false] {
-            let opts = SearchOptions { use_active_index: use_index, ..SearchOptions::default() };
+            let opts = SearchOptions::default().with_use_active_index(use_index);
             let mut seq_sink = flowmotif::core::CollectSink::default();
             let seq_stats =
                 flowmotif::core::enumerate_window_with_sink(&g, &motif, w, opts, &mut seq_sink);

@@ -47,7 +47,7 @@ fn random_edge(rng: &mut StdRng, nodes: u32) -> (NodeId, NodeId, Timestamp, Flow
 
 #[test]
 fn indexed_unindexed_and_batch_rebuild_agree() {
-    let unindexed_opts = SearchOptions { use_active_index: false, ..SearchOptions::default() };
+    let unindexed_opts = SearchOptions::default().with_use_active_index(false);
     for case in 0..CASES {
         let mut rng = case_rng(0x1D_EC5, case);
         let nodes = rng.random_range(4u32..10);

@@ -118,11 +118,10 @@ fn search_options_do_not_change_results() {
         let mut reference: Option<Vec<String>> = None;
         for skip in [true, false] {
             for prune in [true, false] {
-                let opts = SearchOptions {
-                    skip_redundant_windows: skip,
-                    phi_prefix_pruning: prune,
-                    ..SearchOptions::default()
-                };
+                let opts = SearchOptions::builder()
+                    .skip_redundant_windows(skip)
+                    .phi_prefix_pruning(prune)
+                    .build();
                 let mut sink = CollectSink::default();
                 enumerate_with_sink(&g, &motif, opts, &mut sink);
                 let norm = normalize(flatten(sink.groups));
