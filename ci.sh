@@ -2,7 +2,8 @@
 # The offline CI gate, in named stages with per-stage wall-clock timing.
 #
 #   ./ci.sh         full gate: build, test, all-targets, bench-regression,
-#                   wco, out-of-core, metrics, subscribe, docs, fmt, clippy
+#                   wco, soak, out-of-core, metrics, subscribe, docs, fmt,
+#                   clippy
 #   ./ci.sh quick   build + tests only (the tier-1 inner loop)
 #
 # Everything runs with no network and no registry. The bench-regression
@@ -68,6 +69,17 @@ stage_wco() {
   # the full measurement budgets so the margin assertion judges stable
   # medians, not 10ms samples.
   cargo bench --offline -p flowmotif-bench --bench wco
+}
+
+stage_soak() {
+  # Serve v2 capacity gate: `benches/soak.rs` holds 120 simultaneously
+  # open connections on a worker config whose thread-per-connection
+  # predecessor capped at 10, and asserts a repeated count answered by
+  # the epoch-keyed result cache is >= 10x faster end-to-end than the
+  # same query with the cache disabled. The quick sweep above already
+  # runs it; this stage re-runs it with the full measurement budgets so
+  # the margin assertions judge stable medians.
+  cargo bench --offline -p flowmotif-bench --bench soak
 }
 
 stage_out_of_core() {
@@ -219,6 +231,7 @@ fi
 stage all-targets stage_all_targets
 stage bench-regression stage_bench_regression
 stage wco stage_wco
+stage soak stage_soak
 stage out-of-core stage_out_of_core
 stage metrics stage_metrics
 stage subscribe stage_subscribe

@@ -1,0 +1,176 @@
+//! Serve v2 soak: the two capacity claims of the event-loop front-end,
+//! asserted rather than just measured.
+//!
+//! * **Idle-connection capacity** — the v1 server was
+//!   thread-per-connection with a bounded pool: at most
+//!   `workers + backlog` connections could even be open, every one of
+//!   them pinning a thread. The event loop multiplexes connections over
+//!   `poll(2)`, so the same worker configuration must now hold ≥ 10x
+//!   that many *simultaneously open, all answering* connections, at a
+//!   cost of one fd and a pair of buffers each.
+//! * **Cache-hit speedup** — a repeated `count` answered by the
+//!   epoch-keyed result cache never leaves the event loop, so it must
+//!   beat the identical cold query (cache disabled) by ≥ 10x end-to-end
+//!   over the wire, loopback round-trip included.
+//!
+//! Ingest goes through [`Client::send_batch`] — the pipelined path —
+//! so this bench also soaks many-requests-in-flight framing under load.
+
+use flowmotif_bench::{micro, BenchGroup};
+use flowmotif_serve::{Client, Server, ServerConfig};
+use flowmotif_stream::SnapshotEngine;
+use flowmotif_util::rng::{RngExt, SeedableRng, StdRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Interactions ingested into each server before the query benches.
+const INTERACTIONS: usize = 10_000;
+
+/// Node universe: small enough that the 2-hop structural match count is
+/// large, making the cold `count` genuinely engine-bound.
+const NODES: u32 = 100;
+
+/// Idle connections held open at once. The v1 architecture capped out
+/// at `workers + backlog` (10 with the config below); the assertion
+/// demands 10x that.
+const IDLE_CONNS: usize = 120;
+
+fn config() -> ServerConfig {
+    ServerConfig { workers: 2, backlog: 8, ..ServerConfig::default() }
+}
+
+/// Starts a server over a fresh in-memory engine and pipelines the
+/// deterministic interaction stream into it in batched bursts.
+fn populated_server(cache_entries: usize, interactions: usize) -> Server {
+    let server = Server::start(
+        Arc::new(SnapshotEngine::new()),
+        ServerConfig { cache_entries, ..config() },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut sent = 0usize;
+    let mut t = 0i64;
+    while sent < interactions {
+        let burst = 500.min(interactions - sent);
+        let lines: Vec<String> = (0..burst)
+            .map(|_| {
+                t += 1;
+                let u = rng.random_range(0..NODES);
+                let mut v = rng.random_range(0..NODES);
+                while v == u {
+                    v = rng.random_range(0..NODES);
+                }
+                format!("add {u} {v} {t} {}", rng.random_range(1u32..100))
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        for reply in c.send_batch(&refs).unwrap() {
+            assert!(reply.is_ok(), "pipelined ingest: {}", reply.status);
+        }
+        sent += burst;
+    }
+    let reply = c.send("publish").unwrap();
+    assert!(reply.is_ok(), "{}", reply.status);
+    server
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let interactions = if quick { INTERACTIONS / 5 } else { INTERACTIONS };
+    // Quick runs trim the safety margin, never the asserted 10x floor.
+    let idle_conns = if quick { 100 } else { IDLE_CONNS };
+
+    let mut group = BenchGroup::new("soak");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    micro::header();
+
+    // ---- idle-connection capacity ------------------------------------
+    // Every connection stays open for the whole sweep; every one must be
+    // live (served, not parked in an accept queue).
+    let cfg = config();
+    let v1_cap = cfg.workers + cfg.backlog;
+    let server = Server::start(Arc::new(SnapshotEngine::new()), cfg, "127.0.0.1:0").unwrap();
+    let mut idle: Vec<Client> = (0..idle_conns)
+        .map(|i| {
+            Client::connect(server.local_addr())
+                .unwrap_or_else(|e| panic!("connection {i} refused: {e}"))
+        })
+        .collect();
+    for (i, c) in idle.iter_mut().enumerate() {
+        let reply = c.send("ping").unwrap_or_else(|e| panic!("connection {i} dead: {e}"));
+        assert_eq!(reply.status, "OK pong", "connection {i}");
+    }
+    println!("# {idle_conns} connections open and answering on a {v1_cap}-connection v1 config");
+    assert!(
+        idle_conns >= 10 * v1_cap,
+        "event loop must hold >= 10x the thread-per-connection capacity \
+         ({idle_conns} open vs v1 cap {v1_cap})"
+    );
+    // A connection in the middle of the set still gets full service
+    // while every other connection stays open.
+    let mid = idle.len() / 2;
+    let replies = idle[mid].send_batch(&["ping", "session", "ping"]).unwrap();
+    assert!(replies.iter().all(|r| r.is_ok()));
+    drop(idle);
+    server.shutdown();
+
+    // ---- cache-hit speedup -------------------------------------------
+    // Same data, same query, two servers: one with the result cache off
+    // (every count runs on the engine) and one with it on (every count
+    // after the first is answered from the event loop).
+    let cold_server = populated_server(0, interactions);
+    let hot_server = populated_server(1024, interactions);
+    let mut cold = Client::connect(cold_server.local_addr()).unwrap();
+    let mut hot = Client::connect(hot_server.local_addr()).unwrap();
+    let q = "count M(3,2) 30 0";
+    let want = cold.send(q).unwrap();
+    assert!(want.is_ok(), "{}", want.status);
+    let warm = hot.send(q).unwrap();
+    assert_eq!(warm.field("count"), want.field("count"), "engines diverged");
+
+    group.bench(format!("cold count ({interactions} interactions)"), || {
+        let reply = cold.send(q).unwrap();
+        assert!(reply.is_ok(), "{}", reply.status);
+        black_box(reply.data.len())
+    });
+    group.bench(format!("cache-hit count ({interactions} interactions)"), || {
+        let reply = hot.send(q).unwrap();
+        assert!(reply.is_ok(), "{}", reply.status);
+        black_box(reply.data.len())
+    });
+
+    // The hit path really was the hit path.
+    let metrics = hot.send("metrics").unwrap();
+    let hits: f64 = metrics
+        .data
+        .iter()
+        .find_map(|l| l.strip_prefix("flowmotif_serve_cache_hits_total").map(str::trim))
+        .and_then(|v| v.parse().ok())
+        .expect("cache_hits_total missing from metrics");
+    assert!(hits >= 1.0, "no cache hits recorded: {hits}");
+
+    let median = |needle: &str| {
+        group
+            .results()
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .map(|r| r.median.as_nanos())
+            .expect("both benches ran")
+    };
+    let (cold_ns, hit_ns) = (median("cold "), median("cache-hit "));
+    println!(
+        "soak: cold {cold_ns} ns/count vs cache hit {hit_ns} ns/count ({:.1}x)",
+        cold_ns as f64 / hit_ns.max(1) as f64,
+    );
+    assert!(
+        cold_ns >= hit_ns * 10,
+        "a cache-hit count must be >= 10x faster than the cold query end-to-end \
+         (cold {cold_ns} ns, hit {hit_ns} ns)",
+    );
+
+    cold_server.shutdown();
+    hot_server.shutdown();
+    group.finish();
+}

@@ -571,6 +571,9 @@ pub fn start_server_at(path: Option<&Path>, cli: &Cli) -> Result<Server, String>
         max_window: (cli.max_window > 0).then_some(cli.max_window),
         show: cli.show,
         slow_query_ms: cli.slow_query_ms,
+        event_loop_threads: cli.event_loop_threads.max(1),
+        cache_entries: cli.cache_entries,
+        max_connections: cli.max_connections.max(1),
         ..ServerConfig::default()
     };
     let bind = |e: std::io::Error| format!("binding {}:{}: {e}", cli.host, cli.port);

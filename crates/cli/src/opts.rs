@@ -81,7 +81,13 @@ OPTIONS (stream):
 OPTIONS (serve/client):
   --host <addr>           interface to bind / connect to                  [127.0.0.1]
   --port <int>            TCP port (serve: 0 picks a free port)           [7878]
-  --pool <int>            worker threads = max concurrent sessions        [4]
+  --pool <int>            query-executing worker threads                  [4]
+  --event-loop-threads <int>
+                          socket-multiplexing event-loop threads          [2]
+  --cache-entries <int>   epoch-keyed result-cache capacity (replies;
+                          0 disables caching)                             [1024]
+  --max-connections <int> open-connection cap (excess connections are
+                          refused with BUSY at accept time)               [4096]
   --max-inflight <int>    queries executing at once (0 = unlimited)       [0]
   --max-window <int>      per-query time-window cap (0 = unlimited)       [0]
   --publish-every <int>   auto-publish a snapshot every N appends
@@ -146,6 +152,12 @@ pub struct Cli {
     pub port: u16,
     /// Worker-pool size for `serve`.
     pub pool: usize,
+    /// Event-loop threads for `serve` (socket multiplexing).
+    pub event_loop_threads: usize,
+    /// Result-cache capacity (replies) for `serve`; 0 disables caching.
+    pub cache_entries: usize,
+    /// Open-connection cap for `serve`.
+    pub max_connections: usize,
     /// Concurrent-query cap for `serve` (0 = unlimited).
     pub max_inflight: usize,
     /// Per-query window cap for `serve` (0 = unlimited).
@@ -234,6 +246,9 @@ impl Default for Cli {
             host: "127.0.0.1".into(),
             port: 7878,
             pool: 4,
+            event_loop_threads: 2,
+            cache_entries: 1024,
+            max_connections: 4096,
             max_inflight: 0,
             max_window: 0,
             publish_every: 1024,
@@ -315,6 +330,11 @@ impl Cli {
                 "--host" => cli.host = value("--host")?,
                 "--port" => cli.port = parse_val!("--port"),
                 "--pool" => cli.pool = parse_val!("--pool"),
+                "--event-loop-threads" => {
+                    cli.event_loop_threads = parse_val!("--event-loop-threads");
+                }
+                "--cache-entries" => cli.cache_entries = parse_val!("--cache-entries"),
+                "--max-connections" => cli.max_connections = parse_val!("--max-connections"),
                 "--max-inflight" => cli.max_inflight = parse_val!("--max-inflight"),
                 "--max-window" => cli.max_window = parse_val!("--max-window"),
                 "--publish-every" => cli.publish_every = parse_val!("--publish-every"),
@@ -482,6 +502,28 @@ mod tests {
         // Ports are u16: out-of-range values are parse errors.
         assert!(parse(&["serve", "--port", "65536"]).is_err());
         assert!(parse(&["serve", "--port", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parses_event_loop_and_cache_flags() {
+        let cli = parse(&["serve"]).unwrap();
+        assert_eq!(cli.event_loop_threads, 2);
+        assert_eq!(cli.cache_entries, 1024);
+        assert_eq!(cli.max_connections, 4096);
+        let cli = parse(&[
+            "serve",
+            "--event-loop-threads",
+            "4",
+            "--cache-entries",
+            "0",
+            "--max-connections",
+            "128",
+        ])
+        .unwrap();
+        assert_eq!(cli.event_loop_threads, 4);
+        assert_eq!(cli.cache_entries, 0);
+        assert_eq!(cli.max_connections, 128);
+        assert!(parse(&["serve", "--event-loop-threads", "two"]).is_err());
     }
 
     #[test]

@@ -45,6 +45,34 @@ impl Client {
         read_reply(&mut self.reader)
     }
 
+    /// Pipelines a batch: writes every request line in one flush, then
+    /// reads the replies back in order. The server guarantees reply
+    /// order matches request order on a connection, so this is
+    /// observably identical to [`Client::send`] in a loop minus the
+    /// per-request round-trip latency — the point of pipelining.
+    /// `ERR`/`BUSY` replies come back as values like in `send`; a
+    /// transport failure abandons the rest of the batch.
+    pub fn send_batch(&mut self, lines: &[&str]) -> io::Result<Vec<Reply>> {
+        let mut framed = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            if line.contains('\n') {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "each request must be a single line",
+                ));
+            }
+            framed.push_str(line);
+            framed.push('\n');
+        }
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in lines {
+            replies.push(read_reply(&mut self.reader)?);
+        }
+        Ok(replies)
+    }
+
     /// Sets (or clears) the read timeout governing [`Client::recv_line`]
     /// and [`Client::send`]. A timed-out read returns an error of kind
     /// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`].

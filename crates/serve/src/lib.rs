@@ -6,18 +6,31 @@
 //! live interaction networks; this crate turns the single-threaded
 //! resident engine into a multi-client service:
 //!
-//! * [`Server`] — `std::net::TcpListener`, an accept thread and a
-//!   **bounded worker pool** (thread-per-connection up to the pool size,
-//!   excess connections queue, overflow is refused with `BUSY`).
+//! * [`Server`] — a **readiness-driven event loop** front-end: a fixed
+//!   set of loop threads multiplexes every connection over `poll(2)`
+//!   with nonblocking sockets, so thousands of idle connections cost a
+//!   few fds and buffers, not threads. Engine-touching requests run on
+//!   a **bounded worker pool**; cheap verbs, parse errors, load-shed
+//!   rejections and result-cache hits answer on the loop itself.
+//! * **Pipelining** — clients may write many request lines without
+//!   waiting; replies come back in order. Per connection, execution
+//!   stays serial (at most one request of a connection is on a worker
+//!   at a time), which is what makes pipelining observably identical to
+//!   one-at-a-time request/reply.
 //! * **Snapshot reads** — queries run against immutable epoch-stamped
 //!   [`flowmotif_stream::Snapshot`]s, so readers never block the
 //!   ingesting writer and a slow query never delays an append.
-//! * **Admission control** — a cap on concurrently executing queries
-//!   (transient `BUSY` reply, retryable) and a per-query time-window cap
-//!   (permanent `ERR admission` reply), so one client cannot monopolise
-//!   the pool with unbounded scans.
-//! * [`Client`] — a tiny blocking client speaking the same protocol, used
-//!   by `flowmotif client` and the integration tests.
+//! * **Result cache** — framed `query`/`count` replies keyed by
+//!   `(epoch, spec)`; a publish changes the key, which is the entire
+//!   invalidation story, so a stale reply can never be served.
+//! * **Admission control and load shedding** — a cap on concurrently
+//!   executing queries and a per-query time-window cap, plus tiered
+//!   shedding under worker-backlog pressure (unbounded cold queries go
+//!   first, cache hits and cheap verbs are always admitted); transient
+//!   rejections carry a `retry_ms=` hint.
+//! * [`Client`] — a tiny blocking client speaking the same protocol
+//!   (including [`Client::send_batch`] pipelining), used by
+//!   `flowmotif client` and the integration tests.
 //!
 //! The wire protocol is one request line in, one framed reply out
 //! (`DATA …` lines, then a single `OK`/`ERR`/`BUSY` status line); see
@@ -43,8 +56,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
 pub mod client;
+mod conn;
 mod metrics;
+mod poll;
 pub mod protocol;
 pub mod server;
 pub mod source;

@@ -56,6 +56,13 @@ pub(crate) struct ServerMetrics {
     /// Push `EVENT` lines dropped because a subscriber's notify queue
     /// was full (backpressure).
     pub events_dropped: Arc<Counter>,
+    /// Queries answered from the epoch-keyed result cache.
+    pub cache_hits: Arc<Counter>,
+    /// Queries that missed the result cache and went to the engine.
+    pub cache_misses: Arc<Counter>,
+    /// Cold queries shed with a transient `BUSY` by the event loop
+    /// (worker backlog tiers), as opposed to the in-flight cap.
+    pub load_shed: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -105,6 +112,18 @@ impl ServerMetrics {
         let events_dropped = registry.counter(
             "flowmotif_serve_events_dropped_total",
             "Push EVENT lines dropped on a full subscriber queue (backpressure)",
+        );
+        let cache_hits = registry.counter(
+            "flowmotif_serve_cache_hits_total",
+            "Queries answered from the epoch-keyed result cache",
+        );
+        let cache_misses = registry.counter(
+            "flowmotif_serve_cache_misses_total",
+            "Queries that missed the result cache and ran on the engine",
+        );
+        let load_shed = registry.counter(
+            "flowmotif_serve_load_shed_total",
+            "Cold queries shed with a transient BUSY under worker-backlog pressure",
         );
 
         use flowmotif_stream::metrics as stream;
@@ -170,6 +189,9 @@ impl ServerMetrics {
             slow_queries,
             events_pushed,
             events_dropped,
+            cache_hits,
+            cache_misses,
+            load_shed,
         }
     }
 

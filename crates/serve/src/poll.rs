@@ -1,0 +1,100 @@
+//! Minimal `poll(2)` binding and a self-pipe waker — the readiness
+//! primitives behind the event loop, hand-declared so the crate keeps
+//! its zero-dependency invariant (no `libc`, no `mio`).
+//!
+//! Unix-only, like the rest of the event-loop tier: the repo targets
+//! Linux, and `poll` plus `UnixStream::pair` are the smallest portable
+//! POSIX surface that gives us level-triggered readiness over an
+//! arbitrary fd set with an interruptible wait.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// `struct pollfd` — layout fixed by POSIX.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub(crate) fn new(fd: RawFd, events: i16) -> Self {
+        Self { fd, events, revents: 0 }
+    }
+
+    /// Readable, or in an error/hang-up state that a read will surface.
+    pub(crate) fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+    }
+
+    /// Writable, or in an error state that a write will surface.
+    pub(crate) fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+}
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+pub(crate) const POLLERR: i16 = 0x008;
+pub(crate) const POLLHUP: i16 = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: std::os::raw::c_int) -> i32;
+}
+
+/// Blocks until at least one fd in `fds` is ready, `timeout_ms` elapses
+/// (`-1` = forever), or a wakeup arrives; retries transparent `EINTR`s.
+/// Returns how many entries have non-zero `revents`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let r = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, timeout_ms) };
+        if r >= 0 {
+            return Ok(r as usize);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
+
+/// A self-pipe registered in a poll set: any thread can [`Waker::wake`]
+/// the owning loop out of its `poll` wait. Built on
+/// `UnixStream::pair` (pure `std`), both ends nonblocking, so a wake
+/// never blocks the waker — a full pipe already guarantees the sleeper
+/// will see readiness.
+#[derive(Debug)]
+pub(crate) struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    pub(crate) fn new() -> io::Result<Self> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Self { tx, rx })
+    }
+
+    /// The fd to register with `POLLIN` in the sleeper's poll set.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Nudges the sleeper. Coalesces: a pipe that already holds a byte
+    /// reports `WouldBlock` eventually, which is fine — readiness is
+    /// level-triggered and one pending byte is enough.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drains every pending wake token (call once per loop iteration).
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}

@@ -1,20 +1,27 @@
-//! The TCP server: accept loop, bounded worker pool, admission control
-//! and per-session request handling.
+//! The TCP server: event-loop front-end, bounded worker pool, admission
+//! control, load shedding, the epoch-keyed result cache, and request
+//! handling.
+//!
+//! The I/O core (readiness loops, connection state machine, pipelining)
+//! lives in the private `conn` module; this module owns the shared
+//! state, the request semantics, and the [`Server`] lifecycle.
 
+use crate::cache::ResultCache;
+use crate::conn::{accept_loop, event_loop, worker_loop, JobQueue, LoopInbox};
 use crate::metrics::ServerMetrics;
-use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request, MAX_LINE_BYTES};
+use crate::poll::Waker;
+use crate::protocol::{parse_request, ErrorCode, QuerySpec, Request};
 use crate::source::{EngineSnapshot, MotifEngine};
 use flowmotif_core::{AtomicTrace, SearchScratch, TraceSink, TraceStage};
 use flowmotif_graph::{Flow, GraphError, NodeId, Timestamp};
 use flowmotif_stream::{StandingEvent, StandingQueries};
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Push notifications a subscriber connection has not yet drained.
 /// Bounded: once a slow or stalled reader falls this far behind,
@@ -26,11 +33,15 @@ const NOTIFY_QUEUE_CAP: usize = 1024;
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads; also the maximum number of concurrently served
-    /// connections (excess connections queue, see `backlog`).
+    /// Worker threads executing engine-touching requests. Connections
+    /// no longer pin workers — a worker is busy only while a request
+    /// is actually running.
     pub workers: usize,
-    /// Accepted connections waiting for a free worker. Connections beyond
-    /// `workers + backlog` are refused with a `BUSY` status.
+    /// Load-shedding threshold on the worker job queue (queued plus
+    /// executing requests). At half this depth, unbounded (windowless)
+    /// cold queries are shed with a transient `BUSY`; at the full
+    /// depth, every cold query is. Cache hits and cheap verbs are
+    /// always admitted.
     pub backlog: usize,
     /// Maximum queries (`query`/`count`) executing at once across all
     /// sessions; further queries get a transient `BUSY` reply. 0 means
@@ -52,6 +63,16 @@ pub struct ServerConfig {
     /// stderr with its P1/P2/DP breakdown (0 logs every query). `None`
     /// keeps queries on the zero-overhead untraced path.
     pub slow_query_ms: Option<u64>,
+    /// Event-loop threads multiplexing the connections. Each loop owns
+    /// its share of the sockets; two are plenty until well past ten
+    /// thousand connections.
+    pub event_loop_threads: usize,
+    /// Capacity of the epoch-keyed result cache (framed `query`/`count`
+    /// replies). 0 disables caching.
+    pub cache_entries: usize,
+    /// Open-connection cap; connections beyond it are refused with a
+    /// `BUSY` line at accept time.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,17 +84,23 @@ impl Default for ServerConfig {
             max_window: None,
             show: 5,
             slow_query_ms: None,
+            event_loop_threads: 2,
+            cache_entries: 1024,
+            max_connections: 4096,
         }
     }
 }
 
 /// Rendered `EVENT` payloads awaiting delivery to one subscriber
 /// connection. The producer is whichever session's `add`/`evict`
-/// triggered the delta; the consumer is the subscriber's own worker,
-/// which drains between requests and while idle-polling its socket.
+/// triggered the delta; the consumer is the subscriber's event loop,
+/// which drains between reply frames.
 #[derive(Debug, Default)]
-struct NotifyQueue {
+pub(crate) struct NotifyQueue {
     lines: Mutex<VecDeque<String>>,
+    /// Mirror of `lines.len()`, so event loops can scan thousands of
+    /// idle connections without taking their queue locks.
+    pending: AtomicUsize,
     /// Events dropped on overflow since the subscription was created
     /// (also summed process-wide in the metrics registry).
     dropped: AtomicU64,
@@ -82,20 +109,21 @@ struct NotifyQueue {
 impl NotifyQueue {
     /// Enqueues one payload; reports whether it was accepted or dropped
     /// on a full queue.
-    fn push(&self, payload: String) -> bool {
+    pub(crate) fn push(&self, payload: String) -> bool {
         let mut q = self.lines.lock().unwrap();
         if q.len() >= NOTIFY_QUEUE_CAP {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             false
         } else {
             q.push_back(payload);
+            self.pending.store(q.len(), Ordering::Release);
             true
         }
     }
 
     /// Appends every pending payload to `out` as framed `EVENT` lines;
     /// returns how many were drained.
-    fn drain_into(&self, out: &mut String) -> usize {
+    pub(crate) fn drain_into(&self, out: &mut String) -> usize {
         let mut q = self.lines.lock().unwrap();
         let n = q.len();
         for payload in q.drain(..) {
@@ -103,19 +131,26 @@ impl NotifyQueue {
             out.push_str(&payload);
             out.push('\n');
         }
+        self.pending.store(0, Ordering::Release);
         n
+    }
+
+    /// Lock-free emptiness probe for the event loops' per-iteration
+    /// scan.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire) > 0
     }
 }
 
 /// One subscription's delivery route: which session owns it and where
 /// its events go.
 #[derive(Debug)]
-struct Route {
+pub(crate) struct Route {
     /// Subscription id (assigned by [`StandingQueries`], never reused).
-    id: u64,
+    pub(crate) id: u64,
     /// Owning session; only it may unsubscribe, and disconnect cleanup
     /// removes all of its routes.
-    session_id: u64,
+    pub(crate) session_id: u64,
     /// Duplicate-subscribe key: motif walk, δ, ϕ and window.
     key: String,
     queue: Arc<NotifyQueue>,
@@ -126,29 +161,50 @@ struct Route {
 /// `add`/`evict` that evaluates deltas serialize here, so each event
 /// is routed exactly once and routes never dangle.
 #[derive(Debug, Default)]
-struct StandingState {
+pub(crate) struct StandingState {
     subs: StandingQueries,
     routes: Vec<Route>,
 }
 
-/// State shared by all workers.
+impl StandingState {
+    /// Split borrow for callers that walk routes while mutating subs.
+    pub(crate) fn parts(&mut self) -> (&mut StandingQueries, &mut Vec<Route>) {
+        (&mut self.subs, &mut self.routes)
+    }
+}
+
+/// State shared by the event loops and the worker pool.
 #[derive(Debug)]
-struct Shared<E> {
-    engine: Arc<E>,
-    config: ServerConfig,
+pub(crate) struct Shared<E> {
+    pub(crate) engine: Arc<E>,
+    pub(crate) config: ServerConfig,
     /// Queries currently executing (gauge). `Arc`'d so the metrics
     /// registry can sample it from a render-time closure.
     inflight: Arc<AtomicUsize>,
     /// Connections served over the server's lifetime.
-    sessions: Arc<AtomicU64>,
-    /// Queries answered over the server's lifetime (admitted ones).
-    queries: Arc<AtomicU64>,
+    pub(crate) sessions: Arc<AtomicU64>,
+    /// Queries answered over the server's lifetime (admitted ones,
+    /// including cache hits).
+    pub(crate) queries: Arc<AtomicU64>,
     /// Standing queries and their notification routes.
-    standing: Arc<Mutex<StandingState>>,
+    pub(crate) standing: Arc<Mutex<StandingState>>,
     /// Session id allocator (ids are per-server and never reused).
-    next_session: AtomicU64,
+    pub(crate) next_session: AtomicU64,
     /// This server's metric registry and request-path handles.
-    metrics: ServerMetrics,
+    pub(crate) metrics: ServerMetrics,
+    /// The epoch-keyed result cache; hits answer on the event loop.
+    pub(crate) cache: Arc<ResultCache>,
+    /// Lock-free copy of the engine's published epoch, advanced by the
+    /// engine's publish hook — cache lookups on the event loop never
+    /// touch an engine lock.
+    pub(crate) current_epoch: Arc<AtomicU64>,
+    /// The worker pool's job queue; its load drives the shed tiers.
+    pub(crate) pool: Arc<JobQueue>,
+    /// One mailbox per event loop (empty in unit tests that exercise
+    /// request handling without a running server).
+    pub(crate) inboxes: Vec<Arc<LoopInbox>>,
+    /// Open connections across all loops (the `max_connections` cap).
+    pub(crate) conn_count: Arc<AtomicUsize>,
 }
 
 /// Decrements the in-flight gauge when an admitted query finishes.
@@ -162,15 +218,33 @@ impl<E> Drop for InflightGuard<'_, E> {
 }
 
 impl<E: MotifEngine> Shared<E> {
-    /// Builds the shared state and registers the engine-backed gauges
+    /// Builds the shared state, registers the engine-backed gauges
     /// (epoch, resident interactions/pairs) plus the server's own
-    /// in-flight/session/query series into the metrics registry.
-    fn new(engine: Arc<E>, config: ServerConfig) -> Self {
+    /// in-flight/session/query/cache series into the metrics registry,
+    /// and hooks the engine's publish notification to keep
+    /// `current_epoch` fresh.
+    pub(crate) fn new(
+        engine: Arc<E>,
+        config: ServerConfig,
+        pool: Arc<JobQueue>,
+        inboxes: Vec<Arc<LoopInbox>>,
+    ) -> Self {
         let metrics = ServerMetrics::new();
         let inflight = Arc::new(AtomicUsize::new(0));
         let sessions = Arc::new(AtomicU64::new(0));
         let queries = Arc::new(AtomicU64::new(0));
         let standing = Arc::new(Mutex::new(StandingState::default()));
+        let cache = Arc::new(ResultCache::new(config.cache_entries));
+        let current_epoch = Arc::new(AtomicU64::new(engine.published_epoch()));
+        {
+            // Publish → readiness notification: the loop-side epoch copy
+            // advances without any engine lock on the lookup path.
+            // `fetch_max` tolerates hooks firing out of order.
+            let ce = Arc::clone(&current_epoch);
+            engine.set_publish_hook(Box::new(move |epoch| {
+                ce.fetch_max(epoch, Ordering::AcqRel);
+            }));
+        }
         let r = metrics.registry();
         {
             let e = Arc::clone(&engine);
@@ -222,6 +296,22 @@ impl<E: MotifEngine> Shared<E> {
                 move || st.lock().unwrap().subs.len() as f64,
             );
         }
+        {
+            let c = Arc::clone(&cache);
+            r.gauge_fn(
+                "flowmotif_serve_cache_entries",
+                "Replies currently held by the result cache",
+                move || c.len() as f64,
+            );
+        }
+        {
+            let c = Arc::clone(&cache);
+            r.counter_fn(
+                "flowmotif_serve_cache_evictions_total",
+                "Result-cache entries evicted under capacity pressure",
+                move || c.evictions(),
+            );
+        }
         Self {
             engine,
             config,
@@ -231,6 +321,11 @@ impl<E: MotifEngine> Shared<E> {
             standing,
             next_session: AtomicU64::new(0),
             metrics,
+            cache,
+            current_epoch,
+            pool,
+            inboxes,
+            conn_count: Arc::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -258,6 +353,26 @@ impl<E> Shared<E> {
     }
 }
 
+/// The retry-after hint (milliseconds) carried by transient `BUSY`
+/// replies, scaled to the observed congestion.
+pub(crate) fn retry_hint(load: usize) -> u64 {
+    ((10 + 2 * load) as u64).min(1000)
+}
+
+/// The canonical spec string a `query`/`count` reply is cached under
+/// (combined with the epoch): everything that selects the reply bytes.
+pub(crate) fn cache_key(spec: &QuerySpec, materialise: bool) -> String {
+    format!(
+        "{}|{}|{}|{}|{:?}|{:?}",
+        if materialise { "query" } else { "count" },
+        spec.motif.path(),
+        spec.motif.delta(),
+        spec.motif.phi(),
+        spec.window,
+        spec.order,
+    )
+}
+
 /// A running motif query server. Dropping (or [`Server::shutdown`])
 /// stops the accept loop, drains the workers and joins all threads;
 /// [`Server::join`] instead blocks forever (the CLI's foreground mode).
@@ -265,14 +380,19 @@ impl<E> Shared<E> {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    accept_waker: Arc<Waker>,
+    inboxes: Vec<Arc<LoopInbox>>,
+    pool: Arc<JobQueue>,
     accept: Option<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 picks a free port)
-    /// and starts the accept thread plus `config.workers` workers. The
-    /// `engine` — any [`MotifEngine`]: the in-memory
+    /// and starts the accept thread, `config.event_loop_threads` event
+    /// loops and `config.workers` workers. The `engine` — any
+    /// [`MotifEngine`]: the in-memory
     /// [`flowmotif_stream::SnapshotEngine`] or the segment-backed
     /// [`flowmotif_stream::EpochEngine`] — is shared; the caller may
     /// keep ingesting into it directly while the server runs.
@@ -282,29 +402,45 @@ impl Server {
         addr: A,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        // Polled non-blocking accept so shutdown does not hang on a
-        // listener with no final connection.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let workers = config.workers.max(1);
-        let backlog = config.backlog;
-        let shared = Arc::new(Shared::new(engine, config));
+        let loop_threads = config.event_loop_threads.max(1);
+        let worker_threads = config.workers.max(1);
+        let pool = Arc::new(JobQueue::new());
+        let inboxes: Vec<Arc<LoopInbox>> =
+            (0..loop_threads).map(|_| LoopInbox::new().map(Arc::new)).collect::<io::Result<_>>()?;
+        let accept_waker = Arc::new(Waker::new()?);
+        let shared = Arc::new(Shared::new(engine, config, Arc::clone(&pool), inboxes.clone()));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
-        let rx = Arc::new(Mutex::new(rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
+        let loops: Vec<JoinHandle<()>> = (0..loop_threads)
+            .map(|i| {
                 let shared = Arc::clone(&shared);
                 let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || worker_loop(&rx, &shared, &shutdown))
+                std::thread::spawn(move || event_loop(&shared, i, &shutdown))
+            })
+            .collect();
+        let workers: Vec<JoinHandle<()>> = (0..worker_threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
         let accept = {
+            let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+            let waker = Arc::clone(&accept_waker);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &waker, &shutdown))
         };
-        Ok(Server { addr, shutdown, accept: Some(accept), workers: worker_handles })
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_waker,
+            inboxes,
+            pool,
+            accept: Some(accept),
+            loops,
+            workers,
+        })
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -312,8 +448,8 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, closes idle sessions and joins every thread.
-    /// Sessions blocked inside a request finish it first.
+    /// Stops accepting, closes every session and joins every thread.
+    /// A request already executing on a worker finishes first.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -325,6 +461,9 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        for h in self.loops.drain(..) {
+            let _ = h.join();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -332,7 +471,15 @@ impl Server {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        self.accept_waker.wake();
+        for inbox in &self.inboxes {
+            inbox.waker.wake();
+        }
+        self.pool.stop();
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.loops.drain(..) {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -347,209 +494,38 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shutdown: &AtomicBool) {
-    while !shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
-                    // Admission control at the connection level: the pool
-                    // and its backlog are saturated.
-                    let _ = stream.write_all(b"BUSY connection backlog full, retry later\n");
-                }
-                Err(TrySendError::Disconnected(_)) => break,
-            },
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    // Dropping `tx` here wakes the workers out of `recv_timeout` with a
-    // disconnect once the queue drains.
-}
-
-fn worker_loop<E: MotifEngine>(
-    rx: &Mutex<Receiver<TcpStream>>,
-    shared: &Shared<E>,
-    shutdown: &AtomicBool,
-) {
-    loop {
-        // Take the next queued connection; the lock is held only while
-        // polling the channel, not while serving.
-        let next = rx.lock().unwrap().recv_timeout(Duration::from_millis(20));
-        match next {
-            Ok(stream) => {
-                shared.sessions.fetch_add(1, Ordering::Relaxed);
-                serve_connection(stream, shared, shutdown);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
 /// Per-connection counters, reported by the `session` command, plus the
 /// session's private search arena: snapshots are shared and immutable,
 /// so the reusable P1→P2 buffers live with the session — after its
 /// first query, a session's searches run allocation-free per match no
-/// matter how many snapshot epochs go by.
+/// matter how many snapshot epochs go by. The session travels with a
+/// dispatched job and returns with its completion, which is what makes
+/// per-connection execution serial.
 #[derive(Debug, Default)]
-struct Session {
+pub(crate) struct Session {
     /// Per-server unique id; ties this session to its [`Route`]s.
-    id: u64,
-    queries: u64,
-    appends: u64,
-    errors: u64,
-    scratch: SearchScratch,
+    pub(crate) id: u64,
+    pub(crate) queries: u64,
+    pub(crate) appends: u64,
+    pub(crate) errors: u64,
+    pub(crate) scratch: SearchScratch,
     /// This connection's pending push notifications. Shared with every
-    /// route the session subscribes; drained between requests and while
-    /// idle-polling the socket.
-    queue: Arc<NotifyQueue>,
-}
-
-/// Serves one connection until the peer disconnects, sends `quit`, the
-/// server shuts down, or a protocol violation forces a close; then
-/// removes any standing subscriptions the session still holds.
-fn serve_connection<E: MotifEngine>(stream: TcpStream, shared: &Shared<E>, shutdown: &AtomicBool) {
-    let mut session = Session {
-        id: shared.next_session.fetch_add(1, Ordering::Relaxed) + 1,
-        ..Session::default()
-    };
-    session_loop(stream, shared, shutdown, &mut session);
-    // Disconnect cleanup: a gone subscriber must stop costing delta
-    // evaluation, and its queue must become unreachable.
-    let mut st = shared.standing.lock().unwrap();
-    let StandingState { subs, routes } = &mut *st;
-    routes.retain(|r| {
-        if r.session_id == session.id {
-            subs.unsubscribe(r.id);
-            false
-        } else {
-            true
-        }
-    });
-}
-
-fn session_loop<E: MotifEngine>(
-    stream: TcpStream,
-    shared: &Shared<E>,
-    shutdown: &AtomicBool,
-    session: &mut Session,
-) {
-    if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
-        return;
-    }
-    // Replies are built as one buffer and written once; disable Nagle so
-    // the status line is never held back waiting for more output.
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut events = String::new();
-    loop {
-        line.clear();
-        // Accumulate one line, tolerating read timeouts (used to poll the
-        // shutdown flag — and drain push notifications — without dropping
-        // partially received requests). Reads are budgeted so `line` can
-        // never grow past the protocol cap, no matter how fast a hostile
-        // client streams newline-free bytes.
-        let complete = loop {
-            let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
-            match Read::take(&mut reader, budget).read_line(&mut line) {
-                // Budget exhausted reads as Ok(0) on the next turn;
-                // a genuine EOF is a peer close (possibly mid-line).
-                Ok(0) => break line.len() > MAX_LINE_BYTES,
-                Ok(_) if line.ends_with('\n') => break true,
-                Ok(_) => continue, // partial read without newline
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    // Idle poll tick: deliver events produced by other
-                    // sessions' appends. Only whole pending lines are
-                    // buffered here, never a partial frame, so a push
-                    // can never split a reply.
-                    if flush_events(&mut writer, &mut events, session, shared).is_err() {
-                        return;
-                    }
-                }
-                Err(_) => break false,
-            }
-        };
-        if !complete {
-            return; // mid-stream disconnect: drop any partial request
-        }
-        if line.len() > MAX_LINE_BYTES {
-            // Swallow the rest of the oversized line (bounded) before
-            // replying, so closing with unread input does not RST the
-            // error reply away mid-flight.
-            drain_oversized_line(&mut reader);
-            let _ = writer.write_all(b"ERR proto line exceeds 65536 bytes\n");
-            return;
-        }
-        let (reply, close) = handle_line(line.trim_end_matches(['\r', '\n']), shared, session);
-        if writer.write_all(reply.as_bytes()).is_err() || close {
-            return;
-        }
-        // Prompt delivery of events this request just produced (e.g. a
-        // session that both appends and subscribes).
-        if flush_events(&mut writer, &mut events, session, shared).is_err() {
-            return;
-        }
-    }
-}
-
-/// Writes every pending push notification of `session` as `EVENT` lines.
-fn flush_events<E>(
-    writer: &mut TcpStream,
-    buf: &mut String,
-    session: &Session,
-    shared: &Shared<E>,
-) -> io::Result<()> {
-    buf.clear();
-    let n = session.queue.drain_into(buf);
-    if n > 0 {
-        writer.write_all(buf.as_bytes())?;
-        shared.metrics.events_pushed.add(n as u64);
-    }
-    Ok(())
-}
-
-/// Discards the tail of a line that exceeded [`MAX_LINE_BYTES`], up to a
-/// hard cap — memory stays O(chunk) and a trickling client cannot pin
-/// the worker (any timeout or error just abandons the drain; the
-/// connection is closing anyway).
-fn drain_oversized_line(reader: &mut BufReader<TcpStream>) {
-    let mut sink = Vec::with_capacity(8 * 1024);
-    let mut drained = 0usize;
-    while drained <= 16 * MAX_LINE_BYTES {
-        sink.clear();
-        match Read::take(&mut *reader, 8 * 1024).read_until(b'\n', &mut sink) {
-            Ok(0) => return,
-            Ok(n) => {
-                if sink.ends_with(b"\n") {
-                    return;
-                }
-                drained += n;
-            }
-            Err(_) => return,
-        }
-    }
+    /// route the session subscribes; drained by the event loop between
+    /// reply frames.
+    pub(crate) queue: Arc<NotifyQueue>,
 }
 
 /// Processes one request line into a framed reply (every returned string
 /// ends with the status line + `\n`). The bool asks the caller to close
 /// the connection after writing.
-fn handle_line<E: MotifEngine>(
+///
+/// This is the reference one-line-in/one-reply-out semantics the event
+/// loop's pipelined path must be observably identical to; the unit tests
+/// below exercise request handling through it. The live server goes
+/// through `crate::conn` instead, which needs the parsed [`Request`] to
+/// route between loop-inline and worker execution.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn handle_line<E: MotifEngine>(
     line: &str,
     shared: &Shared<E>,
     session: &mut Session,
@@ -583,7 +559,7 @@ fn verb_of(request: &Request) -> &'static str {
     }
 }
 
-fn handle_request<E: MotifEngine>(
+pub(crate) fn handle_request<E: MotifEngine>(
     request: Request,
     shared: &Shared<E>,
     session: &mut Session,
@@ -683,7 +659,7 @@ fn handle_request<E: MotifEngine>(
 /// `query`/`count` and `subscribe` alike (a standing query is a query
 /// re-evaluated forever — admitting an over-wide one would be worse
 /// than admitting it once). Returns the rejection reply, if any.
-fn window_rejection<E>(
+pub(crate) fn window_rejection<E>(
     spec: &QuerySpec,
     shared: &Shared<E>,
     session: &mut Session,
@@ -713,14 +689,21 @@ fn window_rejection<E>(
 
 /// Routes each delta event to its subscription's notify queue (drops,
 /// with a counter, when the subscriber has fallen [`NOTIFY_QUEUE_CAP`]
-/// events behind).
-fn dispatch_events(events: &[StandingEvent], routes: &[Route], metrics: &ServerMetrics) {
+/// events behind), then nudges every event loop so delivery does not
+/// wait for unrelated socket traffic.
+fn dispatch_events<E>(events: &[StandingEvent], routes: &[Route], shared: &Shared<E>) {
+    if events.is_empty() {
+        return;
+    }
     for ev in events {
         if let Some(route) = routes.iter().find(|r| r.id == ev.subscription) {
             if !route.queue.push(ev.to_string()) {
-                metrics.events_dropped.inc();
+                shared.metrics.events_dropped.inc();
             }
         }
+    }
+    for inbox in &shared.inboxes {
+        inbox.waker.wake();
     }
 }
 
@@ -742,7 +725,7 @@ fn append_with_standing<E: MotifEngine>(
     let StandingState { subs, routes } = &mut *st;
     let mut events = Vec::new();
     let watermark = shared.engine.append_standing(from, to, time, flow, subs, &mut events)?;
-    dispatch_events(&events, routes, &shared.metrics);
+    dispatch_events(&events, routes, shared);
     Ok(watermark)
 }
 
@@ -757,7 +740,7 @@ fn evict_with_standing<E: MotifEngine>(shared: &Shared<E>, floor: Timestamp) -> 
     let StandingState { subs, routes } = &mut *st;
     let mut events = Vec::new();
     let evicted = shared.engine.evict_standing(floor, subs, &mut events);
-    dispatch_events(&events, routes, &shared.metrics);
+    dispatch_events(&events, routes, shared);
     evicted
 }
 
@@ -818,7 +801,10 @@ fn unsubscribe<E>(id: u64, shared: &Shared<E>, session: &mut Session) -> (String
 }
 
 /// Admission control plus the actual snapshot search, shared by `query`
-/// (instances on `DATA` lines) and `count` (status line only).
+/// (instances on `DATA` lines) and `count` (status line only). A clean
+/// reply is stored in the result cache under the epoch it ran against,
+/// so identical queries at the same epoch are answered by the event
+/// loop without reaching this function again.
 fn run_query<E: MotifEngine>(
     spec: &QuerySpec,
     shared: &Shared<E>,
@@ -836,8 +822,9 @@ fn run_query<E: MotifEngine>(
             shared.metrics.busy.inc();
             return (
                 format!(
-                    "BUSY {inflight} queries in flight (cap {}), retry\n",
-                    shared.config.max_inflight
+                    "BUSY {inflight} queries in flight (cap {}), retry_ms={}\n",
+                    shared.config.max_inflight,
+                    retry_hint(inflight)
                 ),
                 false,
             );
@@ -864,10 +851,10 @@ fn run_query<E: MotifEngine>(
         let (count, stats) =
             snapshot.count_with(motif, spec.window, &mut session.scratch, sink, spec.order);
         note_slow("count", spec, epoch, trace, started, shared);
-        return (
-            format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches),
-            false,
-        );
+        let reply =
+            format!("OK count={count} matches={} epoch={epoch}\n", stats.structural_matches);
+        shared.cache.insert((epoch, cache_key(spec, false)), Arc::from(reply.as_str()));
+        return (reply, false);
     }
     let result = snapshot.query_with(motif, spec.window, &mut session.scratch, sink, spec.order);
     note_slow("query", spec, epoch, trace, started, shared);
@@ -892,6 +879,7 @@ fn run_query<E: MotifEngine>(
         "OK query instances={total} shown={shown} matches={} epoch={epoch}\n",
         result.stats.structural_matches
     ));
+    shared.cache.insert((epoch, cache_key(spec, true)), Arc::from(reply.as_str()));
     (reply, false)
 }
 
@@ -944,7 +932,12 @@ mod tests {
     use super::*;
 
     fn shared(config: ServerConfig) -> Shared<flowmotif_stream::SnapshotEngine> {
-        Shared::new(Arc::new(flowmotif_stream::SnapshotEngine::new()), config)
+        Shared::new(
+            Arc::new(flowmotif_stream::SnapshotEngine::new()),
+            config,
+            Arc::new(JobQueue::new()),
+            Vec::new(),
+        )
     }
 
     #[test]
@@ -1036,6 +1029,10 @@ mod tests {
         // Engine gauges come from the live engine.
         assert!(body.contains(&"flowmotif_engine_epoch 1"), "{r}");
         assert!(body.contains(&"flowmotif_engine_interactions 1"));
+        // The result cache's series: the query above was inserted once.
+        assert!(body.contains(&"flowmotif_serve_cache_entries 1"), "{r}");
+        assert!(body.contains(&"flowmotif_serve_cache_hits_total 0"), "{r}");
+        assert!(body.contains(&"flowmotif_serve_cache_evictions_total 0"), "{r}");
         // Stream and storage families are present (process-wide values).
         assert!(body.iter().any(|l| l.starts_with("flowmotif_stream_publishes_total ")));
         assert!(body.iter().any(|l| l.starts_with("flowmotif_storage_segment_mapped_bytes ")));
@@ -1055,7 +1052,29 @@ mod tests {
         let _held = s.try_admit().unwrap();
         let (r, _) = handle_line("count M(3,2) 10 0 0 50", &s, &mut session);
         assert!(r.starts_with("BUSY"), "{r}");
+        assert!(r.contains("retry_ms="), "{r}");
         assert_eq!(s.metrics.busy.get(), 1);
+    }
+
+    #[test]
+    fn run_query_fills_the_result_cache() {
+        let s = shared(ServerConfig::default());
+        let mut session = Session::default();
+        let _ = handle_line("add 0 1 10 5", &s, &mut session);
+        let _ = handle_line("add 1 2 12 4", &s, &mut session);
+        let _ = handle_line("publish", &s, &mut session);
+        // The publish hook advanced the loop-side epoch copy.
+        assert_eq!(s.current_epoch.load(Ordering::Acquire), 1);
+        let (r, _) = handle_line("count M(3,2) 10 0", &s, &mut session);
+        assert!(r.starts_with("OK count=1"), "{r}");
+        let spec = match parse_request("count M(3,2) 10 0").unwrap() {
+            Request::Count(spec) => spec,
+            _ => unreachable!(),
+        };
+        let key = (1u64, cache_key(&spec, false));
+        assert_eq!(s.cache.get(&key).as_deref(), Some(r.as_str()));
+        // A different epoch is a different key: nothing stale to serve.
+        assert!(s.cache.get(&(2u64, cache_key(&spec, false))).is_none());
     }
 
     #[test]
@@ -1095,7 +1114,9 @@ mod tests {
         assert_eq!(r, "OK added watermark=1\n");
         let _ = handle_line("add 1 2 2 3", &s, &mut session);
         let mut buf = String::new();
+        assert!(session.queue.has_pending());
         assert_eq!(session.queue.drain_into(&mut buf), 2);
+        assert!(!session.queue.has_pending());
         assert!(buf.contains("EVENT id=1 match=0-1-2 flow=2 first=1 last=2 size=2\n"), "{buf}");
         assert!(buf.contains("EVENT id=2 match=0-1-2 flow=2 first=1 last=2 size=2\n"), "{buf}");
 

@@ -81,6 +81,14 @@ pub trait MotifEngine: Send + Sync + 'static {
     /// Epoch of the currently published view.
     fn published_epoch(&self) -> u64;
 
+    /// Registers a callback fired with the new epoch number on every
+    /// epoch install (explicit publish, auto-publish, or compaction).
+    /// At most one hook is kept. The hook may run while the engine's
+    /// writer lock is held, so it must be cheap and must not call back
+    /// into the engine — the server uses it to keep a lock-free copy of
+    /// the current epoch for its result cache.
+    fn set_publish_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>);
+
     /// Drops interactions older than `floor`, where supported; engines
     /// over immutable storage return 0.
     fn evict_before(&self, floor: Timestamp) -> usize;
@@ -196,6 +204,10 @@ impl MotifEngine for SnapshotEngine {
         SnapshotEngine::published_epoch(self)
     }
 
+    fn set_publish_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>) {
+        SnapshotEngine::set_publish_hook(self, hook);
+    }
+
     fn evict_before(&self, floor: Timestamp) -> usize {
         SnapshotEngine::evict_before(self, floor)
     }
@@ -298,6 +310,10 @@ impl MotifEngine for EpochEngine {
 
     fn published_epoch(&self) -> u64 {
         EpochEngine::published_epoch(self)
+    }
+
+    fn set_publish_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>) {
+        EpochEngine::set_publish_hook(self, hook);
     }
 
     /// Sealed segments are immutable; nothing is evicted.

@@ -263,6 +263,9 @@ pub struct EpochEngine {
     publish_every: usize,
     opts: SearchOptions,
     last_publish: Mutex<PublishReport>,
+    /// Readiness hook fired after every epoch install (see
+    /// [`EpochEngine::set_publish_hook`]).
+    publish_hook: crate::snapshot::PublishHookSlot,
 }
 
 impl EpochEngine {
@@ -296,7 +299,18 @@ impl EpochEngine {
             publish_every: 0,
             opts,
             last_publish: Mutex::new(PublishReport::default()),
+            publish_hook: Default::default(),
         })
+    }
+
+    /// Registers a callback invoked with the new epoch number every time
+    /// an epoch is installed (explicit [`EpochEngine::publish`],
+    /// auto-publish, or [`EpochEngine::reseal`]). At most one hook is
+    /// kept; a second call replaces the first. The hook may run while
+    /// the writer lock is held, so it must be cheap and must not call
+    /// back into the engine — serve uses it to nudge its event loop.
+    pub fn set_publish_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        self.publish_hook.set(hook);
     }
 
     /// Overrides the [`SearchOptions`] used by every epoch query,
@@ -435,6 +449,7 @@ impl EpochEngine {
         let report = PublishReport { epoch: w.epoch, dirty_pairs, duration: started.elapsed() };
         crate::metrics::record_publish(report.epoch, report.dirty_pairs, report.duration);
         *self.last_publish.lock().unwrap() = report;
+        self.publish_hook.fire(w.epoch);
         w.epoch
     }
 
@@ -485,6 +500,7 @@ impl EpochEngine {
         });
         *self.published.write().unwrap() = snapshot;
         crate::metrics::record_reseal(started.elapsed());
+        self.publish_hook.fire(w.epoch);
         Ok(w.epoch)
     }
 

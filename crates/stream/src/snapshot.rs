@@ -267,6 +267,41 @@ pub struct SnapshotEngine {
     opts: SearchOptions,
     /// Telemetry of the last completed publish.
     last_publish: Mutex<PublishReport>,
+    /// Readiness hook fired after every epoch install (see
+    /// [`SnapshotEngine::set_publish_hook`]).
+    publish_hook: PublishHookSlot,
+}
+
+/// The callback shape a [`PublishHookSlot`] stores.
+type PublishHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// A registered publish-notification callback (see
+/// [`SnapshotEngine::set_publish_hook`]). Wrapped so engines stay
+/// `Debug` despite holding a closure.
+#[derive(Default)]
+pub(crate) struct PublishHookSlot(Mutex<Option<PublishHook>>);
+
+impl std::fmt::Debug for PublishHookSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set = self.0.lock().map(|g| g.is_some()).unwrap_or(false);
+        f.debug_tuple("PublishHookSlot").field(&set).finish()
+    }
+}
+
+impl PublishHookSlot {
+    pub(crate) fn set(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self.0.lock().unwrap() = Some(Arc::new(hook));
+    }
+
+    /// Invokes the hook with the epoch that was just installed. The hook
+    /// may run while an engine writer lock is held, so it must be cheap
+    /// and must not call back into the engine.
+    pub(crate) fn fire(&self, epoch: u64) {
+        let hook = self.0.lock().unwrap().clone();
+        if let Some(hook) = hook {
+            hook(epoch);
+        }
+    }
 }
 
 impl Default for SnapshotEngine {
@@ -301,7 +336,19 @@ impl SnapshotEngine {
             publish_every: 0,
             opts,
             last_publish: Mutex::new(PublishReport::default()),
+            publish_hook: PublishHookSlot::default(),
         }
+    }
+
+    /// Registers a callback fired after every epoch install (explicit
+    /// [`SnapshotEngine::publish`] and `publish_every` auto-publishes
+    /// alike) with the freshly installed epoch. The serve tier uses it
+    /// as a readiness notification: event loops keep a lock-free copy of
+    /// the current epoch for cache keying instead of polling the engine.
+    /// The hook runs outside every engine lock; at most one is
+    /// registered (later calls replace it).
+    pub fn set_publish_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        self.publish_hook.set(hook);
     }
 
     /// Overrides the [`SearchOptions`] used by every snapshot query
@@ -610,6 +657,7 @@ impl SnapshotEngine {
                 *last = report;
             }
         }
+        self.publish_hook.fire(p.epoch);
         p.epoch
     }
 }
